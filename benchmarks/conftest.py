@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures and
+asserts its qualitative shape.  ``REPRO_BENCH_SCALE`` (default 0.5)
+shrinks the workloads so the full suite finishes in a few minutes; run
+``examples/splash_campaign.py`` (or ``repro-experiments all``) at scale
+1.0 for the calibrated numbers recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+#: Workload scale used by all benchmarks.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+#: Processor count (the paper's 16).
+BENCH_PROCS = int(os.environ.get("REPRO_BENCH_PROCS", "16"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_procs() -> int:
+    return BENCH_PROCS
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

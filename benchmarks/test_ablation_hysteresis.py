@@ -1,0 +1,33 @@
+"""Benchmark A1 — hysteresis-depth ablation.
+
+The paper's conclusion: "for small cache block sizes there is no
+advantage in being conservative."  This ablation sweeps the evidence
+threshold from 1 (basic/aggressive) through 4 and checks that deeper
+hysteresis never helps at 16-byte blocks.
+"""
+
+from conftest import BENCH_PROCS, BENCH_SCALE, run_once
+
+from repro.experiments import ablations, common
+
+
+def test_hysteresis_sweep(benchmark):
+    def _run():
+        common.clear_caches()
+        return ablations.hysteresis_sweep(
+            scale=BENCH_SCALE, num_procs=BENCH_PROCS
+        )
+
+    rows = run_once(benchmark, _run)
+    print("\n" + ablations.render(rows, "A1: hysteresis depth"))
+
+    by_app = {}
+    for row in rows:
+        by_app.setdefault(row.app, {})[row.variant] = row.total
+    for app, variants in by_app.items():
+        # Deeper hysteresis is monotonically (weakly) worse...
+        assert variants["threshold-1"] <= variants["threshold-2"] * 1.01, app
+        assert variants["threshold-2"] <= variants["threshold-3"] * 1.01, app
+        assert variants["threshold-3"] <= variants["threshold-4"] * 1.01, app
+        # ...but even threshold-4 still beats no adaptation.
+        assert variants["threshold-4"] <= variants["conventional"], app

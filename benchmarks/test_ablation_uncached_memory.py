@@ -1,0 +1,46 @@
+"""Benchmark A2 — remembering classification across uncached intervals.
+
+The paper's directory protocols retain a block's migratory classification
+while it is uncached, so a reloaded migratory block arrives with write
+permission ("particularly useful in systems with small caches").  This
+ablation compares remember vs forget with 4-KByte caches, plus the
+eviction-notification trade (A3).
+"""
+
+from conftest import BENCH_PROCS, BENCH_SCALE, run_once
+
+from repro.experiments import ablations, common
+
+
+def test_uncached_memory(benchmark):
+    def _run():
+        common.clear_caches()
+        return ablations.uncached_memory(
+            scale=BENCH_SCALE, num_procs=BENCH_PROCS
+        )
+
+    rows = run_once(benchmark, _run)
+    print("\n" + ablations.render(
+        rows, "A2: classification memory across uncached intervals"
+    ))
+    by_app = {}
+    for row in rows:
+        by_app.setdefault(row.app, {})[row.variant] = row.total
+    for app, variants in by_app.items():
+        assert variants["remember"] <= variants["forget"] * 1.01, app
+        assert variants["remember"] <= variants["conventional"], app
+
+
+def test_eviction_notifications(benchmark):
+    def _run():
+        return ablations.eviction_notifications(
+            scale=BENCH_SCALE, num_procs=BENCH_PROCS
+        )
+
+    rows = run_once(benchmark, _run)
+    print("\n" + ablations.render(
+        rows, "A3: eviction notifications vs silent clean drops"
+    ))
+    assert {r.variant for r in rows} == {"notify", "silent-drop"}
+    for row in rows:
+        assert row.total > 0

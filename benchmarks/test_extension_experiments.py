@@ -1,0 +1,92 @@
+"""Benchmarks R3/R4/R5/R7 — extension experiments.
+
+* R3: software prefetching vs adaptive coherence (Mowry & Gupta).
+* R4: limited-pointer directories (Dir_iB / Dir_iNB).
+* R5: network-topology latency scaling.
+* R7: write-run characterization of the five analogues.
+"""
+
+from conftest import BENCH_PROCS, BENCH_SCALE, run_once
+
+from repro.analysis.writeruns import render_write_runs, write_run_stats
+from repro.experiments import common, limited_dir, prefetch, topology
+from repro.workloads.profiles import APP_ORDER
+
+
+def test_prefetch_comparison(benchmark):
+    def _run():
+        common.clear_caches()
+        return prefetch.run(scale=BENCH_SCALE, num_procs=BENCH_PROCS)
+
+    rows = run_once(benchmark, _run)
+    print("\n" + prefetch.render(rows))
+    for row in rows:
+        assert row.adaptive < row.conventional
+        # prefetching hides read-miss latency adaptation cannot touch
+        assert row.prefetch < row.adaptive, row
+        assert row.prefetch_exclusive <= row.prefetch, row
+
+
+def test_limited_directories(benchmark):
+    def _run():
+        common.clear_caches()
+        return limited_dir.run(
+            apps=("mp3d", "pthor", "locusroute"),
+            scale=BENCH_SCALE,
+            num_procs=BENCH_PROCS,
+        )
+
+    rows = run_once(benchmark, _run)
+    print("\n" + limited_dir.render(rows))
+    by_app = {}
+    for row in rows:
+        by_app.setdefault(row.app, {})[row.representation] = row
+    for app, reps in by_app.items():
+        full = reps["full-map"]
+        for name, row in reps.items():
+            # limited directories never reduce absolute traffic...
+            assert row.conventional_total >= full.conventional_total, (
+                app, name,
+            )
+            # ...and the adaptive advantage survives every scheme.
+            assert row.reduction_pct > full.reduction_pct - 3.0, (app, name)
+    # migratory blocks never overflow: MP3D is representation-invariant
+    mp3d = by_app["mp3d"]
+    assert (
+        mp3d["dir4B"].conventional_total
+        == mp3d["full-map"].conventional_total
+    )
+
+
+def test_topology_scaling(benchmark):
+    def _run():
+        common.clear_caches()
+        return topology.run(
+            apps=("mp3d",), scale=BENCH_SCALE, num_procs=BENCH_PROCS
+        )
+
+    rows = run_once(benchmark, _run)
+    print("\n" + topology.render(rows))
+    reductions = [r.time_reduction_pct for r in rows]
+    assert reductions == sorted(reductions)  # grows with avg hops
+
+
+def test_write_run_census(benchmark):
+    def _run():
+        common.clear_caches()
+        return {
+            app: write_run_stats(
+                common.get_trace(app, BENCH_PROCS, 0, BENCH_SCALE), 16
+            )
+            for app in APP_ORDER
+        }
+
+    stats = run_once(benchmark, _run)
+    print("\n" + render_write_runs(stats, "R7: write-run census"))
+    # The migratory signature: MP3D and Cholesky hand each datum to
+    # exactly one consumer per run.
+    assert stats["mp3d"].mean_external_rereads < 1.2
+    assert stats["cholesky"].mean_external_rereads < 1.2
+    # The mixed applications have wider consumption.
+    assert stats["pthor"].mean_external_rereads > 1.3
+    assert stats["locusroute"].mean_external_rereads > 1.3

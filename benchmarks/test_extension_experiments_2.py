@@ -1,0 +1,55 @@
+"""Benchmarks R8/R9/R10 — robustness, invalidation patterns, policy map."""
+
+from conftest import BENCH_PROCS, BENCH_SCALE, run_once
+
+from repro.experiments import common, inval_patterns, policy_space, robustness
+
+
+def test_seed_robustness(benchmark):
+    def _run():
+        common.clear_caches()
+        return robustness.run(
+            apps=("mp3d", "pthor"), seeds=(0, 1),
+            cache_size=None, scale=BENCH_SCALE, num_procs=BENCH_PROCS,
+        )
+
+    rows = run_once(benchmark, _run)
+    print("\n" + robustness.render(rows))
+    for row in rows:
+        assert row.minimum > 0, row
+        assert row.spread < max(5.0, 0.3 * row.mean), row
+
+
+def test_invalidation_patterns(benchmark):
+    def _run():
+        common.clear_caches()
+        return inval_patterns.run(scale=BENCH_SCALE, num_procs=BENCH_PROCS)
+
+    rows = run_once(benchmark, _run)
+    print("\n" + inval_patterns.render(rows))
+    by_key = {(r.app, r.protocol): r for r in rows}
+    for app in ("mp3d", "cholesky", "water"):
+        conv = by_key[(app, "conventional")]
+        aggr = by_key[(app, "aggressive")]
+        # single-copy invalidations dominate conventionally and are
+        # mostly consumed by adaptation
+        assert conv.share(1) > 0.7, app
+        assert aggr.total_invalidations < conv.total_invalidations, app
+
+
+def test_policy_space_map(benchmark):
+    def _run():
+        common.clear_caches()
+        return policy_space.run(
+            apps=("mp3d",), cache_size=8 * 1024,
+            scale=BENCH_SCALE, num_procs=BENCH_PROCS,
+        )
+
+    rows = run_once(benchmark, _run)
+    print("\n" + policy_space.render(rows))
+    best = policy_space.best_point(rows, "mp3d")
+    # the conclusions' corner: immediate reclassification, initially
+    # migratory (memory ties forgetting when the initial class is
+    # migratory, since forgetting reverts to migratory anyway)
+    assert best.threshold == 1
+    assert best.initial_migratory

@@ -1,0 +1,64 @@
+"""Benchmarks R1/R2 — the related-work comparisons (Section 5).
+
+* R1: on-line adaptation vs the off-line read-exclusive oracle
+  (Berkeley Read-With-Ownership / load-with-intent-to-modify).
+* R2: write-invalidate vs write-update vs the Alpha-style competitive
+  hybrid.
+* Storage: the directory-entry overhead table for Section 2.2's
+  hardware-cost claim.
+"""
+
+from conftest import BENCH_PROCS, BENCH_SCALE, run_once
+
+from repro.analysis.overhead import (
+    adaptive_layout,
+    conventional_layout,
+    overhead_table,
+)
+from repro.directory.policy import PAPER_POLICIES
+from repro.experiments import common, oracle, update_protocols
+
+
+def test_oracle_comparison(benchmark):
+    def _run():
+        common.clear_caches()
+        return oracle.run(scale=BENCH_SCALE, num_procs=BENCH_PROCS)
+
+    rows = run_once(benchmark, _run)
+    print("\n" + oracle.render(rows))
+    for row in rows:
+        # The oracle bounds every protocol from below in message count.
+        assert row.oracle <= row.conventional
+        assert row.oracle <= row.basic * 1.02, row
+        # The aggressive on-line protocol closes most of the gap on the
+        # migratory-heavy applications.
+        if row.app in ("mp3d", "water", "cholesky"):
+            assert row.aggressive <= row.oracle * 1.15, row
+
+
+def test_update_protocol_comparison(benchmark):
+    def _run():
+        common.clear_caches()
+        return update_protocols.run(scale=BENCH_SCALE, num_procs=BENCH_PROCS)
+
+    rows = run_once(benchmark, _run)
+    print("\n" + update_protocols.render(rows))
+    by_app = {r.app: r for r in rows}
+    for row in rows:
+        # The adaptive protocol dominates its own base protocol.
+        assert row.adaptive <= row.mesi * 1.02, row
+    # Write-update loses on the migratory-heavy applications (the
+    # introduction's argument for starting from write-invalidate)...
+    for app in ("mp3d", "water", "cholesky"):
+        assert by_app[app].write_update > by_app[app].mesi, app
+        # ...and the Alpha-style hybrid also handles them poorly.
+        assert by_app[app].hybrid > by_app[app].adaptive, app
+
+
+def test_directory_overhead(benchmark):
+    text = run_once(benchmark, overhead_table, PAPER_POLICIES)
+    print("\n" + text)
+    conv = conventional_layout(16)
+    for policy in PAPER_POLICIES[1:]:
+        extra = adaptive_layout(policy, 16).total_bits - conv.total_bits
+        assert 0 < extra <= 6  # "would not significantly increase cost"

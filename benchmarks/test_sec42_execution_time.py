@@ -1,0 +1,32 @@
+"""Benchmark S4.2a — execution-driven timing (Section 4.2).
+
+Times Cholesky, MP3D and Water under the conventional and basic adaptive
+protocols with the DASH-flavoured timing model and asserts that the
+basic protocol reduces parallel-section execution time by a meaningful
+but sub-message-reduction margin (the paper reports 19.3 %, 10.4 % and
+3.5 % — dominated by removed write-hit invalidation latency).
+"""
+
+from conftest import BENCH_PROCS, BENCH_SCALE, run_once
+
+from repro.experiments import common, exec_time
+
+
+def test_execution_time(benchmark):
+    def _run():
+        common.clear_caches()
+        return exec_time.run(scale=BENCH_SCALE, num_procs=BENCH_PROCS)
+
+    rows = run_once(benchmark, _run)
+    print("\n" + exec_time.render(rows))
+    for row in rows:
+        # Positive but far below the ~50 % message bound: compute and
+        # cache hits dilute, as in the paper.
+        assert 0 < row.time_reduction_pct < 35, row
+        assert row.adaptive_cycles < row.base_cycles
+        # Read-miss latency does not regress (the paper saw it improve
+        # via reduced contention, which our model does not simulate).
+        assert (
+            row.adaptive_read_miss_latency
+            <= row.base_read_miss_latency * 1.05
+        ), row

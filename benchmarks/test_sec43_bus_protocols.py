@@ -1,0 +1,38 @@
+"""Benchmark S4.3 — the bus-based snooping protocols.
+
+Runs all five analogues on the bus machine under MESI, the adaptive
+extension, and the always-migrate baseline; prices them under the two
+cost models of Section 4.3 and asserts the reported shapes.
+"""
+
+from conftest import BENCH_PROCS, BENCH_SCALE, run_once
+
+from repro.experiments import bus, common
+
+
+def test_bus_protocols(benchmark):
+    def _run():
+        common.clear_caches()
+        return bus.run(scale=BENCH_SCALE, num_procs=BENCH_PROCS)
+
+    rows = run_once(benchmark, _run)
+    print("\n" + bus.render(rows))
+
+    for row in rows:
+        # The adaptive protocol never increases transaction counts.
+        assert row.adaptive_model1 <= row.mesi_model1 * 1.02, row
+        # Model 2 (replies cost two) always shrinks the advantage,
+        # because adaptive invalidations need the Migratory reply.
+        assert row.model2_saving_pct <= row.model1_saving_pct + 1e-9, row
+
+    big = {r.app: r for r in rows if r.cache_size == 1024 * 1024}
+    # Water and MP3D save the most under model 1 (paper: over 40 %; the
+    # margin shrinks at reduced benchmark scale as cold misses weigh in).
+    assert big["mp3d"].model1_saving_pct > 22
+    assert big["water"].model1_saving_pct > 22
+    # Pthor's savings are modest (paper: 7-10 % model 1, 3.9-5 % model 2).
+    assert big["pthor"].model1_saving_pct < 25
+    assert big["pthor"].model2_saving_pct < 12
+    # The always-migrate baseline wins on heavily migratory programs but
+    # not on LocusRoute-style read-shared traffic.
+    assert big["mp3d"].always_migrate_model1 <= big["mp3d"].adaptive_model1

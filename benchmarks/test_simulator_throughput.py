@@ -1,0 +1,67 @@
+"""Micro-benchmarks: simulator throughput (accesses per second).
+
+Not a paper artifact — these time the simulation engines themselves so
+regressions in the hot paths (cache lookup, directory dispatch, snoop
+loops) are visible.  Unlike the table benchmarks these use multiple
+rounds, since they are cheap.
+"""
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.directory.policy import AGGRESSIVE, CONVENTIONAL
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import AdaptiveSnoopingProtocol
+from repro.system.machine import DirectoryMachine
+from repro.trace import synth
+
+CFG = MachineConfig(
+    num_procs=16, cache=CacheConfig(size_bytes=64 * 1024, block_size=16)
+)
+
+TRACE = synth.interleave(
+    [
+        synth.migratory(num_procs=16, num_objects=16, visits=50, seed=1),
+        synth.read_shared(num_procs=16, num_objects=16, rounds=20,
+                          base=1 << 20, seed=2),
+    ],
+    chunk=8,
+    seed=3,
+)
+
+
+def test_directory_machine_throughput(benchmark):
+    def run():
+        machine = DirectoryMachine(CFG, AGGRESSIVE)
+        machine.run(TRACE)
+        return machine.stats.total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_directory_machine_conventional_throughput(benchmark):
+    def run():
+        machine = DirectoryMachine(CFG, CONVENTIONAL)
+        machine.run(TRACE)
+        return machine.stats.total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_bus_machine_throughput(benchmark):
+    def run():
+        machine = BusMachine(CFG, AdaptiveSnoopingProtocol())
+        machine.run(TRACE)
+        return machine.bus_stats.total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_trace_generation_throughput(benchmark):
+    def run():
+        return len(synth.migratory(num_procs=16, num_objects=8, visits=100,
+                                   seed=7))
+
+    length = benchmark(run)
+    assert length > 0

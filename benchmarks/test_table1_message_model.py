@@ -1,0 +1,67 @@
+"""Benchmark T1 — regenerate Table 1 (the message-cost model).
+
+Table 1 is pure model, so this benchmark renders it, checks a handful of
+its arithmetic identities, and times the charge function itself (it is on
+the hot path of every simulated cache operation).
+"""
+
+from conftest import run_once
+
+from repro.interconnect.costs import (
+    Charge,
+    OpClass,
+    render_table1,
+    table1_charge,
+)
+
+
+def test_table1_render(benchmark):
+    text = run_once(benchmark, render_table1)
+    print("\n" + text)
+    assert "read miss" in text and "2 + 2n" in text
+
+
+def test_table1_identities(benchmark):
+    def check():
+        # A dirty block has one cached copy, so the dirty rows never
+        # depend on home locality beyond the table's explicit split.
+        for dc in range(4):
+            remote_dirty = table1_charge(OpClass.READ_MISS, False, True, dc)
+            assert remote_dirty.short == remote_dirty.data == 1 + dc
+        # Write hits move no data, ever.
+        for home_local in (True, False):
+            for dc in range(4):
+                c = table1_charge(OpClass.WRITE_HIT, home_local, False, dc)
+                assert c.data == 0
+        # Local operations are never costlier than remote ones.
+        for op in OpClass:
+            for dirty in (False, True):
+                if op is OpClass.WRITE_HIT and dirty:
+                    continue
+                for dc in range(4):
+                    local = table1_charge(op, True, dirty, dc)
+                    remote = table1_charge(op, False, dirty, dc)
+                    assert local.total <= remote.total
+        return True
+
+    assert run_once(benchmark, check)
+
+
+def test_charge_function_throughput(benchmark):
+    """Time the cost function over every input class (hot path)."""
+    cases = [
+        (op, home, dirty, dc)
+        for op in OpClass
+        for home in (True, False)
+        for dirty in ((False,) if op is OpClass.WRITE_HIT else (False, True))
+        for dc in range(8)
+    ]
+
+    def charge_all():
+        total = Charge(0, 0)
+        for op, home, dirty, dc in cases:
+            total = total + table1_charge(op, home, dirty, dc)
+        return total
+
+    total = benchmark(charge_all)
+    assert total.total > 0

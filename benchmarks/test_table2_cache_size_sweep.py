@@ -1,0 +1,63 @@
+"""Benchmark T2 — regenerate Table 2 (message counts by cache size).
+
+Runs the five application analogues across the paper's cache sizes and
+four protocols, prints the paper-style table, and asserts the headline
+shapes: the adaptive protocols save messages everywhere, orderings hold,
+and the relative benefit does not shrink as caches grow.
+"""
+
+from conftest import BENCH_PROCS, BENCH_SCALE, run_once
+
+from repro.experiments import common, table2
+
+
+def _run():
+    common.clear_caches()
+    return table2.run(scale=BENCH_SCALE, num_procs=BENCH_PROCS)
+
+
+def test_table2_sweep(benchmark):
+    rows = run_once(benchmark, _run)
+    print("\n" + table2.render(rows))
+
+    # Shape 1: every adaptive protocol saves messages on every cell.
+    for row in rows:
+        conv = row.cells["conventional"].total
+        for name in ("conservative", "basic", "aggressive"):
+            assert row.cells[name].total <= conv * 1.02, (row.app, name)
+
+    # Shape 2: aggressive >= basic >= conservative (small tolerance).
+    for row in rows:
+        aggr = row.cells["aggressive"].reduction_pct
+        basi = row.cells["basic"].reduction_pct
+        cons = row.cells["conservative"].reduction_pct
+        assert aggr >= basi - 1.5, row
+        assert basi >= cons - 1.5, row
+
+    # Shape 3: relative effectiveness improves (or holds) with cache size.
+    by_app = {}
+    for row in rows:
+        by_app.setdefault(row.app, []).append(
+            (row.cache_size, row.cells["aggressive"].reduction_pct)
+        )
+    for app, points in by_app.items():
+        points.sort()
+        smallest = points[0][1]
+        largest = points[-1][1]
+        assert largest >= smallest - 1.0, (app, points)
+
+    # Shape 4: migratory-heavy apps approach the 50 % bound at 1 MB;
+    # LocusRoute and Pthor stay modest (paper: 13.7 % and 18.7 %).
+    big = {r.app: r.cells["aggressive"].reduction_pct
+           for r in rows if r.cache_size == 1024 * 1024}
+    assert big["mp3d"] > 35
+    assert big["water"] > 25
+    assert big["cholesky"] > 25
+    assert big["locusroute"] < 30
+    assert big["pthor"] < 30
+
+    # Shape 5: data-carrying messages are nearly unchanged by adaptation.
+    for row in rows:
+        conv = row.cells["conventional"].data
+        aggr = row.cells["aggressive"].data
+        assert aggr <= conv * 1.12, (row.app, row.cache_size)

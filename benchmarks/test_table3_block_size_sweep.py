@@ -1,0 +1,54 @@
+"""Benchmark T3 — regenerate Table 3 (message counts by block size).
+
+Runs the block-size sweep (16..256 bytes, no capacity misses), prints the
+paper-style table, and asserts the shapes the paper reports: adaptive
+always worthwhile at these block sizes under equal message costs, with
+MP3D's advantage eroding at large blocks (false sharing) while
+Cholesky's counts keep falling (spatial locality).
+"""
+
+from conftest import BENCH_PROCS, BENCH_SCALE, run_once
+
+from repro.experiments import common, table3
+
+
+def _run():
+    common.clear_caches()
+    return table3.run(scale=BENCH_SCALE, num_procs=BENCH_PROCS)
+
+
+def test_table3_sweep(benchmark):
+    rows = run_once(benchmark, _run)
+    print("\n" + table3.render(rows))
+
+    cells = {(r.app, r.block_size): r.cells for r in rows}
+    apps = {r.app for r in rows}
+    blocks = sorted({r.block_size for r in rows})
+
+    # Shape 1: using the adaptive protocol never costs messages overall
+    # ("it never sent more messages than a standard protocol").
+    for row in rows:
+        conv = row.cells["conventional"].total
+        for name in ("conservative", "basic", "aggressive"):
+            assert row.cells[name].total <= conv * 1.02, (
+                row.app, row.block_size, name,
+            )
+
+    # Shape 2: Cholesky's message counts fall steeply with block size
+    # (long sequential column scans).
+    chol = [cells[("cholesky", b)]["conventional"].total for b in blocks]
+    assert chol[0] > 2 * chol[-1]
+
+    # Shape 3: MP3D's traffic grows with block size (false sharing makes
+    # the data ping-pong), and its adaptive advantage erodes.
+    mp3d = [cells[("mp3d", b)]["conventional"].total for b in blocks]
+    assert mp3d[-1] > mp3d[0] * 0.95
+    mp3d_red = [cells[("mp3d", b)]["aggressive"].reduction_pct for b in blocks]
+    assert mp3d_red[-1] < max(mp3d_red)
+
+    # Shape 4: the aggressive protocol remains the right choice at every
+    # block size simulated ("still the correct strategy for all of the
+    # applications and all of the block sizes").
+    for app in apps:
+        for b in blocks:
+            assert cells[(app, b)]["aggressive"].reduction_pct > 0, (app, b)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""False-sharing study: what block size does to migratory detection.
+
+Builds the same logical workload twice — per-processor counters packed
+densely into shared blocks versus padded to one block each — and shows:
+
+1. packed records ping-pong and inflate traffic at every protocol;
+2. the adaptive protocol still helps (the ping-pong *is* migration at
+   block granularity), but padding helps far more;
+3. the off-line classifier sees the packed variant's blocks as
+   migratory/other rather than private — the Table 3 effect in miniature.
+
+Run:  python examples/false_sharing_study.py
+"""
+
+from repro import CacheConfig, DirectoryMachine, MachineConfig
+from repro.analysis import SharingPattern, summarize_sharing
+from repro.directory import BASIC, CONVENTIONAL
+from repro.workloads import Engine, Heap, ReadEffect, WriteEffect
+
+NUM_PROCS = 8
+UPDATES = 200
+BLOCK = 64
+
+
+def build_trace(padded: bool, seed: int = 0):
+    """Each processor repeatedly read-modify-writes its own counter."""
+    heap = Heap()
+    if padded:
+        slots = [heap.alloc(4, align=BLOCK) for _ in range(NUM_PROCS)]
+    else:
+        slots = [heap.alloc(4) for _ in range(NUM_PROCS)]
+
+    def worker(proc):
+        addr = slots[proc]
+        for _ in range(UPDATES):
+            yield ReadEffect(addr)
+            yield WriteEffect(addr)
+
+    engine = Engine(NUM_PROCS, seed=seed, max_quantum=2)
+    for proc in range(NUM_PROCS):
+        engine.spawn(proc, worker(proc))
+    trace = engine.run()
+    trace.name = "padded" if padded else "packed"
+    return trace
+
+
+def measure(trace):
+    config = MachineConfig(
+        num_procs=NUM_PROCS,
+        cache=CacheConfig(size_bytes=None, block_size=BLOCK),
+    )
+    out = {}
+    for policy in (CONVENTIONAL, BASIC):
+        machine = DirectoryMachine(config, policy)
+        machine.run(trace)
+        out[policy.name] = machine.stats.total
+    return out
+
+
+def main() -> None:
+    for padded in (False, True):
+        trace = build_trace(padded)
+        totals = measure(trace)
+        summary = summarize_sharing(trace, BLOCK)
+        private = 100 * summary.block_fraction(SharingPattern.PRIVATE)
+        layout = "padded (one counter per block)" if padded else (
+            "packed (eight counters per block)"
+        )
+        saving = 100 * (1 - totals["basic"] / totals["conventional"]) if (
+            totals["conventional"]
+        ) else 0.0
+        print(f"{layout}:")
+        print(f"  blocks classified private : {private:5.1f}%")
+        print(f"  conventional messages     : {totals['conventional']:6d}")
+        print(f"  basic adaptive messages   : {totals['basic']:6d} "
+              f"({saving:.1f}% saved)")
+        print()
+    print("padding removes the traffic entirely; the adaptive protocol")
+    print("only halves the ping-pong it cannot remove — fix layout first,")
+    print("then let the protocol handle the truly migratory data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Latency study: adaptive coherence vs latency *tolerance* techniques.
+
+Runs one application (MP3D analogue) through the three timing models —
+closed-form, oracle-prefetched, and event-driven with controller
+contention — under the conventional and basic adaptive protocols, and
+prints the execution-time story the paper's related-work section tells:
+
+* the adaptive protocol *removes* traffic (helps everywhere, no software
+  support needed);
+* prefetching *hides* latency (helps more, needs compiler support,
+  leaves the traffic in place);
+* under contention, removed traffic compounds: queueing relief makes
+  even unrelated misses faster.
+
+Run:  python examples/latency_tolerance_study.py [--app mp3d] [--scale 0.5]
+"""
+
+import argparse
+
+from repro.analysis.oracle import read_exclusive_hints
+from repro.directory import BASIC, CONVENTIONAL
+from repro.experiments import common
+from repro.system.machine import DirectoryMachine
+from repro.timing import (
+    EventDrivenSimulator,
+    PrefetchingTimingSimulator,
+    TimingSimulator,
+)
+
+
+def machine(policy, config, placement):
+    return DirectoryMachine(config, policy, placement)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="mp3d")
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    trace = common.get_trace(args.app, seed=0, scale=args.scale)
+    config = common.directory_config(64 * 1024, 16, 16)
+    placement = common.get_placement("round_robin", trace, config)
+    hints = read_exclusive_hints(trace, config.block_size)
+
+    print(f"{args.app}: {len(trace)} shared references\n")
+    print(f"{'model':<34}{'conv cycles':>14}{'basic cycles':>14}"
+          f"{'reduction':>11}")
+    print("-" * 73)
+
+    rows = [
+        (
+            "closed-form (no contention)",
+            lambda policy: TimingSimulator(
+                machine(policy, config, placement)
+            ).run(trace),
+        ),
+        (
+            "event-driven (controller queueing)",
+            lambda policy: EventDrivenSimulator(
+                machine(policy, config, placement)
+            ).run(trace),
+        ),
+        (
+            "oracle prefetch-exclusive",
+            lambda policy: PrefetchingTimingSimulator(
+                machine(policy, config, placement), coverage=1.0
+            ).run(trace, exclusive_hints=hints),
+        ),
+    ]
+    for label, runner in rows:
+        base = runner(CONVENTIONAL).execution_time
+        adaptive = runner(BASIC).execution_time
+        reduction = 100.0 * (base - adaptive) / base if base else 0.0
+        print(f"{label:<34}{base:>14}{adaptive:>14}{reduction:>10.1f}%")
+
+    print()
+    print("prefetch-exclusive already removed the upgrade stalls, so the")
+    print("adaptive protocol adds little on top of it — but it needed the")
+    print("hint oracle; the adaptive protocol got its row with no software")
+    print("support at all, and gains the most where controllers queue.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — reproduction of Cox & Fowler's adaptive migratory-detection
+cache coherence protocols (ISCA 1993).
+
+Public API highlights:
+
+* :class:`repro.common.MachineConfig` / :class:`repro.common.CacheConfig`
+  — machine parameters.
+* :data:`repro.directory.PAPER_POLICIES` — the conventional, conservative,
+  basic and aggressive protocol policy points.
+* :class:`repro.system.DirectoryMachine` — the trace-driven CC-NUMA model
+  with Table 1 message accounting.
+* :class:`repro.snooping.BusMachine` — the bus-based snooping model with
+  MESI, adaptive-MESI, and always-migrate protocols.
+* :mod:`repro.trace.synth` — canonical sharing-pattern generators.
+* :mod:`repro.workloads` — the mini execution engine and the five SPLASH
+  application analogues.
+* :mod:`repro.experiments` — one entry point per paper table/figure.
+"""
+
+from repro.common import Access, CacheConfig, MachineConfig, Op, read, write
+from repro.directory import (
+    AGGRESSIVE,
+    BASIC,
+    CONSERVATIVE,
+    CONVENTIONAL,
+    PAPER_POLICIES,
+    AdaptivePolicy,
+)
+from repro.snooping import (
+    AdaptiveSnoopingProtocol,
+    AlwaysMigrateProtocol,
+    BusMachine,
+    MesiProtocol,
+)
+from repro.system import DirectoryMachine, make_placement
+from repro.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AGGRESSIVE",
+    "Access",
+    "AdaptivePolicy",
+    "AdaptiveSnoopingProtocol",
+    "AlwaysMigrateProtocol",
+    "BASIC",
+    "BusMachine",
+    "CONSERVATIVE",
+    "CONVENTIONAL",
+    "CacheConfig",
+    "DirectoryMachine",
+    "MachineConfig",
+    "MesiProtocol",
+    "Op",
+    "PAPER_POLICIES",
+    "Trace",
+    "__version__",
+    "make_placement",
+    "read",
+    "write",
+]

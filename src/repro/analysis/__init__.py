@@ -1,0 +1,73 @@
+"""Off-line analysis: sharing classification, cost models, reporting."""
+
+from repro.analysis.classify import (
+    BlockProfile,
+    SharingPattern,
+    SharingSummary,
+    classify_block,
+    classify_trace,
+    profile_blocks,
+    summarize_sharing,
+)
+from repro.analysis.oracle import hint_coverage, read_exclusive_hints
+from repro.analysis.overhead import (
+    EntryLayout,
+    adaptive_layout,
+    conventional_layout,
+    overhead_table,
+)
+from repro.analysis.costs import (
+    EQUAL_COST,
+    FOUR_TO_ONE,
+    PAPER_COST_MODELS,
+    PER_16_BYTES,
+    TWO_TO_ONE,
+    CostModel,
+    percent_saving,
+)
+from repro.analysis.report import format_table, thousands
+from repro.analysis.tracestats import (
+    TraceSummary,
+    render_trace_summaries,
+    reuse_distances,
+    reuse_histogram,
+    summarize_trace,
+)
+from repro.analysis.writeruns import (
+    WriteRunStats,
+    render_write_runs,
+    write_run_stats,
+)
+
+__all__ = [
+    "BlockProfile",
+    "CostModel",
+    "EQUAL_COST",
+    "FOUR_TO_ONE",
+    "PAPER_COST_MODELS",
+    "PER_16_BYTES",
+    "SharingPattern",
+    "SharingSummary",
+    "TWO_TO_ONE",
+    "TraceSummary",
+    "WriteRunStats",
+    "EntryLayout",
+    "adaptive_layout",
+    "classify_block",
+    "classify_trace",
+    "format_table",
+    "hint_coverage",
+    "percent_saving",
+    "read_exclusive_hints",
+    "profile_blocks",
+    "conventional_layout",
+    "overhead_table",
+    "summarize_sharing",
+    "thousands",
+    "render_write_runs",
+    "render_trace_summaries",
+    "reuse_distances",
+    "reuse_histogram",
+    "summarize_trace",
+    "write_run_stats",
+]

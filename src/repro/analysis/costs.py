@@ -1,0 +1,66 @@
+"""Cost-model analysis over message statistics (Section 4.1).
+
+The paper reports savings under several charging schemes:
+
+* equal cost per message (the headline percentage columns),
+* data-carrying messages charged 2x or 4x a short message,
+* one unit per message plus one unit per sixteen bytes transmitted.
+
+These helpers apply any of those to a pair of
+:class:`repro.common.stats.MessageStats` so a single simulation run can be
+re-costed without re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.stats import MessageStats
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """A message-weighting scheme.
+
+    ``data_weight`` multiplies data-carrying messages.  When
+    ``bytes_per_unit`` is set, the model instead charges
+    ``1 + block_size / bytes_per_unit`` per data message (and 1 per short
+    message), which is the paper's byte-proportional model.
+    """
+
+    name: str
+    data_weight: float = 1.0
+    bytes_per_unit: int | None = None
+
+    def cost(self, stats: MessageStats, block_size: int) -> float:
+        """Total cost of ``stats`` under this model."""
+        if self.bytes_per_unit is not None:
+            return stats.byte_cost(block_size, self.bytes_per_unit)
+        return stats.weighted_total(self.data_weight)
+
+
+#: The cost models the paper discusses, in order of appearance.
+EQUAL_COST = CostModel("1:1")
+TWO_TO_ONE = CostModel("2:1", data_weight=2.0)
+FOUR_TO_ONE = CostModel("4:1", data_weight=4.0)
+PER_16_BYTES = CostModel("1+bytes/16", bytes_per_unit=16)
+
+PAPER_COST_MODELS = (EQUAL_COST, TWO_TO_ONE, FOUR_TO_ONE, PER_16_BYTES)
+
+
+def percent_saving(
+    base: MessageStats,
+    other: MessageStats,
+    block_size: int = 16,
+    model: CostModel = EQUAL_COST,
+) -> float:
+    """Percentage cost reduction of ``other`` versus ``base``.
+
+    Positive values mean ``other`` is cheaper; negative values are the
+    "penalty" cases the paper notes for large blocks under byte-weighted
+    models.
+    """
+    base_cost = model.cost(base, block_size)
+    if base_cost == 0:
+        return 0.0
+    return 100.0 * (base_cost - model.cost(other, block_size)) / base_cost

@@ -1,0 +1,95 @@
+"""Traffic attribution: which sharing patterns cause the messages.
+
+Combines the off-line block classifier with the directory machine's
+per-block message tracking to answer the question the paper's
+introduction poses quantitatively: *how much of the coherence traffic is
+caused by migratory data* — and therefore how much an adaptive protocol
+can hope to remove (at most half of the migratory share).
+
+Also provides a hot-block report (the top-N blocks by messages with
+their classified patterns), a practical tool for studying new workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.classify import SharingPattern, classify_trace
+from repro.analysis.report import format_table
+from repro.common.types import Access
+from repro.system.machine import DirectoryMachine
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficByPattern:
+    """Message totals attributed to each sharing pattern."""
+
+    messages_by_pattern: dict
+    total: int
+
+    def fraction(self, pattern: SharingPattern) -> float:
+        """Share of all messages caused by blocks of ``pattern``."""
+        if self.total == 0:
+            return 0.0
+        return self.messages_by_pattern.get(pattern, 0) / self.total
+
+
+def traffic_by_pattern(
+    machine: DirectoryMachine, trace: Sequence[Access]
+) -> TrafficByPattern:
+    """Attribute a finished machine run's messages to sharing patterns.
+
+    Args:
+        machine: a machine constructed with ``track_blocks=True`` that
+            has already processed ``trace``.
+        trace: the trace it processed (classified off-line here).
+    """
+    if machine.block_messages is None:
+        raise ValueError("machine must be built with track_blocks=True")
+    patterns = classify_trace(trace, machine.config.block_size)
+    by_pattern: Counter = Counter()
+    for block, messages in machine.block_messages.items():
+        pattern = patterns.get(block, SharingPattern.OTHER)
+        by_pattern[pattern] += messages
+    return TrafficByPattern(dict(by_pattern), sum(by_pattern.values()))
+
+
+@dataclass(frozen=True, slots=True)
+class HotBlock:
+    """One entry of the hot-block report."""
+
+    block: int
+    messages: int
+    pattern: SharingPattern
+
+
+def hot_blocks(
+    machine: DirectoryMachine, trace: Sequence[Access], top: int = 10
+) -> list[HotBlock]:
+    """The ``top`` blocks by message count, with their patterns."""
+    if machine.block_messages is None:
+        raise ValueError("machine must be built with track_blocks=True")
+    patterns = classify_trace(trace, machine.config.block_size)
+    ranked = sorted(
+        machine.block_messages.items(), key=lambda kv: kv[1], reverse=True
+    )
+    return [
+        HotBlock(block, messages,
+                 patterns.get(block, SharingPattern.OTHER))
+        for block, messages in ranked[:top]
+    ]
+
+
+def render_traffic(result: TrafficByPattern, title: str) -> str:
+    """Render a traffic-by-pattern breakdown."""
+    rows = [
+        [pattern.value,
+         result.messages_by_pattern.get(pattern, 0),
+         100 * result.fraction(pattern)]
+        for pattern in SharingPattern
+        if result.messages_by_pattern.get(pattern, 0)
+    ]
+    rows.sort(key=lambda r: r[1], reverse=True)
+    return format_table(["pattern", "messages", "share %"], rows, title=title)

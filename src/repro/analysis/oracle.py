@@ -1,0 +1,64 @@
+"""Off-line read-exclusive (load-with-intent-to-modify) oracle.
+
+The related-work section contrasts the on-line adaptive protocols with
+off-line approaches: "data identified as migratory could be moved
+explicitly on a read access if the architecture provides a 'load with
+intent to modify' instruction", as assumed by the Read-With-Ownership
+operation of the sophisticated Berkeley Ownership protocol.
+
+This module plays the off-line analyst: a profiling pass over the trace
+marks every read whose *next same-block access is a write by the same
+processor* as read-exclusive.  Feeding those hints back into the
+directory machine (``DirectoryMachine.run_with_hints``) fetches such
+blocks with ownership in one transaction — a perfect-knowledge upper
+bound the on-line protocols can be compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.types import Access, Op
+
+
+def read_exclusive_hints(
+    trace: Sequence[Access], block_size: int = 16
+) -> list[bool]:
+    """Mark reads that should fetch ownership.
+
+    A read is marked when the same processor writes the block later in
+    the *same episode* — i.e. before any other processor touches the
+    block.  That is the safe condition a compiler inserting
+    load-exclusive needs: the processor is guaranteed to still hold the
+    block when the store issues.
+
+    Returns:
+        A list of booleans aligned with ``trace``.
+    """
+    hints = [False] * len(trace)
+    # Per block: the processor of the current access run and the indices
+    # of its so-far-unconfirmed reads.
+    run_proc: dict[int, int] = {}
+    pending_reads: dict[int, list[int]] = {}
+    for i, acc in enumerate(trace):
+        block = acc.addr // block_size
+        if run_proc.get(block) != acc.proc:
+            # Episode boundary: earlier reads were not followed by a
+            # same-processor write in time.
+            run_proc[block] = acc.proc
+            pending_reads[block] = []
+        if acc.op is Op.READ:
+            pending_reads[block].append(i)
+        else:
+            for index in pending_reads[block]:
+                hints[index] = True
+            pending_reads[block] = []
+    return hints
+
+
+def hint_coverage(hints: Sequence[bool], trace: Sequence[Access]) -> float:
+    """Fraction of reads marked read-exclusive (0.0 for empty traces)."""
+    reads = sum(1 for acc in trace if acc.op is Op.READ)
+    if reads == 0:
+        return 0.0
+    return sum(hints) / reads

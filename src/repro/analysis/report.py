@@ -1,0 +1,54 @@
+"""Plain-text table rendering for the experiment harness.
+
+The experiments print tables shaped like the paper's (message counts in
+thousands, percentage-reduction columns); this module holds the shared
+formatting so every benchmark renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Numbers are formatted naturally (floats to one decimal); everything
+    else is ``str()``-ed.  Columns are right-aligned except the first.
+    """
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        h.ljust(widths[i]) if i == 0 else h.rjust(widths[i])
+        for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def thousands(count: int) -> float:
+    """Counts in thousands, as the paper's tables report them."""
+    return count / 1000.0

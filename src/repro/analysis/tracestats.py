@@ -1,0 +1,139 @@
+"""Trace-level statistics: mixes, balance, and reuse distances.
+
+Quick structural summaries of a reference stream, used to sanity-check
+workloads before simulating them:
+
+* read/write mix and per-processor balance;
+* footprint at a given block size;
+* **block reuse distances** — for each re-reference of a block, the
+  number of *distinct* blocks touched since its previous reference.
+  The distribution determines how a given cache size behaves: a cache of
+  C blocks hits exactly those re-references whose reuse distance is
+  below ~C (fully-associative intuition), which is the lens for reading
+  Table 2's cache-size column.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.report import format_table
+from repro.common.types import Access, Op
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSummary:
+    """Headline statistics for one trace."""
+
+    references: int
+    write_fraction: float
+    num_procs: int
+    blocks_touched: int
+    max_proc_share: float  # largest per-processor share of references
+
+    @property
+    def balanced(self) -> bool:
+        """True when no processor issues more than twice its fair share."""
+        if self.num_procs == 0:
+            return True
+        return self.max_proc_share <= 2.0 / self.num_procs
+
+
+def summarize_trace(
+    trace: Sequence[Access], block_size: int = 16
+) -> TraceSummary:
+    """Compute the headline statistics of a trace."""
+    per_proc: Counter = Counter()
+    blocks = set()
+    writes = 0
+    for acc in trace:
+        per_proc[acc.proc] += 1
+        blocks.add(acc.addr // block_size)
+        if acc.op is Op.WRITE:
+            writes += 1
+    total = len(trace)
+    return TraceSummary(
+        references=total,
+        write_fraction=writes / total if total else 0.0,
+        num_procs=len(per_proc),
+        blocks_touched=len(blocks),
+        max_proc_share=(
+            max(per_proc.values()) / total if total else 0.0
+        ),
+    )
+
+
+def reuse_distances(
+    trace: Sequence[Access],
+    block_size: int = 16,
+    per_processor: bool = True,
+) -> list[int]:
+    """Reuse distance of every re-reference.
+
+    Args:
+        per_processor: measure each processor's stream separately (the
+            per-node cache view); False measures the merged stream.
+
+    Returns:
+        One distance (distinct intervening blocks) per re-reference, in
+        trace order.  First-ever references produce no entry.
+    """
+    distances: list[int] = []
+    # Per stream: block -> index of last use, plus an ordered list of
+    # (index, block) to count distinct blocks in between.  A simple
+    # O(n * d) stack-distance computation is fine at our trace sizes.
+    last_use: dict[tuple, int] = {}
+    streams: dict[int | None, list[int]] = {}
+    for acc in trace:
+        stream_key = acc.proc if per_processor else None
+        block = acc.addr // block_size
+        stream = streams.setdefault(stream_key, [])
+        key = (stream_key, block)
+        prev = last_use.get(key)
+        if prev is not None:
+            distinct = len(set(stream[prev + 1:]))
+            distances.append(distinct)
+        stream.append(block)
+        last_use[key] = len(stream) - 1
+    return distances
+
+
+def reuse_histogram(
+    distances: Sequence[int],
+    buckets: Sequence[int] = (0, 4, 16, 64, 256, 1024),
+) -> dict:
+    """Bucketed counts of reuse distances (last bucket takes the tail)."""
+    counts = {bound: 0 for bound in buckets}
+    counts["more"] = 0
+    for distance in distances:
+        for bound in buckets:
+            if distance <= bound:
+                counts[bound] += 1
+                break
+        else:
+            counts["more"] += 1
+    return counts
+
+
+def render_trace_summaries(named: dict, block_size: int = 16) -> str:
+    """Render summaries for several traces."""
+    rows = []
+    for name, trace in named.items():
+        summary = summarize_trace(trace, block_size)
+        rows.append(
+            [
+                name,
+                summary.references,
+                100 * summary.write_fraction,
+                summary.num_procs,
+                summary.blocks_touched,
+                "yes" if summary.balanced else "NO",
+            ]
+        )
+    return format_table(
+        ["trace", "refs", "write %", "procs", "blocks", "balanced"],
+        rows,
+        title=f"Trace summaries ({block_size}-byte blocks)",
+    )

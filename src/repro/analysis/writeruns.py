@@ -1,0 +1,129 @@
+"""Write-run analysis (Eggers & Katz style characterization).
+
+A *write run* is a maximal sequence of writes to a block by one
+processor, uninterrupted by any access from another processor; the
+*external re-reads* of a run are the distinct other processors that read
+the block after the run ends and before the next write.  These two
+statistics predict which coherence strategy suits a workload:
+
+* long write runs → write-invalidate wins (one invalidation amortised
+  over many silent writes);
+* short runs with many external re-reads → write-update wins;
+* runs of moderate length with a *single* external consumer that then
+  starts its own run → migratory data, the adaptive protocols' target.
+
+This gives the update-protocol comparison of
+:mod:`repro.experiments.update_protocols` an analytic backstop, and ties
+the workload analogues back to the literature's characterization
+methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis.report import format_table
+from repro.common.types import Access, Op
+
+
+@dataclass(slots=True)
+class WriteRunStats:
+    """Aggregate write-run statistics for a trace."""
+
+    run_lengths: list[int] = field(default_factory=list)
+    external_rereads: list[int] = field(default_factory=list)
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.run_lengths)
+
+    @property
+    def mean_run_length(self) -> float:
+        if not self.run_lengths:
+            return 0.0
+        return sum(self.run_lengths) / len(self.run_lengths)
+
+    @property
+    def mean_external_rereads(self) -> float:
+        if not self.external_rereads:
+            return 0.0
+        return sum(self.external_rereads) / len(self.external_rereads)
+
+    def histogram(self, buckets: Sequence[int] = (1, 2, 4, 8)) -> dict:
+        """Run-length histogram: bucket upper bounds -> count (last
+        bucket collects the tail)."""
+        counts = {bound: 0 for bound in buckets}
+        counts["more"] = 0
+        for length in self.run_lengths:
+            for bound in buckets:
+                if length <= bound:
+                    counts[bound] += 1
+                    break
+            else:
+                counts["more"] += 1
+        return counts
+
+
+def write_run_stats(
+    trace: Iterable[Access], block_size: int = 16
+) -> WriteRunStats:
+    """Collect write-run statistics over every block of a trace."""
+    stats = WriteRunStats()
+    # Per block: (writer, length) of the open run, the previous run's
+    # writer, and the readers seen since that run closed.
+    open_run: dict[int, tuple[int, int]] = {}
+    last_writer: dict[int, int] = {}
+    readers_since: dict[int, set[int]] = {}
+
+    def close_run(block: int) -> None:
+        run = open_run.pop(block, None)
+        if run is not None:
+            stats.run_lengths.append(run[1])
+            last_writer[block] = run[0]
+
+    for acc in trace:
+        block = acc.addr // block_size
+        run = open_run.get(block)
+        if acc.op is Op.WRITE:
+            if run is not None and run[0] == acc.proc:
+                open_run[block] = (acc.proc, run[1] + 1)
+            else:
+                close_run(block)
+                readers = readers_since.get(block)
+                if readers:
+                    # Distinct processors other than the previous run's
+                    # writer that consumed the data before this run.
+                    previous = last_writer.get(block)
+                    stats.external_rereads.append(
+                        len(readers - {previous})
+                    )
+                    readers_since[block] = set()
+                open_run[block] = (acc.proc, 1)
+        else:
+            if run is not None and run[0] != acc.proc:
+                close_run(block)
+            if run is not None and run[0] == acc.proc:
+                continue  # own read does not end the run's ownership
+            readers_since.setdefault(block, set()).add(acc.proc)
+    for block in list(open_run):
+        close_run(block)
+    return stats
+
+
+def render_write_runs(named_stats: dict, title: str) -> str:
+    """Render per-workload write-run summaries."""
+    rows = [
+        [
+            name,
+            stats.num_runs,
+            stats.mean_run_length,
+            stats.mean_external_rereads,
+        ]
+        for name, stats in named_stats.items()
+    ]
+    return format_table(
+        ["workload", "write runs", "mean length", "mean ext. re-reads"],
+        rows,
+        title=title,
+    )

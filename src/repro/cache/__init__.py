@@ -1,0 +1,17 @@
+"""Set-associative and infinite cache models."""
+
+from repro.cache.core import (
+    Cache,
+    CacheLine,
+    InfiniteCache,
+    SetAssociativeCache,
+    make_cache,
+)
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "InfiniteCache",
+    "SetAssociativeCache",
+    "make_cache",
+]

@@ -1,0 +1,32 @@
+"""Shared value types, configuration, statistics and errors."""
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.errors import (
+    ConfigError,
+    DeadlockError,
+    ProtocolError,
+    ReproError,
+    TraceError,
+    WorkloadError,
+)
+from repro.common.stats import BusStats, CacheStats, MessageStats
+from repro.common.types import WORD_SIZE, Access, Op, read, write
+
+__all__ = [
+    "Access",
+    "BusStats",
+    "CacheConfig",
+    "CacheStats",
+    "ConfigError",
+    "DeadlockError",
+    "MachineConfig",
+    "MessageStats",
+    "Op",
+    "ProtocolError",
+    "ReproError",
+    "TraceError",
+    "WORD_SIZE",
+    "WorkloadError",
+    "read",
+    "write",
+]

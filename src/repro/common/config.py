@@ -1,0 +1,118 @@
+"""Machine and cache configuration objects.
+
+:class:`MachineConfig` captures the parameters of the simulated
+multiprocessor used throughout the paper's evaluation: sixteen processors,
+four-way set-associative LRU caches, 4 KByte pages, and block sizes swept
+from 16 to 256 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Geometry of one per-processor cache.
+
+    Attributes:
+        size_bytes: total capacity.  ``None`` simulates an infinite cache
+            (no capacity or conflict misses), which the paper uses for the
+            block-size sweep of Table 3.
+        block_size: coherence/line granularity in bytes.
+        associativity: number of ways per set (ignored for infinite caches).
+        replacement: ``"lru"``, ``"fifo"`` or ``"random"``; the paper uses
+            LRU, the alternatives exist for ablations.
+    """
+
+    size_bytes: int | None = 64 * 1024
+    block_size: int = 16
+    associativity: int = 4
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.block_size):
+            raise ConfigError(f"block_size must be a power of two: {self.block_size}")
+        if self.replacement not in ("lru", "fifo", "random"):
+            raise ConfigError(f"unknown replacement policy: {self.replacement!r}")
+        if self.size_bytes is not None:
+            if self.size_bytes <= 0:
+                raise ConfigError("cache size must be positive or None (infinite)")
+            if self.associativity <= 0:
+                raise ConfigError("associativity must be positive")
+            lines = self.size_bytes // self.block_size
+            if lines == 0:
+                raise ConfigError("cache smaller than one block")
+            if lines % self.associativity != 0:
+                raise ConfigError(
+                    f"cache of {lines} lines not divisible into "
+                    f"{self.associativity}-way sets"
+                )
+
+    @property
+    def is_infinite(self) -> bool:
+        """True when the cache never evicts."""
+        return self.size_bytes is None
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines (undefined for infinite caches)."""
+        if self.size_bytes is None:
+            raise ConfigError("infinite cache has no line count")
+        return self.size_bytes // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (undefined for infinite caches)."""
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """Parameters of the simulated multiprocessor.
+
+    Attributes:
+        num_procs: number of processing nodes (the paper uses 16).
+        cache: per-node cache geometry.
+        page_size: virtual-memory page size used by page placement.
+        eviction_notification: whether dropping a clean cache entry sends a
+            notification message to the block's home directory.  The paper
+            charges this message at full cost; it can be disabled for an
+            ablation.
+    """
+
+    num_procs: int = 16
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    page_size: int = 4096
+    eviction_notification: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_procs <= 0:
+            raise ConfigError("num_procs must be positive")
+        if not _is_power_of_two(self.page_size):
+            raise ConfigError(f"page_size must be a power of two: {self.page_size}")
+        if self.page_size < self.cache.block_size:
+            raise ConfigError("page_size must be at least one block")
+
+    @property
+    def block_size(self) -> int:
+        """Coherence granularity in bytes."""
+        return self.cache.block_size
+
+    def block_of(self, addr: int) -> int:
+        """Return the block number containing byte address ``addr``."""
+        return addr // self.cache.block_size
+
+    def page_of(self, addr: int) -> int:
+        """Return the page number containing byte address ``addr``."""
+        return addr // self.page_size
+
+    def page_of_block(self, block: int) -> int:
+        """Return the page number containing block number ``block``."""
+        return (block * self.cache.block_size) // self.page_size

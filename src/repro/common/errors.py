@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the simulator derive from :class:`ReproError` so that
+callers can distinguish simulator problems from ordinary Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ProtocolError(ReproError):
+    """A coherence protocol observed an impossible event or state.
+
+    Raising (rather than silently ignoring) keeps state-machine bugs from
+    masquerading as benign behaviour; the protocol implementations treat
+    unreachable transitions as hard errors.
+    """
+
+
+class TraceError(ReproError):
+    """A trace record or trace file is malformed."""
+
+
+class WorkloadError(ReproError):
+    """A simulated parallel program misused the workload engine API."""
+
+
+class DeadlockError(WorkloadError):
+    """Every runnable thread in the workload engine is blocked."""

@@ -1,0 +1,146 @@
+"""Statistics counters used by both machine models.
+
+The paper's central metric is the number of inter-node messages, split into
+messages *without* data (requests, acknowledgements, invalidations,
+replacement notifications) and messages *with* data (miss replies,
+writebacks).  :class:`MessageStats` accumulates those two counts plus a
+breakdown by cause, so experiments can report the same columns as Tables 2
+and 3.
+
+The bus machine counts transactions instead of messages;
+:class:`BusStats` accumulates per-transaction-kind counts, and the two bus
+cost models of Section 4.3 are applied on top by
+:mod:`repro.snooping.costmodels`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class MessageStats:
+    """Inter-node message counters for the directory machine."""
+
+    short: int = 0
+    data: int = 0
+    by_cause_short: Counter = field(default_factory=Counter)
+    by_cause_data: Counter = field(default_factory=Counter)
+
+    def charge(self, cause: str, short: int, data: int) -> None:
+        """Add ``short`` short messages and ``data`` data-carrying messages.
+
+        Args:
+            cause: a label such as ``"read_miss"`` or ``"eviction"`` used
+                for the per-cause breakdown.
+            short: number of messages that carry no data block.
+            data: number of messages that carry a data block.
+        """
+        if short < 0 or data < 0:
+            raise ValueError("message counts must be non-negative")
+        self.short += short
+        self.data += data
+        if short:
+            self.by_cause_short[cause] += short
+        if data:
+            self.by_cause_data[cause] += data
+
+    @property
+    def total(self) -> int:
+        """All inter-node messages, short plus data-carrying."""
+        return self.short + self.data
+
+    def weighted_total(self, data_weight: float = 1.0) -> float:
+        """Total cost when data messages cost ``data_weight`` units each."""
+        return self.short + data_weight * self.data
+
+    def byte_cost(self, block_size: int, unit_bytes: int = 16) -> float:
+        """Cost model charging one unit per message plus one unit per
+        ``unit_bytes`` bytes of data transmitted (Section 4.1)."""
+        return self.total + self.data * (block_size / unit_bytes)
+
+    def merged(self, other: "MessageStats") -> "MessageStats":
+        """Return a new stats object summing self and ``other``."""
+        out = MessageStats(short=self.short + other.short, data=self.data + other.data)
+        out.by_cause_short = self.by_cause_short + other.by_cause_short
+        out.by_cause_data = self.by_cause_data + other.by_cause_data
+        return out
+
+    def snapshot(self) -> tuple[int, int]:
+        """Return ``(short, data)`` as a plain tuple."""
+        return (self.short, self.data)
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Per-machine cache event counters."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    upgrades: int = 0
+    evictions_clean: int = 0
+    evictions_dirty: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total references observed."""
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def misses(self) -> int:
+        """Total read plus write misses."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of references that missed (0.0 when no references)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+@dataclass(slots=True)
+class BusStats:
+    """Bus transaction counters for the snooping machine.
+
+    Each field counts whole (split) bus transactions; the two cost models
+    of Section 4.3 weight them differently.
+    """
+
+    read_miss: int = 0
+    write_miss: int = 0
+    invalidation: int = 0
+    writeback: int = 0
+    update: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+
+    def record(self, kind: str) -> None:
+        """Count one bus transaction of the given kind."""
+        if kind == "read_miss":
+            self.read_miss += 1
+        elif kind == "write_miss":
+            self.write_miss += 1
+        elif kind == "invalidation":
+            self.invalidation += 1
+        elif kind == "writeback":
+            self.writeback += 1
+        elif kind == "update":
+            # Word-update broadcasts used by the write-update and
+            # competitive hybrid protocols.
+            self.update += 1
+        else:
+            raise ValueError(f"unknown bus transaction kind: {kind!r}")
+        self.by_kind[kind] += 1
+
+    @property
+    def total(self) -> int:
+        """Total number of bus transactions."""
+        return (
+            self.read_miss
+            + self.write_miss
+            + self.invalidation
+            + self.writeback
+            + self.update
+        )

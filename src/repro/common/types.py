@@ -1,0 +1,63 @@
+"""Fundamental value types shared across the simulator.
+
+The whole system speaks in terms of :class:`Access` records: a processor
+identifier, an operation (read or write), and a byte address.  Traces are
+sequences of accesses; machines consume accesses one at a time.
+
+Addresses are plain integers (byte addresses).  Blocks and pages are derived
+by shifting; see :class:`repro.common.config.MachineConfig`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Number of bytes in one machine word.  The SPLASH-era machines the paper
+#: simulates were 32-bit, so a word is four bytes.
+WORD_SIZE = 4
+
+
+class Op(enum.Enum):
+    """A memory operation kind."""
+
+    READ = "R"
+    WRITE = "W"
+
+    @property
+    def is_write(self) -> bool:
+        """Return True when the operation modifies memory."""
+        return self is Op.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        """Return True when the operation only observes memory."""
+        return self is Op.READ
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One shared-memory reference issued by a processor.
+
+    Attributes:
+        proc: issuing processor id, ``0 <= proc < num_procs``.
+        op: whether the reference reads or writes.
+        addr: byte address referenced.
+    """
+
+    proc: int
+    op: Op
+    addr: int
+
+    def __str__(self) -> str:
+        return f"P{self.proc} {self.op.value} 0x{self.addr:x}"
+
+
+def read(proc: int, addr: int) -> Access:
+    """Convenience constructor for a read access."""
+    return Access(proc, Op.READ, addr)
+
+
+def write(proc: int, addr: int) -> Access:
+    """Convenience constructor for a write access."""
+    return Access(proc, Op.WRITE, addr)

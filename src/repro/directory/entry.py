@@ -1,0 +1,67 @@
+"""Directory entries for the CC-NUMA machine.
+
+Following Figure 3, the directory state of a block encodes *how many copies
+have been created since the block was last held exclusively* — not how many
+currently exist — together with the migratory classification.  This choice
+keeps a block from being misclassified as migratory merely because a third
+copy was silently dropped from some cache.
+
+The entry also records the *copy set* (the nodes currently believed to hold
+a copy; exact when replacement notifications are enabled), the identity of
+the last invalidator, and the evidence streak that implements hysteresis
+(the ``one migration`` flag of the pseudo-code generalises to a counter).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DirState(enum.Enum):
+    """Directory copies-created state (Figure 3)."""
+
+    UNCACHED = "uncached"
+    UNCACHED_MIG = "uncached/migratory"
+    ONE_COPY = "one copy"
+    ONE_COPY_MIG = "one copy/migratory"
+    TWO_COPIES = "two copies"
+    THREE_PLUS = "three or more copies"
+
+    @property
+    def migratory(self) -> bool:
+        """True for the migratory-classified states."""
+        return self in (DirState.UNCACHED_MIG, DirState.ONE_COPY_MIG)
+
+    @property
+    def cached(self) -> bool:
+        """True when at least one copy is believed cached."""
+        return self not in (DirState.UNCACHED, DirState.UNCACHED_MIG)
+
+
+@dataclass(slots=True)
+class DirectoryEntry:
+    """Per-block directory record.
+
+    Attributes:
+        state: copies-created + classification state.
+        copyset: nodes believed to hold a valid copy.
+        last_invalidator: node that most recently obtained exclusive
+            (write) access, or None.
+        streak: consecutive migratory-evidence events observed; compared
+            against the policy's ``migratory_threshold``.
+        overflowed: sharer identities lost (limited-pointer broadcast
+            directories only; see
+            :mod:`repro.directory.representation`).
+    """
+
+    state: DirState = DirState.UNCACHED
+    copyset: set[int] = field(default_factory=set)
+    last_invalidator: int | None = None
+    streak: int = 0
+    overflowed: bool = False
+
+    @property
+    def migratory(self) -> bool:
+        """True when the block is currently classified migratory."""
+        return self.state.migratory

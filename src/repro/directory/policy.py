@@ -1,0 +1,99 @@
+"""The adaptive protocol family (Section 2 and Section 4.1).
+
+A policy point fixes the three axes the paper identifies:
+
+1. **Hysteresis** — how many successive migratory-evidence events are
+   required before a block is classified migratory
+   (``migratory_threshold``).  The *conservative* protocol requires two
+   (the ``one migration`` flag of Figure 3); *basic* and *aggressive*
+   require one.  ``None`` disables adaptation entirely (the conventional
+   protocol).
+2. **Initial classification** — whether a never-seen (or forgotten) block
+   starts migratory (``initial_migratory``); only the *aggressive*
+   protocol does.
+3. **Memory across uncached intervals** — whether the classification
+   (and the last-invalidator/hysteresis machinery) survives the block
+   becoming uncached (``remember_uncached``).  The paper's directory
+   protocols remember; the snooping protocol structurally cannot, and
+   an ablation covers forgetting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class AdaptivePolicy:
+    """One member of the adaptive-protocol family.
+
+    Attributes:
+        name: display label used in experiment tables.
+        migratory_threshold: successive evidence events needed to classify
+            a block migratory; ``None`` means never (conventional).
+        initial_migratory: classification assumed for blocks with no
+            history.
+        remember_uncached: keep classification state while uncached.
+        demote_on_migratory_write_miss: also reclassify on *any* write
+            miss to a migratory block, as the contemporaneous Stenström
+            et al. protocol does (Cox & Fowler only demote when the
+            migratory copy is found clean).  Section 5 notes the two
+            rules behave consistently because there is very little
+            dynamic reclassification in the SPLASH programs.
+    """
+
+    name: str
+    migratory_threshold: int | None = 1
+    initial_migratory: bool = False
+    remember_uncached: bool = True
+    demote_on_migratory_write_miss: bool = False
+
+    def __post_init__(self) -> None:
+        if self.migratory_threshold is not None and self.migratory_threshold < 1:
+            raise ConfigError("migratory_threshold must be >= 1 or None")
+        if self.migratory_threshold is None and self.initial_migratory:
+            raise ConfigError(
+                "a non-adaptive policy cannot start blocks as migratory"
+            )
+
+    @property
+    def adaptive(self) -> bool:
+        """True when the policy ever classifies blocks as migratory."""
+        return self.migratory_threshold is not None or self.initial_migratory
+
+
+#: The conventional replicate-on-read-miss protocol (no adaptation).
+CONVENTIONAL = AdaptivePolicy(
+    "conventional", migratory_threshold=None, initial_migratory=False
+)
+
+#: Starts non-migratory; needs two successive events to classify (Fig. 3).
+CONSERVATIVE = AdaptivePolicy("conservative", migratory_threshold=2)
+
+#: Starts non-migratory; classifies after a single event.
+BASIC = AdaptivePolicy("basic", migratory_threshold=1)
+
+#: Starts migratory; reclassifies after a single event.
+AGGRESSIVE = AdaptivePolicy(
+    "aggressive", migratory_threshold=1, initial_migratory=True
+)
+
+#: The Stenström/Brorsson/Sandberg adaptive protocol (ISCA '93, same
+#: conference): identical shift-in rule, but also shifts out of
+#: migratory mode on any write miss to a migratory block.
+STENSTROM = AdaptivePolicy(
+    "stenstrom", migratory_threshold=1, demote_on_migratory_write_miss=True
+)
+
+#: The four protocols evaluated in Tables 2 and 3, in the paper's order.
+PAPER_POLICIES = (CONVENTIONAL, CONSERVATIVE, BASIC, AGGRESSIVE)
+
+
+def policy_by_name(name: str) -> AdaptivePolicy:
+    """Look up one of the paper's named policies."""
+    for policy in PAPER_POLICIES:
+        if policy.name == name:
+            return policy
+    raise ConfigError(f"unknown policy name: {name!r}")

@@ -1,0 +1,188 @@
+"""Directory-based adaptive coherence protocol (Figure 3).
+
+:class:`DirectoryProtocol` implements the classification state machine of
+the paper's pseudo-code, generalised over the policy axes of
+:class:`repro.directory.policy.AdaptivePolicy`.  It is deliberately free of
+message accounting and cache bookkeeping: it answers *policy questions*
+("should this read miss migrate or replicate the block?", "how does this
+write change the classification?") while
+:class:`repro.system.machine.DirectoryMachine` owns caches, copysets, and
+cost charging.
+
+Fidelity notes (documented deviations from the literal pseudo-code):
+
+* ``one migration`` generalises to an evidence ``streak`` counter so that
+  hysteresis depths other than two can be studied; threshold 2 reproduces
+  the flag exactly and threshold 1 reproduces the basic/aggressive single
+  event behaviour.
+* The pseudo-code's write-miss handler would demote an
+  ``UNCACHED/MIGRATORY`` block to ``ONE COPY`` (its final ``else`` arm).
+  A write miss is fully consistent with migratory use (a visit may write
+  first), and the paper's conclusions emphasise remembering
+  classifications across uncached intervals, so we keep the block
+  migratory there.  This matches the aggressive protocol the conclusions
+  recommend.
+* In the evidence branches that the pseudo-code leaves without an explicit
+  state assignment, the invalidation itself forces the block to a single
+  copy, so ``state`` becomes ``ONE COPY`` (or ``ONE COPY/MIGRATORY`` on
+  promotion).
+* The pseudo-code's read-miss handler appears to reset ``one migration``
+  on *every* replicating read miss.  Read literally, the conservative
+  protocol could then never classify read-then-write migratory data: the
+  two successive write-hit evidence events always have a read miss between
+  them ("migrate twice ... before it is classified"), which would wipe the
+  flag.  That contradicts Table 2, where the conservative protocol saves
+  39-46 % on MP3D/Water/Cholesky.  We therefore reset the evidence streak
+  only where the pseudo-code's ``ONE COPY/MIGRATORY`` demotion case does
+  (a migratory block found clean) and on non-evidence writes.
+"""
+
+from __future__ import annotations
+
+from repro.directory.entry import DirectoryEntry, DirState
+from repro.directory.policy import AdaptivePolicy
+
+
+class DirectoryProtocol:
+    """Classification engine for one machine run.
+
+    Entries are created lazily; a block with no entry behaves as
+    ``UNCACHED`` (or ``UNCACHED/MIGRATORY`` under an initially-migratory
+    policy).
+    """
+
+    def __init__(self, policy: AdaptivePolicy):
+        self.policy = policy
+        self._entries: dict[int, DirectoryEntry] = {}
+
+    @property
+    def entries(self) -> dict[int, DirectoryEntry]:
+        """All directory entries created so far (read-only use expected)."""
+        return self._entries
+
+    def entry(self, block: int) -> DirectoryEntry:
+        """Return (creating if needed) the entry for ``block``."""
+        ent = self._entries.get(block)
+        if ent is None:
+            ent = DirectoryEntry(state=self._initial_state())
+            self._entries[block] = ent
+        return ent
+
+    def peek(self, block: int) -> DirectoryEntry | None:
+        """Return the entry for ``block`` without creating one."""
+        return self._entries.get(block)
+
+    def is_migratory(self, block: int) -> bool:
+        """Whether ``block`` is currently classified migratory."""
+        ent = self._entries.get(block)
+        if ent is None:
+            return self.policy.initial_migratory
+        return ent.migratory
+
+    def _initial_state(self) -> DirState:
+        if self.policy.initial_migratory:
+            return DirState.UNCACHED_MIG
+        return DirState.UNCACHED
+
+    def _record_evidence(self, ent: DirectoryEntry) -> bool:
+        """Count one migratory-evidence event; True when it promotes."""
+        threshold = self.policy.migratory_threshold
+        if threshold is None:
+            return False
+        ent.streak += 1
+        return ent.streak >= threshold
+
+    # ------------------------------------------------------------------
+    # Event handlers (one per pseudo-code fragment in Figure 3)
+    # ------------------------------------------------------------------
+
+    def read_miss(self, block: int, proc: int, dirty: bool) -> bool:
+        """Handle a read miss by ``proc``; returns True to migrate.
+
+        Args:
+            dirty: whether the block is currently modified in the (single)
+                holder's cache; meaningful only for the one-copy states.
+                The real hardware discovers this when the request is
+                forwarded to the owner.
+        """
+        ent = self.entry(block)
+        state = ent.state
+        if state is DirState.UNCACHED:
+            ent.state = DirState.ONE_COPY
+        elif state is DirState.UNCACHED_MIG:
+            ent.state = DirState.ONE_COPY_MIG
+        elif state is DirState.ONE_COPY:
+            ent.state = DirState.TWO_COPIES
+        elif state is DirState.ONE_COPY_MIG:
+            if not dirty:
+                # Migrated but never written: counter-evidence; demote.
+                ent.state = DirState.TWO_COPIES
+                ent.streak = 0
+        elif state is DirState.TWO_COPIES:
+            ent.state = DirState.THREE_PLUS
+        # THREE_PLUS stays THREE_PLUS.
+        return ent.state is DirState.ONE_COPY_MIG
+
+    def write_miss(self, block: int, proc: int, dirty: bool) -> None:
+        """Handle a write miss by ``proc`` (invalidates all other copies).
+
+        After this event the block is exclusively dirty at ``proc``; the
+        machine performs the invalidations and cache fills.
+        """
+        ent = self.entry(block)
+        state = ent.state
+        if state is DirState.ONE_COPY_MIG:
+            if not dirty or self.policy.demote_on_migratory_write_miss:
+                # Demote: the copy was never written (Cox & Fowler), or
+                # the policy treats any write miss to a migratory block
+                # as counter-evidence (Stenström et al.).
+                ent.state = DirState.ONE_COPY
+                ent.streak = 0
+        elif state is DirState.UNCACHED_MIG:
+            # Deviation (see module docstring): stay migratory.
+            ent.state = DirState.ONE_COPY_MIG
+        elif state is DirState.ONE_COPY and ent.last_invalidator != proc:
+            # Write miss to a single-copy block: migratory evidence.
+            if self._record_evidence(ent):
+                ent.state = DirState.ONE_COPY_MIG
+        else:
+            ent.state = DirState.ONE_COPY
+            ent.streak = 0
+        ent.last_invalidator = proc
+
+    def write_hit(self, block: int, proc: int, sole_copy: bool) -> None:
+        """Handle a write hit to a clean block held (at least) by ``proc``.
+
+        Args:
+            sole_copy: True when ``proc`` holds the only cached copy (the
+                pseudo-code's "write hit on a clean, exclusively-held
+                block"); False when other copies must be invalidated.
+        """
+        ent = self.entry(block)
+        if sole_copy:
+            if ent.state is DirState.ONE_COPY and ent.last_invalidator != proc:
+                if self._record_evidence(ent):
+                    ent.state = DirState.ONE_COPY_MIG
+        elif ent.state is DirState.TWO_COPIES and ent.last_invalidator != proc:
+            # The classic detection: the newer of exactly two copies
+            # writes, invalidating the older.
+            if self._record_evidence(ent):
+                ent.state = DirState.ONE_COPY_MIG
+            else:
+                ent.state = DirState.ONE_COPY
+        else:
+            ent.state = DirState.ONE_COPY
+            ent.streak = 0
+        ent.last_invalidator = proc
+
+    def note_uncached(self, block: int) -> None:
+        """Record that the last cached copy of ``block`` was dropped."""
+        ent = self.entry(block)
+        if not self.policy.remember_uncached:
+            # Forget everything, as a snooping protocol must.
+            self._entries[block] = DirectoryEntry(state=self._initial_state())
+            return
+        if ent.state is DirState.ONE_COPY_MIG:
+            ent.state = DirState.UNCACHED_MIG
+        elif ent.state is not DirState.UNCACHED_MIG:
+            ent.state = DirState.UNCACHED

@@ -1,0 +1,99 @@
+"""Directory representations: full-map and limited-pointer schemes.
+
+The paper's machine model assumes a directory that can name every
+sharer.  Real CC-NUMA designs of the era economised: DASH-class machines
+and the LimitLESS work the paper cites use *limited pointer* directories
+that track only ``i`` sharers exactly.  Two classic overflow policies:
+
+* **Dir_iB (broadcast)** — on overflow the directory stops tracking
+  identities; a later invalidation must broadcast to every node (and
+  collect an acknowledgement from each).
+* **Dir_iNB (no broadcast)** — the directory *never* overflows: adding
+  an (i+1)-th sharer forcibly invalidates one existing copy to free a
+  pointer.
+
+Both interact interestingly with migratory detection: migratory blocks
+live on a single pointer and never overflow, while read-shared blocks
+bear the overflow costs — so limited directories *increase* the relative
+value of handling migratory data well.
+
+The representation layer only affects message *costs* and forced
+invalidations; the simulator's ground-truth copy set stays exact.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.directory.entry import DirectoryEntry
+
+
+class DirectoryRepresentation:
+    """Cost/behaviour model of the directory's sharer-tracking scheme."""
+
+    name = "abstract"
+
+    def on_sharer_added(
+        self, entry: DirectoryEntry, node: int
+    ) -> int | None:
+        """React to a new sharer.
+
+        Returns:
+            A node whose copy must be forcibly invalidated to make room
+            (Dir_iNB), or None.
+        """
+        return None
+
+    def invalidation_targets(
+        self, entry: DirectoryEntry, writer: int, home: int, num_procs: int
+    ) -> int:
+        """``||DistantCopies||`` to charge for an invalidation burst."""
+        return len(entry.copyset - {writer, home})
+
+    def on_exclusive(self, entry: DirectoryEntry) -> None:
+        """The block became exclusively held (or uncached)."""
+
+
+class FullMapDirectory(DirectoryRepresentation):
+    """One presence bit per node: always exact (the paper's model)."""
+
+    name = "full-map"
+
+
+class LimitedPointerDirectory(DirectoryRepresentation):
+    """``i`` sharer pointers with broadcast or forced-eviction overflow.
+
+    Args:
+        pointers: number of exact sharer pointers (``i``).
+        broadcast: True for Dir_iB (broadcast on overflow), False for
+            Dir_iNB (invalidate a copy to free a pointer).
+    """
+
+    def __init__(self, pointers: int, broadcast: bool = True):
+        if pointers < 1:
+            raise ConfigError("a limited directory needs at least 1 pointer")
+        self.pointers = pointers
+        self.broadcast = broadcast
+        kind = "B" if broadcast else "NB"
+        self.name = f"dir{pointers}{kind}"
+
+    def on_sharer_added(self, entry, node):
+        if len(entry.copyset) <= self.pointers:
+            return None
+        if self.broadcast:
+            entry.overflowed = True
+            return None
+        # Dir_iNB: evict some other sharer's copy to stay exact.
+        for victim in sorted(entry.copyset):
+            if victim != node:
+                return victim
+        return None
+
+    def invalidation_targets(self, entry, writer, home, num_procs):
+        if self.broadcast and entry.overflowed:
+            # Identities lost: invalidate (and await acks from) everyone
+            # except the writer; the home node invalidates locally.
+            return num_procs - len({writer, home})
+        return len(entry.copyset - {writer, home})
+
+    def on_exclusive(self, entry):
+        entry.overflowed = False

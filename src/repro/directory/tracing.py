@@ -1,0 +1,162 @@
+"""Classification tracing: explain why a block was (or was not)
+classified migratory.
+
+Wraps :class:`~repro.directory.protocol.DirectoryProtocol` so every
+classification-relevant event is recorded with its before/after state.
+The result answers the debugging questions a protocol architect asks:
+"when did this block get promoted?", "what reset the evidence streak?",
+"why did the conservative protocol miss this block?".
+
+Used by tooling and tests; ``explain_block`` renders one block's history
+as human-readable lines (the library equivalent of
+``examples/protocol_explorer.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.common.types import Access, Op
+from repro.directory.entry import DirState
+from repro.directory.policy import AdaptivePolicy
+from repro.directory.protocol import DirectoryProtocol
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationEvent:
+    """One protocol event observed at the directory."""
+
+    index: int  # running event number, per protocol instance
+    block: int
+    kind: str  # read_miss / write_miss / write_hit / uncached
+    proc: int | None
+    before: DirState
+    after: DirState
+    streak_after: int
+
+    @property
+    def promoted(self) -> bool:
+        return not self.before.migratory and self.after.migratory
+
+    @property
+    def demoted(self) -> bool:
+        return self.before.migratory and not self.after.migratory
+
+    def describe(self) -> str:
+        """One human-readable line."""
+        actor = f"P{self.proc}" if self.proc is not None else "-"
+        arrow = f"{self.before.value} -> {self.after.value}"
+        note = ""
+        if self.promoted:
+            note = "  [classified migratory]"
+        elif self.demoted:
+            note = "  [declassified]"
+        return (
+            f"#{self.index:<5} {self.kind:<10} {actor:<4} {arrow}"
+            f" (streak={self.streak_after}){note}"
+        )
+
+
+class TracingDirectoryProtocol(DirectoryProtocol):
+    """A protocol that records every classification event."""
+
+    def __init__(self, policy: AdaptivePolicy):
+        super().__init__(policy)
+        self.events: list[ClassificationEvent] = []
+
+    def _record(self, block, kind, proc, before, run):
+        result = run()
+        ent = self.entry(block)
+        self.events.append(
+            ClassificationEvent(
+                index=len(self.events),
+                block=block,
+                kind=kind,
+                proc=proc,
+                before=before,
+                after=ent.state,
+                streak_after=ent.streak,
+            )
+        )
+        return result
+
+    def read_miss(self, block, proc, dirty):
+        before = self.entry(block).state
+        return self._record(
+            block, "read_miss", proc, before,
+            lambda: super(TracingDirectoryProtocol, self).read_miss(
+                block, proc, dirty
+            ),
+        )
+
+    def write_miss(self, block, proc, dirty):
+        before = self.entry(block).state
+        return self._record(
+            block, "write_miss", proc, before,
+            lambda: super(TracingDirectoryProtocol, self).write_miss(
+                block, proc, dirty
+            ),
+        )
+
+    def write_hit(self, block, proc, sole_copy):
+        before = self.entry(block).state
+        return self._record(
+            block, "write_hit", proc, before,
+            lambda: super(TracingDirectoryProtocol, self).write_hit(
+                block, proc, sole_copy
+            ),
+        )
+
+    def note_uncached(self, block):
+        before = self.entry(block).state
+        return self._record(
+            block, "uncached", None, before,
+            lambda: super(TracingDirectoryProtocol, self).note_uncached(block),
+        )
+
+    def events_for(self, block: int) -> list[ClassificationEvent]:
+        """All recorded events for one block, in order."""
+        return [e for e in self.events if e.block == block]
+
+
+def trace_classification(
+    trace: Iterable[Access],
+    policy: AdaptivePolicy,
+    config=None,
+    placement=None,
+):
+    """Run a trace with classification tracing enabled.
+
+    Returns:
+        ``(machine, tracing_protocol)`` — the machine has processed the
+        whole trace; the protocol holds the event log.
+    """
+    from repro.common.config import MachineConfig
+    from repro.system.machine import DirectoryMachine
+
+    machine = DirectoryMachine(
+        config or MachineConfig(), policy, placement
+    )
+    tracer = TracingDirectoryProtocol(policy)
+    machine.protocol = tracer  # swap in before any access is processed
+    machine.run(trace)
+    return machine, tracer
+
+
+def explain_block(
+    tracer: TracingDirectoryProtocol, block: int
+) -> list[str]:
+    """Human-readable classification history of one block."""
+    events = tracer.events_for(block)
+    if not events:
+        return [f"block {block}: never touched the directory"]
+    lines = [f"block {block}: {len(events)} directory events"]
+    lines.extend(event.describe() for event in events)
+    promotions = sum(1 for e in events if e.promoted)
+    demotions = sum(1 for e in events if e.demoted)
+    lines.append(
+        f"summary: {promotions} promotion(s), {demotions} demotion(s), "
+        f"final state {events[-1].after.value}"
+    )
+    return lines

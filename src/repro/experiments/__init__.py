@@ -1,0 +1,56 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.table2` — Table 2 (cache-size sweep).
+* :mod:`repro.experiments.table3` — Table 3 (block-size sweep).
+* :mod:`repro.experiments.cost_ratio` — Section 4.1 cost-ratio analysis.
+* :mod:`repro.experiments.exec_time` — Section 4.2 execution timing.
+* :mod:`repro.experiments.placement` — Section 4.2 placement comparison.
+* :mod:`repro.experiments.bus` — Section 4.3 snooping protocols.
+* :mod:`repro.experiments.fig2` — Figure 2 transition-table derivation.
+* :mod:`repro.experiments.ablations` — design-axis ablations.
+* :mod:`repro.experiments.runner` — the ``repro-experiments`` CLI.
+"""
+
+from repro.experiments import (
+    ablations,
+    bus,
+    common,
+    contention,
+    cost_ratio,
+    exec_time,
+    fig2,
+    inval_patterns,
+    limited_dir,
+    oracle,
+    placement,
+    policy_space,
+    prefetch,
+    results,
+    robustness,
+    table2,
+    table3,
+    topology,
+    update_protocols,
+)
+
+__all__ = [
+    "ablations",
+    "bus",
+    "common",
+    "contention",
+    "cost_ratio",
+    "exec_time",
+    "fig2",
+    "inval_patterns",
+    "limited_dir",
+    "oracle",
+    "placement",
+    "policy_space",
+    "prefetch",
+    "results",
+    "robustness",
+    "table2",
+    "table3",
+    "topology",
+    "update_protocols",
+]

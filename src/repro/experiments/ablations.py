@@ -1,0 +1,130 @@
+"""Ablation experiments for the design choices Section 2 identifies.
+
+The paper's protocol family varies along three axes (hysteresis depth,
+initial classification, memory across uncached intervals); its conclusions
+claim that for small blocks "there is no advantage in being conservative".
+These ablations quantify each axis independently, beyond the three named
+protocols:
+
+* A1 — hysteresis sweep: thresholds 1..4 plus conventional.
+* A2 — remember vs forget classification across uncached intervals, at a
+  small cache size where blocks cycle out of the cache (the case the
+  paper's "write hit on a clean, exclusively-held block" rule exists for).
+* A3 — eviction notifications on vs off (the copy-set accuracy trade the
+  methodology section discusses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.directory.policy import CONVENTIONAL, AdaptivePolicy
+from repro.experiments import common
+
+
+@dataclass(frozen=True, slots=True)
+class AblationRow:
+    """Message totals for one ablation design point."""
+
+    app: str
+    variant: str
+    total: int
+    reduction_pct: float
+
+
+def _reduction(base: int, total: int) -> float:
+    return 100.0 * (base - total) / base if base else 0.0
+
+
+def hysteresis_sweep(
+    apps: tuple[str, ...] = ("mp3d", "water", "pthor"),
+    thresholds: tuple[int, ...] = (1, 2, 3, 4),
+    cache_size: int | None = 256 * 1024,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_procs: int = common.NUM_PROCS,
+) -> list[AblationRow]:
+    """A1: how quickly adaptation pays off as hysteresis deepens."""
+    rows = []
+    for app in apps:
+        trace = common.get_trace(app, num_procs, seed, scale)
+        base = common.run_directory(
+            trace, CONVENTIONAL, cache_size, num_procs=num_procs
+        ).total
+        rows.append(AblationRow(app, "conventional", base, 0.0))
+        for threshold in thresholds:
+            policy = AdaptivePolicy(
+                f"threshold-{threshold}", migratory_threshold=threshold
+            )
+            total = common.run_directory(
+                trace, policy, cache_size, num_procs=num_procs
+            ).total
+            rows.append(
+                AblationRow(app, policy.name, total, _reduction(base, total))
+            )
+    return rows
+
+
+def uncached_memory(
+    apps: tuple[str, ...] = ("mp3d", "cholesky"),
+    cache_size: int = 4 * 1024,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_procs: int = common.NUM_PROCS,
+) -> list[AblationRow]:
+    """A2: value of remembering classifications while uncached.
+
+    Uses a small cache so migratory blocks are regularly evicted; the
+    remembering variant keeps its head start on reload.
+    """
+    remember = AdaptivePolicy("remember", migratory_threshold=1,
+                              remember_uncached=True)
+    forget = AdaptivePolicy("forget", migratory_threshold=1,
+                            remember_uncached=False)
+    rows = []
+    for app in apps:
+        trace = common.get_trace(app, num_procs, seed, scale)
+        base = common.run_directory(
+            trace, CONVENTIONAL, cache_size, num_procs=num_procs
+        ).total
+        rows.append(AblationRow(app, "conventional", base, 0.0))
+        for policy in (remember, forget):
+            total = common.run_directory(
+                trace, policy, cache_size, num_procs=num_procs
+            ).total
+            rows.append(
+                AblationRow(app, policy.name, total, _reduction(base, total))
+            )
+    return rows
+
+
+def eviction_notifications(
+    apps: tuple[str, ...] = ("mp3d", "locusroute"),
+    cache_size: int = 4 * 1024,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_procs: int = common.NUM_PROCS,
+) -> list[AblationRow]:
+    """A3: exact copy sets (notify on clean drop) vs silent drops."""
+    rows = []
+    for app in apps:
+        trace = common.get_trace(app, num_procs, seed, scale)
+        for notify in (True, False):
+            variant = "notify" if notify else "silent-drop"
+            total = common.run_directory(
+                trace,
+                CONVENTIONAL,
+                cache_size,
+                num_procs=num_procs,
+                eviction_notification=notify,
+            ).total
+            rows.append(AblationRow(app, variant, total, 0.0))
+    return rows
+
+
+def render(rows: list[AblationRow], title: str) -> str:
+    """Render any ablation result list."""
+    headers = ["app", "variant", "total msgs", "reduction %"]
+    out = [[r.app, r.variant, r.total, r.reduction_pct] for r in rows]
+    return format_table(headers, out, title=title)

@@ -1,0 +1,124 @@
+"""Experiment S4.3 — the bus-based snooping protocols.
+
+Section 4.3 evaluates the snooping implementation under two cost models
+(unit cost per transaction; replies cost two) at 64 KByte and 1 MByte
+caches.  Headline numbers to reproduce in shape:
+
+* Water and MP3D save over 40 % under model 1 at >= 64 K caches;
+  Pthor saves 7-10 %.
+* Under model 2 the savings drop to 25-30 % (Water/MP3D) and 3.9-5 %
+  (Pthor), because the adaptive protocol's invalidations need replies.
+* The programs that do best also do best with more aggressive variants;
+  the always-migrate baseline wins only on heavily migratory programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.experiments import common
+from repro.snooping.costmodels import model1_cost, model2_cost
+from repro.snooping.protocols import (
+    AdaptiveSnoopingProtocol,
+    AlwaysMigrateProtocol,
+    MesiProtocol,
+)
+from repro.workloads.profiles import APP_ORDER
+
+#: Cache sizes Section 4.3 quotes.
+BUS_CACHE_SIZES = (64 * 1024, 1024 * 1024)
+
+
+@dataclass(frozen=True, slots=True)
+class BusRow:
+    """Bus cost comparison for one (app, cache size)."""
+
+    app: str
+    cache_size: int
+    mesi_model1: int
+    adaptive_model1: int
+    model1_saving_pct: float
+    mesi_model2: int
+    adaptive_model2: int
+    model2_saving_pct: float
+    always_migrate_model1: int
+
+
+def run(
+    apps: tuple[str, ...] = APP_ORDER,
+    cache_sizes: tuple[int, ...] = BUS_CACHE_SIZES,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_procs: int = common.NUM_PROCS,
+) -> list[BusRow]:
+    """Run all apps on the bus machine with every protocol."""
+    rows = []
+    for app in apps:
+        trace = common.get_trace(app, num_procs, seed, scale)
+        for cache_size in cache_sizes:
+            mesi = MesiProtocol()
+            adaptive = AdaptiveSnoopingProtocol()
+            always = AlwaysMigrateProtocol()
+            mesi_stats = common.run_bus(trace, mesi, cache_size,
+                                        num_procs=num_procs)
+            adapt_stats = common.run_bus(trace, adaptive, cache_size,
+                                         num_procs=num_procs)
+            always_stats = common.run_bus(trace, always, cache_size,
+                                          num_procs=num_procs)
+            m1_base = model1_cost(mesi_stats)
+            m1_adapt = model1_cost(adapt_stats)
+            m2_base = model2_cost(mesi_stats, mesi)
+            m2_adapt = model2_cost(adapt_stats, adaptive)
+            rows.append(
+                BusRow(
+                    app=app,
+                    cache_size=cache_size,
+                    mesi_model1=m1_base,
+                    adaptive_model1=m1_adapt,
+                    model1_saving_pct=(
+                        100.0 * (m1_base - m1_adapt) / m1_base if m1_base else 0.0
+                    ),
+                    mesi_model2=m2_base,
+                    adaptive_model2=m2_adapt,
+                    model2_saving_pct=(
+                        100.0 * (m2_base - m2_adapt) / m2_base if m2_base else 0.0
+                    ),
+                    always_migrate_model1=model1_cost(always_stats),
+                )
+            )
+    return rows
+
+
+def render(rows: list[BusRow]) -> str:
+    """Render the bus-protocol comparison."""
+    headers = [
+        "app",
+        "cache",
+        "mesi m1",
+        "adapt m1",
+        "m1 %",
+        "mesi m2",
+        "adapt m2",
+        "m2 %",
+        "always-mig m1",
+    ]
+    out = [
+        [
+            r.app,
+            f"{r.cache_size // 1024}K",
+            r.mesi_model1,
+            r.adaptive_model1,
+            r.model1_saving_pct,
+            r.mesi_model2,
+            r.adaptive_model2,
+            r.model2_saving_pct,
+            r.always_migrate_model1,
+        ]
+        for r in rows
+    ]
+    return format_table(
+        headers,
+        out,
+        title="Section 4.3: bus transaction costs (snooping protocols)",
+    )

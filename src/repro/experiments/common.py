@@ -1,0 +1,130 @@
+"""Shared plumbing for the experiment harness.
+
+Experiments share trace construction (one trace per application per
+configuration, cached) and the machine-running helpers.  Every experiment
+function takes a ``scale`` knob so the pytest benchmarks can run quick
+versions while ``repro-experiments`` runs the full calibrated sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.stats import BusStats, MessageStats
+from repro.directory.policy import AdaptivePolicy
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import SnoopingProtocol
+from repro.system.machine import DirectoryMachine
+from repro.system.placement import PagePlacement, make_placement
+from repro.trace.core import Trace
+from repro.workloads.profiles import build_app
+
+#: Default processor count for all experiments (the paper simulates 16).
+NUM_PROCS = 16
+
+_trace_cache: dict[tuple, Trace] = {}
+_placement_cache: dict[tuple, PagePlacement] = {}
+
+
+def get_trace(
+    app: str, num_procs: int = NUM_PROCS, seed: int = 0, scale: float = 1.0
+) -> Trace:
+    """Build (or fetch from cache) one application trace."""
+    key = (app, num_procs, seed, scale)
+    trace = _trace_cache.get(key)
+    if trace is None:
+        trace = build_app(app, num_procs=num_procs, seed=seed, scale=scale)
+        _trace_cache[key] = trace
+    return trace
+
+
+def get_placement(
+    kind: str, trace: Trace, config: MachineConfig
+) -> PagePlacement:
+    """Build (or fetch) the placement policy for one trace/config pair.
+
+    Static placements depend only on the trace, the page size, and the
+    node count, so they are shared across cache-size and protocol sweeps.
+    """
+    key = (kind, id(trace), config.page_size, config.num_procs)
+    placement = _placement_cache.get(key)
+    if placement is None:
+        placement = make_placement(kind, config, trace)
+        _placement_cache[key] = placement
+    return placement
+
+
+def clear_caches() -> None:
+    """Drop all cached traces and placements (tests use this)."""
+    _trace_cache.clear()
+    _placement_cache.clear()
+
+
+def directory_config(
+    cache_size: int | None,
+    block_size: int = 16,
+    num_procs: int = NUM_PROCS,
+    eviction_notification: bool = True,
+) -> MachineConfig:
+    """The paper's simplified architectural model at one design point."""
+    return MachineConfig(
+        num_procs=num_procs,
+        cache=CacheConfig(size_bytes=cache_size, block_size=block_size),
+        eviction_notification=eviction_notification,
+    )
+
+
+def run_directory(
+    trace: Trace,
+    policy: AdaptivePolicy,
+    cache_size: int | None,
+    block_size: int = 16,
+    placement_kind: str = "best_static",
+    num_procs: int = NUM_PROCS,
+    eviction_notification: bool = True,
+) -> MessageStats:
+    """Run one directory-machine simulation and return its message stats."""
+    config = directory_config(
+        cache_size, block_size, num_procs, eviction_notification
+    )
+    placement = get_placement(placement_kind, trace, config)
+    machine = DirectoryMachine(config, policy, placement)
+    return machine.run(trace)
+
+
+def run_bus(
+    trace: Trace,
+    protocol: SnoopingProtocol,
+    cache_size: int | None,
+    block_size: int = 16,
+    num_procs: int = NUM_PROCS,
+) -> BusStats:
+    """Run one bus-machine simulation and return its transaction stats."""
+    config = MachineConfig(
+        num_procs=num_procs,
+        cache=CacheConfig(size_bytes=cache_size, block_size=block_size),
+    )
+    machine = BusMachine(config, protocol)
+    return machine.run(trace)
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolCell:
+    """One (protocol x configuration) table cell, paper-style."""
+
+    short: int
+    data: int
+    reduction_pct: float
+
+    @property
+    def total(self) -> int:
+        return self.short + self.data
+
+
+def make_cell(stats: MessageStats, baseline_total: int) -> ProtocolCell:
+    """Build a table cell with the percentage reduction vs the baseline."""
+    reduction = 0.0
+    if baseline_total:
+        reduction = 100.0 * (baseline_total - stats.total) / baseline_total
+    return ProtocolCell(stats.short, stats.data, reduction)

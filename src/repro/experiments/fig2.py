@@ -1,0 +1,196 @@
+"""Experiment F2 — regenerate Figure 2's transition tables.
+
+Figure 2 presents the adaptive snooping protocol as two tables: the
+transitions taken on local cache events and those taken on bus requests.
+Rather than hard-coding the figure, this module *derives* both tables from
+the implementation by placing caches in each state and observing the
+protocol's behaviour, then renders them in the paper's layout.  The
+benchmark compares the derived table against the published one, making the
+implementation-vs-paper correspondence executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.cache.core import InfiniteCache
+from repro.snooping.protocols import AdaptiveSnoopingProtocol
+from repro.snooping.states import SnoopState as St
+
+BLOCK = 0
+
+
+@dataclass(frozen=True, slots=True)
+class BusRow:
+    """One bus-request transition: holder's reaction to a snoop."""
+
+    state: str
+    request: str
+    new_state: str
+    assert_line: str
+    provides_data: bool
+
+
+@dataclass(frozen=True, slots=True)
+class LocalRow:
+    """One local-event transition: requester outcome given the reply."""
+
+    state: str
+    event: str
+    reply: str
+    new_state: str
+
+
+def _caches_with_holder(state: St, dirty: bool) -> list[InfiniteCache]:
+    caches = [InfiniteCache(), InfiniteCache()]
+    caches[0].insert(BLOCK, state, dirty)
+    return caches
+
+
+def _state_name(line) -> str:
+    return "I" if line is None else line.state.name
+
+
+def derive_bus_table() -> list[BusRow]:
+    """Probe every (holder state, bus request) pair."""
+    protocol = AdaptiveSnoopingProtocol()
+    rows = []
+    for state, dirty in (
+        (St.E, False),
+        (St.D, True),
+        (St.S2, False),
+        (St.S, False),
+        (St.MC, False),
+        (St.MD, True),
+    ):
+        # Read-miss request from processor 1.
+        caches = _caches_with_holder(state, dirty)
+        fill_state, _fill_dirty = protocol.read_miss_fill(caches, 1, BLOCK)
+        asserted = {St.MC: "M", St.S: "S", St.E: "-"}[fill_state]
+        rows.append(
+            BusRow(state.name, "Brmr", _state_name(caches[0].lookup(BLOCK)),
+                   asserted, dirty)
+        )
+        # Write-miss request from processor 1.
+        caches = _caches_with_holder(state, dirty)
+        fill_state, _fill_dirty = protocol.write_miss_fill(caches, 1, BLOCK)
+        asserted = "M" if fill_state is St.MD else "-"
+        rows.append(
+            BusRow(state.name, "Bwmr", _state_name(caches[0].lookup(BLOCK)),
+                   asserted, dirty)
+        )
+        # Invalidation requests only ever see S2 or S holders.
+        if state in (St.S2, St.S):
+            caches = _caches_with_holder(state, dirty)
+            caches[1].insert(BLOCK, St.S, False)
+            writer_line = caches[1].lookup(BLOCK)
+            protocol.write_hit_invalidate(caches, 1, BLOCK, writer_line)
+            asserted = "M" if writer_line.state is St.MD else "-"
+            rows.append(
+                BusRow(state.name, "Bir", _state_name(caches[0].lookup(BLOCK)),
+                       asserted, False)
+            )
+    return rows
+
+
+def derive_local_table() -> list[LocalRow]:
+    """Probe every (local state, cache event, bus reply) combination."""
+    protocol = AdaptiveSnoopingProtocol()
+    rows = []
+    # I + Crm with each possible reply.
+    for remote, dirty, reply in (
+        (None, False, "¬M∧¬S"),
+        (St.S, False, "S"),
+        (St.MD, True, "M"),
+    ):
+        caches = [InfiniteCache(), InfiniteCache()]
+        if remote is not None:
+            caches[1].insert(BLOCK, remote, dirty)
+        fill_state, fill_dirty = protocol.read_miss_fill(caches, 0, BLOCK)
+        caches[0].insert(BLOCK, fill_state, fill_dirty)
+        rows.append(LocalRow("I", "Crm", reply, fill_state.name))
+    # I + Cwm with each possible reply.
+    for remote, dirty, reply in ((None, False, "¬M"), (St.D, True, "M")):
+        caches = [InfiniteCache(), InfiniteCache()]
+        if remote is not None:
+            caches[1].insert(BLOCK, remote, dirty)
+        fill_state, fill_dirty = protocol.write_miss_fill(caches, 0, BLOCK)
+        rows.append(LocalRow("I", "Cwm", reply, fill_state.name))
+    # Silent write hits.
+    for state in (St.E, St.MC):
+        caches = _caches_with_holder(state, False)
+        line = caches[0].lookup(BLOCK)
+        assert not protocol.write_hit_needs_bus(line)
+        protocol.write_hit_silent(line)
+        rows.append(LocalRow(state.name, "Cwh", "(silent)", line.state.name))
+    # Write hits needing the bus: S2 (other copy in S), S vs S2, S vs S.
+    for own, other, reply in (
+        (St.S2, St.S, "¬M"),
+        (St.S, St.S2, "M"),
+        (St.S, St.S, "¬M"),
+    ):
+        caches = [InfiniteCache(), InfiniteCache()]
+        caches[0].insert(BLOCK, own, False)
+        caches[1].insert(BLOCK, other, False)
+        line = caches[0].lookup(BLOCK)
+        assert protocol.write_hit_needs_bus(line)
+        protocol.write_hit_invalidate(caches, 0, BLOCK, line)
+        rows.append(LocalRow(own.name, "Cwh+Bir", reply, line.state.name))
+    return rows
+
+
+def render() -> str:
+    """Render both derived tables in the Figure 2 layout."""
+    local = format_table(
+        ["state", "event", "reply", "new state"],
+        [[r.state, r.event, r.reply, r.new_state] for r in derive_local_table()],
+        title="Figure 2 (derived): transitions on local cache events",
+    )
+    bus = format_table(
+        ["state", "request", "new state", "assert", "data"],
+        [
+            [r.state, r.request, r.new_state, r.assert_line,
+             "provide" if r.provides_data else ""]
+            for r in derive_bus_table()
+        ],
+        title="Figure 2 (derived): transitions on bus requests",
+    )
+    return local + "\n\n" + bus
+
+
+#: The published Figure 2 bus-request table, for conformance checking:
+#: (state, request) -> (new state, assert, provides data)
+PAPER_BUS_TABLE = {
+    ("E", "Brmr"): ("S2", "S", False),
+    ("E", "Bwmr"): ("I", "M", False),
+    ("D", "Brmr"): ("S2", "S", True),
+    ("D", "Bwmr"): ("I", "M", True),
+    ("S2", "Brmr"): ("S", "S", False),
+    ("S2", "Bwmr"): ("I", "-", False),
+    ("S2", "Bir"): ("I", "M", False),
+    ("S", "Brmr"): ("S", "S", False),
+    ("S", "Bwmr"): ("I", "-", False),
+    ("S", "Bir"): ("I", "-", False),
+    ("MC", "Brmr"): ("S2", "S", False),
+    ("MC", "Bwmr"): ("I", "-", False),
+    ("MD", "Brmr"): ("I", "M", True),
+    ("MD", "Bwmr"): ("I", "M", True),
+}
+
+
+def conformance_mismatches() -> list[str]:
+    """Compare the derived bus table against the published one."""
+    derived = {
+        (r.state, r.request): (r.new_state, r.assert_line, r.provides_data)
+        for r in derive_bus_table()
+    }
+    problems = []
+    for key, expected in PAPER_BUS_TABLE.items():
+        got = derived.get(key)
+        if got != expected:
+            problems.append(f"{key}: paper {expected}, implementation {got}")
+    for key in derived:
+        if key not in PAPER_BUS_TABLE:
+            problems.append(f"{key}: not in the published table")
+    return problems

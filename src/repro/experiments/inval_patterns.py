@@ -1,0 +1,95 @@
+"""Experiment R9 — invalidation-size distributions (Weber & Gupta).
+
+The paper's premise rests on Weber & Gupta's analysis of cache
+invalidation patterns (its reference [23]): most invalidating writes
+destroy very few copies, and migratory data destroys exactly one.  The
+directory machine records the number of copies destroyed by every
+invalidating write; this experiment tabulates that distribution per
+application and shows what adaptation does to it — the adaptive
+protocols specifically consume the single-invalidation events (turning
+them into migrations), leaving the multi-copy invalidations of widely
+shared data untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.directory.policy import AGGRESSIVE, CONVENTIONAL, AdaptivePolicy
+from repro.experiments import common
+from repro.system.machine import DirectoryMachine
+from repro.workloads.profiles import APP_ORDER
+
+SIZE_BUCKETS = (1, 2, 3)  # plus "4+"
+
+
+@dataclass(frozen=True, slots=True)
+class InvalPatternRow:
+    """Invalidation-size histogram for one (app, protocol)."""
+
+    app: str
+    protocol: str
+    total_invalidations: int
+    by_size: dict  # size bucket (1,2,3,"4+") -> count
+
+    def share(self, bucket) -> float:
+        if self.total_invalidations == 0:
+            return 0.0
+        return self.by_size.get(bucket, 0) / self.total_invalidations
+
+
+def run(
+    apps: tuple[str, ...] = APP_ORDER,
+    policies: tuple[AdaptivePolicy, ...] = (CONVENTIONAL, AGGRESSIVE),
+    cache_size: int | None = 256 * 1024,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_procs: int = common.NUM_PROCS,
+) -> list[InvalPatternRow]:
+    """Collect invalidation-size histograms."""
+    rows = []
+    for app in apps:
+        trace = common.get_trace(app, num_procs, seed, scale)
+        config = common.directory_config(cache_size, 16, num_procs)
+        placement = common.get_placement("best_static", trace, config)
+        for policy in policies:
+            machine = DirectoryMachine(config, policy, placement)
+            machine.run(trace)
+            by_size: dict = {}
+            for size, count in machine.invalidation_sizes.items():
+                bucket = size if size in SIZE_BUCKETS else "4+"
+                by_size[bucket] = by_size.get(bucket, 0) + count
+            rows.append(
+                InvalPatternRow(
+                    app=app,
+                    protocol=policy.name,
+                    total_invalidations=sum(by_size.values()),
+                    by_size=by_size,
+                )
+            )
+    return rows
+
+
+def render(rows: list[InvalPatternRow]) -> str:
+    """Render the invalidation-pattern table."""
+    headers = ["app", "protocol", "invalidations",
+               "1 copy %", "2 %", "3 %", "4+ %"]
+    out = [
+        [
+            r.app,
+            r.protocol,
+            r.total_invalidations,
+            100 * r.share(1),
+            100 * r.share(2),
+            100 * r.share(3),
+            100 * r.share("4+"),
+        ]
+        for r in rows
+    ]
+    return format_table(
+        headers,
+        out,
+        title="Invalidation-size distribution (Weber & Gupta patterns): "
+        "adaptation consumes the single-copy invalidations",
+    )

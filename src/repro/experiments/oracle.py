@@ -1,0 +1,116 @@
+"""Experiment R1 — on-line adaptation vs the off-line oracle.
+
+The related-work section notes that off-line analysis "can make
+predictions about the future behavior of a program and, if those
+predictions are accurate, use them to outperform an on-line algorithm"
+via load-with-intent-to-modify (Berkeley Read-With-Ownership).  This
+experiment quantifies the gap: each application runs under
+
+* the conventional protocol,
+* the basic and aggressive adaptive protocols (on-line), and
+* the conventional protocol driven by perfect read-exclusive hints
+  (the off-line oracle of :mod:`repro.analysis.oracle`).
+
+Expected shape: the oracle bounds the on-line protocols from above, and
+the aggressive protocol closes most of the gap on migratory-heavy
+applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.oracle import hint_coverage, read_exclusive_hints
+from repro.analysis.report import format_table
+from repro.directory.policy import AGGRESSIVE, BASIC, CONVENTIONAL
+from repro.experiments import common
+from repro.system.machine import DirectoryMachine
+from repro.workloads.profiles import APP_ORDER
+
+
+@dataclass(frozen=True, slots=True)
+class OracleRow:
+    """Message totals for one application under each scheme."""
+
+    app: str
+    conventional: int
+    basic: int
+    aggressive: int
+    oracle: int
+    oracle_reduction_pct: float
+    aggressive_reduction_pct: float
+    hint_fraction_pct: float
+
+
+def run(
+    apps: tuple[str, ...] = APP_ORDER,
+    cache_size: int | None = 256 * 1024,
+    block_size: int = 16,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_procs: int = common.NUM_PROCS,
+) -> list[OracleRow]:
+    """Compare the adaptive protocols against the read-exclusive oracle."""
+    rows = []
+    for app in apps:
+        trace = common.get_trace(app, num_procs, seed, scale)
+        config = common.directory_config(cache_size, block_size, num_procs)
+        placement = common.get_placement("best_static", trace, config)
+        totals = {}
+        for policy in (CONVENTIONAL, BASIC, AGGRESSIVE):
+            machine = DirectoryMachine(config, policy, placement)
+            totals[policy.name] = machine.run(trace).total
+        hints = read_exclusive_hints(trace, block_size)
+        machine = DirectoryMachine(config, CONVENTIONAL, placement)
+        oracle_total = machine.run_with_hints(trace, hints).total
+        base = totals["conventional"]
+        rows.append(
+            OracleRow(
+                app=app,
+                conventional=base,
+                basic=totals["basic"],
+                aggressive=totals["aggressive"],
+                oracle=oracle_total,
+                oracle_reduction_pct=(
+                    100.0 * (base - oracle_total) / base if base else 0.0
+                ),
+                aggressive_reduction_pct=(
+                    100.0 * (base - totals["aggressive"]) / base if base else 0.0
+                ),
+                hint_fraction_pct=100.0 * hint_coverage(hints, trace),
+            )
+        )
+    return rows
+
+
+def render(rows: list[OracleRow]) -> str:
+    """Render the oracle comparison table."""
+    headers = [
+        "app",
+        "conv",
+        "basic",
+        "aggressive",
+        "oracle",
+        "aggr %",
+        "oracle %",
+        "hinted reads %",
+    ]
+    out = [
+        [
+            r.app,
+            r.conventional,
+            r.basic,
+            r.aggressive,
+            r.oracle,
+            r.aggressive_reduction_pct,
+            r.oracle_reduction_pct,
+            r.hint_fraction_pct,
+        ]
+        for r in rows
+    ]
+    return format_table(
+        headers,
+        out,
+        title="On-line adaptive protocols vs the off-line read-exclusive "
+        "oracle (total messages)",
+    )

@@ -1,0 +1,82 @@
+"""Experiment S4.2b — page placement and the trace/execution gap.
+
+Section 4.2 observes smaller message reductions in the execution-driven
+runs (32 % for MP3D) than in the trace-driven runs (46 %) and attributes
+the difference to page placement: the execution-driven simulator used
+standard round-robin allocation, inflating the conventional protocol's
+non-migratory traffic less than... rather, inflating *total* messages for
+all data so the migratory savings are a smaller share.  This experiment
+reproduces the comparison directly: the same trace and protocols under
+round-robin versus majority-accessor static placement.
+
+Expected shape: the adaptive reduction percentage is higher under the
+good static placement than under round-robin, while the absolute message
+counts are lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.directory.policy import BASIC, CONVENTIONAL, AdaptivePolicy
+from repro.experiments import common
+
+PLACEMENTS = ("round_robin", "best_static")
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementRow:
+    """Message totals and adaptive reduction under one placement."""
+
+    app: str
+    placement: str
+    conventional_total: int
+    adaptive_total: int
+    reduction_pct: float
+
+
+def run(
+    apps: tuple[str, ...] = ("mp3d", "cholesky", "water"),
+    placements: tuple[str, ...] = PLACEMENTS,
+    adaptive: AdaptivePolicy = BASIC,
+    cache_size: int | None = 4 * 1024,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_procs: int = common.NUM_PROCS,
+) -> list[PlacementRow]:
+    """Compare adaptive reductions under each placement policy."""
+    rows = []
+    for app in apps:
+        trace = common.get_trace(app, num_procs, seed, scale)
+        for placement in placements:
+            base = common.run_directory(
+                trace, CONVENTIONAL, cache_size,
+                placement_kind=placement, num_procs=num_procs,
+            )
+            adapt = common.run_directory(
+                trace, adaptive, cache_size,
+                placement_kind=placement, num_procs=num_procs,
+            )
+            reduction = 0.0
+            if base.total:
+                reduction = 100.0 * (base.total - adapt.total) / base.total
+            rows.append(
+                PlacementRow(app, placement, base.total, adapt.total, reduction)
+            )
+    return rows
+
+
+def render(rows: list[PlacementRow]) -> str:
+    """Render the placement comparison."""
+    headers = ["app", "placement", "conv msgs", "basic msgs", "reduction %"]
+    out = [
+        [r.app, r.placement, r.conventional_total, r.adaptive_total,
+         r.reduction_pct]
+        for r in rows
+    ]
+    return format_table(
+        headers,
+        out,
+        title="Section 4.2: page placement and the adaptive reduction",
+    )

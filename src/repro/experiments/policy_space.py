@@ -1,0 +1,124 @@
+"""Experiment R10 — mapping the full policy space.
+
+The conclusions claim a specific corner of the design space is optimal
+for small blocks: "The aggressive protocol that reclassifies blocks
+immediately, that initially classifies blocks as migratory, and that
+remembers classifications over intervals in which data is not cached
+performs better than any of the more conservative strategies."
+
+This experiment evaluates the *entire* grid — threshold in {1, 2, 3},
+initial classification in {non-migratory, migratory}, memory across
+uncached intervals in {remember, forget} — so the claim becomes a
+statement about a measured surface rather than three cherry-picked
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.directory.policy import CONVENTIONAL, AdaptivePolicy
+from repro.experiments import common
+
+
+def policy_grid(
+    thresholds: tuple[int, ...] = (1, 2, 3),
+    initials: tuple[bool, ...] = (False, True),
+    memories: tuple[bool, ...] = (True, False),
+) -> list[AdaptivePolicy]:
+    """Every policy point in the grid, named systematically."""
+    grid = []
+    for threshold in thresholds:
+        for initial in initials:
+            for remember in memories:
+                name = (
+                    f"t{threshold}"
+                    f"-{'mig' if initial else 'non'}"
+                    f"-{'mem' if remember else 'fgt'}"
+                )
+                grid.append(
+                    AdaptivePolicy(
+                        name,
+                        migratory_threshold=threshold,
+                        initial_migratory=initial,
+                        remember_uncached=remember,
+                    )
+                )
+    return grid
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyPointRow:
+    """One policy point's performance on one application."""
+
+    app: str
+    policy: str
+    threshold: int
+    initial_migratory: bool
+    remember_uncached: bool
+    total: int
+    reduction_pct: float
+
+
+def run(
+    apps: tuple[str, ...] = ("mp3d", "pthor"),
+    cache_size: int | None = 16 * 1024,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_procs: int = common.NUM_PROCS,
+) -> list[PolicyPointRow]:
+    """Evaluate the full grid (small caches so memory matters)."""
+    rows = []
+    for app in apps:
+        trace = common.get_trace(app, num_procs, seed, scale)
+        base = common.run_directory(
+            trace, CONVENTIONAL, cache_size, num_procs=num_procs
+        ).total
+        for policy in policy_grid():
+            total = common.run_directory(
+                trace, policy, cache_size, num_procs=num_procs
+            ).total
+            rows.append(
+                PolicyPointRow(
+                    app=app,
+                    policy=policy.name,
+                    threshold=policy.migratory_threshold,
+                    initial_migratory=policy.initial_migratory,
+                    remember_uncached=policy.remember_uncached,
+                    total=total,
+                    reduction_pct=(
+                        100.0 * (base - total) / base if base else 0.0
+                    ),
+                )
+            )
+    return rows
+
+
+def best_point(rows: list[PolicyPointRow], app: str) -> PolicyPointRow:
+    """The winning policy point for one application."""
+    candidates = [r for r in rows if r.app == app]
+    return max(candidates, key=lambda r: r.reduction_pct)
+
+
+def render(rows: list[PolicyPointRow]) -> str:
+    """Render the policy-space map, best point last per app."""
+    headers = ["app", "policy", "thr", "initial", "memory", "reduction %"]
+    out = []
+    for row in sorted(rows, key=lambda r: (r.app, r.reduction_pct)):
+        out.append(
+            [
+                row.app,
+                row.policy,
+                row.threshold,
+                "migratory" if row.initial_migratory else "non-mig",
+                "remember" if row.remember_uncached else "forget",
+                row.reduction_pct,
+            ]
+        )
+    return format_table(
+        headers,
+        out,
+        title="Policy-space map (sorted worst to best per app); the "
+        "paper's conclusion predicts t1-mig-mem wins",
+    )

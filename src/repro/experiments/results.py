@@ -1,0 +1,139 @@
+"""Experiment result persistence and comparison.
+
+Experiment runs are lists of (frozen) dataclass rows.  This module
+serialises them to JSON — with enough metadata (experiment name,
+workload scale, seed, package version) to know what a file means —
+reloads them, and diffs two result sets so that calibration drift is
+visible when workloads or protocols change.
+
+Used by ``examples/splash_campaign.py --json`` and by regression
+tooling; the golden tests pin exact counts, while this supports
+human-level comparison across larger changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+
+class ResultError(ValueError):
+    """A result file is malformed or incompatible."""
+
+
+def rows_to_payload(
+    experiment: str,
+    rows: Sequence[Any],
+    scale: float = 1.0,
+    seed: int = 0,
+    extra: dict | None = None,
+) -> dict:
+    """Build the JSON-ready payload for a list of dataclass rows."""
+    serialised = []
+    for row in rows:
+        if not dataclasses.is_dataclass(row):
+            raise ResultError(f"row {row!r} is not a dataclass")
+        record = {}
+        for key, value in dataclasses.asdict(row).items():
+            record[key] = value if _plain(value) else str(value)
+        serialised.append(record)
+    payload = {
+        "experiment": experiment,
+        "scale": scale,
+        "seed": seed,
+        "rows": serialised,
+    }
+    if extra:
+        payload["extra"] = extra
+    return payload
+
+
+def _plain(value) -> bool:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_plain(v) for v in value)
+    if isinstance(value, dict):
+        return all(isinstance(k, str) and _plain(v) for k, v in value.items())
+    return False
+
+
+def save_results(
+    path: str | Path,
+    experiment: str,
+    rows: Sequence[Any],
+    scale: float = 1.0,
+    seed: int = 0,
+    extra: dict | None = None,
+) -> None:
+    """Write one experiment's rows as JSON."""
+    payload = rows_to_payload(experiment, rows, scale, seed, extra)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_results(path: str | Path) -> dict:
+    """Read a result file written by :func:`save_results`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ResultError(f"{path}: not valid JSON: {exc}") from exc
+    for key in ("experiment", "scale", "seed", "rows"):
+        if key not in payload:
+            raise ResultError(f"{path}: missing {key!r}")
+    return payload
+
+
+def compare_results(
+    old: dict,
+    new: dict,
+    keys: Sequence[str],
+    numeric_fields: Sequence[str],
+    tolerance_pct: float = 5.0,
+) -> list[str]:
+    """Diff two result payloads.
+
+    Rows are matched by the tuple of ``keys`` fields; each
+    ``numeric_fields`` entry is compared with a relative tolerance.
+
+    Returns:
+        Human-readable difference descriptions (empty when compatible).
+    """
+    if old["experiment"] != new["experiment"]:
+        return [
+            f"different experiments: {old['experiment']!r} vs "
+            f"{new['experiment']!r}"
+        ]
+    problems = []
+
+    def index(payload):
+        table = {}
+        for row in payload["rows"]:
+            table[tuple(str(row.get(k)) for k in keys)] = row
+        return table
+
+    old_rows = index(old)
+    new_rows = index(new)
+    for key in old_rows.keys() - new_rows.keys():
+        problems.append(f"row {key} disappeared")
+    for key in new_rows.keys() - old_rows.keys():
+        problems.append(f"row {key} appeared")
+    for key in old_rows.keys() & new_rows.keys():
+        for fieldname in numeric_fields:
+            before = old_rows[key].get(fieldname)
+            after = new_rows[key].get(fieldname)
+            if before is None or after is None:
+                problems.append(f"row {key}: missing field {fieldname!r}")
+                continue
+            reference = max(abs(before), 1e-12)
+            drift = 100.0 * abs(after - before) / reference
+            if drift > tolerance_pct:
+                problems.append(
+                    f"row {key}: {fieldname} drifted {drift:.1f}% "
+                    f"({before} -> {after})"
+                )
+    return problems

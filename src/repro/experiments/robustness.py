@@ -1,0 +1,80 @@
+"""Experiment R8 — seed robustness of the headline results.
+
+The workload analogues are randomized (particle walks, pair selection,
+queue interleavings).  A reproduction whose conclusions flip with the
+random seed would be worthless, so this experiment re-runs the headline
+comparison (aggressive vs conventional, 16-byte blocks) across several
+seeds per application and reports the spread of the reduction
+percentage.  The paper's qualitative claims must hold for *every* seed,
+and the spread should be small relative to the effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.directory.policy import AGGRESSIVE, CONVENTIONAL
+from repro.experiments import common
+from repro.workloads.profiles import APP_ORDER
+
+
+@dataclass(frozen=True, slots=True)
+class RobustnessRow:
+    """Reduction-percentage spread across seeds for one application."""
+
+    app: str
+    reductions: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.reductions) / len(self.reductions)
+
+    @property
+    def spread(self) -> float:
+        """Max minus min reduction across seeds (percentage points)."""
+        return max(self.reductions) - min(self.reductions)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.reductions)
+
+
+def run(
+    apps: tuple[str, ...] = APP_ORDER,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    cache_size: int | None = 256 * 1024,
+    scale: float = 1.0,
+    num_procs: int = common.NUM_PROCS,
+) -> list[RobustnessRow]:
+    """Measure the aggressive protocol's reduction across seeds."""
+    rows = []
+    for app in apps:
+        reductions = []
+        for seed in seeds:
+            trace = common.get_trace(app, num_procs, seed, scale)
+            base = common.run_directory(
+                trace, CONVENTIONAL, cache_size, num_procs=num_procs
+            ).total
+            aggressive = common.run_directory(
+                trace, AGGRESSIVE, cache_size, num_procs=num_procs
+            ).total
+            reductions.append(
+                100.0 * (base - aggressive) / base if base else 0.0
+            )
+        rows.append(RobustnessRow(app, tuple(reductions)))
+    return rows
+
+
+def render(rows: list[RobustnessRow]) -> str:
+    """Render the robustness summary."""
+    headers = ["app", "mean reduction %", "min %", "max %", "spread (pp)"]
+    out = [
+        [r.app, r.mean, min(r.reductions), max(r.reductions), r.spread]
+        for r in rows
+    ]
+    return format_table(
+        headers,
+        out,
+        title="Seed robustness of the aggressive protocol's reduction",
+    )

@@ -1,0 +1,262 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    repro-experiments table1
+    repro-experiments fig2
+    repro-experiments table2 [--scale 0.5]
+    repro-experiments table3 [--scale 0.5]
+    repro-experiments cost-ratio
+    repro-experiments exec-time
+    repro-experiments placement
+    repro-experiments bus
+    repro-experiments ablations
+    repro-experiments sharing        # off-line pattern census per app
+    repro-experiments all [--scale 0.5]
+
+``--scale`` shrinks the workloads uniformly (default 1.0, the calibrated
+sizes used by EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.classify import SharingPattern, summarize_sharing
+from repro.analysis.overhead import overhead_table
+from repro.analysis.writeruns import render_write_runs, write_run_stats
+from repro.directory.policy import PAPER_POLICIES
+from repro.analysis.report import format_table
+from repro.experiments import (
+    ablations,
+    bus,
+    common,
+    contention,
+    cost_ratio,
+    exec_time,
+    fig2,
+    inval_patterns,
+    limited_dir,
+    oracle,
+    placement,
+    policy_space,
+    prefetch,
+    robustness,
+    table2,
+    table3,
+    topology,
+    update_protocols,
+)
+from repro.interconnect.costs import render_table1
+from repro.workloads.profiles import APP_ORDER
+
+
+def _run_table1(args) -> str:
+    return render_table1()
+
+
+def _run_fig2(args) -> str:
+    mismatches = fig2.conformance_mismatches()
+    text = fig2.render()
+    if mismatches:
+        text += "\nCONFORMANCE FAILURES:\n" + "\n".join(mismatches)
+    else:
+        text += "\n(derived tables match the published Figure 2)"
+    return text
+
+
+def _run_table2(args) -> str:
+    return table2.render(table2.run(scale=args.scale, seed=args.seed))
+
+
+def _run_table3(args) -> str:
+    return table3.render(table3.run(scale=args.scale, seed=args.seed))
+
+
+def _run_cost_ratio(args) -> str:
+    parts = []
+    for block_size in (16, 64, 256):
+        rows = cost_ratio.run(
+            block_size=block_size, scale=args.scale, seed=args.seed
+        )
+        parts.append(cost_ratio.render(rows))
+    return "\n\n".join(parts)
+
+
+def _run_exec_time(args) -> str:
+    return exec_time.render(exec_time.run(scale=args.scale, seed=args.seed))
+
+
+def _run_placement(args) -> str:
+    return placement.render(placement.run(scale=args.scale, seed=args.seed))
+
+
+def _run_bus(args) -> str:
+    return bus.render(bus.run(scale=args.scale, seed=args.seed))
+
+
+def _run_ablations(args) -> str:
+    parts = [
+        ablations.render(
+            ablations.hysteresis_sweep(scale=args.scale, seed=args.seed),
+            "A1: hysteresis depth",
+        ),
+        ablations.render(
+            ablations.uncached_memory(scale=args.scale, seed=args.seed),
+            "A2: remembering classification across uncached intervals "
+            "(4K caches)",
+        ),
+        ablations.render(
+            ablations.eviction_notifications(scale=args.scale, seed=args.seed),
+            "A3: eviction notifications vs silent drops (conventional)",
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def _run_sharing(args) -> str:
+    rows = []
+    for app in APP_ORDER:
+        trace = common.get_trace(app, seed=args.seed, scale=args.scale)
+        for block_size in (16, 64, 256):
+            summary = summarize_sharing(trace, block_size)
+            rows.append(
+                [
+                    app,
+                    block_size,
+                    100 * summary.block_fraction(SharingPattern.MIGRATORY),
+                    100 * summary.block_fraction(SharingPattern.READ_ONLY),
+                    100 * summary.block_fraction(SharingPattern.PRODUCER_CONSUMER),
+                    100 * summary.block_fraction(SharingPattern.PRIVATE),
+                    100 * summary.block_fraction(SharingPattern.OTHER),
+                ]
+            )
+    return format_table(
+        ["app", "block", "mig %", "ro %", "p-c %", "priv %", "other %"],
+        rows,
+        title="Off-line sharing-pattern census (share of blocks); larger "
+        "blocks hide migratory data behind false sharing",
+    )
+
+
+def _run_policy_space(args) -> str:
+    return policy_space.render(
+        policy_space.run(scale=args.scale, seed=args.seed)
+    )
+
+
+def _run_inval_patterns(args) -> str:
+    return inval_patterns.render(
+        inval_patterns.run(scale=args.scale, seed=args.seed)
+    )
+
+
+def _run_robustness(args) -> str:
+    return robustness.render(robustness.run(scale=args.scale))
+
+
+def _run_write_runs(args) -> str:
+    stats = {}
+    for app in APP_ORDER:
+        trace = common.get_trace(app, seed=args.seed, scale=args.scale)
+        stats[app] = write_run_stats(trace, block_size=16)
+    return render_write_runs(
+        stats,
+        "Write-run characterization (16-byte blocks): migratory data "
+        "shows ~1 external re-read per run",
+    )
+
+
+def _run_overhead(args) -> str:
+    return overhead_table(PAPER_POLICIES)
+
+
+def _run_oracle(args) -> str:
+    return oracle.render(oracle.run(scale=args.scale, seed=args.seed))
+
+
+def _run_contention(args) -> str:
+    directory_part = contention.render(
+        contention.run(scale=args.scale, seed=args.seed)
+    )
+    bus_part = contention.render_bus(
+        contention.run_bus(scale=args.scale, seed=args.seed)
+    )
+    return directory_part + "\n\n" + bus_part
+
+
+def _run_topology(args) -> str:
+    return topology.render(topology.run(scale=args.scale, seed=args.seed))
+
+
+def _run_limited_dir(args) -> str:
+    return limited_dir.render(
+        limited_dir.run(scale=args.scale, seed=args.seed)
+    )
+
+
+def _run_prefetch(args) -> str:
+    return prefetch.render(prefetch.run(scale=args.scale, seed=args.seed))
+
+
+def _run_update_protocols(args) -> str:
+    return update_protocols.render(
+        update_protocols.run(scale=args.scale, seed=args.seed)
+    )
+
+
+COMMANDS = {
+    "table1": _run_table1,
+    "fig2": _run_fig2,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "cost-ratio": _run_cost_ratio,
+    "exec-time": _run_exec_time,
+    "placement": _run_placement,
+    "bus": _run_bus,
+    "ablations": _run_ablations,
+    "sharing": _run_sharing,
+    "oracle": _run_oracle,
+    "update-protocols": _run_update_protocols,
+    "overhead": _run_overhead,
+    "prefetch": _run_prefetch,
+    "limited-dir": _run_limited_dir,
+    "topology": _run_topology,
+    "contention": _run_contention,
+    "write-runs": _run_write_runs,
+    "robustness": _run_robustness,
+    "inval-patterns": _run_inval_patterns,
+    "policy-space": _run_policy_space,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment", choices=[*COMMANDS, "all"], help="which artifact to run"
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default 0)")
+    args = parser.parse_args(argv)
+
+    names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        output = COMMANDS[name](args)
+        elapsed = time.time() - started
+        print(f"==== {name} ({elapsed:.1f}s) ====")
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

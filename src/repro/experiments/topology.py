@@ -1,0 +1,96 @@
+"""Experiment R5 — how network distance scales the adaptive advantage.
+
+Message counts do not depend on the network, but message *latency* does:
+the farther apart the nodes, the more each removed message is worth.
+This experiment times the basic adaptive protocol against the
+conventional one with the per-message latency scaled by each topology's
+average hop count (crossbar, hypercube, 2-D mesh, ring).
+
+Expected shape: the execution-time reduction grows monotonically with
+average hop distance — supporting the paper's closing observation that
+"since cache coherency traffic represents a larger part of the total
+communication as cache size increases, the relative benefit ... also
+increases", extended here along the network axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.report import format_table
+from repro.directory.policy import BASIC, CONVENTIONAL
+from repro.experiments import common
+from repro.interconnect.topology import Topology, standard_topologies
+from repro.system.machine import DirectoryMachine
+from repro.timing.sim import TimingParams, TimingSimulator, percent_time_reduction
+
+
+@dataclass(frozen=True, slots=True)
+class TopologyRow:
+    """Timing comparison under one topology."""
+
+    app: str
+    topology: str
+    average_hops: float
+    base_cycles: int
+    adaptive_cycles: int
+    time_reduction_pct: float
+
+
+def run(
+    apps: tuple[str, ...] = ("mp3d", "cholesky"),
+    topologies: tuple[Topology, ...] | None = None,
+    cache_size: int = 64 * 1024,
+    params: TimingParams | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_procs: int = common.NUM_PROCS,
+) -> list[TopologyRow]:
+    """Time conventional vs basic under each topology's hop scaling."""
+    params = params or TimingParams()
+    topologies = topologies or standard_topologies(num_procs)
+    rows = []
+    for app in apps:
+        trace = common.get_trace(app, num_procs, seed, scale)
+        config = common.directory_config(cache_size, 16, num_procs)
+        placement = common.get_placement("round_robin", trace, config)
+        for topology in topologies:
+            scaled = replace(
+                params,
+                message_cycles=max(
+                    1, round(params.message_cycles * topology.average_hops)
+                ),
+            )
+            base = TimingSimulator(
+                DirectoryMachine(config, CONVENTIONAL, placement), scaled
+            ).run(trace)
+            adaptive = TimingSimulator(
+                DirectoryMachine(config, BASIC, placement), scaled
+            ).run(trace)
+            rows.append(
+                TopologyRow(
+                    app=app,
+                    topology=topology.name,
+                    average_hops=topology.average_hops,
+                    base_cycles=base.execution_time,
+                    adaptive_cycles=adaptive.execution_time,
+                    time_reduction_pct=percent_time_reduction(base, adaptive),
+                )
+            )
+    return rows
+
+
+def render(rows: list[TopologyRow]) -> str:
+    """Render the topology sweep."""
+    headers = ["app", "topology", "avg hops", "conv cycles",
+               "basic cycles", "reduction %"]
+    out = [
+        [r.app, r.topology, r.average_hops, r.base_cycles,
+         r.adaptive_cycles, r.time_reduction_pct]
+        for r in rows
+    ]
+    return format_table(
+        headers,
+        out,
+        title="Execution-time benefit of adaptation vs network distance",
+    )

@@ -1,0 +1,76 @@
+"""Experiment R2 — write-invalidate vs write-update vs the Alpha hybrid.
+
+Makes two of the paper's narrative claims measurable on the bus machine:
+
+* the introduction's: write-update "entails interprocessor communication
+  on every write operation to shared data", so write-invalidate
+  dominates on migratory data;
+* the related-work section's: the DEC Alpha systems' hybrid
+  update/invalidate protocol "manages migratory data in a very
+  inefficient way" — up to three inter-cache operations per migration
+  (modelled by competitive update with threshold 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.experiments import common
+from repro.snooping.protocols import AdaptiveSnoopingProtocol, MesiProtocol
+from repro.snooping.update_protocols import (
+    CompetitiveUpdateProtocol,
+    WriteUpdateProtocol,
+)
+from repro.workloads.profiles import APP_ORDER
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateRow:
+    """Bus transactions for one application under each protocol."""
+
+    app: str
+    mesi: int
+    adaptive: int
+    write_update: int
+    hybrid: int
+
+
+def run(
+    apps: tuple[str, ...] = APP_ORDER,
+    cache_size: int | None = 256 * 1024,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_procs: int = common.NUM_PROCS,
+) -> list[UpdateRow]:
+    """Run all apps on the bus under the four protocol families."""
+    rows = []
+    for app in apps:
+        trace = common.get_trace(app, num_procs, seed, scale)
+        totals = {}
+        for key, protocol in (
+            ("mesi", MesiProtocol()),
+            ("adaptive", AdaptiveSnoopingProtocol()),
+            ("write_update", WriteUpdateProtocol()),
+            ("hybrid", CompetitiveUpdateProtocol(threshold=1)),
+        ):
+            stats = common.run_bus(trace, protocol, cache_size,
+                                   num_procs=num_procs)
+            totals[key] = stats.total
+        rows.append(UpdateRow(app, totals["mesi"], totals["adaptive"],
+                              totals["write_update"], totals["hybrid"]))
+    return rows
+
+
+def render(rows: list[UpdateRow]) -> str:
+    """Render the protocol-family comparison."""
+    headers = ["app", "mesi", "adaptive", "write-update", "hybrid(k=1)"]
+    out = [
+        [r.app, r.mesi, r.adaptive, r.write_update, r.hybrid] for r in rows
+    ]
+    return format_table(
+        headers,
+        out,
+        title="Write-invalidate vs write-update vs Alpha-style hybrid "
+        "(bus transactions)",
+    )

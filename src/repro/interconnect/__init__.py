@@ -1,0 +1,33 @@
+"""Message taxonomy and inter-node cost accounting."""
+
+from repro.interconnect.topology import (
+    Crossbar,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    Topology,
+    standard_topologies,
+)
+from repro.interconnect.costs import (
+    Charge,
+    OpClass,
+    TABLE1_ROWS,
+    eviction_charge,
+    render_table1,
+    table1_charge,
+)
+
+__all__ = [
+    "Charge",
+    "Crossbar",
+    "Hypercube",
+    "Mesh2D",
+    "Ring",
+    "Topology",
+    "standard_topologies",
+    "OpClass",
+    "TABLE1_ROWS",
+    "eviction_charge",
+    "render_table1",
+    "table1_charge",
+]

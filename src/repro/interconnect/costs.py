@@ -1,0 +1,134 @@
+"""Inter-node message charging for the directory machine (Table 1).
+
+The paper's simplified architectural model counts two message classes:
+*short* messages (requests, invalidations, acknowledgements, replacement
+notifications) and *data-carrying* messages (miss replies, writebacks).
+Table 1 gives the number of each charged to every cache operation that
+requires communication, as a function of
+
+* whether the **home node** (the node holding the directory entry) is the
+  initiator (``local``) or another node (``remote``),
+* whether the block is **clean** or **dirty** in the caches, and
+* ``||DistantCopies||`` — the number of cached copies held at nodes other
+  than the initiator and the home.
+
+This module reproduces that table exactly, plus the replacement charges the
+text describes: a notification message when a clean entry is dropped, and a
+writeback message when a dirty entry is replaced (both free when the home
+node is local).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpClass(enum.Enum):
+    """The operation classes of Table 1."""
+
+    READ_MISS = "read miss"
+    WRITE_MISS = "write miss"
+    WRITE_HIT = "write hit"
+
+
+@dataclass(frozen=True, slots=True)
+class Charge:
+    """A message charge: ``short`` non-data messages, ``data`` block-
+    carrying messages."""
+
+    short: int
+    data: int
+
+    def __add__(self, other: "Charge") -> "Charge":
+        return Charge(self.short + other.short, self.data + other.data)
+
+    @property
+    def total(self) -> int:
+        return self.short + self.data
+
+
+def table1_charge(
+    op: OpClass, home_local: bool, dirty: bool, distant_copies: int
+) -> Charge:
+    """Return the Table 1 message charge for one cache operation.
+
+    Args:
+        op: the operation class.
+        home_local: True when the initiating node is the block's home.
+        dirty: True when some cache holds the block dirty at the start of
+            the operation.
+        distant_copies: ``||DistantCopies||``, cached copies at nodes that
+            are neither the initiator nor the home.
+
+    Raises:
+        ValueError: for combinations the table does not define (a write hit
+            to a dirty block needs no communication and is never charged).
+    """
+    if distant_copies < 0:
+        raise ValueError("distant_copies must be non-negative")
+    dc = distant_copies
+    if op is OpClass.READ_MISS:
+        if home_local:
+            return Charge(1, 1) if dirty else Charge(0, 0)
+        return Charge(1 + dc, 1 + dc) if dirty else Charge(1, 1)
+    if op is OpClass.WRITE_MISS:
+        if home_local:
+            return Charge(1, 1) if dirty else Charge(2 * dc, 0)
+        return Charge(1 + dc, 1 + dc) if dirty else Charge(1 + 2 * dc, 1)
+    if op is OpClass.WRITE_HIT:
+        if dirty:
+            raise ValueError("a write hit to a dirty block requires no messages")
+        if home_local:
+            return Charge(2 * dc, 0)
+        return Charge(2 + 2 * dc, 0)
+    raise ValueError(f"unknown operation class: {op!r}")
+
+
+def eviction_charge(dirty: bool, home_local: bool, notify_clean: bool = True) -> Charge:
+    """Charge for replacing a cache line.
+
+    A dirty victim is written back to its home (one data message when the
+    home is remote).  A clean victim sends a replacement notification (one
+    short message when the home is remote) so the directory's copy set
+    stays exact; the paper charges this at the same rate as other messages.
+
+    Args:
+        dirty: whether the victim line was modified.
+        home_local: whether the victim's home node is the evicting node.
+        notify_clean: set False to model silent clean eviction (ablation).
+    """
+    if home_local:
+        return Charge(0, 0)
+    if dirty:
+        return Charge(0, 1)
+    return Charge(1, 0) if notify_clean else Charge(0, 0)
+
+
+#: The rows of Table 1, in the paper's order, as
+#: ``(op, home, status, short-message formula, data-message formula)``.
+#: Formulae are rendered with ``n`` standing for ``||DistantCopies||``.
+TABLE1_ROWS: tuple[tuple[OpClass, str, str, str, str], ...] = (
+    (OpClass.READ_MISS, "local", "clean", "0", "0"),
+    (OpClass.READ_MISS, "local", "dirty", "1", "1"),
+    (OpClass.READ_MISS, "remote", "clean", "1", "1"),
+    (OpClass.READ_MISS, "remote", "dirty", "1 + n", "1 + n"),
+    (OpClass.WRITE_MISS, "local", "clean", "2n", "0"),
+    (OpClass.WRITE_MISS, "local", "dirty", "1", "1"),
+    (OpClass.WRITE_MISS, "remote", "clean", "1 + 2n", "1"),
+    (OpClass.WRITE_MISS, "remote", "dirty", "1 + n", "1 + n"),
+    (OpClass.WRITE_HIT, "local", "clean", "2n", "0"),
+    (OpClass.WRITE_HIT, "remote", "clean", "2 + 2n", "0"),
+)
+
+
+def render_table1() -> str:
+    """Render Table 1 as formatted text (used by the T1 benchmark)."""
+    header = (
+        f"{'operation':<12} {'home':<7} {'status':<7} "
+        f"{'short messages':<15} {'data messages':<14}"
+    )
+    lines = [header, "-" * len(header)]
+    for op, home, status, short, data in TABLE1_ROWS:
+        lines.append(f"{op.value:<12} {home:<7} {status:<7} {short:<15} {data:<14}")
+    return "\n".join(lines)

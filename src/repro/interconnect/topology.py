@@ -1,0 +1,137 @@
+"""Point-to-point network topologies and hop metrics.
+
+The directory machine assumes "a logically complete point-to-point
+network" (Section 2.2); physically, CC-NUMA machines of the era used
+meshes (DASH) or hypercubes.  Message *counts* are topology-independent,
+but message *latency* scales with hop distance, so the execution-time
+experiments can weight the per-message cost by a topology's average hop
+count — the longer the network paths, the more the adaptive protocols'
+removed messages are worth.
+
+Provided topologies: crossbar (1 hop), bidirectional ring, 2-D mesh,
+and hypercube, each with exact pairwise hop functions and aggregate
+metrics (average distance, diameter).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ConfigError
+
+
+class Topology:
+    """Base class: pairwise hop distances over ``num_nodes`` nodes."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise ConfigError("topology needs at least one node")
+        self.num_nodes = num_nodes
+
+    name = "abstract"
+
+    def hops(self, src: int, dst: int) -> int:
+        """Network hops from ``src`` to ``dst`` (0 when equal)."""
+        raise NotImplementedError
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ConfigError(f"node {node} out of range")
+
+    @property
+    def average_hops(self) -> float:
+        """Mean hop count over all ordered pairs of distinct nodes."""
+        n = self.num_nodes
+        if n < 2:
+            return 0.0
+        total = sum(
+            self.hops(src, dst)
+            for src in range(n)
+            for dst in range(n)
+            if src != dst
+        )
+        return total / (n * (n - 1))
+
+    @property
+    def diameter(self) -> int:
+        """Largest pairwise hop count."""
+        n = self.num_nodes
+        return max(
+            (self.hops(s, d) for s in range(n) for d in range(n)),
+            default=0,
+        )
+
+
+class Crossbar(Topology):
+    """Full crossbar: every remote node is one hop away."""
+
+    name = "crossbar"
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        return 0 if src == dst else 1
+
+
+class Ring(Topology):
+    """Bidirectional ring: shortest way around."""
+
+    name = "ring"
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        clockwise = (dst - src) % self.num_nodes
+        return min(clockwise, self.num_nodes - clockwise)
+
+
+class Mesh2D(Topology):
+    """A ``width x height`` 2-D mesh with dimension-order routing."""
+
+    name = "mesh"
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ConfigError("mesh dimensions must be positive")
+        super().__init__(width * height)
+        self.width = width
+        self.height = height
+        self.name = f"mesh{width}x{height}"
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        sx, sy = src % self.width, src // self.width
+        dx, dy = dst % self.width, dst // self.width
+        return abs(sx - dx) + abs(sy - dy)
+
+
+class Hypercube(Topology):
+    """A ``2^d``-node hypercube; distance is the Hamming distance."""
+
+    name = "hypercube"
+
+    def __init__(self, num_nodes: int):
+        if num_nodes & (num_nodes - 1) or num_nodes < 1:
+            raise ConfigError("hypercube size must be a power of two")
+        super().__init__(num_nodes)
+        self.dimension = int(math.log2(num_nodes))
+        self.name = f"hypercube{self.dimension}"
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        return (src ^ dst).bit_count()
+
+
+def standard_topologies(num_nodes: int = 16) -> tuple[Topology, ...]:
+    """The comparison set used by the topology experiment."""
+    side = int(math.isqrt(num_nodes))
+    if side * side != num_nodes:
+        raise ConfigError("standard set expects a square node count")
+    return (
+        Crossbar(num_nodes),
+        Hypercube(num_nodes),
+        Mesh2D(side, side),
+        Ring(num_nodes),
+    )

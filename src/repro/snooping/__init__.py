@@ -1,0 +1,29 @@
+"""Bus-based snooping protocols: MESI, the adaptive extension, baselines."""
+
+from repro.snooping.costmodels import model1_cost, model2_cost, percent_reduction
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import (
+    AdaptiveSnoopingProtocol,
+    AlwaysMigrateProtocol,
+    MesiProtocol,
+    SnoopingProtocol,
+)
+from repro.snooping.states import SnoopState
+from repro.snooping.update_protocols import (
+    CompetitiveUpdateProtocol,
+    WriteUpdateProtocol,
+)
+
+__all__ = [
+    "AdaptiveSnoopingProtocol",
+    "AlwaysMigrateProtocol",
+    "BusMachine",
+    "CompetitiveUpdateProtocol",
+    "MesiProtocol",
+    "SnoopState",
+    "SnoopingProtocol",
+    "WriteUpdateProtocol",
+    "model1_cost",
+    "model2_cost",
+    "percent_reduction",
+]

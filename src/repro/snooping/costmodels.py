@@ -1,0 +1,41 @@
+"""Bus cost models of Section 4.3.
+
+Two models are defined over the transaction counts of
+:class:`repro.common.stats.BusStats`:
+
+* **Model 1** — every memory or coherence operation takes one bus
+  transaction and has unit cost.
+* **Model 2** — operations that require replies (misses, and invalidations
+  in the *adaptive* protocol, which must wait for the Migratory line) cost
+  two units; operations that need no reply (writebacks, and invalidations
+  in the conventional protocol) cost one unit.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import BusStats
+from repro.snooping.protocols import SnoopingProtocol
+
+
+def model1_cost(stats: BusStats) -> int:
+    """Unit cost per bus transaction."""
+    return stats.total
+
+
+def model2_cost(stats: BusStats, protocol: SnoopingProtocol) -> int:
+    """Reply-weighted cost (misses and adaptive invalidations cost 2)."""
+    misses = stats.read_miss + stats.write_miss
+    if protocol.invalidations_need_reply:
+        replies = misses + stats.invalidation
+        no_replies = stats.writeback
+    else:
+        replies = misses
+        no_replies = stats.invalidation + stats.writeback
+    return 2 * replies + no_replies
+
+
+def percent_reduction(base: float, other: float) -> float:
+    """Percentage by which ``other`` improves on ``base`` (positive = saves)."""
+    if base == 0:
+        return 0.0
+    return 100.0 * (base - other) / base

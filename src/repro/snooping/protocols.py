@@ -1,0 +1,294 @@
+"""Snooping protocol implementations.
+
+Three protocols are provided:
+
+* :class:`MesiProtocol` — the base write-invalidate MESI protocol
+  (Papamarcos & Patel), the conventional comparison point.
+* :class:`AdaptiveSnoopingProtocol` — the paper's adaptive extension
+  (Figures 1 and 2): splits Shared into S2/S, adds the Migratory-Clean and
+  Migratory-Dirty states, and asserts a Migratory bus line in responses to
+  read misses, write misses, and invalidation requests.
+* :class:`AlwaysMigrateProtocol` — the non-adaptive migrate-on-read-miss
+  policy for modified blocks used by the Sequent Symmetry (model B) and
+  MIT Alewife, which the related-work section calls out; migratory data is
+  handled optimally but read-shared data ping-pongs.
+
+Each protocol is a set of handlers invoked by
+:class:`repro.snooping.machine.BusMachine`; the machine owns caches, the
+replacement policy, transaction counting, and the coherence checker.  A
+snoop over remote caches is modelled as a single bus transaction in which
+every other cache reacts and may assert the Shared or Migratory lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.core import Cache, CacheLine
+from repro.common.errors import ProtocolError
+from repro.snooping.states import SnoopState as St
+
+
+@dataclass(slots=True)
+class SnoopResult:
+    """Outcome of snooping one bus request across remote caches."""
+
+    shared: bool = False  # the Shared line was asserted
+    migratory: bool = False  # the Migratory line was asserted
+
+
+class SnoopingProtocol:
+    """Interface the bus machine drives.
+
+    The handlers receive ``caches`` (all per-processor caches), the
+    requesting processor, and the block; they mutate remote lines according
+    to the bus request and return the fill state for the requester.
+    """
+
+    name = "abstract"
+    #: Whether invalidation transactions await a reply (cost model 2
+    #: charges these two units instead of one; Section 4.3).
+    invalidations_need_reply = False
+    #: Whether remote copies stay valid (and current) across writes —
+    #: true for the write-update family, false for write-invalidate.
+    updates_remote_copies = False
+
+    def read_hit(self, line: CacheLine) -> None:
+        """Hook invoked on every local read hit (default: nothing)."""
+
+    def read_miss_fill(
+        self, caches: list[Cache], proc: int, block: int
+    ) -> tuple[St, bool]:
+        """Snoop a read-miss request; return ``(fill_state, fill_dirty)``."""
+        raise NotImplementedError
+
+    def write_miss_fill(
+        self, caches: list[Cache], proc: int, block: int
+    ) -> tuple[St, bool]:
+        """Snoop a write-miss request; return ``(fill_state, fill_dirty)``."""
+        raise NotImplementedError
+
+    def write_hit_needs_bus(self, line: CacheLine) -> bool:
+        """Whether a write hit to ``line`` requires a bus transaction."""
+        return not line.state.is_writable
+
+    def write_hit_silent(self, line: CacheLine) -> None:
+        """Apply a write hit that needs no bus transaction."""
+        state = line.state
+        if state is St.E:
+            line.state = St.D
+        elif state is St.MC:
+            line.state = St.MD
+        elif state not in (St.D, St.MD):
+            raise ProtocolError(f"silent write hit in state {state}")
+        line.dirty = True
+
+    def write_hit_invalidate(
+        self, caches: list[Cache], proc: int, block: int, line: CacheLine
+    ) -> None:
+        """Issue an invalidation request and upgrade the writer's line."""
+        raise NotImplementedError
+
+    def write_hit_bus(
+        self, caches: list[Cache], proc: int, block: int, line: CacheLine
+    ) -> str:
+        """Perform the bus transaction a non-silent write hit needs.
+
+        Returns the transaction kind to record (``"invalidation"`` for
+        the write-invalidate family; the update protocols override this
+        to broadcast instead).
+        """
+        self.write_hit_invalidate(caches, proc, block, line)
+        return "invalidation"
+
+    @staticmethod
+    def _remote_lines(caches: list[Cache], proc: int, block: int):
+        """Yield ``(cache, line)`` for every remote cache holding block."""
+        for node, cache in enumerate(caches):
+            if node == proc:
+                continue
+            line = cache.lookup(block)
+            if line is not None:
+                yield cache, line
+
+
+class MesiProtocol(SnoopingProtocol):
+    """The conventional MESI write-invalidate protocol."""
+
+    name = "mesi"
+    invalidations_need_reply = False
+
+    def read_miss_fill(self, caches, proc, block):
+        shared = False
+        for cache, line in self._remote_lines(caches, proc, block):
+            shared = True
+            if line.state in (St.E, St.D):
+                # Dirty data is supplied and memory snoops the transfer.
+                line.state = St.S
+                line.dirty = False
+            elif line.state is not St.S:
+                raise ProtocolError(f"MESI snooped unexpected state {line.state}")
+        return (St.S if shared else St.E), False
+
+    def write_miss_fill(self, caches, proc, block):
+        for cache, line in self._remote_lines(caches, proc, block):
+            cache.remove(block)
+        return St.D, True
+
+    def write_hit_invalidate(self, caches, proc, block, line):
+        for cache, remote in self._remote_lines(caches, proc, block):
+            if remote.state not in (St.S,):
+                raise ProtocolError(
+                    f"invalidation snooped non-shared state {remote.state}"
+                )
+            cache.remove(block)
+        line.state = St.D
+        line.dirty = True
+
+
+class AdaptiveSnoopingProtocol(SnoopingProtocol):
+    """The adaptive protocol of Figures 1 and 2.
+
+    By default replicate-on-read-miss is the initial policy for every
+    block, as in the paper's main description.  Section 2.1 also sketches
+    the variation that starts blocks under migrate-on-read-miss: a cold
+    miss (no cache responds) then fills Migratory-Clean/-Dirty instead of
+    Exclusive/Dirty, which leaves the Exclusive state with no
+    in-transitions ("a dead state").  Pass ``initial_migratory=True`` for
+    that variant.
+    """
+
+    invalidations_need_reply = True
+
+    def __init__(self, initial_migratory: bool = False):
+        self.initial_migratory = initial_migratory
+        self.name = (
+            "adaptive-initial-migratory" if initial_migratory else "adaptive"
+        )
+
+    def read_miss_fill(self, caches, proc, block):
+        result = SnoopResult()
+        for cache, line in self._remote_lines(caches, proc, block):
+            state = line.state
+            if state is St.E:
+                line.state = St.S2
+                result.shared = True
+            elif state is St.D:
+                line.state = St.S2
+                line.dirty = False  # provided; memory snoops the data
+                result.shared = True
+            elif state is St.S2:
+                # A third copy is being created; the <=2-copies guarantee
+                # no longer holds, so fall back to plain Shared.
+                line.state = St.S
+                result.shared = True
+            elif state is St.S:
+                result.shared = True
+            elif state is St.MC:
+                # Any miss request demotes a clean migratory block back to
+                # the replicate-on-read-miss policy.
+                line.state = St.S2
+                result.shared = True
+            elif state is St.MD:
+                # Migrate: provide the data, invalidate locally, and tell
+                # the requester the block is migratory.
+                cache.remove(block)
+                result.migratory = True
+            else:
+                raise ProtocolError(f"unexpected snoop state {state}")
+        if result.migratory:
+            return St.MC, False
+        if result.shared:
+            return St.S, False
+        if self.initial_migratory:
+            # Cold miss under the migrate-on-read-miss initial policy:
+            # the block arrives already classified migratory.
+            return St.MC, False
+        return St.E, False
+
+    def write_miss_fill(self, caches, proc, block):
+        result = SnoopResult()
+        responded = False
+        for cache, line in self._remote_lines(caches, proc, block):
+            responded = True
+            state = line.state
+            if state in (St.E, St.D):
+                # A write miss to a single cached copy is migratory
+                # evidence (the aggressive switch of Section 2.1).
+                result.migratory = True
+            elif state is St.MD:
+                result.migratory = True
+            elif state is St.MC:
+                # Any miss request demotes; no Migratory assertion.
+                pass
+            elif state not in (St.S, St.S2):
+                raise ProtocolError(f"unexpected snoop state {state}")
+            cache.remove(block)
+        if result.migratory or (self.initial_migratory and not responded):
+            return St.MD, True
+        return St.D, True
+
+    def write_hit_invalidate(self, caches, proc, block, line):
+        result = SnoopResult()
+        for cache, remote in self._remote_lines(caches, proc, block):
+            state = remote.state
+            if state is St.S2:
+                # The older of exactly two copies is being invalidated by
+                # the newer: the block looks migratory.
+                result.migratory = True
+            elif state is not St.S:
+                raise ProtocolError(
+                    f"invalidation snooped non-shared state {state}"
+                )
+            cache.remove(block)
+        if line.state is St.S and result.migratory:
+            line.state = St.MD
+        else:
+            line.state = St.D
+        line.dirty = True
+
+
+class AlwaysMigrateProtocol(SnoopingProtocol):
+    """Non-adaptive migrate-on-read-miss for modified blocks.
+
+    Models the Sequent Symmetry (model B) policy: a read miss that hits a
+    Dirty copy transfers ownership instead of replicating.  Optimal for
+    migratory data, but read-shared data that was ever written ping-pongs
+    between caches, inflating read misses (Thakkar's observation).
+    """
+
+    name = "always-migrate"
+    invalidations_need_reply = False
+
+    def read_miss_fill(self, caches, proc, block):
+        shared = False
+        for cache, line in self._remote_lines(caches, proc, block):
+            if line.state is St.D:
+                # Migrate ownership; memory snoops, so the new copy is
+                # writable-clean (we reuse MC to mean "owned, clean").
+                cache.remove(block)
+                return St.MC, False
+            if line.state in (St.E, St.MC):
+                # An owned-but-clean block replicates (memory is current).
+                line.state = St.S
+            shared = True
+        return (St.S if shared else St.E), False
+
+    def write_miss_fill(self, caches, proc, block):
+        for cache, line in self._remote_lines(caches, proc, block):
+            cache.remove(block)
+        return St.D, True
+
+    def write_hit_silent(self, line: CacheLine) -> None:
+        state = line.state
+        if state is St.E or state is St.MC:
+            line.state = St.D
+        elif state is not St.D:
+            raise ProtocolError(f"silent write hit in state {state}")
+        line.dirty = True
+
+    def write_hit_invalidate(self, caches, proc, block, line):
+        for cache, remote in self._remote_lines(caches, proc, block):
+            cache.remove(block)
+        line.state = St.D
+        line.dirty = True

@@ -1,0 +1,48 @@
+"""Cache-line states for the snooping protocols (Figure 1).
+
+``Invalid`` is represented by absence from the cache; the remaining states
+are:
+
+* ``E``  — Exclusive: only cached copy, memory up to date.
+* ``D``  — Dirty (the paper renames MESI's "Modified" to free up M for
+  "Migratory"): only cached copy, memory stale.
+* ``S2`` — Shared-2: one of *at most two* cached copies, and this holder's
+  copy is the older of the two; memory up to date.
+* ``S``  — Shared: one of possibly many copies, memory up to date.
+* ``MC`` — Migratory-Clean: only cached copy, managed migrate-on-read-miss,
+  not yet modified here (write permission already granted).
+* ``MD`` — Migratory-Dirty: only cached copy, managed migrate-on-read-miss,
+  modified here.
+
+The plain MESI baseline uses E/S/D; the adaptive protocol uses all six.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SnoopState(enum.Enum):
+    """Valid states of a resident line in the snooping machines."""
+
+    E = "exclusive"
+    D = "dirty"
+    S2 = "shared-2"
+    S = "shared"
+    MC = "migratory-clean"
+    MD = "migratory-dirty"
+
+    @property
+    def is_exclusive(self) -> bool:
+        """True when no other cache may hold a copy."""
+        return self in (SnoopState.E, SnoopState.D, SnoopState.MC, SnoopState.MD)
+
+    @property
+    def is_writable(self) -> bool:
+        """True when a write can complete without a bus transaction."""
+        return self in (SnoopState.E, SnoopState.D, SnoopState.MC, SnoopState.MD)
+
+    @property
+    def is_migratory(self) -> bool:
+        """True for the migrate-on-read-miss sub-protocol states."""
+        return self in (SnoopState.MC, SnoopState.MD)

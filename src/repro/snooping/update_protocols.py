@@ -1,0 +1,132 @@
+"""Write-update and hybrid update/invalidate snooping protocols.
+
+The paper's introduction dismisses pure write-update for migratory data
+("interprocessor communication on every write"), and its related-work
+section observes that the DEC Alpha multiprocessors' *hybrid*
+write-update/write-invalidate protocol manages migratory data very
+inefficiently — "it can take as many as three inter-cache operations to
+migrate a block".  These protocols make both claims measurable:
+
+* :class:`WriteUpdateProtocol` — pure update (Firefly/Dragon style):
+  a write hit to a shared block broadcasts the new data; copies are
+  never invalidated.
+* :class:`CompetitiveUpdateProtocol` — update with a per-copy staleness
+  counter: a copy that receives more than ``threshold`` remote updates
+  without a local access invalidates itself (competitive snooping).
+  With ``threshold=1`` a migration costs exactly the three transactions
+  the paper attributes to the Alpha hybrid: the read miss, one tolerated
+  update, and the update that finally kills the stale copy.
+
+Both protocols assume memory snoops update broadcasts, so updated copies
+stay clean.
+"""
+
+from __future__ import annotations
+
+from repro.cache.core import CacheLine
+from repro.common.errors import ProtocolError
+from repro.snooping.protocols import SnoopingProtocol
+from repro.snooping.states import SnoopState as St
+
+
+class WriteUpdateProtocol(SnoopingProtocol):
+    """Pure write-update: broadcast every write to a shared block."""
+
+    name = "write-update"
+    invalidations_need_reply = False
+    #: Remote copies stay valid (and current) across writes.
+    updates_remote_copies = True
+
+    def read_miss_fill(self, caches, proc, block):
+        shared = False
+        for cache, line in self._remote_lines(caches, proc, block):
+            shared = True
+            if line.state in (St.E, St.D):
+                line.state = St.S
+                line.dirty = False  # provided; memory snoops
+            elif line.state is not St.S:
+                raise ProtocolError(f"update snooped state {line.state}")
+            self._on_remote_read(line)
+        return (St.S if shared else St.E), False
+
+    def write_miss_fill(self, caches, proc, block):
+        # The block is fetched and the new value broadcast; existing
+        # copies absorb the update rather than being invalidated.
+        shared = False
+        for cache, line in self._remote_lines(caches, proc, block):
+            if line.state in (St.E, St.D):
+                line.state = St.S
+                line.dirty = False
+            survived = self._on_remote_update(cache, line)
+            shared = shared or survived
+        return (St.S if shared else St.D), not shared
+
+    def write_hit_needs_bus(self, line: CacheLine) -> bool:
+        return line.state is St.S
+
+    def write_hit_silent(self, line: CacheLine) -> None:
+        state = line.state
+        if state is St.E:
+            line.state = St.D
+        elif state is not St.D:
+            raise ProtocolError(f"silent write hit in state {state}")
+        line.dirty = True
+
+    def write_hit_bus(self, caches, proc, block, line) -> str:
+        """Broadcast an update; returns the transaction kind."""
+        shared = False
+        for cache, remote in self._remote_lines(caches, proc, block):
+            survived = self._on_remote_update(cache, remote)
+            shared = shared or survived
+        self._on_local_write(line)
+        if not shared:
+            # Last copy standing owns the block; memory snooped the
+            # update, so the copy is clean-exclusive.
+            line.state = St.E
+            line.dirty = False
+        return "update"
+
+    # Hooks the competitive variant overrides ---------------------------
+
+    def _on_remote_read(self, line: CacheLine) -> None:
+        """A remote processor read the block (no state effect here)."""
+
+    def _on_remote_update(self, cache, line: CacheLine) -> bool:
+        """Apply a remote update to a copy; return False if it died."""
+        return True
+
+    def _on_local_write(self, line: CacheLine) -> None:
+        """The local processor wrote its own (shared) copy."""
+
+
+class CompetitiveUpdateProtocol(WriteUpdateProtocol):
+    """Update until a copy looks dead, then invalidate it.
+
+    Each copy carries a staleness counter: remote updates increment it,
+    local accesses reset it, and a copy that absorbs more than
+    ``threshold`` consecutive remote updates self-invalidates.  This is
+    the classic competitive-snooping hybrid; ``threshold=1`` models the
+    Alpha-style behaviour the paper criticises.
+    """
+
+    invalidations_need_reply = False
+
+    def __init__(self, threshold: int = 1):
+        if threshold < 0:
+            raise ProtocolError("threshold must be non-negative")
+        self.threshold = threshold
+        self.name = f"competitive-update({threshold})"
+
+    def read_hit(self, line: CacheLine) -> None:
+        """A local access proves the copy useful: reset its staleness."""
+        line.counter = 0
+
+    def _on_remote_update(self, cache, line: CacheLine) -> bool:
+        line.counter += 1
+        if line.counter > self.threshold:
+            cache.remove(line.block)
+            return False
+        return True
+
+    def _on_local_write(self, line: CacheLine) -> None:
+        line.counter = 0

@@ -1,0 +1,20 @@
+"""Machine assembly: CC-NUMA directory machine, bus machine, placement."""
+
+from repro.system.machine import CState, DirectoryMachine
+from repro.system.placement import (
+    BestStaticPlacement,
+    FirstTouchPlacement,
+    PagePlacement,
+    RoundRobinPlacement,
+    make_placement,
+)
+
+__all__ = [
+    "BestStaticPlacement",
+    "CState",
+    "DirectoryMachine",
+    "FirstTouchPlacement",
+    "PagePlacement",
+    "RoundRobinPlacement",
+    "make_placement",
+]

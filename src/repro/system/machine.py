@@ -1,0 +1,397 @@
+"""The trace-driven CC-NUMA directory machine (Section 3.3).
+
+:class:`DirectoryMachine` assembles per-node caches, a page-placement
+policy, the directory protocol (conventional or adaptive), and Table 1
+message charging.  Feeding it a trace of shared-data references reproduces
+the measurement methodology behind Tables 2 and 3.
+
+The model follows the paper:
+
+* write-invalidate with delayed write-back; a modified block is written
+  back when replaced or when another processor accesses it;
+* blocks are loaded in a read-only (Shared) state by replicating read
+  misses, and in an exclusive writable state by write misses and by the
+  migratory migrate-on-read-miss path;
+* a migratory block arrives with write permission, so the first write at
+  its new node is silent — this is the entire saving;
+* dropping a clean entry notifies the home node (charged at full message
+  cost, as the paper chooses to); dirty victims are written back.
+
+An optional coherence checker simulates block versions end-to-end and
+asserts that every read observes the most recent write and that the
+directory's copy set matches reality.  It is enabled in tests and disabled
+in benchmark runs.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import Counter
+from typing import Iterable
+
+from repro.cache.core import Cache, CacheLine, make_cache
+from repro.common.config import MachineConfig
+from repro.common.errors import ProtocolError
+from repro.common.stats import CacheStats, MessageStats
+from repro.common.types import Access, Op
+from repro.directory.entry import DirState
+from repro.directory.policy import AdaptivePolicy
+from repro.directory.protocol import DirectoryProtocol
+from repro.directory.representation import (
+    DirectoryRepresentation,
+    FullMapDirectory,
+)
+from repro.interconnect.costs import Charge, OpClass, eviction_charge, table1_charge
+from repro.system.placement import PagePlacement, RoundRobinPlacement
+
+
+class CState(enum.Enum):
+    """Per-cache-line permission in the directory machine."""
+
+    SHARED = "shared"  # read-only copy
+    EXCL = "exclusive"  # write permission (dirty bit says if modified)
+
+
+class DirectoryMachine:
+    """A 16-node (configurable) CC-NUMA multiprocessor model."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        policy: AdaptivePolicy,
+        placement: PagePlacement | None = None,
+        check: bool = False,
+        seed: int = 0,
+        track_blocks: bool = False,
+        representation: DirectoryRepresentation | None = None,
+    ):
+        self.config = config
+        self.policy = policy
+        self.placement = placement or RoundRobinPlacement(config.num_procs)
+        self.protocol = DirectoryProtocol(policy)
+        self.representation = representation or FullMapDirectory()
+        #: Per-block message totals (populated when ``track_blocks``).
+        self.block_messages: dict[int, int] | None = (
+            {} if track_blocks else None
+        )
+        rng = random.Random(seed)
+        self.caches: list[Cache] = [
+            make_cache(config.cache, random.Random(rng.random()))
+            for _ in range(config.num_procs)
+        ]
+        self.stats = MessageStats()
+        self.cache_stats = CacheStats()
+        #: Distribution of invalidation sizes: number of copies destroyed
+        #: per invalidating write (Weber & Gupta's invalidation patterns).
+        self.invalidation_sizes: Counter = Counter()
+        self._check = check
+        self._block_shift = config.cache.block_size.bit_length() - 1
+        self._page_shift = config.page_size.bit_length() - 1
+        # Coherence checker state: the latest version written to each block.
+        self._latest: dict[int, int] = {}
+        self._version_counter = 0
+
+    # ------------------------------------------------------------------
+    # Public driving interface
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Iterable[Access]) -> MessageStats:
+        """Process every access in ``trace``; returns the message stats."""
+        access = self.access
+        for acc in trace:
+            access(acc.proc, acc.op is Op.WRITE, acc.addr)
+        return self.stats
+
+    def run_with_hints(
+        self, trace: Iterable[Access], hints: Iterable[bool]
+    ) -> MessageStats:
+        """Process a trace with aligned read-exclusive hints.
+
+        Hinted reads that miss fetch the block with ownership (one
+        transaction), modelling a load-with-intent-to-modify instruction
+        (see :mod:`repro.analysis.oracle`).
+        """
+        for acc, hint in zip(trace, hints):
+            self.access(acc.proc, acc.op is Op.WRITE, acc.addr,
+                        exclusive_hint=hint)
+        return self.stats
+
+    def access(
+        self, proc: int, is_write: bool, addr: int,
+        exclusive_hint: bool = False,
+    ) -> None:
+        """Process a single reference from ``proc`` to byte ``addr``.
+
+        Args:
+            exclusive_hint: for reads, fetch ownership on a miss (the
+                off-line read-exclusive oracle); ignored for writes and
+                read hits.
+        """
+        block = addr >> self._block_shift
+        cache = self.caches[proc]
+        line = cache.lookup(block)
+        if not is_write:
+            if line is not None:
+                cache.touch(block)
+                self.cache_stats.read_hits += 1
+                if self._check:
+                    self._check_read(block, line)
+                return
+            self.cache_stats.read_misses += 1
+            if exclusive_hint:
+                self._read_exclusive_miss(proc, block)
+            else:
+                self._read_miss(proc, block)
+            if self._check:
+                self._check_block(proc, block)
+            return
+        if line is not None:
+            if line.state is CState.EXCL:
+                # Silent write: the node already holds write permission
+                # (either it wrote before, or the block migrated in).
+                line.dirty = True
+                cache.touch(block)
+                self.cache_stats.write_hits += 1
+                self._bump_version(block, line)
+                return
+            self.cache_stats.write_hits += 1
+            self._write_hit_shared(proc, block, line)
+        else:
+            self.cache_stats.write_misses += 1
+            self._write_miss(proc, block)
+        if self._check:
+            self._check_block(proc, block)
+
+    # ------------------------------------------------------------------
+    # Miss and upgrade handling
+    # ------------------------------------------------------------------
+
+    def _home_of(self, block: int, proc: int) -> int:
+        page = (block << self._block_shift) >> self._page_shift
+        return self.placement.home(page, proc)
+
+    def _dirty_owner(self, block: int, copyset: set[int]) -> int | None:
+        for node in copyset:
+            line = self.caches[node].lookup(block)
+            if line is not None and line.dirty:
+                return node
+        return None
+
+    def _charge(self, cause: str, block: int, charge) -> None:
+        self.stats.charge(cause, charge.short, charge.data)
+        if self.block_messages is not None and charge.total:
+            self.block_messages[block] = (
+                self.block_messages.get(block, 0) + charge.total
+            )
+
+    def _read_miss(self, proc: int, block: int) -> None:
+        home = self._home_of(block, proc)
+        ent = self.protocol.entry(block)
+        dirty_owner = self._dirty_owner(block, ent.copyset)
+        dirty = dirty_owner is not None
+        was_migratory = ent.state is DirState.ONE_COPY_MIG
+        migrate = self.protocol.read_miss(block, proc, dirty)
+        home_local = home == proc
+        if migrate:
+            if dirty:
+                dc = len(ent.copyset - {proc, home})
+                charge = table1_charge(OpClass.READ_MISS, home_local, True, dc)
+                self.caches[dirty_owner].remove(block)
+                ent.copyset.discard(dirty_owner)
+            else:
+                # Reloading a remembered-migratory block from memory.
+                charge = table1_charge(OpClass.READ_MISS, home_local, False, 0)
+            self._charge("read_miss", block, charge)
+            self._fill(proc, block, CState.EXCL, dirty=False)
+        else:
+            if dirty:
+                dc = len(ent.copyset - {proc, home})
+                charge = table1_charge(OpClass.READ_MISS, home_local, True, dc)
+                owner_line = self.caches[dirty_owner].lookup(block)
+                owner_line.state = CState.SHARED
+                owner_line.dirty = False  # flushed to memory
+            else:
+                # Table 1 charges by the block's actual status: a *clean*
+                # block — including a clean migratory one being demoted —
+                # costs an ordinary clean read miss (memory is up to
+                # date).  The paper's own accounting works this way, which
+                # is why the aggressive protocol's data-message counts
+                # barely rise on read-shared data (Table 2).
+                charge = table1_charge(OpClass.READ_MISS, home_local, False, 0)
+                if was_migratory or len(ent.copyset) == 1:
+                    # Revoke any clean-exclusive holder's silent-write
+                    # permission (a demoted migratory copy or a hinted
+                    # read-exclusive fill).  Exclusive copies only exist
+                    # when the copy set is a singleton.
+                    for node in ent.copyset:
+                        owner_line = self.caches[node].lookup(block)
+                        if owner_line is not None:
+                            owner_line.state = CState.SHARED
+            self._charge("read_miss", block, charge)
+            self._fill(proc, block, CState.SHARED, dirty=False)
+        ent.copyset.add(proc)
+        victim = self.representation.on_sharer_added(ent, proc)
+        if victim is not None:
+            # Dir_iNB pointer overflow: forcibly invalidate one sharer
+            # (request + acknowledgement) to keep the directory exact.
+            self.caches[victim].remove(block)
+            ent.copyset.discard(victim)
+            cost = 2 if victim != home else 0
+            self._charge("pointer_eviction", block, Charge(cost, 0))
+
+    def _read_exclusive_miss(self, proc: int, block: int) -> None:
+        """A hinted read miss: fetch the block with ownership.
+
+        Charged as a write miss (the fetch and the invalidations happen
+        in one transaction); the line arrives exclusive-clean so the
+        predicted write completes silently.
+        """
+        home = self._home_of(block, proc)
+        ent = self.protocol.entry(block)
+        dirty_owner = self._dirty_owner(block, ent.copyset)
+        dirty = dirty_owner is not None
+        self.protocol.write_miss(block, proc, dirty)
+        dc = self.representation.invalidation_targets(
+            ent, proc, home, self.config.num_procs
+        )
+        charge = table1_charge(OpClass.WRITE_MISS, home == proc, dirty, dc)
+        self._charge("read_exclusive", block, charge)
+        for node in ent.copyset:
+            self.caches[node].remove(block)
+        ent.copyset.clear()
+        self._fill(proc, block, CState.EXCL, dirty=False)
+        ent.copyset.add(proc)
+        self.representation.on_exclusive(ent)
+
+    def _write_miss(self, proc: int, block: int) -> None:
+        home = self._home_of(block, proc)
+        ent = self.protocol.entry(block)
+        dirty_owner = self._dirty_owner(block, ent.copyset)
+        dirty = dirty_owner is not None
+        self.protocol.write_miss(block, proc, dirty)
+        home_local = home == proc
+        dc = self.representation.invalidation_targets(
+            ent, proc, home, self.config.num_procs
+        )
+        charge = table1_charge(OpClass.WRITE_MISS, home_local, dirty, dc)
+        self._charge("write_miss", block, charge)
+        if ent.copyset:
+            self.invalidation_sizes[len(ent.copyset)] += 1
+        for node in ent.copyset:
+            self.caches[node].remove(block)
+        ent.copyset.clear()
+        self._fill(proc, block, CState.EXCL, dirty=True)
+        ent.copyset.add(proc)
+        self.representation.on_exclusive(ent)
+        self._bump_version(block, self.caches[proc].lookup(block))
+
+    def _write_hit_shared(self, proc: int, block: int, line: CacheLine) -> None:
+        home = self._home_of(block, proc)
+        ent = self.protocol.entry(block)
+        others = ent.copyset - {proc}
+        self.protocol.write_hit(block, proc, sole_copy=not others)
+        home_local = home == proc
+        dc = self.representation.invalidation_targets(
+            ent, proc, home, self.config.num_procs
+        )
+        charge = table1_charge(OpClass.WRITE_HIT, home_local, False, dc)
+        self._charge("write_hit", block, charge)
+        if others:
+            self.invalidation_sizes[len(others)] += 1
+        for node in others:
+            self.caches[node].remove(block)
+        ent.copyset.intersection_update({proc})
+        ent.copyset.add(proc)
+        self.representation.on_exclusive(ent)
+        line.state = CState.EXCL
+        line.dirty = True
+        self.caches[proc].touch(block)
+        self.cache_stats.upgrades += 1
+        self._bump_version(block, line)
+
+    def _fill(self, proc: int, block: int, state: CState, dirty: bool) -> None:
+        victim = self.caches[proc].insert(block, state, dirty)
+        if self._check:
+            line = self.caches[proc].lookup(block)
+            line.version = self._latest.get(block, 0)
+        if victim is not None:
+            self._evict(proc, victim)
+
+    def _evict(self, proc: int, victim: CacheLine) -> None:
+        vblock = victim.block
+        home = self._home_of(vblock, proc)
+        charge = eviction_charge(
+            victim.dirty, home == proc, self.config.eviction_notification
+        )
+        self._charge("eviction", vblock, charge)
+        if victim.dirty:
+            self.cache_stats.evictions_dirty += 1
+        else:
+            self.cache_stats.evictions_clean += 1
+        ent = self.protocol.peek(vblock)
+        if ent is None:
+            raise ProtocolError(f"evicting block {vblock} with no directory entry")
+        if victim.dirty or self.config.eviction_notification:
+            ent.copyset.discard(proc)
+            if not ent.copyset:
+                self.representation.on_exclusive(ent)
+                self.protocol.note_uncached(vblock)
+
+    # ------------------------------------------------------------------
+    # Coherence checker (tests only)
+    # ------------------------------------------------------------------
+
+    def _bump_version(self, block: int, line: CacheLine) -> None:
+        if not self._check:
+            return
+        self._version_counter += 1
+        self._latest[block] = self._version_counter
+        line.version = self._version_counter
+
+    def _check_read(self, block: int, line: CacheLine) -> None:
+        latest = self._latest.get(block, 0)
+        if line.version != latest:
+            raise ProtocolError(
+                f"stale read of block {block}: copy has version "
+                f"{line.version}, latest write is {latest}"
+            )
+
+    def _check_block(self, proc: int, block: int) -> None:
+        """Verify structural invariants for one block after an operation."""
+        ent = self.protocol.peek(block)
+        holders = {
+            node
+            for node in range(self.config.num_procs)
+            if self.caches[node].lookup(block) is not None
+        }
+        if self.config.eviction_notification and ent.copyset != holders:
+            raise ProtocolError(
+                f"copyset {sorted(ent.copyset)} != holders {sorted(holders)} "
+                f"for block {block}"
+            )
+        dirty_holders = [
+            node
+            for node in holders
+            if self.caches[node].lookup(block).dirty
+        ]
+        if len(dirty_holders) > 1:
+            raise ProtocolError(
+                f"multiple dirty holders for block {block}: {dirty_holders}"
+            )
+        excl_holders = [
+            node
+            for node in holders
+            if self.caches[node].lookup(block).state is CState.EXCL
+        ]
+        if len(excl_holders) > 1:
+            raise ProtocolError(
+                f"multiple exclusive holders for block {block}: {excl_holders}"
+            )
+        if excl_holders and len(holders) > 1:
+            raise ProtocolError(
+                f"exclusive copy coexists with other copies for block {block}"
+            )
+        line = self.caches[proc].lookup(block)
+        if line is not None:
+            self._check_read(block, line)

@@ -1,0 +1,121 @@
+"""Page-to-home-node placement policies.
+
+The assignment of data pages to nodes determines how often coherence
+operations cross node boundaries (Section 3.3).  The paper's trace-driven
+simulator finds a good *static* placement (in the spirit of Bolosky et al.
+and Stenström et al.), while its execution-driven simulator uses standard
+round-robin allocation — the gap between the two explains the smaller
+message savings observed in Section 4.2.
+
+Three policies are provided:
+
+* :class:`RoundRobinPlacement` — page ``p`` lives at node ``p mod N``.
+* :class:`FirstTouchPlacement` — a page's home is the first node to
+  access it.
+* :class:`BestStaticPlacement` — a two-pass policy: a profiling pass
+  counts accesses per page per node, then each page is homed at its
+  majority accessor.  This stands in for the paper's "simple dynamic
+  technique for finding a good static placement".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.common.config import MachineConfig
+from repro.common.types import Access
+
+
+class PagePlacement:
+    """Maps page numbers to home nodes."""
+
+    def home(self, page: int, accessor: int) -> int:
+        """Return the home node of ``page``.
+
+        Args:
+            page: page number.
+            accessor: the node currently accessing the page; used by
+                first-touch placement, ignored by static policies.
+        """
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(PagePlacement):
+    """Standard round-robin allocation (used by Section 4.2)."""
+
+    def __init__(self, num_procs: int):
+        self._num_procs = num_procs
+
+    def home(self, page: int, accessor: int) -> int:
+        return page % self._num_procs
+
+
+class FirstTouchPlacement(PagePlacement):
+    """Each page is homed at the first node that touches it."""
+
+    def __init__(self) -> None:
+        self._homes: dict[int, int] = {}
+
+    def home(self, page: int, accessor: int) -> int:
+        node = self._homes.get(page)
+        if node is None:
+            node = accessor
+            self._homes[page] = node
+        return node
+
+
+class BestStaticPlacement(PagePlacement):
+    """Majority-accessor static placement derived from a profiling pass."""
+
+    def __init__(self, homes: dict[int, int], fallback_procs: int):
+        self._homes = homes
+        self._fallback = RoundRobinPlacement(fallback_procs)
+
+    @classmethod
+    def from_trace(
+        cls, trace: Iterable[Access], config: MachineConfig
+    ) -> "BestStaticPlacement":
+        """Profile ``trace`` and home every page at its majority accessor.
+
+        Pages never seen in the profiling pass fall back to round-robin.
+        """
+        counts: dict[int, Counter] = {}
+        for acc in trace:
+            page = acc.addr // config.page_size
+            per_page = counts.get(page)
+            if per_page is None:
+                per_page = Counter()
+                counts[page] = per_page
+            per_page[acc.proc] += 1
+        homes = {page: counter.most_common(1)[0][0] for page, counter in counts.items()}
+        return cls(homes, config.num_procs)
+
+    def home(self, page: int, accessor: int) -> int:
+        node = self._homes.get(page)
+        if node is None:
+            return self._fallback.home(page, accessor)
+        return node
+
+
+def make_placement(
+    kind: str,
+    config: MachineConfig,
+    trace: Iterable[Access] | None = None,
+) -> PagePlacement:
+    """Construct a placement policy by name.
+
+    Args:
+        kind: ``"round_robin"``, ``"first_touch"`` or ``"best_static"``.
+        config: machine parameters (for page size / node count).
+        trace: required for ``"best_static"``; the profiling input.
+    """
+    if kind == "round_robin":
+        return RoundRobinPlacement(config.num_procs)
+    if kind == "first_touch":
+        return FirstTouchPlacement()
+    if kind == "best_static":
+        if trace is None:
+            raise ValueError("best_static placement needs a profiling trace")
+        return BestStaticPlacement.from_trace(trace, config)
+    raise ValueError(f"unknown placement kind: {kind!r}")

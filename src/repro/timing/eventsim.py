@@ -1,0 +1,150 @@
+"""Event-driven timing simulation with controller contention.
+
+The closed-form model of :mod:`repro.timing.sim` charges fixed latencies
+and cannot express *contention*.  Section 4.2 makes two contention
+claims this simulator reproduces:
+
+* "there was almost negligible added latency observed due to contention
+  for either the interconnection network or for the local bus";
+* "surprisingly, eliminating the extra invalidation operations decreases
+  the average latency of primary cache read misses by 20 %.  It
+  accomplishes this by nearly eliminating contention at the secondary
+  cache" — fewer protocol messages mean less queueing at the
+  controllers, which speeds up *other* misses.
+
+Model: each processor replays its trace slice in order with one
+outstanding reference (DASH-style blocking loads).  A miss sends a
+request over the network (fixed per-message latency) to the block's
+home, whose **memory controller serves one message at a time** with a
+fixed occupancy per message; the entire transaction's messages are
+serviced there, then the reply travels back.  Queueing delay emerges
+when several processors' transactions collide at one home node.
+
+Coherence-state changes are delegated to the atomic
+:class:`~repro.system.machine.DirectoryMachine`, executed in simulated-
+time order — a valid interleaving of the per-processor streams — so the
+event simulator inherits the protocol correctness of the verified
+machine and only adds timing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.common.types import Access, Op
+from repro.system.machine import DirectoryMachine
+
+
+@dataclass(frozen=True, slots=True)
+class EventTimingParams:
+    """Latency parameters for the contention model (cycles)."""
+
+    hit_cycles: int = 1
+    network_cycles: int = 30  # each direction of a transaction
+    occupancy_cycles: int = 18  # controller service time per message
+    compute_cycles_per_ref: int = 60
+
+
+@dataclass(slots=True)
+class EventTimingResult:
+    """Outcome of one contended run."""
+
+    per_proc_cycles: list[int]
+    total_references: int = 0
+    miss_count: int = 0
+    read_miss_count: int = 0
+    read_miss_cycles: int = 0
+    queue_wait_cycles: int = 0
+    service_cycles: int = 0
+
+    @property
+    def execution_time(self) -> int:
+        """Parallel-section execution time (slowest processor)."""
+        return max(self.per_proc_cycles, default=0)
+
+    @property
+    def mean_read_miss_latency(self) -> float:
+        if self.read_miss_count == 0:
+            return 0.0
+        return self.read_miss_cycles / self.read_miss_count
+
+    @property
+    def mean_queue_wait(self) -> float:
+        """Average cycles a transaction waited for a busy controller."""
+        if self.miss_count == 0:
+            return 0.0
+        return self.queue_wait_cycles / self.miss_count
+
+    @property
+    def contention_share(self) -> float:
+        """Fraction of miss service time that was queueing delay."""
+        busy = self.queue_wait_cycles + self.service_cycles
+        return self.queue_wait_cycles / busy if busy else 0.0
+
+
+class EventDrivenSimulator:
+    """Contended replay of a trace through a directory machine."""
+
+    def __init__(
+        self,
+        machine: DirectoryMachine,
+        params: EventTimingParams | None = None,
+    ):
+        self.machine = machine
+        self.params = params or EventTimingParams()
+
+    def run(self, trace: Sequence[Access]) -> EventTimingResult:
+        """Simulate the trace; per-processor order is preserved."""
+        machine = self.machine
+        params = self.params
+        num_procs = machine.config.num_procs
+        streams: list[list[Access]] = [[] for _ in range(num_procs)]
+        for acc in trace:
+            streams[acc.proc].append(acc)
+        cursors = [0] * num_procs
+        cycles = [0] * num_procs
+        result = EventTimingResult(per_proc_cycles=cycles)
+        controller_busy = [0] * num_procs
+        # (ready_time, proc) heap: when each processor may issue next.
+        ready = [(0, proc) for proc in range(num_procs) if streams[proc]]
+        heapq.heapify(ready)
+        stats = machine.stats
+        cache_stats = machine.cache_stats
+
+        while ready:
+            now, proc = heapq.heappop(ready)
+            acc = streams[proc][cursors[proc]]
+            cursors[proc] += 1
+            before_msgs = stats.short + stats.data
+            before_misses = cache_stats.misses
+            before_upgrades = cache_stats.upgrades
+            machine.access(proc, acc.op is Op.WRITE, acc.addr)
+            msg_count = stats.short + stats.data - before_msgs
+            missed = cache_stats.misses != before_misses
+            upgraded = cache_stats.upgrades != before_upgrades
+            if missed or upgraded:
+                home = machine.placement.home(
+                    acc.addr // machine.config.page_size, proc
+                )
+                arrive = now + params.network_cycles
+                start = max(arrive, controller_busy[home])
+                service = params.occupancy_cycles * max(1, msg_count)
+                controller_busy[home] = start + service
+                complete = start + service + params.network_cycles
+                latency = complete - now
+                result.miss_count += 1
+                result.queue_wait_cycles += start - arrive
+                result.service_cycles += service
+                if missed and acc.op is Op.READ:
+                    result.read_miss_count += 1
+                    result.read_miss_cycles += latency
+            else:
+                latency = params.hit_cycles
+            finish = now + latency + params.compute_cycles_per_ref
+            cycles[proc] = finish
+            result.total_references += 1
+            if cursors[proc] < len(streams[proc]):
+                heapq.heappush(ready, (finish, proc))
+        return result

@@ -1,0 +1,6 @@
+"""Traces of shared-data references and synthetic pattern generators."""
+
+from repro.trace import synth
+from repro.trace.core import Trace
+
+__all__ = ["Trace", "synth"]

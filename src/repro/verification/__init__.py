@@ -1,0 +1,15 @@
+"""Exhaustive (finite-state) verification of the coherence protocols."""
+
+from repro.verification.space import (
+    ExplorationResult,
+    directory_states_seen,
+    explore_directory,
+    explore_snooping,
+)
+
+__all__ = [
+    "ExplorationResult",
+    "directory_states_seen",
+    "explore_directory",
+    "explore_snooping",
+]

@@ -1,0 +1,265 @@
+"""Exhaustive state-space exploration of the coherence protocols.
+
+For a single block and a small processor count, the global coherence
+state of either machine is finite: each cache holds the block in one of
+a handful of states (or not at all), and the directory adds a bounded
+classification record.  That makes the protocols *model-checkable*: this
+module enumerates every reachable global state under every possible
+read/write action by every processor (breadth-first, to closure) and
+checks the safety invariants in every state:
+
+* at most one exclusive copy, and never alongside other copies;
+* at most one dirty copy;
+* at most one ``S2`` copy, and at most two copies total while it exists;
+* the directory's copy set equals the true holder set.
+
+Beyond safety, the explorer reports the *reachable state set*, which
+turns the paper's structural remarks into theorems over the model, e.g.
+"if migrate-on-read-miss is the initial policy, the Exclusive state has
+no in-transitions and could be eliminated as a dead state" — the
+explorer verifies ``E`` is reachable under the default protocol and
+unreachable under the initial-migratory variant.
+
+Evictions are excluded (caches are infinite here); they only remove
+copies, and removal paths are covered by the invalidation actions and
+separately by the randomized property tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cache.core import InfiniteCache
+from repro.common.config import CacheConfig, MachineConfig
+from repro.directory.entry import DirectoryEntry, DirState
+from repro.directory.policy import AdaptivePolicy
+from repro.snooping.machine import BusMachine
+from repro.snooping.states import SnoopState
+from repro.system.machine import CState, DirectoryMachine
+
+BLOCK = 0
+ADDR = 0
+
+#: (per-proc line state) where each line is None or
+#: ``(state_name, dirty, counter)``.
+SnoopGlobal = tuple
+#: (dir state name, last_invalidator, streak, frozenset(copyset),
+#:  per-proc lines) with lines as ``(state_name, dirty)`` or None.
+DirGlobal = tuple
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of exploring one protocol's state space."""
+
+    states: set = field(default_factory=set)
+    transitions: dict = field(default_factory=dict)
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def line_states_seen(self) -> set[str]:
+        """Every per-cache line state name that occurs anywhere."""
+        seen = set()
+        for state in self.states:
+            lines = state[-1] if isinstance(state[0], str) else state
+            for line in lines:
+                if line is not None:
+                    seen.add(line[0])
+        return seen
+
+
+# ----------------------------------------------------------------------
+# Snooping machine
+# ----------------------------------------------------------------------
+
+def _snoop_config(num_procs: int) -> MachineConfig:
+    return MachineConfig(
+        num_procs=num_procs, cache=CacheConfig(size_bytes=None, block_size=16)
+    )
+
+
+def _snoop_extract(machine: BusMachine) -> SnoopGlobal:
+    lines = []
+    for cache in machine.caches:
+        line = cache.lookup(BLOCK)
+        if line is None:
+            lines.append(None)
+        else:
+            lines.append((line.state.name, line.dirty, line.counter))
+    return tuple(lines)
+
+
+def _snoop_install(machine: BusMachine, state: SnoopGlobal) -> None:
+    for cache, line in zip(machine.caches, state):
+        if line is not None:
+            name, dirty, counter = line
+            cache.insert(BLOCK, SnoopState[name], dirty)
+            cache.lookup(BLOCK).counter = counter
+        else:
+            cache.remove(BLOCK)
+
+
+def _check_snoop_invariants(state: SnoopGlobal) -> list[str]:
+    problems = []
+    lines = [line for line in state if line is not None]
+    exclusive = [
+        line for line in lines if SnoopState[line[0]].is_exclusive
+    ]
+    if exclusive and len(lines) > 1:
+        problems.append(f"exclusive copy with {len(lines)} copies: {state}")
+    dirty = [line for line in lines if line[1]]
+    if len(dirty) > 1:
+        problems.append(f"multiple dirty copies: {state}")
+    s2 = [line for line in lines if line[0] == "S2"]
+    if len(s2) > 1:
+        problems.append(f"multiple S2 copies: {state}")
+    if s2 and len(lines) > 2:
+        problems.append(f"S2 with more than two copies: {state}")
+    return problems
+
+
+def explore_snooping(
+    protocol_factory, num_procs: int = 3, with_evictions: bool = False
+) -> ExplorationResult:
+    """Explore a snooping protocol's full reachable state space.
+
+    Args:
+        with_evictions: add per-processor replacement actions (silent
+            clean drop / dirty writeback), which a bus protocol performs
+            without informing anyone.
+    """
+    result = ExplorationResult()
+    initial: SnoopGlobal = tuple([None] * num_procs)
+    frontier = deque([initial])
+    result.states.add(initial)
+    actions: list[tuple] = [
+        (proc, action)
+        for proc in range(num_procs)
+        for action in (
+            ("read", "write", "evict") if with_evictions
+            else ("read", "write")
+        )
+    ]
+    while frontier:
+        state = frontier.popleft()
+        for proc, action in actions:
+            machine = BusMachine(_snoop_config(num_procs), protocol_factory())
+            _snoop_install(machine, state)
+            if action == "evict":
+                if machine.caches[proc].remove(BLOCK) is None:
+                    continue  # nothing resident: no transition
+            else:
+                machine.access(proc, action == "write", ADDR)
+            successor = _snoop_extract(machine)
+            result.transitions[(state, proc, action)] = successor
+            if successor not in result.states:
+                result.states.add(successor)
+                result.violations.extend(_check_snoop_invariants(successor))
+                frontier.append(successor)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Directory machine
+# ----------------------------------------------------------------------
+
+def _dir_extract(machine: DirectoryMachine) -> DirGlobal:
+    ent = machine.protocol.entry(BLOCK)
+    lines = []
+    for cache in machine.caches:
+        line = cache.lookup(BLOCK)
+        if line is None:
+            lines.append(None)
+        else:
+            lines.append((line.state.name, line.dirty))
+    return (
+        ent.state.name,
+        ent.last_invalidator,
+        ent.streak,
+        frozenset(ent.copyset),
+        tuple(lines),
+    )
+
+
+def _dir_install(machine: DirectoryMachine, state: DirGlobal) -> None:
+    dir_state, last_inv, streak, copyset, lines = state
+    ent = machine.protocol.entry(BLOCK)
+    ent.state = DirState[dir_state]
+    ent.last_invalidator = last_inv
+    ent.streak = streak
+    ent.copyset = set(copyset)
+    for cache, line in zip(machine.caches, lines):
+        if line is not None:
+            name, dirty = line
+            cache.insert(BLOCK, CState[name], dirty)
+        else:
+            cache.remove(BLOCK)
+
+
+def _check_dir_invariants(state: DirGlobal) -> list[str]:
+    problems = []
+    _dir_state, _last_inv, _streak, copyset, lines = state
+    holders = {i for i, line in enumerate(lines) if line is not None}
+    if set(copyset) != holders:
+        problems.append(f"copyset {set(copyset)} != holders {holders}")
+    exclusive = [line for line in lines if line and line[0] == "EXCL"]
+    if exclusive and len(holders) > 1:
+        problems.append(f"exclusive copy with {len(holders)} holders: {state}")
+    dirty = [line for line in lines if line and line[1]]
+    if len(dirty) > 1:
+        problems.append(f"multiple dirty copies: {state}")
+    return problems
+
+
+def explore_directory(
+    policy: AdaptivePolicy, num_procs: int = 3, with_evictions: bool = False
+) -> ExplorationResult:
+    """Explore the directory protocol's full reachable state space.
+
+    Args:
+        with_evictions: add per-processor eviction actions (replacement
+            notification / writeback paths), covering the
+            classification-across-uncached-intervals machinery.
+    """
+    result = ExplorationResult()
+    config = _snoop_config(num_procs)
+    base = DirectoryMachine(config, policy)
+    initial = _dir_extract(base)
+    frontier = deque([initial])
+    result.states.add(initial)
+    actions: list[tuple] = [
+        (proc, action)
+        for proc in range(num_procs)
+        for action in (
+            ("read", "write", "evict") if with_evictions
+            else ("read", "write")
+        )
+    ]
+    while frontier:
+        state = frontier.popleft()
+        for proc, action in actions:
+            machine = DirectoryMachine(config, policy)
+            _dir_install(machine, state)
+            if action == "evict":
+                line = machine.caches[proc].remove(BLOCK)
+                if line is None:
+                    continue  # nothing to evict: no transition
+                machine._evict(proc, line)  # noqa: SLF001 - test hook
+            else:
+                machine.access(proc, action == "write", ADDR)
+            successor = _dir_extract(machine)
+            result.transitions[(state, proc, action)] = successor
+            if successor not in result.states:
+                result.states.add(successor)
+                result.violations.extend(_check_dir_invariants(successor))
+                frontier.append(successor)
+    return result
+
+
+def directory_states_seen(result: ExplorationResult) -> set[str]:
+    """The directory (Figure 3) states reachable in an exploration."""
+    return {state[0] for state in result.states}

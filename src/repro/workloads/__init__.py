@@ -1,0 +1,34 @@
+"""Workload engine, synchronized structures, and SPLASH analogues."""
+
+from repro.workloads.engine import (
+    Acquire,
+    BarrierWait,
+    Engine,
+    Heap,
+    LocalCompute,
+    ReadEffect,
+    Release,
+    WriteEffect,
+    run_program,
+)
+from repro.workloads.profiles import APP_ORDER, SPLASH_APPS, AppProfile, build_app
+from repro.workloads.sync import SharedCounter, SharedRecord, SharedTaskQueue
+
+__all__ = [
+    "APP_ORDER",
+    "Acquire",
+    "AppProfile",
+    "BarrierWait",
+    "Engine",
+    "Heap",
+    "LocalCompute",
+    "ReadEffect",
+    "Release",
+    "SPLASH_APPS",
+    "SharedCounter",
+    "SharedRecord",
+    "SharedTaskQueue",
+    "WriteEffect",
+    "build_app",
+    "run_program",
+]

@@ -1,0 +1,5 @@
+"""The five SPLASH application analogues (see each module's docstring)."""
+
+from repro.workloads.apps import cholesky, locusroute, mp3d, pthor, water
+
+__all__ = ["cholesky", "locusroute", "mp3d", "pthor", "water"]

@@ -1,0 +1,90 @@
+"""LocusRoute analogue: standard-cell global routing.
+
+The real LocusRoute evaluates candidate routes for each wire by reading
+long runs of a shared *cost grid*, then commits the best route by
+incrementing the cells along it.  The grid is overwhelmingly read-shared
+(many evaluations per commit), which is why LocusRoute benefits least from
+the adaptive protocols in the paper (~10-14 %): there simply is not much
+migratory data to find.  The remaining migratory traffic comes from the
+global work counter and per-region occupancy records.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.trace.core import Trace
+from repro.workloads.engine import (
+    Engine,
+    Heap,
+    ReadEffect,
+    WriteEffect,
+)
+from repro.workloads.sync import SharedCounter, SharedRecord
+
+
+def build(
+    num_procs: int = 16,
+    grid_cells: int = 16384,
+    wires_per_proc: int = 10,
+    candidate_routes: int = 3,
+    probes_per_route: int = 24,
+    route_length: int = 6,
+    regions: int = 32,
+    seed: int = 0,
+) -> Trace:
+    """Generate the LocusRoute analogue trace.
+
+    Args:
+        num_procs: processors.
+        grid_cells: cost-grid cells (1 word each).
+        wires_per_proc: wires routed by each processor.
+        candidate_routes: candidate paths evaluated per wire.
+        probes_per_route: grid cells read while evaluating one candidate.
+        route_length: grid cells written when committing the best route.
+        regions: per-region occupancy records (migratory contention).
+        seed: determinism seed.
+    """
+    heap = Heap()
+    grid_addr = heap.alloc_words(grid_cells)
+    nwires = num_procs * wires_per_proc
+    wire_addr = heap.alloc_words(nwires * 4)
+    occupancy = [
+        SharedRecord(heap, f"region-{r}", nwords=2) for r in range(regions)
+    ]
+    done_counter = SharedCounter(heap, "wires-routed")
+    master = random.Random(seed)
+    proc_seeds = [master.randrange(1 << 30) for _ in range(num_procs)]
+
+    def cell(index: int) -> int:
+        return grid_addr + (index % grid_cells) * 4
+
+    def worker(proc: int):
+        rng = random.Random(proc_seeds[proc])
+        mine = range(proc * wires_per_proc, (proc + 1) * wires_per_proc)
+        for wire in mine:
+            # Read the wire descriptor (read-shared wire list).
+            for w in range(4):
+                yield ReadEffect(wire_addr + wire * 16 + w * 4)
+            # Evaluate candidate routes: long read runs over the grid.
+            best_start = 0
+            for _ in range(candidate_routes):
+                start = rng.randrange(grid_cells)
+                for p in range(probes_per_route):
+                    yield ReadEffect(cell(start + p))
+                best_start = start
+            # Commit: bump the cost of the cells along the chosen route.
+            for p in range(route_length):
+                yield ReadEffect(cell(best_start + p))
+                yield WriteEffect(cell(best_start + p))
+            # Update the region occupancy record (lock-protected RMW).
+            region = (best_start * regions) // grid_cells
+            yield from occupancy[region].update()
+            yield from done_counter.fetch_add()
+
+    engine = Engine(num_procs, seed=seed, max_quantum=6)
+    for proc in range(num_procs):
+        engine.spawn(proc, worker(proc))
+    trace = engine.run()
+    trace.name = "locusroute"
+    return trace

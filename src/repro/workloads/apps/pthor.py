@@ -1,0 +1,111 @@
+"""Pthor analogue: distributed-time logic simulation.
+
+The real Pthor evaluates circuit elements activated through distributed
+work queues.  Its shared traffic mixes:
+
+* a large, read-shared netlist (element descriptors and fanin lists read
+  by every evaluating processor),
+* per-element state words, read-modified-written by whichever processor
+  evaluates the element (migratory, but diluted by the netlist reads),
+* cross-processor queue operations (migratory queue control words).
+
+The dilution by read-shared netlist data is why Pthor only gains 15-20 %
+from the adaptive protocols in the paper, against 40+ % for MP3D/Water.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.trace.core import Trace
+from repro.workloads.engine import (
+    Acquire,
+    BarrierWait,
+    Engine,
+    Heap,
+    ReadEffect,
+    Release,
+    WriteEffect,
+)
+from repro.workloads.sync import SharedTaskQueue
+
+NETLIST_WORDS = 6
+STATE_WORDS = 2
+
+
+def build(
+    num_procs: int = 16,
+    elements: int = 4096,
+    fanin: int = 3,
+    steps: int = 6,
+    activations_per_proc: int = 36,
+    seed: int = 0,
+) -> Trace:
+    """Generate the Pthor analogue trace.
+
+    Args:
+        num_procs: processors.
+        elements: circuit elements (6-word descriptor + 2-word state).
+        fanin: fanin descriptors read per evaluation.
+        steps: barrier-separated simulation time steps.
+        activations_per_proc: elements evaluated per processor per step.
+        seed: determinism seed.
+    """
+    heap = Heap()
+    netlist_addr = heap.alloc_words(elements * NETLIST_WORDS)
+    state_addr = heap.alloc_words(elements * STATE_WORDS)
+    queues = [
+        SharedTaskQueue(heap, f"events-{proc}", capacity=512)
+        for proc in range(num_procs)
+    ]
+    master = random.Random(seed)
+    proc_seeds = [master.randrange(1 << 30) for _ in range(num_procs)]
+    for proc in range(num_procs):
+        queues[proc].preload(
+            master.randrange(elements) for _ in range(activations_per_proc)
+        )
+
+    def descriptor(elem: int) -> int:
+        return netlist_addr + elem * NETLIST_WORDS * 4
+
+    def state(elem: int) -> int:
+        return state_addr + elem * STATE_WORDS * 4
+
+    def evaluate(elem: int, rng: random.Random):
+        """Read the netlist context and update the element's state."""
+        for w in range(NETLIST_WORDS):
+            yield ReadEffect(descriptor(elem) + w * 4)
+        for _ in range(fanin):
+            src = rng.randrange(elements)
+            # fanin topology (read-shared) and driver output (written by
+            # whichever processor last evaluated the driver)
+            yield ReadEffect(descriptor(src))
+            yield ReadEffect(descriptor(src) + 4)
+            yield ReadEffect(state(src))
+        yield Acquire(f"elem-{elem}")
+        yield ReadEffect(state(elem))
+        yield ReadEffect(state(elem) + 4)
+        yield WriteEffect(state(elem))
+        yield WriteEffect(state(elem) + 4)
+        yield Release(f"elem-{elem}")
+
+    def worker(proc: int):
+        rng = random.Random(proc_seeds[proc])
+        for step in range(steps):
+            for _ in range(activations_per_proc):
+                elem = yield from queues[proc].pop()
+                if elem is None:
+                    elem = rng.randrange(elements)
+                yield from evaluate(elem, rng)
+                # Schedule a fanout element on some other processor's
+                # queue: the classic cross-processor event pattern.
+                target = rng.randrange(num_procs)
+                yield from queues[target].push(rng.randrange(elements))
+            yield BarrierWait(f"time-{step}")
+
+    engine = Engine(num_procs, seed=seed, max_quantum=4)
+    for proc in range(num_procs):
+        engine.spawn(proc, worker(proc))
+    trace = engine.run()
+    trace.name = "pthor"
+    return trace

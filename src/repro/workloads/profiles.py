@@ -1,0 +1,99 @@
+"""Registry of the five SPLASH application analogues.
+
+Each entry maps the application name used in the paper's tables to a
+builder function plus the default parameters used by the experiment
+harness.  ``scale`` shrinks or grows the workload uniformly so the
+benchmark suite can run quick versions while the full campaign uses the
+calibrated sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.trace.core import Trace
+from repro.workloads.apps import cholesky, locusroute, mp3d, pthor, water
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """A named workload with its harness parameters."""
+
+    name: str
+    builder: Callable[..., Trace]
+    params: dict = field(default_factory=dict)
+    #: Parameters multiplied by ``scale`` (workload-size knobs).
+    scaled: tuple[str, ...] = ()
+
+    def build(self, num_procs: int = 16, seed: int = 0, scale: float = 1.0) -> Trace:
+        """Build the trace at the given scale."""
+        params = dict(self.params)
+        for key in self.scaled:
+            params[key] = max(1, round(params[key] * scale))
+        return self.builder(num_procs=num_procs, seed=seed, **params)
+
+
+#: The five applications, in the paper's table order.
+SPLASH_APPS: dict[str, AppProfile] = {
+    "cholesky": AppProfile(
+        "cholesky",
+        cholesky.build,
+        params={
+            "columns": 512,
+            "words_per_column": 64,
+            "updates_per_column": 8,
+            "touched_words": 16,
+        },
+        scaled=("columns",),
+    ),
+    "locusroute": AppProfile(
+        "locusroute",
+        locusroute.build,
+        params={
+            "grid_cells": 8192,
+            "wires_per_proc": 40,
+            "candidate_routes": 3,
+            "probes_per_route": 24,
+            "route_length": 6,
+        },
+        scaled=("wires_per_proc",),
+    ),
+    "mp3d": AppProfile(
+        "mp3d",
+        mp3d.build,
+        params={"particles_per_proc": 96, "cells": 4096, "steps": 16},
+        scaled=("steps",),
+    ),
+    "pthor": AppProfile(
+        "pthor",
+        pthor.build,
+        params={"elements": 2048, "steps": 10, "activations_per_proc": 48},
+        scaled=("steps",),
+    ),
+    "water": AppProfile(
+        "water",
+        water.build,
+        params={
+            "molecules_per_proc": 48,
+            "steps": 8,
+            "interactions_per_molecule": 2,
+        },
+        scaled=("steps",),
+    ),
+}
+
+APP_ORDER = ("cholesky", "locusroute", "mp3d", "pthor", "water")
+
+
+def build_app(
+    name: str, num_procs: int = 16, seed: int = 0, scale: float = 1.0
+) -> Trace:
+    """Build one of the SPLASH analogues by name."""
+    try:
+        profile = SPLASH_APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; choose from {sorted(SPLASH_APPS)}"
+        ) from None
+    return profile.build(num_procs=num_procs, seed=seed, scale=scale)

@@ -1,0 +1,152 @@
+"""Shared synchronized data structures for simulated programs.
+
+These helpers generate the access patterns that make data migratory in
+real programs: lock-protected counters and work queues whose control words
+and payload slots are read-modified-written by one processor at a time.
+
+All methods are generators meant to be driven with ``yield from`` inside a
+thread body; values (queue items, counter values) are tracked Python-side
+because the engine records addresses, not contents.  The engine's
+single-threaded interleaving makes the Python-side mirrors exact: the
+mutation happens while the simulated lock is held.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.workloads.engine import (
+    Acquire,
+    Heap,
+    ReadEffect,
+    Release,
+    WriteEffect,
+)
+
+
+class SharedCounter:
+    """A lock-protected shared counter (fetch-and-add idiom)."""
+
+    def __init__(self, heap: Heap, name: str, initial: int = 0):
+        self.name = name
+        self.lock = f"{name}.lock"
+        self.addr = heap.alloc_words(1)
+        self.value = initial
+
+    def fetch_add(self, delta: int = 1):
+        """Atomically add ``delta``; yields the access pattern, returns the
+        previous value."""
+        yield Acquire(self.lock)
+        yield ReadEffect(self.addr)
+        old = self.value
+        self.value += delta
+        yield WriteEffect(self.addr)
+        yield Release(self.lock)
+        return old
+
+    def read(self):
+        """Unsynchronized read of the counter word."""
+        yield ReadEffect(self.addr)
+        return self.value
+
+
+class SharedTaskQueue:
+    """A lock-protected circular work queue.
+
+    The head/tail control words and the payload slots all live in shared
+    memory; popping work from a queue filled by other processors is the
+    canonical migratory pattern the paper's introduction describes.
+    """
+
+    def __init__(self, heap: Heap, name: str, capacity: int = 256):
+        self.name = name
+        self.lock = f"{name}.lock"
+        self.capacity = capacity
+        self.head_addr = heap.alloc_words(1)
+        self.tail_addr = heap.alloc_words(1)
+        self.slots_addr = heap.alloc_words(capacity)
+        self._items: deque = deque()
+        self._head = 0
+        self._tail = 0
+
+    def _slot(self, index: int) -> int:
+        return self.slots_addr + (index % self.capacity) * 4
+
+    def preload(self, items: Iterable) -> None:
+        """Seed the queue before the program runs (no trace effects)."""
+        for item in items:
+            self._items.append(item)
+            self._tail += 1
+
+    def push(self, item):
+        """Append ``item``; yields the enqueue access pattern."""
+        yield Acquire(self.lock)
+        yield ReadEffect(self.tail_addr)
+        yield WriteEffect(self._slot(self._tail))
+        self._items.append(item)
+        self._tail += 1
+        yield WriteEffect(self.tail_addr)
+        yield Release(self.lock)
+
+    def push_many(self, items: Iterable):
+        """Append several items under one lock acquisition."""
+        yield Acquire(self.lock)
+        yield ReadEffect(self.tail_addr)
+        for item in items:
+            yield WriteEffect(self._slot(self._tail))
+            self._items.append(item)
+            self._tail += 1
+        yield WriteEffect(self.tail_addr)
+        yield Release(self.lock)
+
+    def pop(self):
+        """Remove and return the oldest item, or None when empty."""
+        yield Acquire(self.lock)
+        yield ReadEffect(self.head_addr)
+        yield ReadEffect(self.tail_addr)
+        if not self._items:
+            yield Release(self.lock)
+            return None
+        yield ReadEffect(self._slot(self._head))
+        item = self._items.popleft()
+        self._head += 1
+        yield WriteEffect(self.head_addr)
+        yield Release(self.lock)
+        return item
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class SharedRecord:
+    """A lock-protected shared record of ``nwords`` words.
+
+    ``update`` reads then writes the record under its lock — one visit of
+    the migratory life cycle.
+    """
+
+    def __init__(self, heap: Heap, name: str, nwords: int = 4):
+        self.name = name
+        self.lock = f"{name}.lock"
+        self.nwords = nwords
+        self.addr = heap.alloc_words(nwords)
+
+    def update(self, read_words: int | None = None, write_words: int | None = None):
+        """Read-modify-write the record under its lock."""
+        read_words = self.nwords if read_words is None else read_words
+        write_words = self.nwords if write_words is None else write_words
+        yield Acquire(self.lock)
+        for w in range(read_words):
+            yield ReadEffect(self.addr + (w % self.nwords) * 4)
+        for w in range(write_words):
+            yield WriteEffect(self.addr + (w % self.nwords) * 4)
+        yield Release(self.lock)
+
+    def read_only(self, words: int | None = None):
+        """Read the record under its lock without modifying it."""
+        words = self.nwords if words is None else words
+        yield Acquire(self.lock)
+        for w in range(words):
+            yield ReadEffect(self.addr + (w % self.nwords) * 4)
+        yield Release(self.lock)

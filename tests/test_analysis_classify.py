@@ -1,0 +1,114 @@
+"""Unit tests for the off-line sharing-pattern classifier."""
+
+from repro.analysis.classify import (
+    SharingPattern,
+    classify_trace,
+    profile_blocks,
+    summarize_sharing,
+)
+from repro.common.types import read, write
+from repro.trace import synth
+from repro.trace.core import Trace
+
+
+class TestProfiles:
+    def test_episode_splitting(self):
+        trace = Trace([read(0, 0), write(0, 0), read(1, 0), write(1, 0),
+                       read(0, 0)])
+        prof = profile_blocks(trace, 16)[0]
+        assert len(prof.episodes) == 3
+        assert prof.episodes == [(0, True), (1, True), (0, False)]
+        assert prof.migrations == 2
+
+    def test_counts(self):
+        trace = Trace([read(0, 0), write(1, 4), read(2, 8)])
+        prof = profile_blocks(trace, 16)[0]
+        assert prof.accesses == 3
+        assert prof.reads == 2 and prof.writes == 1
+        assert prof.readers == {0, 2} and prof.writers == {1}
+
+    def test_block_granularity(self):
+        trace = Trace([read(0, 0), read(0, 16), read(0, 32)])
+        assert set(profile_blocks(trace, 16)) == {0, 1, 2}
+        assert set(profile_blocks(trace, 64)) == {0}
+
+
+class TestClassification:
+    def test_private(self):
+        trace = Trace([read(3, 0), write(3, 4), read(3, 8)])
+        assert classify_trace(trace)[0] is SharingPattern.PRIVATE
+
+    def test_read_only(self):
+        trace = Trace([read(0, 0), read(1, 0), read(2, 4)])
+        assert classify_trace(trace)[0] is SharingPattern.READ_ONLY
+
+    def test_migratory(self):
+        accs = []
+        for proc in (0, 1, 2, 3, 0, 2):
+            accs += [read(proc, 0), write(proc, 4)]
+        assert classify_trace(Trace(accs))[0] is SharingPattern.MIGRATORY
+
+    def test_producer_consumer(self):
+        accs = []
+        for _ in range(4):
+            accs.append(write(0, 0))
+            accs += [read(1, 0), read(2, 0)]
+        assert classify_trace(Trace(accs))[0] is SharingPattern.PRODUCER_CONSUMER
+
+    def test_other_for_read_dominated_multiwriter(self):
+        accs = [write(0, 0), write(1, 0)]
+        for proc in (2, 3, 2, 3, 2, 3, 2, 3):
+            accs.append(read(proc, 0))
+        assert classify_trace(Trace(accs))[0] is SharingPattern.OTHER
+
+
+class TestGeneratorsClassifyCorrectly:
+    """The synthetic generators must produce their nominal patterns."""
+
+    def test_migratory_generator(self):
+        trace = synth.migratory(num_procs=8, num_objects=4, visits=20, seed=1)
+        patterns = classify_trace(trace, 16).values()
+        assert all(p is SharingPattern.MIGRATORY for p in patterns)
+
+    def test_read_shared_generator(self):
+        trace = synth.read_shared(num_procs=8, num_objects=4, rounds=10, seed=2)
+        patterns = classify_trace(trace, 16).values()
+        assert all(
+            p in (SharingPattern.PRODUCER_CONSUMER, SharingPattern.OTHER,
+                  SharingPattern.READ_ONLY)
+            for p in patterns
+        )
+
+    def test_private_generator(self):
+        trace = synth.private(num_procs=4, seed=3)
+        patterns = classify_trace(trace, 16).values()
+        assert all(p is SharingPattern.PRIVATE for p in patterns)
+
+    def test_false_sharing_masks_migratory_at_large_blocks(self):
+        """The Table 3 effect: independently migrating objects packed
+        into one large block interleave and stop looking migratory."""
+        objects = [
+            synth.migratory(num_procs=8, num_objects=1, words_per_object=4,
+                            visits=30, base=i * 16, stride=16, seed=i)
+            for i in range(4)
+        ]
+        trace = synth.interleave(objects, chunk=2, seed=9)
+        small = summarize_sharing(trace, 16)  # one object per block
+        big = summarize_sharing(trace, 64)  # four objects per block
+        assert small.block_fraction(SharingPattern.MIGRATORY) > 0.9
+        assert big.block_fraction(SharingPattern.MIGRATORY) < 0.5
+
+
+class TestSummarize:
+    def test_fractions_sum_to_one(self):
+        trace = synth.migratory(num_procs=4, num_objects=2, visits=10, seed=5)
+        summary = summarize_sharing(trace, 16)
+        total = sum(
+            summary.block_fraction(p) for p in SharingPattern
+        )
+        assert abs(total - 1.0) < 1e-9
+
+    def test_empty_trace(self):
+        summary = summarize_sharing(Trace(), 16)
+        assert summary.block_fraction(SharingPattern.MIGRATORY) == 0.0
+        assert summary.access_fraction(SharingPattern.PRIVATE) == 0.0

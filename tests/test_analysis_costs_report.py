@@ -1,0 +1,93 @@
+"""Unit tests for cost models and table rendering."""
+
+import pytest
+
+from repro.analysis.costs import (
+    EQUAL_COST,
+    FOUR_TO_ONE,
+    PAPER_COST_MODELS,
+    PER_16_BYTES,
+    TWO_TO_ONE,
+    CostModel,
+    percent_saving,
+)
+from repro.analysis.report import format_table, thousands
+from repro.common.stats import MessageStats
+
+
+def stats(short, data):
+    s = MessageStats()
+    s.charge("m", short, data)
+    return s
+
+
+class TestCostModels:
+    def test_equal(self):
+        assert EQUAL_COST.cost(stats(10, 5), 16) == 15
+
+    def test_two_to_one(self):
+        assert TWO_TO_ONE.cost(stats(10, 5), 16) == 20
+
+    def test_four_to_one(self):
+        assert FOUR_TO_ONE.cost(stats(10, 5), 16) == 30
+
+    def test_per_16_bytes_scales_with_block(self):
+        assert PER_16_BYTES.cost(stats(10, 5), 16) == 15 + 5
+        assert PER_16_BYTES.cost(stats(10, 5), 256) == 15 + 5 * 16
+
+    def test_paper_models_present(self):
+        assert [m.name for m in PAPER_COST_MODELS] == [
+            "1:1", "2:1", "4:1", "1+bytes/16",
+        ]
+
+
+class TestPercentSaving:
+    def test_headline_saving(self):
+        base = stats(100, 50)
+        other = stats(50, 50)
+        assert percent_saving(base, other) == pytest.approx(100 * 50 / 150)
+
+    def test_weighting_shrinks_saving(self):
+        """Short-message-only savings shrink as data gets pricier."""
+        base = stats(100, 50)
+        other = stats(50, 50)
+        savings = [
+            percent_saving(base, other, 16, model)
+            for model in (EQUAL_COST, TWO_TO_ONE, FOUR_TO_ONE)
+        ]
+        assert savings[0] > savings[1] > savings[2]
+
+    def test_penalty_negative(self):
+        base = stats(100, 50)
+        worse = stats(100, 60)
+        assert percent_saving(base, worse) < 0
+
+    def test_zero_base(self):
+        assert percent_saving(stats(0, 0), stats(1, 1)) == 0.0
+
+    def test_byte_model_block_size_matters(self):
+        base = stats(100, 50)
+        other = stats(60, 55)  # fewer shorts, more data
+        small = percent_saving(base, other, 16, PER_16_BYTES)
+        large = percent_saving(base, other, 256, PER_16_BYTES)
+        assert large < small  # extra data messages dominate at 256B
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["name", "x"], [["a", 1], ["bb", 2.345]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "2.3" in lines[-1]
+
+    def test_alignment(self):
+        text = format_table(["k", "value"], [["row", 12345]])
+        last = text.splitlines()[-1]
+        assert last.startswith("row")
+        assert last.endswith("12345")
+
+    def test_thousands(self):
+        assert thousands(2429000) == 2429.0
+        assert thousands(500) == 0.5

@@ -1,0 +1,102 @@
+"""Tests for traffic attribution and hot-block reporting."""
+
+import pytest
+
+from repro.analysis.classify import SharingPattern
+from repro.analysis.hotspots import (
+    hot_blocks,
+    render_traffic,
+    traffic_by_pattern,
+)
+from repro.common.config import CacheConfig, MachineConfig
+from repro.directory.policy import BASIC, CONVENTIONAL
+from repro.system.machine import DirectoryMachine
+from repro.trace import synth
+
+
+def run_machine(trace, policy=CONVENTIONAL, track=True):
+    cfg = MachineConfig(
+        num_procs=4, cache=CacheConfig(size_bytes=None, block_size=16)
+    )
+    machine = DirectoryMachine(cfg, policy, track_blocks=track)
+    machine.run(trace)
+    return machine
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    return synth.interleave(
+        [
+            synth.migratory(num_procs=4, num_objects=4, visits=40, seed=1),
+            synth.read_shared(num_procs=4, num_objects=4, rounds=15,
+                              base=1 << 16, seed=2),
+        ],
+        chunk=4,
+        seed=3,
+    )
+
+
+class TestTrafficAttribution:
+    def test_requires_tracking(self, mixed_trace):
+        machine = run_machine(mixed_trace, track=False)
+        with pytest.raises(ValueError):
+            traffic_by_pattern(machine, list(mixed_trace))
+
+    def test_totals_match_machine(self, mixed_trace):
+        machine = run_machine(mixed_trace)
+        result = traffic_by_pattern(machine, list(mixed_trace))
+        assert result.total == machine.stats.total
+
+    def test_migratory_blocks_dominate_traffic(self, mixed_trace):
+        """In this mix, migratory data causes most of the messages —
+        the paper's motivating observation."""
+        machine = run_machine(mixed_trace)
+        result = traffic_by_pattern(machine, list(mixed_trace))
+        assert result.fraction(SharingPattern.MIGRATORY) > 0.5
+
+    def test_adaptive_removes_migratory_share(self, mixed_trace):
+        conv = traffic_by_pattern(
+            run_machine(mixed_trace, CONVENTIONAL), list(mixed_trace)
+        )
+        adapt = traffic_by_pattern(
+            run_machine(mixed_trace, BASIC), list(mixed_trace)
+        )
+        conv_mig = conv.messages_by_pattern.get(SharingPattern.MIGRATORY, 0)
+        adapt_mig = adapt.messages_by_pattern.get(SharingPattern.MIGRATORY, 0)
+        assert adapt_mig < 0.7 * conv_mig
+        # non-migratory traffic is untouched
+        conv_other = conv.total - conv_mig
+        adapt_other = adapt.total - adapt_mig
+        assert adapt_other == conv_other
+
+    def test_fraction_empty(self):
+        from repro.analysis.hotspots import TrafficByPattern
+
+        empty = TrafficByPattern({}, 0)
+        assert empty.fraction(SharingPattern.MIGRATORY) == 0.0
+
+    def test_render(self, mixed_trace):
+        machine = run_machine(mixed_trace)
+        text = render_traffic(
+            traffic_by_pattern(machine, list(mixed_trace)), "traffic"
+        )
+        assert "migratory" in text and "share %" in text
+
+
+class TestHotBlocks:
+    def test_sorted_by_messages(self, mixed_trace):
+        machine = run_machine(mixed_trace)
+        report = hot_blocks(machine, list(mixed_trace), top=5)
+        assert len(report) == 5
+        counts = [h.messages for h in report]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_hottest_block_is_migratory(self, mixed_trace):
+        machine = run_machine(mixed_trace)
+        report = hot_blocks(machine, list(mixed_trace), top=1)
+        assert report[0].pattern is SharingPattern.MIGRATORY
+
+    def test_requires_tracking(self, mixed_trace):
+        machine = run_machine(mixed_trace, track=False)
+        with pytest.raises(ValueError):
+            hot_blocks(machine, list(mixed_trace))

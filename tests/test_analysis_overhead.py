@@ -1,0 +1,67 @@
+"""Tests for directory-entry storage accounting."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    adaptive_layout,
+    conventional_layout,
+    overhead_table,
+)
+from repro.directory.policy import (
+    AGGRESSIVE,
+    BASIC,
+    CONSERVATIVE,
+    PAPER_POLICIES,
+    AdaptivePolicy,
+)
+
+
+class TestLayouts:
+    def test_conventional_16_nodes(self):
+        layout = conventional_layout(16)
+        assert layout.total_bits == 2 + 16
+
+    def test_adaptive_adds_state_and_invalidator(self):
+        layout = adaptive_layout(BASIC, 16)
+        # 3 state bits + 16 presence + 4 last-invalidator, no hysteresis
+        assert layout.total_bits == 3 + 16 + 4
+        assert layout.hysteresis_bits == 0
+
+    def test_conservative_needs_one_hysteresis_bit(self):
+        layout = adaptive_layout(CONSERVATIVE, 16)
+        assert layout.hysteresis_bits == 1
+
+    def test_ordered_copyset_drops_invalidator(self):
+        plain = adaptive_layout(AGGRESSIVE, 16)
+        ordered = adaptive_layout(AGGRESSIVE, 16, ordered_copyset=True)
+        assert ordered.last_invalidator_bits == 0
+        assert ordered.total_bits == plain.total_bits - 4
+
+    def test_deeper_hysteresis_needs_more_bits(self):
+        deep = AdaptivePolicy("deep", migratory_threshold=4)
+        assert adaptive_layout(deep, 16).hysteresis_bits == 2
+
+    def test_scaling_with_nodes(self):
+        small = adaptive_layout(BASIC, 16)
+        large = adaptive_layout(BASIC, 64)
+        assert large.copyset_bits == 64
+        assert large.last_invalidator_bits == 6
+        assert large.total_bits > small.total_bits
+
+    def test_memory_overhead_shrinks_with_block_size(self):
+        layout = adaptive_layout(BASIC, 16)
+        assert layout.memory_overhead(16) > layout.memory_overhead(256)
+
+    def test_adaptive_increase_is_modest(self):
+        """The paper's hardware-cost claim: a few bits per entry."""
+        conv = conventional_layout(16)
+        for policy in PAPER_POLICIES[1:]:
+            adaptive = adaptive_layout(policy, 16)
+            assert adaptive.total_bits - conv.total_bits <= 6
+
+
+def test_overhead_table_renders():
+    text = overhead_table(PAPER_POLICIES)
+    assert "conventional" in text
+    assert "ordered copyset" in text
+    assert "16B ovh%" in text

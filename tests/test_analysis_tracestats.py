@@ -1,0 +1,82 @@
+"""Tests for trace-level statistics and reuse distances."""
+
+import pytest
+
+from repro.analysis.tracestats import (
+    render_trace_summaries,
+    reuse_distances,
+    reuse_histogram,
+    summarize_trace,
+)
+from repro.common.types import read, write
+from repro.trace.core import Trace
+
+
+class TestSummaries:
+    def test_basic_counts(self):
+        trace = Trace([read(0, 0), write(0, 16), read(1, 0), read(1, 32)])
+        summary = summarize_trace(trace, block_size=16)
+        assert summary.references == 4
+        assert summary.write_fraction == pytest.approx(0.25)
+        assert summary.num_procs == 2
+        assert summary.blocks_touched == 3
+
+    def test_balance(self):
+        balanced = Trace([read(p, p * 64) for p in range(4)] * 5)
+        assert summarize_trace(balanced).balanced
+        skewed = Trace(
+            [read(0, 0)] * 20 + [read(p, p * 64) for p in (1, 2, 3)]
+        )
+        assert not summarize_trace(skewed).balanced
+
+    def test_empty(self):
+        summary = summarize_trace(Trace())
+        assert summary.references == 0
+        assert summary.balanced
+
+
+class TestReuseDistances:
+    def test_immediate_reuse_distance_zero(self):
+        trace = Trace([read(0, 0), read(0, 4)])  # same block, back to back
+        assert reuse_distances(trace, 16) == [0]
+
+    def test_intervening_blocks_counted_distinctly(self):
+        trace = Trace([
+            read(0, 0),       # block 0
+            read(0, 16),      # block 1
+            read(0, 32),      # block 2
+            read(0, 16),      # block 1 again (distance 1: only block 2)
+            read(0, 0),       # block 0 again (distance 2: blocks 1,2)
+        ])
+        assert reuse_distances(trace, 16) == [1, 2]
+
+    def test_first_references_excluded(self):
+        trace = Trace([read(0, i * 16) for i in range(5)])
+        assert reuse_distances(trace, 16) == []
+
+    def test_per_processor_streams_independent(self):
+        trace = Trace([read(0, 0), read(1, 16), read(0, 0)])
+        # P1's access does not intervene in P0's private stream
+        assert reuse_distances(trace, 16, per_processor=True) == [0]
+        assert reuse_distances(trace, 16, per_processor=False) == [1]
+
+    def test_histogram_buckets(self):
+        hist = reuse_histogram([0, 3, 5, 100, 5000], buckets=(0, 4, 16))
+        assert hist == {0: 1, 4: 1, 16: 1, "more": 2}
+
+    def test_larger_cache_covers_more_reuses(self):
+        """The fully-associative intuition the module docstring states."""
+        from repro.trace import synth
+
+        trace = synth.migratory(num_procs=4, num_objects=32, visits=10,
+                                seed=3)
+        distances = reuse_distances(trace, 16)
+        small_hits = sum(1 for d in distances if d < 8)
+        large_hits = sum(1 for d in distances if d < 64)
+        assert large_hits >= small_hits
+
+
+def test_render():
+    named = {"demo": Trace([read(0, 0), write(1, 16)])}
+    text = render_trace_summaries(named)
+    assert "demo" in text and "write %" in text

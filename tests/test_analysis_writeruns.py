@@ -1,0 +1,103 @@
+"""Tests for write-run analysis."""
+
+import pytest
+
+from repro.analysis.writeruns import (
+    WriteRunStats,
+    render_write_runs,
+    write_run_stats,
+)
+from repro.common.types import read, write
+from repro.trace import synth
+from repro.trace.core import Trace
+
+
+class TestWriteRuns:
+    def test_single_run(self):
+        trace = Trace([write(0, 0), write(0, 4), write(0, 8)])
+        stats = write_run_stats(trace)
+        assert stats.run_lengths == [3]
+        assert stats.external_rereads == []
+
+    def test_own_reads_do_not_break_run(self):
+        trace = Trace([write(0, 0), read(0, 4), write(0, 8), write(0, 0)])
+        stats = write_run_stats(trace)
+        assert stats.run_lengths == [3]
+
+    def test_other_read_ends_run(self):
+        trace = Trace([write(0, 0), write(0, 4), read(1, 0), write(0, 8)])
+        stats = write_run_stats(trace)
+        assert stats.run_lengths == [2, 1]
+
+    def test_other_write_ends_run(self):
+        trace = Trace([write(0, 0), write(1, 0), write(0, 0)])
+        stats = write_run_stats(trace)
+        assert stats.run_lengths == [1, 1, 1]
+
+    def test_external_rereads_counted_per_run_transition(self):
+        trace = Trace([
+            write(0, 0),
+            read(1, 0), read(2, 0), read(1, 0),  # two distinct consumers
+            write(3, 0),
+        ])
+        stats = write_run_stats(trace)
+        assert stats.external_rereads == [2]
+
+    def test_next_owner_read_is_external(self):
+        trace = Trace([write(0, 0), read(1, 0), write(1, 0)])
+        stats = write_run_stats(trace)
+        # P1 consumed P0's data before starting its own run: the
+        # migratory signature of exactly one external re-read.
+        assert stats.external_rereads == [1]
+
+    def test_previous_writer_reread_not_external(self):
+        trace = Trace([write(0, 0), read(1, 0), read(0, 0), write(2, 0)])
+        stats = write_run_stats(trace)
+        # P0 re-reading its own data does not count; P1 does.
+        assert stats.external_rereads == [1]
+
+    def test_blocks_independent(self):
+        # the write to block 1 does not break block 0's run
+        trace = Trace([write(0, 0), write(1, 16), write(0, 4)])
+        stats = write_run_stats(trace, block_size=16)
+        assert sorted(stats.run_lengths) == [1, 2]
+
+    def test_means(self):
+        stats = WriteRunStats(run_lengths=[1, 3], external_rereads=[2])
+        assert stats.mean_run_length == 2.0
+        assert stats.mean_external_rereads == 2.0
+        assert WriteRunStats().mean_run_length == 0.0
+        assert WriteRunStats().mean_external_rereads == 0.0
+
+    def test_histogram(self):
+        stats = WriteRunStats(run_lengths=[1, 1, 2, 5, 100])
+        hist = stats.histogram(buckets=(1, 2, 4))
+        assert hist == {1: 2, 2: 1, 4: 0, "more": 2}
+
+
+class TestPatternSignatures:
+    def test_migratory_has_single_external_consumer(self):
+        trace = synth.migratory(num_procs=8, num_objects=2, visits=40,
+                                reads_per_visit=2, writes_per_visit=2,
+                                seed=1)
+        stats = write_run_stats(trace)
+        # each visit's reads come from exactly the next writer
+        assert stats.mean_external_rereads == pytest.approx(1.0)
+
+    def test_producer_consumer_has_many_external_consumers(self):
+        trace = synth.producer_consumer(num_procs=8, num_objects=2,
+                                        rounds=20, consumers=4, seed=2)
+        stats = write_run_stats(trace)
+        assert stats.mean_external_rereads > 2.0
+
+    def test_private_runs_are_long(self):
+        trace = Trace([write(0, 0)] * 50)
+        stats = write_run_stats(trace)
+        assert stats.mean_run_length == 50.0
+
+
+def test_render():
+    stats = {"demo": WriteRunStats(run_lengths=[2, 2],
+                                   external_rereads=[1])}
+    text = render_write_runs(stats, "Write runs")
+    assert "demo" in text and "mean length" in text

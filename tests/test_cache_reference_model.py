@@ -1,0 +1,90 @@
+"""Property test: the set-associative cache against a reference model.
+
+The reference model is a deliberately naive per-set recency list; the
+production cache must agree with it on every lookup/insert/remove
+outcome under arbitrary operation sequences (hypothesis-generated).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.core import SetAssociativeCache
+from repro.common.config import CacheConfig
+
+NUM_SETS = 2
+WAYS = 2
+
+
+class ReferenceCache:
+    """Brute-force LRU model: per-set list ordered oldest-first."""
+
+    def __init__(self):
+        self.sets = [[] for _ in range(NUM_SETS)]  # lists of block ids
+
+    def _set(self, block):
+        return self.sets[block % NUM_SETS]
+
+    def lookup(self, block):
+        return block in self._set(block)
+
+    def touch(self, block):
+        s = self._set(block)
+        if block in s:
+            s.remove(block)
+            s.append(block)
+
+    def insert(self, block):
+        s = self._set(block)
+        if block in s:
+            s.remove(block)
+            s.append(block)
+            return None
+        victim = None
+        if len(s) >= WAYS:
+            victim = s.pop(0)
+        s.append(block)
+        return victim
+
+    def remove(self, block):
+        s = self._set(block)
+        if block in s:
+            s.remove(block)
+            return True
+        return False
+
+    def resident(self):
+        return sorted(b for s in self.sets for b in s)
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["lookup", "touch", "insert", "remove"]),
+        st.integers(0, 9),
+    ),
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=operations)
+def test_matches_reference_model(ops):
+    config = CacheConfig(
+        size_bytes=NUM_SETS * WAYS * 16, block_size=16, associativity=WAYS
+    )
+    real = SetAssociativeCache(config)
+    model = ReferenceCache()
+    for op, block in ops:
+        if op == "lookup":
+            assert (real.lookup(block) is not None) == model.lookup(block)
+        elif op == "touch":
+            real.touch(block)
+            model.touch(block)
+        elif op == "insert":
+            victim = real.insert(block, "S")
+            expected = model.insert(block)
+            assert (victim.block if victim else None) == expected
+        elif op == "remove":
+            removed = real.remove(block)
+            assert (removed is not None) == model.remove(block)
+        assert sorted(real.resident_blocks()) == model.resident()
+        assert len(real) == len(model.resident())

@@ -1,0 +1,122 @@
+"""Failure injection: the coherence checkers must catch broken protocols.
+
+A checker that never fires is worthless evidence.  These tests implant
+classic coherence bugs into deliberately broken protocol variants and
+assert that the version/invariant checkers detect each one.  Every bug
+here is a real historical failure mode: forgotten invalidations, stale
+fills, lost dirty bits, phantom directory state.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.errors import ProtocolError
+from repro.directory.policy import BASIC
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import MesiProtocol
+from repro.snooping.states import SnoopState as St
+from repro.system.machine import CState, DirectoryMachine
+
+
+def bus_machine(protocol):
+    cfg = MachineConfig(num_procs=4, cache=CacheConfig(size_bytes=None))
+    return BusMachine(cfg, protocol, check=True)
+
+
+class ForgetsToInvalidate(MesiProtocol):
+    """Bug: write hits upgrade locally but never invalidate sharers."""
+
+    name = "buggy-no-invalidate"
+
+    def write_hit_invalidate(self, caches, proc, block, line):
+        line.state = St.D
+        line.dirty = True  # other copies left alive and stale!
+
+
+class FillsStaleExclusive(MesiProtocol):
+    """Bug: write misses fill the writer but leave old copies valid."""
+
+    name = "buggy-stale-copies"
+
+    def write_miss_fill(self, caches, proc, block):
+        return St.D, True  # skipped the snoop-invalidate loop
+
+
+class TestBusCheckerCatchesBugs:
+    def test_missing_invalidation_detected(self):
+        m = bus_machine(ForgetsToInvalidate())
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        # Caught immediately: the upgraded copy coexists with P0's.
+        with pytest.raises(ProtocolError):
+            m.access(1, True, 0)
+
+    def test_stale_copies_after_write_miss_detected(self):
+        m = bus_machine(FillsStaleExclusive())
+        m.access(0, False, 0)
+        with pytest.raises(ProtocolError):
+            m.access(1, True, 0)  # two "exclusive"-ish copies coexist
+
+    def test_correct_protocol_passes_same_sequences(self):
+        m = bus_machine(MesiProtocol())
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        m.access(1, True, 0)
+        m.access(0, False, 0)  # no error
+
+
+class TestDirectoryCheckerCatchesBugs:
+    def machine(self):
+        cfg = MachineConfig(
+            num_procs=4, cache=CacheConfig(size_bytes=None, block_size=16)
+        )
+        return DirectoryMachine(cfg, BASIC, check=True)
+
+    def test_phantom_copyset_member_detected(self):
+        m = self.machine()
+        m.access(0, False, 0)
+        # corrupt the directory: claim P3 also holds the block
+        m.protocol.entry(0).copyset.add(3)
+        with pytest.raises(ProtocolError):
+            m.access(1, False, 0)  # next checked op sees the mismatch
+
+    def test_forgotten_invalidation_detected(self):
+        m = self.machine()
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        m.access(1, True, 0)  # correct: P0 invalidated
+        # implant a stale resurrected copy at P0
+        m.caches[0].insert(0, CState.SHARED, False)
+        m.protocol.entry(0).copyset.add(0)
+        with pytest.raises(ProtocolError):
+            m.access(0, False, 0)  # version check: stale read
+
+    def test_double_exclusive_detected(self):
+        m = self.machine()
+        m.access(0, True, 0)
+        m.caches[1].insert(0, CState.EXCL, True)
+        m.protocol.entry(0).copyset.add(1)
+        # silent writes skip the checker by design; the next checked
+        # operation on the block must catch the corruption
+        with pytest.raises(ProtocolError):
+            m.access(2, False, 0)  # two dirty/exclusive holders
+
+    def test_clean_state_passes(self):
+        m = self.machine()
+        for proc in range(4):
+            m.access(proc, False, 0)
+        m.access(2, True, 0)
+        m.access(3, False, 0)  # no error on a legal history
+
+
+class TestCheckerOffMeansNoEnforcement:
+    """check=False must not pay for or raise on the same corruption —
+    the benchmarks rely on the checker being truly optional."""
+
+    def test_bus_bug_unnoticed_without_checker(self):
+        cfg = MachineConfig(num_procs=4, cache=CacheConfig(size_bytes=None))
+        m = BusMachine(cfg, ForgetsToInvalidate(), check=False)
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        m.access(1, True, 0)
+        m.access(0, False, 0)  # silently wrong, but no raise

@@ -1,0 +1,76 @@
+"""Unit tests for repro.common.config."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_defaults_are_papers(self):
+        cfg = CacheConfig()
+        assert cfg.block_size == 16
+        assert cfg.associativity == 4
+        assert cfg.replacement == "lru"
+
+    def test_line_and_set_counts(self):
+        cfg = CacheConfig(size_bytes=4096, block_size=16, associativity=4)
+        assert cfg.num_lines == 256
+        assert cfg.num_sets == 64
+
+    def test_infinite(self):
+        cfg = CacheConfig(size_bytes=None)
+        assert cfg.is_infinite
+        with pytest.raises(ConfigError):
+            cfg.num_lines  # noqa: B018 - property raises
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(block_size=24)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=0)
+
+    def test_rejects_bad_replacement(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(replacement="plru")
+
+    def test_rejects_indivisible_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=48, block_size=16, associativity=4)
+
+    def test_rejects_cache_smaller_than_block(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=8, block_size=16)
+
+
+class TestMachineConfig:
+    def test_defaults(self):
+        cfg = MachineConfig()
+        assert cfg.num_procs == 16
+        assert cfg.page_size == 4096
+        assert cfg.eviction_notification
+
+    def test_block_and_page_mapping(self):
+        cfg = MachineConfig(cache=CacheConfig(block_size=16))
+        assert cfg.block_of(0) == 0
+        assert cfg.block_of(15) == 0
+        assert cfg.block_of(16) == 1
+        assert cfg.page_of(4095) == 0
+        assert cfg.page_of(4096) == 1
+
+    def test_page_of_block_consistent(self):
+        cfg = MachineConfig(cache=CacheConfig(block_size=64))
+        for addr in (0, 63, 64, 4095, 4096, 123456):
+            assert cfg.page_of_block(cfg.block_of(addr)) == cfg.page_of(
+                (addr // 64) * 64
+            )
+
+    def test_rejects_bad_procs(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_procs=0)
+
+    def test_rejects_page_smaller_than_block(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(cache=CacheConfig(block_size=256), page_size=128)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.common.stats."""
+
+import pytest
+
+from repro.common.stats import BusStats, CacheStats, MessageStats
+
+
+class TestMessageStats:
+    def test_charge_accumulates(self):
+        s = MessageStats()
+        s.charge("read_miss", 2, 1)
+        s.charge("write_hit", 4, 0)
+        assert s.short == 6
+        assert s.data == 1
+        assert s.total == 7
+        assert s.by_cause_short["read_miss"] == 2
+        assert s.by_cause_short["write_hit"] == 4
+        assert s.by_cause_data["read_miss"] == 1
+
+    def test_negative_rejected(self):
+        s = MessageStats()
+        with pytest.raises(ValueError):
+            s.charge("x", -1, 0)
+
+    def test_weighted_total(self):
+        s = MessageStats()
+        s.charge("m", 10, 5)
+        assert s.weighted_total(1.0) == 15
+        assert s.weighted_total(2.0) == 20
+        assert s.weighted_total(4.0) == 30
+
+    def test_byte_cost(self):
+        s = MessageStats()
+        s.charge("m", 10, 5)
+        # one unit per message plus one unit per 16 bytes of data
+        assert s.byte_cost(block_size=16) == 15 + 5 * 1.0
+        assert s.byte_cost(block_size=64) == 15 + 5 * 4.0
+
+    def test_merged(self):
+        a = MessageStats()
+        a.charge("x", 1, 2)
+        b = MessageStats()
+        b.charge("y", 3, 4)
+        m = a.merged(b)
+        assert (m.short, m.data) == (4, 6)
+        assert m.by_cause_short == {"x": 1, "y": 3}
+        # originals untouched
+        assert a.snapshot() == (1, 2)
+
+    def test_zero_charges_do_not_pollute_breakdown(self):
+        s = MessageStats()
+        s.charge("quiet", 0, 0)
+        assert "quiet" not in s.by_cause_short
+        assert "quiet" not in s.by_cause_data
+
+
+class TestCacheStats:
+    def test_rates(self):
+        s = CacheStats(read_hits=6, read_misses=2, write_hits=1, write_misses=1)
+        assert s.accesses == 10
+        assert s.misses == 3
+        assert s.miss_rate == pytest.approx(0.3)
+
+    def test_empty_miss_rate(self):
+        assert CacheStats().miss_rate == 0.0
+
+
+class TestBusStats:
+    def test_record_all_kinds(self):
+        s = BusStats()
+        for kind in ("read_miss", "write_miss", "invalidation", "writeback"):
+            s.record(kind)
+        assert s.total == 4
+        assert s.by_kind["writeback"] == 1
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            BusStats().record("flush")

@@ -1,0 +1,42 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import WORD_SIZE, Access, Op, read, write
+
+
+class TestOp:
+    def test_read_is_read(self):
+        assert Op.READ.is_read
+        assert not Op.READ.is_write
+
+    def test_write_is_write(self):
+        assert Op.WRITE.is_write
+        assert not Op.WRITE.is_read
+
+    def test_values_roundtrip(self):
+        assert Op("R") is Op.READ
+        assert Op("W") is Op.WRITE
+
+
+class TestAccess:
+    def test_constructors(self):
+        r = read(3, 0x40)
+        w = write(5, 0x80)
+        assert r == Access(3, Op.READ, 0x40)
+        assert w == Access(5, Op.WRITE, 0x80)
+
+    def test_frozen(self):
+        acc = read(0, 0)
+        with pytest.raises(AttributeError):
+            acc.addr = 4
+
+    def test_str(self):
+        assert str(read(2, 0x10)) == "P2 R 0x10"
+        assert str(write(0, 0xFF)) == "P0 W 0xff"
+
+    def test_hashable(self):
+        assert len({read(0, 0), read(0, 0), write(0, 0)}) == 2
+
+    def test_word_size(self):
+        assert WORD_SIZE == 4

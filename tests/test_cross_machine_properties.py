@@ -1,0 +1,182 @@
+"""Cross-validation properties between the two machine models.
+
+The bus and directory machines were written independently, but both
+implement write-invalidate coherence over the same cache substrate, so
+their *cache event streams* must agree exactly for the conventional
+protocols: MESI on the bus and replicate-on-read-miss at the directory
+invalidate the same copies at the same points, so every hit/miss outcome
+matches access for access.  This is a strong mutual check on both
+implementations.
+
+Also here: coherence and optimality properties for the newer features
+(oracle hints, update protocols) under randomized traces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.oracle import read_exclusive_hints
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.types import Access, Op
+from repro.directory.policy import CONVENTIONAL
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import AdaptiveSnoopingProtocol, MesiProtocol
+from repro.snooping.update_protocols import (
+    CompetitiveUpdateProtocol,
+    WriteUpdateProtocol,
+)
+from repro.system.machine import DirectoryMachine
+
+NUM_PROCS = 4
+
+word_accesses = st.lists(
+    st.builds(
+        Access,
+        proc=st.integers(0, NUM_PROCS - 1),
+        op=st.sampled_from([Op.READ, Op.WRITE]),
+        addr=st.integers(0, 63).map(lambda w: w * 4),
+    ),
+    max_size=250,
+)
+
+
+def config(size=None):
+    return MachineConfig(
+        num_procs=NUM_PROCS,
+        cache=CacheConfig(size_bytes=size, block_size=16),
+    )
+
+
+class TestMesiDirectoryEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=word_accesses)
+    def test_identical_hit_miss_streams_infinite(self, trace):
+        bus = BusMachine(config(), MesiProtocol(), check=True)
+        directory = DirectoryMachine(config(), CONVENTIONAL, check=True)
+        bus.run(trace)
+        directory.run(trace)
+        b, d = bus.cache_stats, directory.cache_stats
+        assert (b.read_hits, b.read_misses) == (d.read_hits, d.read_misses)
+        assert (b.write_hits, b.write_misses) == (d.write_hits, d.write_misses)
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=word_accesses)
+    def test_identical_hit_miss_streams_finite(self, trace):
+        # 1-way 64-byte caches: maximal conflict pressure.
+        cfg = MachineConfig(
+            num_procs=NUM_PROCS,
+            cache=CacheConfig(size_bytes=64, block_size=16, associativity=1),
+        )
+        bus = BusMachine(cfg, MesiProtocol(), check=True)
+        directory = DirectoryMachine(cfg, CONVENTIONAL, check=True)
+        bus.run(trace)
+        directory.run(trace)
+        b, d = bus.cache_stats, directory.cache_stats
+        assert (b.read_hits, b.read_misses) == (d.read_hits, d.read_misses)
+        assert (b.write_hits, b.write_misses) == (d.write_hits, d.write_misses)
+        assert (
+            b.evictions_clean + b.evictions_dirty
+            == d.evictions_clean + d.evictions_dirty
+        )
+
+
+class TestOracleProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=word_accesses)
+    def test_oracle_never_worse_than_conventional(self, trace):
+        """Correct hints can only remove messages: each hinted read folds
+        a later upgrade into the fetch."""
+        hints = read_exclusive_hints(trace, block_size=16)
+        plain = DirectoryMachine(config(), CONVENTIONAL, check=True)
+        plain.run(trace)
+        hinted = DirectoryMachine(config(), CONVENTIONAL, check=True)
+        hinted.run_with_hints(trace, hints)
+        assert hinted.stats.total <= plain.stats.total
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=word_accesses)
+    def test_hints_coherent_under_small_caches(self, trace):
+        hints = read_exclusive_hints(trace, block_size=16)
+        cfg = MachineConfig(
+            num_procs=NUM_PROCS,
+            cache=CacheConfig(size_bytes=64, block_size=16, associativity=1),
+        )
+        machine = DirectoryMachine(cfg, CONVENTIONAL, check=True)
+        machine.run_with_hints(trace, hints)  # checker enforces coherence
+
+
+class TestUpdateProtocolProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        trace=word_accesses,
+        threshold=st.integers(0, 3),
+        size=st.sampled_from([None, 64]),
+    )
+    def test_competitive_update_coherent(self, trace, threshold, size):
+        machine = BusMachine(
+            config(size), CompetitiveUpdateProtocol(threshold), check=True
+        )
+        machine.run(trace)
+        assert machine.cache_stats.accesses == len(trace)
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace=word_accesses, size=st.sampled_from([None, 64]))
+    def test_write_update_coherent(self, trace, size):
+        machine = BusMachine(config(size), WriteUpdateProtocol(), check=True)
+        machine.run(trace)
+        assert machine.cache_stats.accesses == len(trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=word_accesses)
+    def test_update_protocols_never_read_miss_more_than_mesi(self, trace):
+        """Updates preserve copies, so update protocols can only have
+        *fewer* read misses than an invalidation protocol."""
+        mesi = BusMachine(config(), MesiProtocol(), check=True)
+        mesi.run(trace)
+        update = BusMachine(config(), WriteUpdateProtocol(), check=True)
+        update.run(trace)
+        assert update.cache_stats.read_misses <= mesi.cache_stats.read_misses
+
+
+class TestInitialMigratoryProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(trace=word_accesses, size=st.sampled_from([None, 64]))
+    def test_initial_migratory_coherent(self, trace, size):
+        machine = BusMachine(
+            config(size),
+            AdaptiveSnoopingProtocol(initial_migratory=True),
+            check=True,
+        )
+        machine.run(trace)
+        assert machine.cache_stats.accesses == len(trace)
+
+
+class TestPolicyDegenerationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=word_accesses)
+    def test_huge_threshold_equals_conventional(self, trace):
+        """A threshold no trace can reach must behave exactly like the
+        conventional protocol (the adaptation machinery is inert)."""
+        from repro.directory.policy import AdaptivePolicy
+
+        inert = AdaptivePolicy("inert", migratory_threshold=10**9)
+        a = DirectoryMachine(config(), CONVENTIONAL, check=True)
+        a.run(trace)
+        b = DirectoryMachine(config(), inert, check=True)
+        b.run(trace)
+        assert a.stats.snapshot() == b.stats.snapshot()
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=word_accesses)
+    def test_stenstrom_never_beats_basic_by_much(self, trace):
+        """The Stenström demotion rule only removes classifications, so
+        it can cost but rarely helps on arbitrary traffic; the two stay
+        close (Section 5's consistency remark)."""
+        from repro.directory.policy import BASIC, STENSTROM
+
+        a = DirectoryMachine(config(), BASIC, check=True)
+        a.run(trace)
+        b = DirectoryMachine(config(), STENSTROM, check=True)
+        b.run(trace)
+        if a.stats.total:
+            assert b.stats.total <= a.stats.total * 1.5 + 8

@@ -1,0 +1,309 @@
+"""Scenario tests for the CC-NUMA directory machine.
+
+Each scenario drives a small machine by hand and checks the *exact*
+message counts implied by Table 1, plus cache/directory side effects.
+Unless noted, the machine has 4 nodes, infinite caches, 16-byte blocks,
+and round-robin placement (page 0 lives at node 0).
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.directory.entry import DirState
+from repro.directory.policy import AGGRESSIVE, BASIC, CONSERVATIVE, CONVENTIONAL
+from repro.system.machine import CState, DirectoryMachine
+
+
+def machine(policy=CONVENTIONAL, size=None, block=16, procs=4, notify=True):
+    cfg = MachineConfig(
+        num_procs=procs,
+        cache=CacheConfig(size_bytes=size, block_size=block),
+        eviction_notification=notify,
+    )
+    return DirectoryMachine(cfg, policy, check=True)
+
+
+class TestConventionalCosts:
+    def test_read_miss_local_clean_is_free(self):
+        m = machine()
+        m.access(0, False, 0)  # home of page 0 is node 0
+        assert m.stats.snapshot() == (0, 0)
+
+    def test_read_miss_remote_clean(self):
+        m = machine()
+        m.access(1, False, 0)
+        assert m.stats.snapshot() == (1, 1)
+
+    def test_write_miss_remote_uncached(self):
+        m = machine()
+        m.access(1, True, 0)
+        assert m.stats.snapshot() == (1, 1)  # 1+2*0 short, 1 data
+
+    def test_write_miss_local_uncached_is_free(self):
+        m = machine()
+        m.access(0, True, 0)
+        assert m.stats.snapshot() == (0, 0)  # 2*0 short, 0 data
+
+    def test_read_miss_remote_dirty_distant_owner(self):
+        m = machine()
+        m.access(1, True, 0)  # P1 dirty: (1,1)
+        m.access(2, False, 0)  # dirty at P1, DC=1: (2,2)
+        assert m.stats.snapshot() == (3, 3)
+        # both copies now shared, memory clean
+        assert m.caches[1].lookup(0).state is CState.SHARED
+        assert not m.caches[1].lookup(0).dirty
+        assert m.caches[2].lookup(0).state is CState.SHARED
+
+    def test_read_miss_local_dirty(self):
+        m = machine()
+        m.access(1, True, 0)  # (1,1)
+        m.access(0, False, 0)  # home reads, dirty at P1: (1,1)
+        assert m.stats.snapshot() == (2, 2)
+
+    def test_write_hit_shared_remote(self):
+        m = machine()
+        m.access(1, True, 0)  # (1,1) P1 dirty
+        m.access(2, False, 0)  # (2,2) now shared at P1,P2
+        m.access(2, True, 0)  # write hit, others={1}, DC=1: (4,0)
+        assert m.stats.snapshot() == (7, 3)
+        assert m.caches[1].lookup(0) is None  # invalidated
+        line = m.caches[2].lookup(0)
+        assert line.state is CState.EXCL and line.dirty
+
+    def test_write_hit_sole_copy_remote_upgrade(self):
+        m = machine()
+        m.access(1, False, 0)  # (1,1), P1 sole SHARED copy
+        m.access(1, True, 0)  # upgrade: write hit remote clean DC=0: (2,0)
+        assert m.stats.snapshot() == (3, 1)
+
+    def test_write_hit_sole_copy_local_is_free(self):
+        m = machine()
+        m.access(0, False, 0)  # free (local clean)
+        m.access(0, True, 0)  # write hit local clean DC=0: free
+        assert m.stats.snapshot() == (0, 0)
+
+    def test_second_write_is_silent(self):
+        m = machine()
+        m.access(1, True, 0)
+        before = m.stats.snapshot()
+        m.access(1, True, 4)  # same block
+        m.access(1, False, 8)
+        assert m.stats.snapshot() == before
+
+    def test_write_miss_invalidating_many_readers(self):
+        m = machine()
+        for proc in (0, 1, 2):
+            m.access(proc, False, 0)
+        # copies at 0,1,2; P3 write miss; home remote; DC=|{1,2}|=2
+        m.access(3, True, 0)
+        # previous: P0 free; P1 (1,1); P2 (1,1); now (1+4, 1)
+        assert m.stats.snapshot() == (7, 3)
+        for proc in (0, 1, 2):
+            assert m.caches[proc].lookup(0) is None
+
+    def test_migratory_pattern_cost_per_migration(self):
+        """The replicate policy pays (6,2) per read-then-write migration."""
+        m = machine()
+        m.access(1, True, 0)
+        base = m.stats.snapshot()
+        m.access(2, False, 0)  # (2,2)
+        m.access(2, True, 0)  # (4,0)
+        assert m.stats.short - base[0] == 6
+        assert m.stats.data - base[1] == 2
+
+
+class TestAdaptiveMachine:
+    def test_migration_after_detection_costs_one_transaction(self):
+        m = machine(policy=BASIC)
+        m.access(1, True, 0)  # P1: write miss
+        m.access(2, False, 0)
+        m.access(2, True, 0)  # detection: block now migratory
+        assert m.protocol.entry(0).state is DirState.ONE_COPY_MIG
+        base = m.stats.snapshot()
+        m.access(3, False, 0)  # migrate: read miss remote dirty DC=1: (2,2)
+        assert (m.stats.short - base[0], m.stats.data - base[1]) == (2, 2)
+        line = m.caches[3].lookup(0)
+        assert line.state is CState.EXCL and not line.dirty
+        assert m.caches[2].lookup(0) is None  # invalidated by migration
+        before_write = m.stats.snapshot()
+        m.access(3, True, 0)  # silent: write permission already held
+        assert m.stats.snapshot() == before_write
+        assert m.caches[3].lookup(0).dirty
+
+    def test_adaptive_halves_steady_state_traffic(self):
+        conventional = machine(policy=CONVENTIONAL)
+        adaptive = machine(policy=BASIC)
+        for m in (conventional, adaptive):
+            # long migratory chain on one block
+            m.access(1, True, 0)
+            for turn in range(1, 40):
+                proc = 1 + (turn % 3)
+                m.access(proc, False, 0)
+                m.access(proc, True, 0)
+        assert adaptive.stats.total < 0.6 * conventional.stats.total
+
+    def test_clean_migration_demotes(self):
+        m = machine(policy=BASIC)
+        m.access(1, True, 0)
+        m.access(2, False, 0)
+        m.access(2, True, 0)  # migratory now
+        m.access(3, False, 0)  # migrates to P3 (EXCL clean)
+        m.access(1, False, 0)  # P3 never wrote: replicate + demote
+        assert m.protocol.entry(0).state is DirState.TWO_COPIES
+        assert m.caches[3].lookup(0).state is CState.SHARED
+        assert m.caches[1].lookup(0).state is CState.SHARED
+
+    def test_aggressive_first_read_gets_write_permission(self):
+        m = machine(policy=AGGRESSIVE)
+        m.access(1, False, 0)  # migrate-on-read-miss from cold: (1,1)
+        assert m.stats.snapshot() == (1, 1)
+        line = m.caches[1].lookup(0)
+        assert line.state is CState.EXCL
+        before = m.stats.snapshot()
+        m.access(1, True, 0)  # free
+        assert m.stats.snapshot() == before
+
+    def test_aggressive_read_shared_pays_one_demotion(self):
+        m = machine(policy=AGGRESSIVE)
+        m.access(1, False, 0)  # migratory fill at P1
+        m.access(2, False, 0)  # P1 clean: demote, replicate
+        m.access(3, False, 0)
+        assert m.protocol.entry(0).state is DirState.THREE_PLUS
+        for proc in (1, 2, 3):
+            assert m.caches[proc].lookup(0).state is CState.SHARED
+
+    def test_conservative_needs_two_migrations(self):
+        m = machine(policy=CONSERVATIVE)
+        m.access(1, True, 0)
+        m.access(2, False, 0)
+        m.access(2, True, 0)  # first evidence
+        assert m.protocol.entry(0).state is DirState.ONE_COPY
+        m.access(3, False, 0)
+        m.access(3, True, 0)  # second evidence
+        assert m.protocol.entry(0).state is DirState.ONE_COPY_MIG
+
+
+class TestEvictions:
+    def test_clean_eviction_notifies_home(self):
+        # 2 sets * 4 ways = 8 lines of 16B; blocks 0,8,16.. map to set 0
+        m = machine(policy=CONVENTIONAL, size=128)
+        base = 4096  # page 1, home = node 1
+        m.access(0, False, base)  # remote clean read miss: (1,1)
+        # Fill set with four more even blocks from page 0 (home node 0,
+        # local to proc 0): free fills.
+        for i in range(1, 5):
+            m.access(0, False, i * 256)
+        # victim was block of `base` or one of the free ones; LRU -> base
+        assert m.caches[0].lookup(base // 16) is None
+        # eviction notification to remote home: +1 short
+        assert m.stats.by_cause_short["eviction"] == 1
+
+    def test_dirty_eviction_writes_back(self):
+        m = machine(policy=CONVENTIONAL, size=128)
+        base = 4096
+        m.access(0, True, base)  # remote write miss (1,1), dirty
+        for i in range(1, 5):
+            m.access(0, False, i * 256)
+        assert m.stats.by_cause_data["eviction"] == 1
+        # directory forgot the block
+        assert m.protocol.entry(base // 16).state is DirState.UNCACHED
+
+    def test_local_eviction_free(self):
+        m = machine(policy=CONVENTIONAL, size=128)
+        m.access(0, True, 0)  # local, free, dirty
+        for i in range(1, 5):
+            m.access(0, False, i * 256)
+        assert "eviction" not in m.stats.by_cause_short
+        assert "eviction" not in m.stats.by_cause_data
+
+    def test_migratory_classification_survives_eviction(self):
+        m = machine(policy=BASIC, size=128)
+        m.access(1, True, 0)
+        m.access(2, False, 0)
+        m.access(2, True, 0)
+        assert m.protocol.entry(0).state is DirState.ONE_COPY_MIG
+        # evict block 0 from P2 (dirty writeback)
+        for i in range(1, 5):
+            m.access(2, False, i * 256)
+        assert m.protocol.entry(0).state is DirState.UNCACHED_MIG
+        # reload with a read miss: arrives with write permission
+        m.access(3, False, 0)
+        line = m.caches[3].lookup(0)
+        assert line.state is CState.EXCL
+        before = m.stats.snapshot()
+        m.access(3, True, 0)
+        assert m.stats.snapshot() == before
+
+
+class TestRunAndStats:
+    def test_run_counts_accesses(self):
+        from repro.trace import synth
+
+        m = machine(policy=BASIC)
+        trace = synth.migratory(num_procs=4, num_objects=2, visits=10, seed=3)
+        m.run(trace)
+        assert m.cache_stats.accesses == len(trace)
+
+    def test_totals_conserved(self):
+        from repro.trace import synth
+
+        m = machine(policy=AGGRESSIVE, size=256)
+        trace = synth.migratory(num_procs=4, num_objects=8, visits=20, seed=4)
+        m.run(trace)
+        s = m.stats
+        assert s.total == s.short + s.data
+        assert sum(s.by_cause_short.values()) == s.short
+        assert sum(s.by_cause_data.values()) == s.data
+
+
+@pytest.mark.parametrize("policy", [CONVENTIONAL, CONSERVATIVE, BASIC, AGGRESSIVE])
+def test_checker_clean_on_random_workload(policy):
+    """The built-in coherence checker stays quiet on a mixed workload."""
+    from repro.trace import synth
+
+    traces = [
+        synth.migratory(num_procs=4, num_objects=4, visits=30, seed=5),
+        synth.read_shared(num_procs=4, num_objects=4, rounds=10, base=1 << 16, seed=6),
+        synth.false_sharing(num_procs=4, num_blocks=4, rounds=10, base=1 << 17, seed=7),
+    ]
+    mixed = synth.interleave(traces, chunk=5, seed=8)
+    m = machine(policy=policy, size=512)
+    m.run(mixed)  # raises ProtocolError on any violation
+    assert m.cache_stats.accesses == len(mixed)
+
+
+class TestInvalidationSizes:
+    """Weber & Gupta-style invalidation-pattern statistics."""
+
+    def test_migratory_invalidations_are_single_copy(self):
+        from repro.trace import synth
+
+        m = machine(policy=CONVENTIONAL)
+        m.run(synth.migratory(num_procs=4, num_objects=2, visits=30, seed=6))
+        assert set(m.invalidation_sizes) == {1}
+
+    def test_wide_sharing_produces_large_invalidations(self):
+        m = machine(policy=CONVENTIONAL)
+        for proc in (0, 1, 2):
+            m.access(proc, False, 0)
+        m.access(3, True, 0)
+        assert m.invalidation_sizes[3] == 1
+
+    def test_silent_writes_record_nothing(self):
+        m = machine(policy=CONVENTIONAL)
+        m.access(0, True, 0)
+        m.access(0, True, 4)
+        assert not m.invalidation_sizes
+
+    def test_adaptive_removes_single_copy_invalidations(self):
+        from repro.trace import synth
+
+        trace = synth.migratory(num_procs=4, num_objects=2, visits=30,
+                                seed=6)
+        conv = machine(policy=CONVENTIONAL)
+        conv.run(trace)
+        aggr = machine(policy=AGGRESSIVE)
+        aggr.run(trace)
+        assert sum(aggr.invalidation_sizes.values()) < (
+            0.2 * sum(conv.invalidation_sizes.values())
+        )

@@ -1,0 +1,73 @@
+"""Unit tests for the adaptive policy family."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.directory.policy import (
+    AGGRESSIVE,
+    BASIC,
+    CONSERVATIVE,
+    CONVENTIONAL,
+    PAPER_POLICIES,
+    AdaptivePolicy,
+    policy_by_name,
+)
+
+
+class TestNamedPolicies:
+    def test_conventional_never_adapts(self):
+        assert CONVENTIONAL.migratory_threshold is None
+        assert not CONVENTIONAL.adaptive
+        assert not CONVENTIONAL.initial_migratory
+
+    def test_conservative_needs_two_events(self):
+        assert CONSERVATIVE.migratory_threshold == 2
+        assert not CONSERVATIVE.initial_migratory
+
+    def test_basic_single_event(self):
+        assert BASIC.migratory_threshold == 1
+        assert not BASIC.initial_migratory
+
+    def test_aggressive_initially_migratory(self):
+        assert AGGRESSIVE.migratory_threshold == 1
+        assert AGGRESSIVE.initial_migratory
+
+    def test_paper_order(self):
+        assert [p.name for p in PAPER_POLICIES] == [
+            "conventional",
+            "conservative",
+            "basic",
+            "aggressive",
+        ]
+
+    def test_all_paper_policies_remember_uncached(self):
+        for policy in PAPER_POLICIES:
+            assert policy.remember_uncached
+
+
+class TestPolicyValidation:
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptivePolicy("bad", migratory_threshold=0)
+
+    def test_non_adaptive_initial_migratory_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptivePolicy("bad", migratory_threshold=None, initial_migratory=True)
+
+    def test_custom_hysteresis_allowed(self):
+        policy = AdaptivePolicy("deep", migratory_threshold=3)
+        assert policy.adaptive
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            BASIC.migratory_threshold = 5
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert policy_by_name("basic") is BASIC
+        assert policy_by_name("aggressive") is AGGRESSIVE
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            policy_by_name("turbo")

@@ -1,0 +1,240 @@
+"""Unit tests for the Figure 3 classification state machine.
+
+These tests drive :class:`DirectoryProtocol` directly with event sequences
+and check the resulting directory states, independent of caches and
+message accounting.
+"""
+
+from repro.directory.entry import DirState
+from repro.directory.policy import (
+    AGGRESSIVE,
+    BASIC,
+    CONSERVATIVE,
+    CONVENTIONAL,
+    AdaptivePolicy,
+)
+from repro.directory.protocol import DirectoryProtocol
+
+B = 7  # arbitrary block id used throughout
+
+
+class TestInitialState:
+    def test_default_uncached(self):
+        p = DirectoryProtocol(BASIC)
+        assert p.entry(B).state is DirState.UNCACHED
+
+    def test_aggressive_starts_migratory(self):
+        p = DirectoryProtocol(AGGRESSIVE)
+        assert p.entry(B).state is DirState.UNCACHED_MIG
+        assert p.is_migratory(B)
+
+    def test_is_migratory_without_entry(self):
+        assert DirectoryProtocol(AGGRESSIVE).is_migratory(B)
+        assert not DirectoryProtocol(BASIC).is_migratory(B)
+
+    def test_peek_does_not_create(self):
+        p = DirectoryProtocol(BASIC)
+        assert p.peek(B) is None
+        p.entry(B)
+        assert p.peek(B) is not None
+
+
+class TestCopyCounting:
+    def test_read_misses_count_copies_created(self):
+        p = DirectoryProtocol(CONVENTIONAL)
+        assert p.read_miss(B, 0, dirty=False) is False
+        assert p.entry(B).state is DirState.ONE_COPY
+        p.read_miss(B, 1, dirty=False)
+        assert p.entry(B).state is DirState.TWO_COPIES
+        p.read_miss(B, 2, dirty=False)
+        assert p.entry(B).state is DirState.THREE_PLUS
+        p.read_miss(B, 3, dirty=False)
+        assert p.entry(B).state is DirState.THREE_PLUS
+
+    def test_write_miss_resets_to_one_copy(self):
+        p = DirectoryProtocol(CONVENTIONAL)
+        for proc in range(3):
+            p.read_miss(B, proc, dirty=False)
+        p.write_miss(B, 5, dirty=False)
+        assert p.entry(B).state is DirState.ONE_COPY
+        assert p.entry(B).last_invalidator == 5
+
+    def test_uncached_transition(self):
+        p = DirectoryProtocol(BASIC)
+        p.read_miss(B, 0, dirty=False)
+        p.note_uncached(B)
+        assert p.entry(B).state is DirState.UNCACHED
+
+
+class TestBasicDetection:
+    """Single-event classification (basic protocol)."""
+
+    def test_write_hit_two_copies_promotes(self):
+        p = DirectoryProtocol(BASIC)
+        p.write_miss(B, 0, dirty=False)  # P0 writes: ONE_COPY, last_inv=0
+        p.read_miss(B, 1, dirty=True)  # P1 replicates: TWO_COPIES
+        assert p.entry(B).state is DirState.TWO_COPIES
+        p.write_hit(B, 1, sole_copy=False)  # newer copy writes: evidence
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+        assert p.is_migratory(B)
+
+    def test_write_hit_by_last_invalidator_is_not_evidence(self):
+        p = DirectoryProtocol(BASIC)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        # P0 writes again: it was the last invalidator, so not migratory.
+        p.write_hit(B, 0, sole_copy=False)
+        assert p.entry(B).state is DirState.ONE_COPY
+
+    def test_write_hit_three_copies_is_not_evidence(self):
+        p = DirectoryProtocol(BASIC)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.read_miss(B, 2, dirty=False)
+        assert p.entry(B).state is DirState.THREE_PLUS
+        p.write_hit(B, 1, sole_copy=False)
+        assert p.entry(B).state is DirState.ONE_COPY
+
+    def test_write_miss_single_copy_promotes(self):
+        p = DirectoryProtocol(BASIC)
+        p.write_miss(B, 0, dirty=False)  # ONE_COPY, last_inv=0
+        p.write_miss(B, 1, dirty=True)  # single-copy write miss: evidence
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+
+    def test_write_hit_sole_copy_promotes(self):
+        """Write hit on a clean exclusively-held block (reload case)."""
+        p = DirectoryProtocol(BASIC)
+        p.write_miss(B, 0, dirty=False)
+        p.note_uncached(B)  # evicted everywhere; classification kept
+        p.read_miss(B, 1, dirty=False)  # reloaded by another node
+        assert p.entry(B).state is DirState.ONE_COPY
+        p.write_hit(B, 1, sole_copy=True)
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+
+
+class TestMigratoryMode:
+    def _migratory(self):
+        p = DirectoryProtocol(BASIC)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.write_hit(B, 1, sole_copy=False)
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+        return p
+
+    def test_read_miss_dirty_migrates(self):
+        p = self._migratory()
+        assert p.read_miss(B, 2, dirty=True) is True
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+
+    def test_read_miss_clean_demotes(self):
+        p = self._migratory()
+        assert p.read_miss(B, 2, dirty=False) is False
+        assert p.entry(B).state is DirState.TWO_COPIES
+        assert not p.is_migratory(B)
+
+    def test_write_miss_clean_demotes(self):
+        p = self._migratory()
+        p.write_miss(B, 2, dirty=False)
+        assert p.entry(B).state is DirState.ONE_COPY
+
+    def test_write_miss_dirty_stays_migratory(self):
+        p = self._migratory()
+        p.write_miss(B, 2, dirty=True)
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+
+    def test_uncached_remembers_classification(self):
+        p = self._migratory()
+        p.note_uncached(B)
+        assert p.entry(B).state is DirState.UNCACHED_MIG
+        assert p.read_miss(B, 3, dirty=False) is True  # migrate on reload
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+
+    def test_write_miss_on_uncached_migratory_stays_migratory(self):
+        p = self._migratory()
+        p.note_uncached(B)
+        p.write_miss(B, 3, dirty=False)
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+
+
+class TestConservativeHysteresis:
+    def test_needs_two_successive_events(self):
+        p = DirectoryProtocol(CONSERVATIVE)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.write_hit(B, 1, sole_copy=False)  # first evidence
+        assert p.entry(B).state is DirState.ONE_COPY
+        assert p.entry(B).streak == 1
+        p.read_miss(B, 2, dirty=True)
+        p.write_hit(B, 2, sole_copy=False)  # second evidence
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+
+    def test_non_evidence_write_resets_streak(self):
+        p = DirectoryProtocol(CONSERVATIVE)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.write_hit(B, 1, sole_copy=False)  # evidence, streak=1
+        p.read_miss(B, 2, dirty=True)
+        p.read_miss(B, 3, dirty=False)  # three copies now
+        p.write_hit(B, 2, sole_copy=False)  # NOT evidence: resets
+        assert p.entry(B).streak == 0
+        assert p.entry(B).state is DirState.ONE_COPY
+
+    def test_demotion_resets_streak(self):
+        p = DirectoryProtocol(CONSERVATIVE)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.write_hit(B, 1, sole_copy=False)
+        p.read_miss(B, 2, dirty=True)
+        p.write_hit(B, 2, sole_copy=False)
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+        p.read_miss(B, 3, dirty=False)  # clean migratory: demote
+        assert p.entry(B).state is DirState.TWO_COPIES
+        assert p.entry(B).streak == 0
+
+    def test_deep_hysteresis(self):
+        p = DirectoryProtocol(AdaptivePolicy("deep", migratory_threshold=3))
+        p.write_miss(B, 0, dirty=False)
+        for proc in (1, 2):
+            p.read_miss(B, proc, dirty=True)
+            p.write_hit(B, proc, sole_copy=False)
+            assert p.entry(B).state is DirState.ONE_COPY
+        p.read_miss(B, 3, dirty=True)
+        p.write_hit(B, 3, sole_copy=False)
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+
+
+class TestConventional:
+    def test_never_classifies(self):
+        p = DirectoryProtocol(CONVENTIONAL)
+        for round_ in range(5):
+            proc = round_ % 4
+            p.read_miss(B, proc, dirty=round_ > 0)
+            p.write_hit(B, proc, sole_copy=False)
+        assert not p.is_migratory(B)
+        assert p.read_miss(B, 9, dirty=True) is False
+
+
+class TestForgetfulPolicy:
+    def test_forgets_on_uncached(self):
+        policy = AdaptivePolicy("forgetful", migratory_threshold=1,
+                                remember_uncached=False)
+        p = DirectoryProtocol(policy)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.write_hit(B, 1, sole_copy=False)
+        assert p.entry(B).state is DirState.ONE_COPY_MIG
+        p.note_uncached(B)
+        assert p.entry(B).state is DirState.UNCACHED
+        assert p.entry(B).last_invalidator is None
+        assert p.read_miss(B, 2, dirty=False) is False
+
+    def test_forgetful_aggressive_reverts_to_migratory(self):
+        policy = AdaptivePolicy("forgetful-aggr", migratory_threshold=1,
+                                initial_migratory=True, remember_uncached=False)
+        p = DirectoryProtocol(policy)
+        # Demote the block, then drop it: classification reverts to initial.
+        p.read_miss(B, 0, dirty=False)  # UNCACHED_MIG -> ONE_COPY_MIG (migrate)
+        p.read_miss(B, 1, dirty=False)  # clean: demote to TWO_COPIES
+        assert p.entry(B).state is DirState.TWO_COPIES
+        p.note_uncached(B)
+        assert p.entry(B).state is DirState.UNCACHED_MIG

@@ -1,0 +1,167 @@
+"""Tests for limited-pointer directory representations."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.errors import ConfigError
+from repro.directory.policy import AGGRESSIVE, BASIC, CONVENTIONAL
+from repro.directory.representation import (
+    FullMapDirectory,
+    LimitedPointerDirectory,
+)
+from repro.system.machine import DirectoryMachine
+from repro.trace import synth
+
+
+def machine(representation=None, policy=CONVENTIONAL, procs=6):
+    cfg = MachineConfig(
+        num_procs=procs, cache=CacheConfig(size_bytes=None, block_size=16)
+    )
+    return DirectoryMachine(cfg, policy, check=True,
+                            representation=representation)
+
+
+class TestConstruction:
+    def test_names(self):
+        assert FullMapDirectory().name == "full-map"
+        assert LimitedPointerDirectory(4).name == "dir4B"
+        assert LimitedPointerDirectory(2, broadcast=False).name == "dir2NB"
+
+    def test_pointer_validation(self):
+        with pytest.raises(ConfigError):
+            LimitedPointerDirectory(0)
+
+    def test_default_is_full_map(self):
+        m = machine()
+        assert isinstance(m.representation, FullMapDirectory)
+
+
+class TestDirB:
+    def test_no_overflow_matches_full_map(self):
+        """While sharers fit in the pointers, Dir_iB is exact."""
+        trace = synth.migratory(num_procs=6, num_objects=4, visits=30, seed=1)
+        full = machine(FullMapDirectory())
+        full.run(trace)
+        limited = machine(LimitedPointerDirectory(2))
+        limited.run(trace)
+        # migratory blocks hold 1-2 copies: identical costs
+        assert limited.stats.snapshot() == full.stats.snapshot()
+
+    def test_overflow_broadcast_costs_more(self):
+        """Invalidating a widely-read block costs a full broadcast."""
+        full = machine(FullMapDirectory())
+        limited = machine(LimitedPointerDirectory(2))
+        for m in (full, limited):
+            for proc in range(3):
+                m.access(proc, False, 0)  # three sharers: overflow at 3rd
+            m.access(5, True, 0)  # write miss must reach "everyone"
+        # full map invalidates the 2 distant sharers; the overflowed
+        # directory broadcasts to all 4 non-writer/non-home nodes.
+        assert limited.stats.total == full.stats.total + 2 * 2
+
+    def test_overflow_flag_lifecycle(self):
+        m = machine(LimitedPointerDirectory(2))
+        for proc in range(4):
+            m.access(proc, False, 0)
+        assert m.protocol.entry(0).overflowed
+        m.access(5, True, 0)  # exclusive again
+        assert not m.protocol.entry(0).overflowed
+
+    def test_coherence_preserved(self):
+        trace = synth.interleave(
+            [
+                synth.migratory(num_procs=6, num_objects=3, visits=25, seed=2),
+                synth.read_shared(num_procs=6, num_objects=3, rounds=10,
+                                  base=1 << 16, seed=3),
+            ],
+            chunk=4,
+            seed=4,
+        )
+        machine(LimitedPointerDirectory(2), policy=AGGRESSIVE).run(trace)
+
+
+class TestDirNB:
+    def test_pointer_eviction_limits_sharers(self):
+        m = machine(LimitedPointerDirectory(2, broadcast=False))
+        for proc in range(5):
+            m.access(proc, False, 0)
+        holders = [
+            p for p in range(6) if m.caches[p].lookup(0) is not None
+        ]
+        assert len(holders) == 2
+        assert m.stats.by_cause_short["pointer_eviction"] > 0
+
+    def test_never_overflows(self):
+        m = machine(LimitedPointerDirectory(2, broadcast=False))
+        for proc in range(5):
+            m.access(proc, False, 0)
+        assert not m.protocol.entry(0).overflowed
+        assert len(m.protocol.entry(0).copyset) <= 2
+
+    def test_read_shared_thrashes(self):
+        """Dir_iNB makes wide read sharing expensive (copies ping-pong
+        between readers), while Dir_iB only pays at invalidations."""
+        trace = synth.read_shared(num_procs=6, num_objects=4, rounds=20,
+                                  seed=5)
+        nb = machine(LimitedPointerDirectory(1, broadcast=False))
+        nb.run(trace)
+        b = machine(LimitedPointerDirectory(1))
+        b.run(trace)
+        assert nb.stats.total > b.stats.total
+
+    def test_coherence_preserved(self):
+        trace = synth.interleave(
+            [
+                synth.migratory(num_procs=6, num_objects=3, visits=25, seed=6),
+                synth.read_shared(num_procs=6, num_objects=3, rounds=10,
+                                  base=1 << 16, seed=7),
+            ],
+            chunk=4,
+            seed=8,
+        )
+        machine(LimitedPointerDirectory(1, broadcast=False),
+                policy=BASIC).run(trace)
+
+
+class TestAdaptiveInteraction:
+    def test_migratory_blocks_never_overflow(self):
+        """Migratory data lives on one pointer: limited directories keep
+        the full adaptive advantage."""
+        trace = synth.migratory(num_procs=6, num_objects=4, visits=40,
+                                seed=9)
+        for repr_factory in (
+            FullMapDirectory,
+            lambda: LimitedPointerDirectory(2),
+            lambda: LimitedPointerDirectory(2, broadcast=False),
+        ):
+            conv = machine(repr_factory(), CONVENTIONAL)
+            conv.run(trace)
+            aggr = machine(repr_factory(), AGGRESSIVE)
+            aggr.run(trace)
+            reduction = 1 - aggr.stats.total / conv.stats.total
+            assert reduction > 0.40
+
+    def test_adaptive_advantage_grows_under_limited_directories(self):
+        """Read-shared data gets pricier under Dir_iB, so handling the
+        migratory share well matters relatively more."""
+        trace = synth.interleave(
+            [
+                synth.migratory(num_procs=6, num_objects=4, visits=30,
+                                seed=10),
+                synth.read_shared(num_procs=6, num_objects=4, rounds=12,
+                                  base=1 << 16, seed=11),
+            ],
+            chunk=4,
+            seed=12,
+        )
+        reductions = {}
+        for name, factory in (
+            ("full", FullMapDirectory),
+            ("dir1B", lambda: LimitedPointerDirectory(1)),
+        ):
+            conv = machine(factory(), CONVENTIONAL)
+            conv.run(trace)
+            aggr = machine(factory(), AGGRESSIVE)
+            aggr.run(trace)
+            reductions[name] = 1 - aggr.stats.total / conv.stats.total
+        assert reductions["dir1B"] >= reductions["full"] * 0.9

@@ -1,0 +1,96 @@
+"""Tests for classification tracing and block explanation."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.types import read, write
+from repro.directory.entry import DirState
+from repro.directory.policy import BASIC, CONSERVATIVE
+from repro.directory.tracing import (
+    TracingDirectoryProtocol,
+    explain_block,
+    trace_classification,
+)
+from repro.trace.core import Trace
+
+
+def config():
+    return MachineConfig(
+        num_procs=4, cache=CacheConfig(size_bytes=None, block_size=16)
+    )
+
+
+MIGRATION = Trace([
+    write(1, 0),
+    read(2, 0), write(2, 0),
+    read(3, 0), write(3, 0),
+])
+
+
+class TestTracingProtocol:
+    def test_behaves_identically_to_untraced(self):
+        from repro.system.machine import DirectoryMachine
+
+        plain = DirectoryMachine(config(), BASIC)
+        plain.run(MIGRATION)
+        traced_machine, _tracer = trace_classification(
+            MIGRATION, BASIC, config()
+        )
+        assert traced_machine.stats.snapshot() == plain.stats.snapshot()
+
+    def test_events_recorded_in_order(self):
+        _machine, tracer = trace_classification(MIGRATION, BASIC, config())
+        events = tracer.events_for(0)
+        kinds = [e.kind for e in events]
+        # P3's write is silent (the block migrated in with write
+        # permission), so it never reaches the directory.
+        assert kinds == ["write_miss", "read_miss", "write_hit", "read_miss"]
+        assert [e.index for e in events] == sorted(e.index for e in events)
+
+    def test_promotion_flagged(self):
+        _machine, tracer = trace_classification(MIGRATION, BASIC, config())
+        promotions = [e for e in tracer.events_for(0) if e.promoted]
+        assert len(promotions) == 1
+        event = promotions[0]
+        assert event.kind == "write_hit" and event.proc == 2
+        assert event.after is DirState.ONE_COPY_MIG
+
+    def test_conservative_promotes_later(self):
+        _machine, tracer = trace_classification(
+            MIGRATION, CONSERVATIVE, config()
+        )
+        promotions = [e for e in tracer.events_for(0) if e.promoted]
+        assert len(promotions) == 1
+        assert promotions[0].proc == 3  # second evidence event
+
+    def test_demotion_flagged(self):
+        trace = Trace([
+            write(1, 0), read(2, 0), write(2, 0),  # promote
+            read(3, 0),  # migrate to P3 (clean)
+            read(1, 0),  # clean migratory: demote
+        ])
+        _machine, tracer = trace_classification(trace, BASIC, config())
+        demotions = [e for e in tracer.events_for(0) if e.demoted]
+        assert len(demotions) == 1
+        assert demotions[0].kind == "read_miss"
+
+    def test_blocks_isolated(self):
+        trace = Trace([write(1, 0), write(2, 64)])
+        _machine, tracer = trace_classification(trace, BASIC, config())
+        assert len(tracer.events_for(0)) == 1
+        assert len(tracer.events_for(4)) == 1
+
+
+class TestExplainBlock:
+    def test_untouched_block(self):
+        tracer = TracingDirectoryProtocol(BASIC)
+        lines = explain_block(tracer, 99)
+        assert "never touched" in lines[0]
+
+    def test_story_lines(self):
+        _machine, tracer = trace_classification(MIGRATION, BASIC, config())
+        lines = explain_block(tracer, 0)
+        text = "\n".join(lines)
+        assert "classified migratory" in text
+        assert "1 promotion(s), 0 demotion(s)" in text
+        assert "final state one copy/migratory" in text

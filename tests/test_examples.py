@@ -1,0 +1,72 @@
+"""Smoke tests: every example script must run and produce its story."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    except SystemExit as exc:
+        assert not exc.code, f"{name} exited with {exc.code}"
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "CC-NUMA directory machine" in out
+    assert "aggressive" in out
+    assert "classified 8 of 8 blocks as migratory" in out
+
+
+def test_protocol_explorer(capsys):
+    run_example("protocol_explorer.py")
+    out = capsys.readouterr().out
+    assert "Migratory detection" in out
+    assert "one copy/migratory" in out
+    assert "Read-shared data is left alone" in out
+
+
+def test_custom_workload(capsys):
+    run_example("custom_workload.py")
+    out = capsys.readouterr().out
+    assert "pipeline trace" in out
+    assert "migratory" in out
+    assert "protocol comparison" in out
+
+
+def test_false_sharing_study(capsys):
+    run_example("false_sharing_study.py")
+    out = capsys.readouterr().out
+    assert "packed (eight counters per block)" in out
+    assert "padded (one counter per block)" in out
+    assert "100.0%" in out  # padded variant is fully private
+
+
+def test_splash_campaign_tiny(capsys, tmp_path):
+    out_file = tmp_path / "report.txt"
+    run_example(
+        "splash_campaign.py",
+        ["--scale", "0.05", "--out", str(out_file)],
+    )
+    report = out_file.read_text()
+    assert "==== table2" in report
+    assert "==== bus" in report
+    assert "==== fig2" in report
+
+
+def test_latency_tolerance_study(capsys):
+    run_example("latency_tolerance_study.py", ["--scale", "0.1"])
+    out = capsys.readouterr().out
+    assert "closed-form" in out
+    assert "event-driven" in out
+    assert "prefetch-exclusive" in out

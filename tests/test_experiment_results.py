@@ -1,0 +1,121 @@
+"""Tests for experiment result persistence and comparison."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.results import (
+    ResultError,
+    compare_results,
+    load_results,
+    rows_to_payload,
+    save_results,
+)
+
+
+@dataclass(frozen=True)
+class DemoRow:
+    app: str
+    protocol: str
+    total: int
+    reduction_pct: float
+
+
+ROWS = [
+    DemoRow("mp3d", "basic", 1000, 45.0),
+    DemoRow("mp3d", "aggressive", 900, 50.5),
+]
+
+
+class TestSerialisation:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_results(path, "demo", ROWS, scale=0.5, seed=7)
+        payload = load_results(path)
+        assert payload["experiment"] == "demo"
+        assert payload["scale"] == 0.5
+        assert payload["seed"] == 7
+        assert payload["rows"][0]["app"] == "mp3d"
+        assert payload["rows"][1]["total"] == 900
+
+    def test_extra_metadata(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_results(path, "demo", ROWS, extra={"git": "abc123"})
+        assert load_results(path)["extra"]["git"] == "abc123"
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(ResultError):
+            rows_to_payload("demo", [{"not": "a dataclass"}])
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ResultError):
+            load_results(path)
+
+    def test_load_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"experiment": "x"}')
+        with pytest.raises(ResultError):
+            load_results(path)
+
+    def test_real_experiment_rows_serialise(self, tmp_path):
+        from repro.experiments import common, table3
+
+        common.clear_caches()
+        rows = table3.run(apps=("mp3d",), block_sizes=(16,), scale=0.1,
+                          num_procs=4)
+        # Table rows hold nested cell dataclasses; they stringify safely.
+        payload = rows_to_payload("table3", rows, scale=0.1)
+        assert payload["rows"][0]["app"] == "mp3d"
+
+
+class TestComparison:
+    def payload(self, rows, name="demo"):
+        return rows_to_payload(name, rows)
+
+    def test_identical_ok(self):
+        problems = compare_results(
+            self.payload(ROWS), self.payload(ROWS),
+            keys=("app", "protocol"), numeric_fields=("total",),
+        )
+        assert problems == []
+
+    def test_drift_detected(self):
+        drifted = [
+            DemoRow("mp3d", "basic", 2000, 45.0),
+            DemoRow("mp3d", "aggressive", 900, 50.5),
+        ]
+        problems = compare_results(
+            self.payload(ROWS), self.payload(drifted),
+            keys=("app", "protocol"), numeric_fields=("total",),
+        )
+        assert len(problems) == 1
+        assert "drifted" in problems[0]
+
+    def test_small_drift_tolerated(self):
+        nudged = [
+            DemoRow("mp3d", "basic", 1020, 45.0),
+            DemoRow("mp3d", "aggressive", 900, 50.5),
+        ]
+        problems = compare_results(
+            self.payload(ROWS), self.payload(nudged),
+            keys=("app", "protocol"), numeric_fields=("total",),
+            tolerance_pct=5.0,
+        )
+        assert problems == []
+
+    def test_added_and_removed_rows(self):
+        fewer = [ROWS[0]]
+        problems = compare_results(
+            self.payload(ROWS), self.payload(fewer),
+            keys=("app", "protocol"), numeric_fields=("total",),
+        )
+        assert any("disappeared" in p for p in problems)
+
+    def test_experiment_mismatch(self):
+        problems = compare_results(
+            self.payload(ROWS, "a"), self.payload(ROWS, "b"),
+            keys=("app",), numeric_fields=("total",),
+        )
+        assert "different experiments" in problems[0]

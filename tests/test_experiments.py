@@ -1,0 +1,238 @@
+"""Integration tests for the experiment harness (small scales).
+
+These run every experiment end-to-end at reduced scale and assert the
+paper's qualitative claims, making the reproduction executable.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    bus,
+    common,
+    cost_ratio,
+    exec_time,
+    fig2,
+    placement,
+    table2,
+    table3,
+)
+
+SCALE = 0.25
+PROCS = 8
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestFig2Conformance:
+    def test_derived_tables_match_paper(self):
+        assert fig2.conformance_mismatches() == []
+
+    def test_render_contains_both_tables(self):
+        text = fig2.render()
+        assert "local cache events" in text
+        assert "bus requests" in text
+        assert "MD" in text and "S2" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2.run(
+            apps=("mp3d", "locusroute"),
+            cache_sizes=(4096, 65536),
+            scale=SCALE,
+            num_procs=PROCS,
+        )
+
+    def test_row_grid_complete(self, rows):
+        assert len(rows) == 4
+        assert {r.app for r in rows} == {"mp3d", "locusroute"}
+
+    def test_all_protocols_present(self, rows):
+        for row in rows:
+            assert set(row.cells) == {
+                "conventional", "conservative", "basic", "aggressive",
+            }
+
+    def test_adaptive_reduces_messages(self, rows):
+        for row in rows:
+            conv = row.cells["conventional"].total
+            for name in ("conservative", "basic", "aggressive"):
+                assert row.cells[name].total <= conv, (row.app, name)
+
+    def test_aggressive_beats_conservative(self, rows):
+        for row in rows:
+            assert (
+                row.cells["aggressive"].reduction_pct
+                >= row.cells["conservative"].reduction_pct - 1.0
+            )
+
+    def test_data_messages_nearly_constant(self, rows):
+        """Adaptation removes protocol messages, not data transfers."""
+        for row in rows:
+            conv = row.cells["conventional"].data
+            aggr = row.cells["aggressive"].data
+            assert aggr <= conv * 1.10
+
+    def test_render(self, rows):
+        text = table2.render(rows)
+        assert "Table 2" in text
+        assert "mp3d" in text and "4 Kbyte" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table3.run(
+            apps=("mp3d", "cholesky"),
+            block_sizes=(16, 64, 256),
+            scale=SCALE,
+            num_procs=PROCS,
+        )
+
+    def test_message_counts_fall_with_block_size(self, rows):
+        """Spatially local apps (Cholesky's column scans) need fewer
+        messages at larger blocks."""
+        conv = [r.cells["conventional"].total for r in rows
+                if r.app == "cholesky"]
+        assert conv[0] > conv[-1]
+
+    def test_mp3d_invalidations_rise_with_block_size(self, rows):
+        """The paper notes MP3D's traffic grows with block size as false
+        sharing makes the data ping-pong."""
+        conv = [r.cells["conventional"].total for r in rows
+                if r.app == "mp3d"]
+        assert conv[-1] > conv[0]
+
+    def test_savings_erode_at_large_blocks(self, rows):
+        """False sharing swallows migratory data at 256-byte blocks."""
+        for app in ("mp3d", "cholesky"):
+            by_block = {r.block_size: r.cells["aggressive"].reduction_pct
+                        for r in rows if r.app == app}
+            assert by_block[256] < by_block[16], app
+
+    def test_render(self, rows):
+        text = table3.render(rows)
+        assert "Table 3" in text and "256-byte" in text
+
+
+class TestCostRatio:
+    def test_savings_shrink_with_data_weight(self):
+        rows = cost_ratio.run(
+            apps=("mp3d",), scale=SCALE, num_procs=PROCS,
+            cache_size=None,
+        )
+        aggressive = [r for r in rows if r.policy == "aggressive"][0]
+        s = aggressive.savings_by_model
+        assert s["1:1"] > s["2:1"] > s["4:1"]
+
+    def test_render(self):
+        rows = cost_ratio.run(apps=("mp3d",), scale=SCALE, num_procs=PROCS,
+                              cache_size=None)
+        assert "cost-ratio" in cost_ratio.render(rows)
+
+
+class TestExecTime:
+    def test_adaptive_reduces_execution_time(self):
+        rows = exec_time.run(apps=("mp3d",), cache_size=16 * 1024,
+                             scale=SCALE, num_procs=PROCS)
+        assert rows[0].time_reduction_pct > 0
+        assert rows[0].adaptive_cycles < rows[0].base_cycles
+
+    def test_render(self):
+        rows = exec_time.run(apps=("mp3d",), cache_size=16 * 1024,
+                             scale=SCALE, num_procs=PROCS)
+        assert "execution time" in exec_time.render(rows)
+
+
+class TestPlacement:
+    def test_round_robin_inflates_messages(self):
+        rows = placement.run(apps=("mp3d",), cache_size=2048,
+                             scale=SCALE, num_procs=PROCS)
+        by_kind = {r.placement: r for r in rows}
+        assert (
+            by_kind["round_robin"].conventional_total
+            > by_kind["best_static"].conventional_total
+        )
+
+    def test_render(self):
+        rows = placement.run(apps=("mp3d",), cache_size=2048,
+                             scale=SCALE, num_procs=PROCS)
+        assert "placement" in placement.render(rows)
+
+
+class TestBus:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return bus.run(apps=("mp3d", "locusroute"),
+                       cache_sizes=(16 * 1024,),
+                       scale=SCALE, num_procs=PROCS)
+
+    def test_adaptive_saves_transactions(self, rows):
+        for row in rows:
+            assert row.adaptive_model1 <= row.mesi_model1
+
+    def test_model2_saves_less_than_model1(self, rows):
+        for row in rows:
+            assert row.model2_saving_pct <= row.model1_saving_pct + 1e-9
+
+    def test_always_migrate_best_on_migratory_app(self, rows):
+        mp3d = [r for r in rows if r.app == "mp3d"][0]
+        assert mp3d.always_migrate_model1 <= mp3d.adaptive_model1
+
+    def test_render(self, rows):
+        assert "bus transaction" in bus.render(rows)
+
+
+class TestAblations:
+    def test_hysteresis_monotone_near_threshold_one(self):
+        rows = ablations.hysteresis_sweep(
+            apps=("mp3d",), thresholds=(1, 2, 4), cache_size=None,
+            scale=SCALE, num_procs=PROCS,
+        )
+        by_variant = {r.variant: r.total for r in rows}
+        assert by_variant["threshold-1"] <= by_variant["threshold-2"]
+        assert by_variant["threshold-2"] <= by_variant["threshold-4"]
+        assert by_variant["threshold-4"] <= by_variant["conventional"]
+
+    def test_remembering_beats_forgetting_with_small_caches(self):
+        rows = ablations.uncached_memory(
+            apps=("mp3d",), cache_size=1024, scale=SCALE, num_procs=PROCS
+        )
+        by_variant = {r.variant: r.total for r in rows}
+        assert by_variant["remember"] <= by_variant["forget"]
+
+    def test_eviction_notification_rows(self):
+        rows = ablations.eviction_notifications(
+            apps=("mp3d",), cache_size=2048, scale=SCALE, num_procs=PROCS
+        )
+        assert {r.variant for r in rows} == {"notify", "silent-drop"}
+
+    def test_render(self):
+        rows = ablations.hysteresis_sweep(
+            apps=("mp3d",), thresholds=(1,), cache_size=None,
+            scale=SCALE, num_procs=PROCS,
+        )
+        assert "A1" in ablations.render(rows, "A1: hysteresis")
+
+
+class TestCommonHelpers:
+    def test_trace_cache_reuses(self):
+        a = common.get_trace("mp3d", PROCS, 0, SCALE)
+        b = common.get_trace("mp3d", PROCS, 0, SCALE)
+        assert a is b
+
+    def test_make_cell_reduction(self):
+        from repro.common.stats import MessageStats
+
+        s = MessageStats()
+        s.charge("m", 30, 20)
+        cell = common.make_cell(s, baseline_total=100)
+        assert cell.total == 50
+        assert cell.reduction_pct == pytest.approx(50.0)

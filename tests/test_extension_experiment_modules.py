@@ -1,0 +1,97 @@
+"""Small-scale integration tests for the extension experiment modules.
+
+The benchmark suite runs these at half scale; these tests cover the same
+modules at small scale so `pytest tests/` alone exercises every
+experiment entry point.
+"""
+
+import pytest
+
+from repro.experiments import (
+    common,
+    limited_dir,
+    oracle,
+    topology,
+    update_protocols,
+)
+
+SCALE = 0.15
+PROCS = 4
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestOracleExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return oracle.run(apps=("mp3d", "locusroute"), cache_size=None,
+                          scale=SCALE, num_procs=PROCS)
+
+    def test_oracle_bounds_all_protocols(self, rows):
+        for row in rows:
+            assert row.oracle <= row.conventional
+            assert row.oracle <= row.basic * 1.05
+
+    def test_hint_fraction_tracks_migratory_share(self, rows):
+        by_app = {r.app: r for r in rows}
+        assert (
+            by_app["mp3d"].hint_fraction_pct
+            > by_app["locusroute"].hint_fraction_pct
+        )
+
+    def test_render(self, rows):
+        text = oracle.render(rows)
+        assert "oracle" in text and "hinted reads %" in text
+
+
+class TestUpdateProtocolExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return update_protocols.run(apps=("mp3d", "water"), cache_size=None,
+                                    scale=SCALE, num_procs=PROCS)
+
+    def test_write_update_loses_on_migratory_apps(self, rows):
+        for row in rows:
+            assert row.write_update > row.adaptive
+
+    def test_hybrid_between_extremes_on_migratory(self, rows):
+        for row in rows:
+            assert row.adaptive <= row.hybrid
+
+    def test_render(self, rows):
+        assert "write-update" in update_protocols.render(rows)
+
+
+class TestLimitedDirExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return limited_dir.run(apps=("mp3d", "pthor"), cache_size=None,
+                               scale=SCALE, num_procs=PROCS)
+
+    def test_three_representations_per_app(self, rows):
+        by_app = {}
+        for row in rows:
+            by_app.setdefault(row.app, set()).add(row.representation)
+        for app, reps in by_app.items():
+            assert reps == {"full-map", "dir4B", "dir4NB"}, app
+
+    def test_advantage_survives_every_representation(self, rows):
+        for row in rows:
+            assert row.reduction_pct > 0, row
+
+    def test_render(self, rows):
+        assert "directory" in limited_dir.render(rows)
+
+
+class TestTopologyExperiment:
+    def test_row_grid(self):
+        rows = topology.run(apps=("mp3d",), scale=SCALE, num_procs=PROCS)
+        names = [r.topology for r in rows]
+        assert names[0] == "crossbar"
+        assert any(n.startswith("mesh") for n in names)
+        assert any(n.startswith("hypercube") for n in names)

@@ -1,0 +1,113 @@
+"""Unit tests for the Table 1 message-cost model."""
+
+import pytest
+
+from repro.interconnect.costs import (
+    Charge,
+    OpClass,
+    TABLE1_ROWS,
+    eviction_charge,
+    render_table1,
+    table1_charge,
+)
+
+
+class TestCharge:
+    def test_add(self):
+        assert Charge(1, 2) + Charge(3, 4) == Charge(4, 6)
+
+    def test_total(self):
+        assert Charge(2, 3).total == 5
+
+
+class TestTable1:
+    """Each case mirrors one row of Table 1 in the paper."""
+
+    @pytest.mark.parametrize("dc", [0, 1, 3])
+    def test_read_miss_local_clean(self, dc):
+        assert table1_charge(OpClass.READ_MISS, True, False, dc) == Charge(0, 0)
+
+    def test_read_miss_local_dirty(self):
+        assert table1_charge(OpClass.READ_MISS, True, True, 1) == Charge(1, 1)
+
+    def test_read_miss_remote_clean(self):
+        assert table1_charge(OpClass.READ_MISS, False, False, 0) == Charge(1, 1)
+
+    @pytest.mark.parametrize("dc", [0, 1])
+    def test_read_miss_remote_dirty(self, dc):
+        assert table1_charge(OpClass.READ_MISS, False, True, dc) == Charge(
+            1 + dc, 1 + dc
+        )
+
+    @pytest.mark.parametrize("dc", [0, 2, 5])
+    def test_write_miss_local_clean(self, dc):
+        assert table1_charge(OpClass.WRITE_MISS, True, False, dc) == Charge(
+            2 * dc, 0
+        )
+
+    def test_write_miss_local_dirty(self):
+        assert table1_charge(OpClass.WRITE_MISS, True, True, 1) == Charge(1, 1)
+
+    @pytest.mark.parametrize("dc", [0, 3])
+    def test_write_miss_remote_clean(self, dc):
+        assert table1_charge(OpClass.WRITE_MISS, False, False, dc) == Charge(
+            1 + 2 * dc, 1
+        )
+
+    @pytest.mark.parametrize("dc", [0, 1])
+    def test_write_miss_remote_dirty(self, dc):
+        assert table1_charge(OpClass.WRITE_MISS, False, True, dc) == Charge(
+            1 + dc, 1 + dc
+        )
+
+    @pytest.mark.parametrize("dc", [0, 4])
+    def test_write_hit_local_clean(self, dc):
+        assert table1_charge(OpClass.WRITE_HIT, True, False, dc) == Charge(2 * dc, 0)
+
+    @pytest.mark.parametrize("dc", [0, 4])
+    def test_write_hit_remote_clean(self, dc):
+        assert table1_charge(OpClass.WRITE_HIT, False, False, dc) == Charge(
+            2 + 2 * dc, 0
+        )
+
+    def test_write_hit_dirty_undefined(self):
+        with pytest.raises(ValueError):
+            table1_charge(OpClass.WRITE_HIT, True, True, 0)
+
+    def test_negative_dc_rejected(self):
+        with pytest.raises(ValueError):
+            table1_charge(OpClass.READ_MISS, True, False, -1)
+
+    def test_rows_constant_matches_function(self):
+        """The declarative TABLE1_ROWS must agree with table1_charge."""
+        for op, home, status, short_f, data_f in TABLE1_ROWS:
+            for n in (0, 1, 2):
+                env = {"n": n}
+                expected_short = eval(short_f.replace("2n", "2*n"), env)  # noqa: S307
+                expected_data = eval(data_f.replace("2n", "2*n"), env)  # noqa: S307
+                got = table1_charge(op, home == "local", status == "dirty", n)
+                assert got == Charge(expected_short, expected_data), (
+                    op, home, status, n,
+                )
+
+
+class TestEvictionCharge:
+    def test_local_free(self):
+        assert eviction_charge(True, True) == Charge(0, 0)
+        assert eviction_charge(False, True) == Charge(0, 0)
+
+    def test_remote_dirty_writeback(self):
+        assert eviction_charge(True, False) == Charge(0, 1)
+
+    def test_remote_clean_notification(self):
+        assert eviction_charge(False, False) == Charge(1, 0)
+
+    def test_silent_clean_ablation(self):
+        assert eviction_charge(False, False, notify_clean=False) == Charge(0, 0)
+
+
+def test_render_table1_mentions_every_row():
+    text = render_table1()
+    assert "read miss" in text and "write hit" in text
+    assert "2 + 2n" in text
+    assert len(text.splitlines()) == 2 + len(TABLE1_ROWS)

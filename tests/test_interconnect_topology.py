@@ -1,0 +1,103 @@
+"""Unit tests for network topologies and the topology experiment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.interconnect.topology import (
+    Crossbar,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    standard_topologies,
+)
+
+
+class TestCrossbar:
+    def test_unit_distance(self):
+        xbar = Crossbar(8)
+        assert xbar.hops(0, 0) == 0
+        assert xbar.hops(0, 7) == 1
+        assert xbar.average_hops == 1.0
+        assert xbar.diameter == 1
+
+    def test_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            Crossbar(4).hops(0, 4)
+
+
+class TestRing:
+    def test_wraps_shortest_way(self):
+        ring = Ring(8)
+        assert ring.hops(0, 1) == 1
+        assert ring.hops(0, 7) == 1  # around the back
+        assert ring.hops(0, 4) == 4
+        assert ring.diameter == 4
+
+    def test_symmetric(self):
+        ring = Ring(7)
+        for a in range(7):
+            for b in range(7):
+                assert ring.hops(a, b) == ring.hops(b, a)
+
+
+class TestMesh:
+    def test_manhattan_distance(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.hops(0, 3) == 3  # along the top row
+        assert mesh.hops(0, 15) == 6  # opposite corner
+        assert mesh.hops(5, 10) == 2
+        assert mesh.diameter == 6
+
+    def test_name_and_size(self):
+        mesh = Mesh2D(2, 8)
+        assert mesh.num_nodes == 16
+        assert mesh.name == "mesh2x8"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Mesh2D(0, 4)
+
+
+class TestHypercube:
+    def test_hamming_distance(self):
+        cube = Hypercube(16)
+        assert cube.hops(0b0000, 0b1111) == 4
+        assert cube.hops(0b0101, 0b0100) == 1
+        assert cube.diameter == 4
+        assert cube.dimension == 4
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            Hypercube(12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(0, 15), b=st.integers(0, 15), c=st.integers(0, 15))
+    def test_triangle_inequality(self, a, b, c):
+        cube = Hypercube(16)
+        assert cube.hops(a, c) <= cube.hops(a, b) + cube.hops(b, c)
+
+
+class TestStandardSet:
+    def test_ordering_by_average_hops(self):
+        topologies = standard_topologies(16)
+        averages = [t.average_hops for t in topologies]
+        assert averages == sorted(averages)
+        assert averages[0] == 1.0  # crossbar first
+
+    def test_requires_square_count(self):
+        with pytest.raises(ConfigError):
+            standard_topologies(12)
+
+
+class TestTopologyExperiment:
+    def test_reduction_grows_with_distance(self):
+        from repro.experiments import common, topology
+
+        common.clear_caches()
+        rows = topology.run(apps=("mp3d",), scale=0.25, num_procs=16)
+        reductions = [r.time_reduction_pct for r in rows]
+        assert reductions == sorted(reductions)
+        assert all(r.adaptive_cycles < r.base_cycles for r in rows)
+        assert "topology" in topology.render(rows)

@@ -1,0 +1,62 @@
+"""Tests for the invalidation-pattern experiment (Weber & Gupta)."""
+
+import pytest
+
+from repro.experiments import common, inval_patterns
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return inval_patterns.run(
+        apps=("mp3d", "pthor"), cache_size=None, scale=0.2, num_procs=8
+    )
+
+
+class TestInvalPatterns:
+    def test_single_copy_invalidations_dominate_conventionally(self, rows):
+        """Weber & Gupta's core observation, reproduced."""
+        for row in rows:
+            if row.protocol == "conventional":
+                assert row.share(1) > 0.7, row
+
+    def test_adaptation_consumes_single_copy_invalidations(self, rows):
+        by_key = {(r.app, r.protocol): r for r in rows}
+        for app in ("mp3d", "pthor"):
+            conv = by_key[(app, "conventional")]
+            aggr = by_key[(app, "aggressive")]
+            conv_singles = conv.by_size.get(1, 0)
+            aggr_singles = aggr.by_size.get(1, 0)
+            assert aggr_singles < conv_singles, app
+
+    def test_single_copy_invalidations_cut_hardest(self, rows):
+        """Adaptation targets migratory (single-copy) hand-offs; wide
+        invalidations belong to other sharing patterns and shrink far
+        less (they fall somewhat because migrated blocks replicate
+        less before the next write)."""
+        by_key = {(r.app, r.protocol): r for r in rows}
+        conv = by_key[("pthor", "conventional")]
+        aggr = by_key[("pthor", "aggressive")]
+        conv_wide = sum(v for k, v in conv.by_size.items() if k != 1)
+        aggr_wide = sum(v for k, v in aggr.by_size.items() if k != 1)
+        singles_cut = 1 - aggr.by_size[1] / conv.by_size[1]
+        wide_cut = 1 - aggr_wide / conv_wide if conv_wide else 0.0
+        assert singles_cut > wide_cut
+
+    def test_shares_sum_to_one(self, rows):
+        for row in rows:
+            if row.total_invalidations:
+                total = sum(
+                    row.share(b) for b in (1, 2, 3, "4+")
+                )
+                assert total == pytest.approx(1.0)
+
+    def test_render(self, rows):
+        text = inval_patterns.render(rows)
+        assert "1 copy %" in text and "mp3d" in text

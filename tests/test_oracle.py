@@ -1,0 +1,127 @@
+"""Tests for the read-exclusive oracle and hinted machine runs."""
+
+import pytest
+
+from repro.analysis.oracle import hint_coverage, read_exclusive_hints
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.types import read, write
+from repro.directory.policy import AGGRESSIVE, CONVENTIONAL
+from repro.system.machine import CState, DirectoryMachine
+from repro.trace import synth
+from repro.trace.core import Trace
+
+
+class TestHintComputation:
+    def test_read_then_write_same_proc_hinted(self):
+        trace = [read(1, 0), write(1, 0)]
+        assert read_exclusive_hints(trace) == [True, False]
+
+    def test_intervening_same_proc_reads_allowed(self):
+        trace = [read(1, 0), read(1, 4), write(1, 8)]  # same block
+        assert read_exclusive_hints(trace) == [True, True, False]
+
+    def test_other_proc_access_breaks_episode(self):
+        trace = [read(1, 0), read(2, 0), write(1, 0)]
+        # P1's read is followed by P2's access before P1's write.
+        assert read_exclusive_hints(trace) == [False, False, False]
+
+    def test_read_only_never_hinted(self):
+        trace = [read(1, 0), read(2, 0), read(1, 0)]
+        assert read_exclusive_hints(trace) == [False, False, False]
+
+    def test_blocks_independent(self):
+        trace = [read(1, 0), read(2, 16), write(1, 0)]
+        # P2 touched a *different* block; P1's episode is intact.
+        assert read_exclusive_hints(trace, block_size=16) == [
+            True, False, False,
+        ]
+
+    def test_coverage(self):
+        trace = [read(1, 0), write(1, 0), read(2, 0)]
+        hints = read_exclusive_hints(trace)
+        assert hint_coverage(hints, trace) == pytest.approx(0.5)
+
+    def test_coverage_empty(self):
+        assert hint_coverage([], []) == 0.0
+
+    def test_migratory_trace_mostly_hinted(self):
+        trace = synth.migratory(num_procs=4, num_objects=2, visits=20,
+                                reads_per_visit=2, writes_per_visit=1,
+                                seed=3)
+        hints = read_exclusive_hints(list(trace))
+        assert hint_coverage(hints, list(trace)) > 0.9
+
+
+class TestHintedMachine:
+    def machine(self, policy=CONVENTIONAL):
+        cfg = MachineConfig(
+            num_procs=4, cache=CacheConfig(size_bytes=None, block_size=16)
+        )
+        return DirectoryMachine(cfg, policy, check=True)
+
+    def test_hinted_read_fetches_ownership(self):
+        m = self.machine()
+        m.access(1, False, 0, exclusive_hint=True)
+        line = m.caches[1].lookup(0)
+        assert line.state is CState.EXCL and not line.dirty
+        before = m.stats.snapshot()
+        m.access(1, True, 0)  # silent: ownership already held
+        assert m.stats.snapshot() == before
+
+    def test_hinted_read_invalidates_sharers(self):
+        m = self.machine()
+        m.access(2, False, 0)
+        m.access(3, False, 0)
+        m.access(1, False, 0, exclusive_hint=True)
+        assert m.caches[2].lookup(0) is None
+        assert m.caches[3].lookup(0) is None
+
+    def test_hint_ignored_on_hit(self):
+        m = self.machine()
+        m.access(1, False, 0)
+        before = m.stats.snapshot()
+        m.access(1, False, 0, exclusive_hint=True)  # hit: no effect
+        assert m.stats.snapshot() == before
+        assert m.caches[1].lookup(0).state is CState.SHARED
+
+    def test_exclusive_clean_copy_demoted_by_other_reader(self):
+        m = self.machine()
+        m.access(1, False, 0, exclusive_hint=True)
+        m.access(2, False, 0)  # must revoke P1's write permission
+        assert m.caches[1].lookup(0).state is CState.SHARED
+        assert m.caches[2].lookup(0).state is CState.SHARED
+        # writes by P1 now require an upgrade (checker enforces safety)
+        m.access(1, True, 0)
+        assert m.caches[2].lookup(0) is None
+
+    def test_oracle_matches_adaptive_on_migratory(self):
+        trace = synth.migratory(num_procs=4, num_objects=4, visits=40,
+                                seed=5)
+        hints = read_exclusive_hints(list(trace))
+        conv = self.machine()
+        conv.run(trace)
+        oracle = self.machine()
+        oracle.run_with_hints(trace, hints)
+        adaptive = self.machine(AGGRESSIVE)
+        adaptive.run(trace)
+        assert oracle.stats.total < conv.stats.total
+        # the oracle is at least as good as the best on-line protocol
+        assert oracle.stats.total <= adaptive.stats.total * 1.02
+
+    def test_hints_preserve_coherence_on_mixed_traffic(self):
+        traces = [
+            synth.migratory(num_procs=4, num_objects=3, visits=25, seed=1),
+            synth.read_shared(num_procs=4, num_objects=3, rounds=10,
+                              base=1 << 16, seed=2),
+            synth.false_sharing(num_procs=4, num_blocks=3, rounds=10,
+                                base=1 << 17, seed=3),
+        ]
+        mixed = synth.interleave(traces, chunk=3, seed=4)
+        hints = read_exclusive_hints(list(mixed))
+        m = self.machine()
+        m.run_with_hints(mixed, hints)  # checker validates every access
+
+    def test_by_cause_accounting(self):
+        m = self.machine()
+        m.access(1, False, 0, exclusive_hint=True)
+        assert m.stats.by_cause_short.get("read_exclusive", 0) >= 1

@@ -1,0 +1,66 @@
+"""Tests for the policy-space map (the conclusions' claim as a surface)."""
+
+import pytest
+
+from repro.experiments import common, policy_space
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+def test_grid_is_complete():
+    grid = policy_space.policy_grid()
+    assert len(grid) == 3 * 2 * 2
+    names = {p.name for p in grid}
+    assert "t1-mig-mem" in names and "t3-non-fgt" in names
+
+
+class TestPolicySurface:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return policy_space.run(
+            apps=("mp3d",), cache_size=4096, scale=0.25, num_procs=8
+        )
+
+    def test_winner_is_the_papers_corner(self, rows):
+        """Immediate reclassification + initial migratory (+ memory)."""
+        best = policy_space.best_point(rows, "mp3d")
+        assert best.threshold == 1
+        assert best.initial_migratory
+
+    def test_memory_helps_non_migratory_initial(self, rows):
+        """Remembering across uncached intervals beats forgetting for
+        every threshold when blocks start non-migratory."""
+        table = {
+            (r.threshold, r.initial_migratory, r.remember_uncached): r
+            for r in rows
+        }
+        for threshold in (1, 2, 3):
+            remember = table[(threshold, False, True)]
+            forget = table[(threshold, False, False)]
+            assert remember.reduction_pct >= forget.reduction_pct - 0.2
+
+    def test_shallower_hysteresis_always_helps(self, rows):
+        """t1 >= t2 >= t3 within each (initial, memory) slice."""
+        table = {
+            (r.threshold, r.initial_migratory, r.remember_uncached): r
+            for r in rows
+        }
+        for initial in (False, True):
+            for memory in (True, False):
+                r1 = table[(1, initial, memory)].reduction_pct
+                r2 = table[(2, initial, memory)].reduction_pct
+                r3 = table[(3, initial, memory)].reduction_pct
+                assert r1 >= r2 - 0.3 >= r3 - 0.6, (initial, memory)
+
+    def test_every_point_beats_conventional(self, rows):
+        for row in rows:
+            assert row.reduction_pct > 0, row
+
+    def test_render(self, rows):
+        text = policy_space.render(rows)
+        assert "t1-mig-mem" in text

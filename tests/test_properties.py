@@ -1,0 +1,273 @@
+"""Property-based tests (hypothesis) for the coherence machines.
+
+Strategy: generate random access traces over a small address space and a
+few processors, then run them through every protocol with the built-in
+coherence checker enabled.  The checker raises on any violation of:
+
+* read-latest-write (block versions),
+* single-writer / exclusive-copy uniqueness,
+* directory copyset exactness,
+* the S2 at-most-two-copies guarantee (snooping).
+
+Additional cross-protocol properties compare message counts between
+protocol family members on the same trace.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.types import Access, Op
+from repro.directory.policy import (
+    AGGRESSIVE,
+    BASIC,
+    CONSERVATIVE,
+    CONVENTIONAL,
+    PAPER_POLICIES,
+)
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import (
+    AdaptiveSnoopingProtocol,
+    AlwaysMigrateProtocol,
+    MesiProtocol,
+)
+from repro.system.machine import DirectoryMachine
+from repro.trace import synth
+from repro.trace.core import Trace
+
+NUM_PROCS = 4
+
+accesses = st.lists(
+    st.builds(
+        Access,
+        proc=st.integers(0, NUM_PROCS - 1),
+        op=st.sampled_from([Op.READ, Op.WRITE]),
+        # 8 blocks of 16 bytes across 2 pages, word-aligned addresses
+        addr=st.integers(0, 2 * 4096 // 64 - 1).map(lambda x: x * 64 + 0),
+    ),
+    max_size=300,
+)
+
+word_accesses = st.lists(
+    st.builds(
+        Access,
+        proc=st.integers(0, NUM_PROCS - 1),
+        op=st.sampled_from([Op.READ, Op.WRITE]),
+        addr=st.integers(0, 63).map(lambda w: w * 4),
+    ),
+    max_size=300,
+)
+
+
+def dir_machine(policy, size=None, notify=True):
+    cfg = MachineConfig(
+        num_procs=NUM_PROCS,
+        cache=CacheConfig(size_bytes=size, block_size=16),
+        eviction_notification=notify,
+    )
+    return DirectoryMachine(cfg, policy, check=True)
+
+
+def bus_machine(protocol, size=None):
+    cfg = MachineConfig(
+        num_procs=NUM_PROCS, cache=CacheConfig(size_bytes=size, block_size=16)
+    )
+    return BusMachine(cfg, protocol, check=True)
+
+
+class TestDirectoryCoherence:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=word_accesses, policy=st.sampled_from(PAPER_POLICIES))
+    def test_infinite_cache_coherent(self, trace, policy):
+        m = dir_machine(policy)
+        m.run(trace)  # checker raises on violation
+        assert m.cache_stats.accesses == len(trace)
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=accesses, policy=st.sampled_from(PAPER_POLICIES))
+    def test_finite_cache_coherent(self, trace, policy):
+        # 64-byte 1-way cache: heavy conflict evictions
+        cfg = MachineConfig(
+            num_procs=NUM_PROCS,
+            cache=CacheConfig(size_bytes=64, block_size=16, associativity=1),
+        )
+        m = DirectoryMachine(cfg, policy, check=True)
+        m.run(trace)
+        assert m.cache_stats.accesses == len(trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=word_accesses)
+    def test_adaptation_disabled_equals_conventional(self, trace):
+        """Threshold=None must reproduce the conventional machine exactly."""
+        conv = dir_machine(CONVENTIONAL)
+        conv.run(trace)
+        from repro.directory.policy import AdaptivePolicy
+
+        also_conv = dir_machine(
+            AdaptivePolicy("off", migratory_threshold=None)
+        )
+        also_conv.run(trace)
+        assert conv.stats.snapshot() == also_conv.stats.snapshot()
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=word_accesses)
+    def test_hysteresis_orders_adaptation(self, trace):
+        """More conservative protocols never classify more blocks migratory.
+
+        The set of blocks *ever* classified migratory under conservative is
+        a subset of those under basic on the same trace (both start
+        non-migratory; conservative merely needs a longer streak).
+        """
+        from repro.directory.entry import DirState
+
+        seen = {}
+        for policy in (CONSERVATIVE, BASIC):
+            m = dir_machine(policy)
+            mig = set()
+            for acc in trace:
+                m.access(acc.proc, acc.op is Op.WRITE, acc.addr)
+                for block, ent in m.protocol.entries.items():
+                    if ent.migratory:
+                        mig.add(block)
+            seen[policy.name] = mig
+        assert seen["conservative"] <= seen["basic"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=word_accesses)
+    def test_counts_conserved(self, trace):
+        m = dir_machine(AGGRESSIVE)
+        m.run(trace)
+        s = m.stats
+        assert s.short >= 0 and s.data >= 0
+        assert sum(s.by_cause_short.values()) == s.short
+        assert sum(s.by_cause_data.values()) == s.data
+
+
+class TestBusCoherence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        trace=word_accesses,
+        protocol=st.sampled_from(
+            [MesiProtocol, AdaptiveSnoopingProtocol, AlwaysMigrateProtocol]
+        ),
+    )
+    def test_infinite_cache_coherent(self, trace, protocol):
+        m = bus_machine(protocol())
+        m.run(trace)
+        assert m.cache_stats.accesses == len(trace)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        trace=accesses,
+        protocol=st.sampled_from(
+            [MesiProtocol, AdaptiveSnoopingProtocol, AlwaysMigrateProtocol]
+        ),
+    )
+    def test_finite_cache_coherent(self, trace, protocol):
+        m = bus_machine(protocol(), size=64)
+        m.run(trace)
+        assert m.cache_stats.accesses == len(trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=word_accesses)
+    def test_adaptive_cost_bounded_vs_mesi(self, trace):
+        """Mis-classification costs are bounded.
+
+        The paper's "never sent more messages" is an *empirical*
+        observation about its traces, not an invariant: hypothesis found
+        the counterexample pinned in
+        ``test_misclassified_migration_costs_one_extra_miss``.  Each
+        mis-migration costs at most one extra read miss, and migrations
+        only arise from write misses or invalidations, so the adaptive
+        total is bounded by MESI's total plus MESI's write traffic.
+        """
+        mesi = bus_machine(MesiProtocol())
+        mesi.run(trace)
+        adaptive = bus_machine(AdaptiveSnoopingProtocol())
+        adaptive.run(trace)
+        bound = (
+            mesi.bus_stats.total
+            + mesi.bus_stats.write_miss
+            + mesi.bus_stats.invalidation
+        )
+        assert adaptive.bus_stats.total <= bound
+
+    def test_misclassified_migration_costs_one_extra_miss(self):
+        """Regression: the hypothesis-found counterexample, as expected
+        behaviour.  A write miss to an Exclusive copy is migratory
+        evidence; when the block is then actually read-shared, the first
+        re-read migrates instead of replicating, costing one extra read
+        miss before the protocol demotes the block."""
+        mesi = bus_machine(MesiProtocol())
+        adaptive = bus_machine(AdaptiveSnoopingProtocol())
+        for m in (mesi, adaptive):
+            m.access(0, False, 0)  # P0 read: E
+            m.access(1, True, 0)  # P1 write miss: evidence -> MD
+            m.access(0, False, 0)  # P0 re-read: migrates (MESI: shares)
+            m.access(1, False, 0)  # P1 re-read: MESI hits, adaptive misses
+        assert mesi.bus_stats.total == 3
+        assert adaptive.bus_stats.total == 4
+        # ...and the block is demoted, so the pattern does not repeat.
+        before = adaptive.bus_stats.total
+        adaptive.access(0, False, 0)
+        adaptive.access(1, False, 0)
+        assert adaptive.bus_stats.total == before
+
+
+class TestAdaptiveAdvantage:
+    """The paper's headline property on purely migratory traffic."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        visits=st.integers(10, 60),
+        objects=st.integers(1, 6),
+    )
+    def test_directory_adaptive_never_worse_on_migratory(
+        self, seed, visits, objects
+    ):
+        trace = synth.migratory(
+            num_procs=NUM_PROCS, num_objects=objects, visits=visits, seed=seed
+        )
+        conv = dir_machine(CONVENTIONAL)
+        conv.run(trace)
+        for policy in (CONSERVATIVE, BASIC, AGGRESSIVE):
+            m = dir_machine(policy)
+            m.run(trace)
+            assert m.stats.total <= conv.stats.total
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_aggressive_approaches_half_on_long_chains(self, seed):
+        trace = synth.migratory(
+            num_procs=NUM_PROCS, num_objects=2, visits=120,
+            reads_per_visit=1, writes_per_visit=1, seed=seed,
+        )
+        conv = dir_machine(CONVENTIONAL)
+        conv.run(trace)
+        aggr = dir_machine(AGGRESSIVE)
+        aggr.run(trace)
+        reduction = 1 - aggr.stats.total / conv.stats.total
+        assert reduction > 0.40
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), rounds=st.integers(5, 30))
+    def test_adaptive_matches_conventional_on_read_shared(self, seed, rounds):
+        trace = synth.read_shared(
+            num_procs=NUM_PROCS, num_objects=3, rounds=rounds, seed=seed
+        )
+        conv = dir_machine(CONVENTIONAL)
+        conv.run(trace)
+        basic = dir_machine(BASIC)
+        basic.run(trace)
+        assert basic.stats.total == conv.stats.total
+
+
+class TestTraceRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(trace=word_accesses)
+    def test_save_load_identity(self, trace, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "t.trace"
+        Trace(trace).save(path)
+        assert list(Trace.load(path)) == trace

@@ -1,0 +1,44 @@
+"""Tests for the seed-robustness experiment."""
+
+import pytest
+
+from repro.experiments import common, robustness
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return robustness.run(
+            apps=("mp3d", "locusroute"),
+            seeds=(0, 1, 2),
+            cache_size=None,
+            scale=0.15,
+            num_procs=4,
+        )
+
+    def test_positive_reduction_for_every_seed(self, rows):
+        for row in rows:
+            assert row.minimum > 0, row
+
+    def test_app_ordering_stable_across_seeds(self, rows):
+        by_app = {r.app: r for r in rows}
+        # mp3d beats locusroute for every individual seed
+        for mp3d_red, locus_red in zip(
+            by_app["mp3d"].reductions, by_app["locusroute"].reductions
+        ):
+            assert mp3d_red > locus_red
+
+    def test_spread_small_relative_to_effect(self, rows):
+        for row in rows:
+            assert row.spread < max(10.0, 0.5 * row.mean), row
+
+    def test_render(self, rows):
+        text = robustness.render(rows)
+        assert "spread" in text and "mp3d" in text

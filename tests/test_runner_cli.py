@@ -1,0 +1,77 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.runner import COMMANDS, main
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestArgumentParsing:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["warp-drive"])
+
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_all_is_a_choice(self):
+        # not executed here (slow); just validated by argparse
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        assert "all" not in COMMANDS  # reserved meta-command
+
+
+class TestFastCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "==== table1" in out
+        assert "read miss" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "match the published Figure 2" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "ordered copyset" in out
+
+
+class TestWorkloadCommands:
+    """Small-scale runs of the trace-driven commands."""
+
+    def test_sharing(self, capsys):
+        assert main(["sharing", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "mig %" in out and "mp3d" in out
+
+    def test_write_runs(self, capsys):
+        assert main(["write-runs", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "write runs" in out
+
+    def test_seed_changes_results(self, capsys):
+        main(["sharing", "--scale", "0.1", "--seed", "1"])
+        out1 = capsys.readouterr().out
+        common.clear_caches()
+        main(["sharing", "--scale", "0.1", "--seed", "2"])
+        out2 = capsys.readouterr().out
+        assert out1 != out2
+
+
+def test_every_command_is_callable():
+    """All registered commands exist and have docstring-visible names."""
+    for name, command in COMMANDS.items():
+        assert callable(command), name
+        assert "-" in name or name.isalnum()

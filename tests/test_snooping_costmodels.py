@@ -1,0 +1,73 @@
+"""Unit tests for the Section 4.3 bus cost models."""
+
+import pytest
+
+from repro.common.stats import BusStats
+from repro.snooping.costmodels import model1_cost, model2_cost, percent_reduction
+from repro.snooping.protocols import AdaptiveSnoopingProtocol, MesiProtocol
+from repro.snooping.states import SnoopState
+
+
+def stats(rm=0, wm=0, inv=0, wb=0):
+    s = BusStats()
+    for _ in range(rm):
+        s.record("read_miss")
+    for _ in range(wm):
+        s.record("write_miss")
+    for _ in range(inv):
+        s.record("invalidation")
+    for _ in range(wb):
+        s.record("writeback")
+    return s
+
+
+class TestModel1:
+    def test_unit_cost(self):
+        assert model1_cost(stats(rm=3, wm=2, inv=4, wb=1)) == 10
+
+    def test_empty(self):
+        assert model1_cost(BusStats()) == 0
+
+
+class TestModel2:
+    def test_conventional_invalidations_cost_one(self):
+        s = stats(rm=3, wm=2, inv=4, wb=1)
+        # misses cost 2, invalidations and writebacks cost 1
+        assert model2_cost(s, MesiProtocol()) == 2 * 5 + 4 + 1
+
+    def test_adaptive_invalidations_cost_two(self):
+        s = stats(rm=3, wm=2, inv=4, wb=1)
+        # misses and invalidations cost 2, writebacks 1
+        assert model2_cost(s, AdaptiveSnoopingProtocol()) == 2 * 9 + 1
+
+    def test_flag_drives_difference(self):
+        s = stats(inv=10)
+        assert model2_cost(s, AdaptiveSnoopingProtocol()) == 20
+        assert model2_cost(s, MesiProtocol()) == 10
+
+
+class TestPercentReduction:
+    def test_basic(self):
+        assert percent_reduction(200, 100) == pytest.approx(50.0)
+
+    def test_negative_when_worse(self):
+        assert percent_reduction(100, 110) == pytest.approx(-10.0)
+
+    def test_zero_base(self):
+        assert percent_reduction(0, 10) == 0.0
+
+
+class TestSnoopStateProperties:
+    def test_writable_states(self):
+        writable = {s for s in SnoopState if s.is_writable}
+        assert writable == {SnoopState.E, SnoopState.D, SnoopState.MC,
+                            SnoopState.MD}
+
+    def test_exclusive_states(self):
+        exclusive = {s for s in SnoopState if s.is_exclusive}
+        assert exclusive == {SnoopState.E, SnoopState.D, SnoopState.MC,
+                             SnoopState.MD}
+
+    def test_migratory_states(self):
+        migratory = {s for s in SnoopState if s.is_migratory}
+        assert migratory == {SnoopState.MC, SnoopState.MD}

@@ -1,0 +1,324 @@
+"""Conformance tests for the snooping protocols against Figures 1 and 2.
+
+Each test drives a small bus machine and checks the resulting line states
+and bus transaction counts, covering every transition in the Figure 2
+tables (local-event rows and bus-request rows).
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.errors import ConfigError
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import (
+    AdaptiveSnoopingProtocol,
+    AlwaysMigrateProtocol,
+    MesiProtocol,
+)
+from repro.snooping.states import SnoopState as St
+
+
+def bus(protocol=None, size=None, procs=4):
+    cfg = MachineConfig(num_procs=procs, cache=CacheConfig(size_bytes=size))
+    return BusMachine(cfg, protocol or AdaptiveSnoopingProtocol(), check=True)
+
+
+def state(machine, proc, block=0):
+    line = machine.caches[proc].lookup(block)
+    return None if line is None else line.state
+
+
+class TestMesiBaseline:
+    def test_cold_read_fills_exclusive(self):
+        m = bus(MesiProtocol())
+        m.access(0, False, 0)
+        assert state(m, 0) is St.E
+        assert m.bus_stats.read_miss == 1
+
+    def test_second_read_shares(self):
+        m = bus(MesiProtocol())
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        assert state(m, 0) is St.S and state(m, 1) is St.S
+
+    def test_exclusive_write_silent(self):
+        m = bus(MesiProtocol())
+        m.access(0, False, 0)
+        m.access(0, True, 0)
+        assert state(m, 0) is St.D
+        assert m.bus_stats.invalidation == 0
+
+    def test_shared_write_invalidates(self):
+        m = bus(MesiProtocol())
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        m.access(1, True, 0)
+        assert state(m, 1) is St.D and state(m, 0) is None
+        assert m.bus_stats.invalidation == 1
+
+    def test_dirty_remote_read_downgrades(self):
+        m = bus(MesiProtocol())
+        m.access(0, True, 0)
+        m.access(1, False, 0)
+        assert state(m, 0) is St.S and state(m, 1) is St.S
+        assert not m.caches[0].lookup(0).dirty  # memory snooped the supply
+
+    def test_write_miss_invalidates_all(self):
+        m = bus(MesiProtocol())
+        for proc in (0, 1, 2):
+            m.access(proc, False, 0)
+        m.access(3, True, 0)
+        assert state(m, 3) is St.D
+        assert all(state(m, p) is None for p in (0, 1, 2))
+
+    def test_migratory_pattern_costs_two_transactions_per_hop(self):
+        m = bus(MesiProtocol())
+        m.access(0, True, 0)
+        base = m.bus_stats.total
+        m.access(1, False, 0)
+        m.access(1, True, 0)
+        assert m.bus_stats.total - base == 2  # read miss + invalidation
+
+
+class TestAdaptiveLocalEvents:
+    """Upper half of Figure 2: transitions on local cache events."""
+
+    def test_crm_no_response_fills_E(self):
+        m = bus()
+        m.access(0, False, 0)
+        assert state(m, 0) is St.E
+
+    def test_crm_shared_response_fills_S(self):
+        m = bus()
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        assert state(m, 1) is St.S
+
+    def test_crm_migratory_response_fills_MC(self):
+        m = bus()
+        self._make_migratory(m, writer=1)
+        m.access(2, False, 0)  # MD at P1 migrates
+        assert state(m, 2) is St.MC
+        assert state(m, 1) is None
+
+    def test_cwm_no_response_fills_D(self):
+        m = bus()
+        m.access(0, True, 0)
+        assert state(m, 0) is St.D
+
+    def test_cwm_migratory_response_fills_MD(self):
+        m = bus()
+        m.access(0, True, 0)  # P0 Dirty
+        m.access(1, True, 0)  # write miss to single Dirty copy: Migratory
+        assert state(m, 1) is St.MD
+        assert state(m, 0) is None
+
+    def test_e_cwh_goes_dirty_silently(self):
+        m = bus()
+        m.access(0, False, 0)
+        total = m.bus_stats.total
+        m.access(0, True, 0)
+        assert state(m, 0) is St.D
+        assert m.bus_stats.total == total
+
+    def test_s2_cwh_invalidates_to_D(self):
+        m = bus()
+        m.access(0, True, 0)  # P0: D
+        m.access(1, False, 0)  # P0 -> S2, P1 -> S
+        assert state(m, 0) is St.S2
+        m.access(0, True, 0)  # the OLDER copy writes: not migratory
+        assert state(m, 0) is St.D
+        assert state(m, 1) is None
+
+    def test_s_cwh_with_migratory_reply_goes_MD(self):
+        m = bus()
+        m.access(0, True, 0)
+        m.access(1, False, 0)  # P0: S2, P1: S
+        m.access(1, True, 0)  # newer copy writes: S2 responder asserts M
+        assert state(m, 1) is St.MD
+
+    def test_s_cwh_without_migratory_reply_goes_D(self):
+        m = bus()
+        m.access(0, True, 0)
+        m.access(1, False, 0)
+        m.access(2, False, 0)  # three copies: P0 S, P1 S, P2 S
+        m.access(2, True, 0)  # no S2 responder: conventional
+        assert state(m, 2) is St.D
+
+    def test_mc_cwh_goes_MD_silently(self):
+        m = bus()
+        self._make_migratory(m, writer=1)
+        m.access(2, False, 0)  # P2: MC
+        total = m.bus_stats.total
+        m.access(2, True, 0)
+        assert state(m, 2) is St.MD
+        assert m.bus_stats.total == total  # the whole point of the protocol
+
+    @staticmethod
+    def _make_migratory(m, writer):
+        """Put block 0 in MD state at `writer` via the detection sequence."""
+        other = 0 if writer != 0 else 3
+        m.access(other, True, 0)
+        m.access(writer, False, 0)
+        m.access(writer, True, 0)
+        assert state(m, writer) is St.MD
+
+
+class TestAdaptiveBusRequests:
+    """Lower half of Figure 2: transitions on bus requests."""
+
+    def test_e_brmr_to_s2(self):
+        m = bus()
+        m.access(0, False, 0)  # E
+        m.access(1, False, 0)
+        assert state(m, 0) is St.S2
+        assert state(m, 1) is St.S
+
+    def test_e_bwmr_asserts_migratory(self):
+        m = bus()
+        m.access(0, False, 0)  # E
+        m.access(1, True, 0)
+        assert state(m, 0) is None
+        assert state(m, 1) is St.MD
+
+    def test_d_brmr_to_s2_provides(self):
+        m = bus()
+        m.access(0, True, 0)
+        m.access(1, False, 0)
+        assert state(m, 0) is St.S2
+        assert not m.caches[0].lookup(0).dirty
+
+    def test_s2_brmr_falls_back_to_s(self):
+        m = bus()
+        m.access(0, True, 0)
+        m.access(1, False, 0)  # P0: S2
+        m.access(2, False, 0)  # third copy: P0 drops to plain S
+        assert state(m, 0) is St.S
+        assert state(m, 2) is St.S
+
+    def test_s2_bwmr_invalidates_without_assert(self):
+        m = bus()
+        m.access(0, True, 0)
+        m.access(1, False, 0)  # P0 S2, P1 S
+        m.access(2, True, 0)  # write miss with two copies: conventional
+        assert state(m, 2) is St.D
+        assert state(m, 0) is None and state(m, 1) is None
+
+    def test_mc_brmr_demotes_to_s2(self):
+        m = bus()
+        TestAdaptiveLocalEvents._make_migratory(m, writer=1)
+        m.access(2, False, 0)  # P2: MC (clean migratory)
+        m.access(3, False, 0)  # miss request while clean: demote
+        assert state(m, 2) is St.S2
+        assert state(m, 3) is St.S
+
+    def test_mc_bwmr_demotes_without_assert(self):
+        m = bus()
+        TestAdaptiveLocalEvents._make_migratory(m, writer=1)
+        m.access(2, False, 0)  # P2: MC
+        m.access(3, True, 0)  # write miss: MC demotes, no Migratory assert
+        assert state(m, 2) is None
+        assert state(m, 3) is St.D
+
+    def test_md_brmr_migrates(self):
+        m = bus()
+        TestAdaptiveLocalEvents._make_migratory(m, writer=1)
+        m.access(2, False, 0)
+        assert state(m, 1) is None
+        assert state(m, 2) is St.MC
+
+    def test_md_bwmr_migrates(self):
+        m = bus()
+        TestAdaptiveLocalEvents._make_migratory(m, writer=1)
+        m.access(2, True, 0)
+        assert state(m, 1) is None
+        assert state(m, 2) is St.MD
+
+    def test_steady_state_migration_is_one_transaction_per_hop(self):
+        m = bus()
+        TestAdaptiveLocalEvents._make_migratory(m, writer=1)
+        base = m.bus_stats.total
+        for turn in range(10):
+            proc = 2 + (turn % 2)
+            m.access(proc, False, 0)
+            m.access(proc, True, 0)
+        assert m.bus_stats.total - base == 10  # one read miss per hop
+
+
+class TestAlwaysMigrate:
+    def test_dirty_read_miss_migrates(self):
+        m = bus(AlwaysMigrateProtocol())
+        m.access(0, True, 0)
+        m.access(1, False, 0)
+        assert state(m, 0) is None
+        assert state(m, 1) is St.MC  # owned clean
+
+    def test_read_shared_ping_pongs(self):
+        """Thakkar's observation: written-once data causes extra misses."""
+        adaptive = bus(AdaptiveSnoopingProtocol())
+        always = bus(AlwaysMigrateProtocol())
+        for m in (adaptive, always):
+            m.access(0, True, 0)  # initialise
+            for r in range(8):
+                for proc in range(4):
+                    m.access(proc, False, 0)
+        assert always.bus_stats.read_miss > adaptive.bus_stats.read_miss
+
+    def test_owned_clean_write_silent(self):
+        m = bus(AlwaysMigrateProtocol())
+        m.access(0, True, 0)
+        m.access(1, False, 0)  # migrate to P1 (MC)
+        total = m.bus_stats.total
+        m.access(1, True, 0)
+        assert state(m, 1) is St.D
+        assert m.bus_stats.total == total
+
+    def test_owned_clean_remote_read_replicates(self):
+        m = bus(AlwaysMigrateProtocol())
+        m.access(0, True, 0)
+        m.access(1, False, 0)  # P1: MC
+        m.access(2, False, 0)  # clean: replicate, don't migrate
+        assert state(m, 1) is St.S and state(m, 2) is St.S
+
+
+class TestBusReplacement:
+    def test_dirty_victim_writes_back(self):
+        cfg = MachineConfig(
+            num_procs=2,
+            cache=CacheConfig(size_bytes=64, block_size=16, associativity=2),
+        )
+        m = BusMachine(cfg, AdaptiveSnoopingProtocol(), check=True)
+        m.access(0, True, 0)  # block 0, set 0, dirty
+        m.access(0, False, 32)  # block 2, set 0
+        m.access(0, False, 64)  # block 4, set 0: evicts block 0
+        assert m.bus_stats.writeback == 1
+        assert m.caches[0].lookup(0) is None
+
+    def test_clean_victim_silent(self):
+        cfg = MachineConfig(
+            num_procs=2,
+            cache=CacheConfig(size_bytes=64, block_size=16, associativity=2),
+        )
+        m = BusMachine(cfg, AdaptiveSnoopingProtocol(), check=True)
+        for addr in (0, 32, 64):
+            m.access(0, False, addr)
+        assert m.bus_stats.writeback == 0
+
+    def test_classification_lost_when_uncached(self):
+        """A snooping protocol cannot remember uncached-block state."""
+        cfg = MachineConfig(
+            num_procs=3,
+            cache=CacheConfig(size_bytes=64, block_size=16, associativity=2),
+        )
+        m = BusMachine(cfg, AdaptiveSnoopingProtocol(), check=True)
+        # Make block 0 migratory at P1.
+        m.access(0, True, 0)
+        m.access(1, False, 0)
+        m.access(1, True, 0)
+        assert state(m, 1) is St.MD
+        # Evict it (writeback), then reload: fills E, not MC.
+        m.access(1, False, 32)
+        m.access(1, False, 64)
+        assert m.caches[1].lookup(0) is None
+        m.access(2, False, 0)
+        assert state(m, 2) is St.E

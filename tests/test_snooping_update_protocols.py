@@ -1,0 +1,156 @@
+"""Tests for the write-update and competitive-update protocols.
+
+These make the paper's two claims about update-based protocols
+executable: pure write-update communicates on *every* write to shared
+data, and the Alpha-style hybrid takes three inter-cache operations to
+migrate a block.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import AdaptiveSnoopingProtocol, MesiProtocol
+from repro.snooping.states import SnoopState as St
+from repro.snooping.update_protocols import (
+    CompetitiveUpdateProtocol,
+    WriteUpdateProtocol,
+)
+from repro.trace import synth
+
+
+def bus(protocol, procs=4, size=None):
+    cfg = MachineConfig(num_procs=procs, cache=CacheConfig(size_bytes=size))
+    return BusMachine(cfg, protocol, check=True)
+
+
+def state(machine, proc, block=0):
+    line = machine.caches[proc].lookup(block)
+    return None if line is None else line.state
+
+
+class TestWriteUpdate:
+    def test_update_keeps_copies_valid(self):
+        m = bus(WriteUpdateProtocol())
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        m.access(1, True, 0)  # update broadcast
+        assert state(m, 0) is St.S and state(m, 1) is St.S
+        assert m.bus_stats.update == 1
+        # P0 can still read without a miss.
+        before = m.bus_stats.total
+        m.access(0, False, 0)
+        assert m.bus_stats.total == before
+
+    def test_every_shared_write_broadcasts(self):
+        m = bus(WriteUpdateProtocol())
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        for _ in range(10):
+            m.access(1, True, 0)
+        assert m.bus_stats.update == 10
+
+    def test_sole_copy_writes_silently(self):
+        m = bus(WriteUpdateProtocol())
+        m.access(0, False, 0)  # E
+        before = m.bus_stats.total
+        m.access(0, True, 0)
+        assert m.bus_stats.total == before
+        assert state(m, 0) is St.D
+
+    def test_update_to_lone_writer_promotes_to_exclusive(self):
+        m = bus(CompetitiveUpdateProtocol(threshold=0))
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        m.access(1, True, 0)  # threshold 0: P0's copy dies immediately
+        assert state(m, 0) is None
+        assert state(m, 1) is St.E
+        before = m.bus_stats.total
+        m.access(1, True, 0)  # now silent
+        assert m.bus_stats.total == before
+
+    def test_reads_stay_coherent_under_updates(self):
+        """The version checker validates update propagation."""
+        m = bus(WriteUpdateProtocol())
+        trace = synth.producer_consumer(num_procs=4, num_objects=2,
+                                        rounds=20, consumers=3, seed=6)
+        m.run(trace)  # checker raises on stale reads
+
+    def test_write_update_loses_badly_on_migratory_data(self):
+        """The introduction's argument for starting from write-invalidate."""
+        trace = synth.migratory(num_procs=4, num_objects=4, visits=50,
+                                reads_per_visit=1, writes_per_visit=4, seed=7)
+        update = bus(WriteUpdateProtocol())
+        update.run(trace)
+        invalidate = bus(MesiProtocol())
+        invalidate.run(trace)
+        adaptive = bus(AdaptiveSnoopingProtocol())
+        adaptive.run(trace)
+        assert update.bus_stats.total > invalidate.bus_stats.total
+        assert invalidate.bus_stats.total > adaptive.bus_stats.total
+
+    def test_write_update_wins_on_producer_consumer(self):
+        """Update protocols exist for a reason: tight producer-consumer."""
+        trace = synth.producer_consumer(num_procs=4, num_objects=4,
+                                        words_per_object=2, rounds=40,
+                                        consumers=3, seed=8)
+        update = bus(WriteUpdateProtocol())
+        update.run(trace)
+        invalidate = bus(MesiProtocol())
+        invalidate.run(trace)
+        assert update.bus_stats.total < invalidate.bus_stats.total
+
+
+class TestCompetitiveUpdate:
+    def test_three_transactions_per_migration(self):
+        """The paper's Alpha observation, reproduced exactly: read miss,
+        one tolerated update, then the update that kills the stale copy."""
+        m = bus(CompetitiveUpdateProtocol(threshold=1))
+        m.access(0, True, 0)  # P0 owns the block
+        base = m.bus_stats.total
+        m.access(1, False, 0)  # 1: read miss replicates
+        m.access(1, True, 0)  # 2: update (P0 counter -> 1, survives)
+        m.access(1, True, 0)  # 3: update (P0 counter -> 2, dies)
+        assert m.bus_stats.total - base == 3
+        assert state(m, 0) is None
+        assert state(m, 1) is St.E
+        m.access(1, True, 0)  # silent now
+        assert m.bus_stats.total - base == 3
+
+    def test_local_access_resets_staleness(self):
+        m = bus(CompetitiveUpdateProtocol(threshold=1))
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        m.access(1, True, 0)  # P0 counter 1
+        m.access(0, False, 0)  # P0 uses the data: counter reset
+        m.access(1, True, 0)  # P0 counter 1 again, survives
+        assert state(m, 0) is St.S
+
+    def test_adaptive_beats_hybrid_on_migratory_data(self):
+        """The quantitative version of the related-work comparison."""
+        trace = synth.migratory(num_procs=4, num_objects=4, visits=60,
+                                reads_per_visit=2, writes_per_visit=2, seed=9)
+        hybrid = bus(CompetitiveUpdateProtocol(threshold=1))
+        hybrid.run(trace)
+        adaptive = bus(AdaptiveSnoopingProtocol())
+        adaptive.run(trace)
+        assert adaptive.bus_stats.total < hybrid.bus_stats.total
+
+    def test_threshold_validation(self):
+        from repro.common.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            CompetitiveUpdateProtocol(threshold=-1)
+
+    def test_coherent_under_random_traffic(self):
+        trace = synth.interleave(
+            [
+                synth.migratory(num_procs=4, num_objects=3, visits=30, seed=1),
+                synth.read_shared(num_procs=4, num_objects=3, rounds=10,
+                                  base=1 << 16, seed=2),
+            ],
+            chunk=4,
+            seed=3,
+        )
+        m = bus(CompetitiveUpdateProtocol(threshold=2), size=256)
+        m.run(trace)  # checker validates coherence throughout

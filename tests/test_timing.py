@@ -1,0 +1,95 @@
+"""Unit tests for the execution-time model."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.types import read, write
+from repro.directory.policy import BASIC, CONVENTIONAL
+from repro.system.machine import DirectoryMachine
+from repro.timing.sim import (
+    TimingParams,
+    TimingResult,
+    TimingSimulator,
+    percent_time_reduction,
+)
+from repro.trace import synth
+from repro.trace.core import Trace
+
+
+def machine(policy=CONVENTIONAL, procs=4):
+    cfg = MachineConfig(
+        num_procs=procs, cache=CacheConfig(size_bytes=None, block_size=16)
+    )
+    return DirectoryMachine(cfg, policy)
+
+
+PARAMS = TimingParams(hit_cycles=1, memory_cycles=10, message_cycles=5,
+                      compute_cycles_per_ref=0)
+
+
+class TestTimingSimulator:
+    def test_hit_costs_hit_cycles(self):
+        sim = TimingSimulator(machine(), PARAMS)
+        # local read miss (free), then a hit
+        result = sim.run(Trace([read(0, 0), read(0, 0)]))
+        # miss: 10 + 5*0 = 10; hit: 1
+        assert result.per_proc_cycles[0] == 11
+
+    def test_miss_cost_scales_with_messages(self):
+        sim = TimingSimulator(machine(), PARAMS)
+        # P1 remote write miss: (1,1) -> 2 messages -> 10 + 5*2 = 20
+        result = sim.run(Trace([write(1, 0)]))
+        assert result.per_proc_cycles[1] == 20
+
+    def test_compute_cycles_added_per_ref(self):
+        params = TimingParams(hit_cycles=1, memory_cycles=10,
+                              message_cycles=5, compute_cycles_per_ref=7)
+        sim = TimingSimulator(machine(), params)
+        result = sim.run(Trace([read(0, 0), read(0, 0)]))
+        assert result.per_proc_cycles[0] == 11 + 2 * 7
+
+    def test_execution_time_is_max_over_procs(self):
+        sim = TimingSimulator(machine(), PARAMS)
+        result = sim.run(Trace([read(0, 0), read(1, 4096), read(1, 4096)]))
+        assert result.execution_time == max(result.per_proc_cycles)
+
+    def test_read_miss_latency_tracked(self):
+        sim = TimingSimulator(machine(), PARAMS)
+        result = sim.run(Trace([read(1, 0)]))  # remote clean: (1,1) -> 20
+        assert result.read_miss_count == 1
+        assert result.mean_read_miss_latency == pytest.approx(20.0)
+
+    def test_no_read_misses_mean_zero(self):
+        assert TimingResult([0], 0).mean_read_miss_latency == 0.0
+
+    def test_upgrade_charged_as_miss(self):
+        sim = TimingSimulator(machine(), PARAMS)
+        # P1 reads (miss), then writes (upgrade: remote clean DC=0 -> 2 short)
+        result = sim.run(Trace([read(1, 0), write(1, 0)]))
+        # read miss: 10+5*2=20 ; upgrade: 10+5*2=20
+        assert result.per_proc_cycles[1] == 40
+
+
+class TestAdaptiveTimingAdvantage:
+    def test_adaptive_faster_on_migratory_workload(self):
+        trace = synth.migratory(num_procs=4, num_objects=4, visits=60, seed=11)
+        base = TimingSimulator(machine(CONVENTIONAL), PARAMS).run(trace)
+        adapt = TimingSimulator(machine(BASIC), PARAMS).run(trace)
+        reduction = percent_time_reduction(base, adapt)
+        assert reduction > 5.0
+
+    def test_compute_dilutes_reduction(self):
+        trace = synth.migratory(num_procs=4, num_objects=4, visits=60, seed=11)
+        diluted = TimingParams(hit_cycles=1, memory_cycles=10,
+                               message_cycles=5, compute_cycles_per_ref=100)
+        base_lean = TimingSimulator(machine(CONVENTIONAL), PARAMS).run(trace)
+        adapt_lean = TimingSimulator(machine(BASIC), PARAMS).run(trace)
+        base_fat = TimingSimulator(machine(CONVENTIONAL), diluted).run(trace)
+        adapt_fat = TimingSimulator(machine(BASIC), diluted).run(trace)
+        assert percent_time_reduction(base_fat, adapt_fat) < (
+            percent_time_reduction(base_lean, adapt_lean)
+        )
+
+    def test_zero_base_time(self):
+        empty = TimingResult([0], 0)
+        assert percent_time_reduction(empty, empty) == 0.0

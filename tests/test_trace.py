@@ -1,0 +1,171 @@
+"""Unit tests for trace containers and synthetic generators."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.common.types import Op, read, write
+from repro.trace import synth
+from repro.trace.core import Trace
+
+
+class TestTrace:
+    def test_append_extend_len(self):
+        t = Trace()
+        t.append(read(0, 0))
+        t.extend([write(1, 4), read(2, 8)])
+        assert len(t) == 3
+        assert t[1] == write(1, 4)
+
+    def test_num_procs(self):
+        assert Trace([read(0, 0), read(5, 4)]).num_procs == 6
+        assert Trace().num_procs == 0
+
+    def test_write_fraction(self):
+        t = Trace([read(0, 0), write(0, 0), write(0, 4), read(0, 8)])
+        assert t.write_fraction == pytest.approx(0.5)
+        assert Trace().write_fraction == 0.0
+
+    def test_footprint(self):
+        t = Trace([read(0, 0), read(0, 2), read(0, 4)])
+        assert t.footprint_bytes(granularity=4) == 8
+
+    def test_blocks(self):
+        t = Trace([read(0, 0), read(0, 15), read(0, 16)])
+        assert t.blocks(16) == {0, 1}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        t = Trace([read(3, 0x1234), write(0, 0)], name="rt")
+        path = tmp_path / "t.trace"
+        t.save(path)
+        loaded = Trace.load(path)
+        assert list(loaded) == list(t)
+        assert loaded.name == "t"
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("0 R 10\nnot a record\n")
+        with pytest.raises(TraceError):
+            Trace.load(path)
+
+    def test_load_rejects_bad_op(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("0 X 10\n")
+        with pytest.raises(TraceError):
+            Trace.load(path)
+
+    def test_load_skips_comments(self, tmp_path):
+        path = tmp_path / "c.trace"
+        path.write_text("# hello\n\n1 W ff\n")
+        t = Trace.load(path)
+        assert list(t) == [write(1, 0xFF)]
+
+    def test_gzip_roundtrip(self, tmp_path):
+        t = Trace([read(3, 0x1234), write(0, 0)] * 50, name="gz")
+        path = tmp_path / "t.trace.gz"
+        t.save(path)
+        # really compressed: gzip magic bytes
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert list(Trace.load(path)) == list(t)
+
+    def test_gzip_smaller_than_plain(self, tmp_path):
+        t = Trace([read(1, i * 4) for i in range(5000)])
+        plain = tmp_path / "t.trace"
+        packed = tmp_path / "t.trace.gz"
+        t.save(plain)
+        t.save(packed)
+        assert packed.stat().st_size < plain.stat().st_size / 2
+
+
+class TestMigratoryGenerator:
+    def test_deterministic(self):
+        a = synth.migratory(seed=42)
+        b = synth.migratory(seed=42)
+        assert list(a) == list(b)
+        c = synth.migratory(seed=43)
+        assert list(a) != list(c)
+
+    def test_no_immediate_repeat_visits(self):
+        t = synth.migratory(num_procs=8, num_objects=1, visits=50,
+                            reads_per_visit=1, writes_per_visit=1, seed=0)
+        visit_procs = [a.proc for a in t if a.op is Op.WRITE]
+        for prev, cur in zip(visit_procs, visit_procs[1:]):
+            assert prev != cur
+
+    def test_each_visit_reads_then_writes(self):
+        t = synth.migratory(num_procs=4, num_objects=1, visits=3,
+                            reads_per_visit=2, writes_per_visit=1, seed=0)
+        ops = [a.op for a in t]
+        assert ops == [Op.READ, Op.READ, Op.WRITE] * 3
+
+    def test_objects_disjoint(self):
+        t = synth.migratory(num_objects=4, words_per_object=2, stride=64, seed=0)
+        addrs_by_obj = {}
+        for a in t:
+            addrs_by_obj.setdefault(a.addr // 64, set()).add(a.addr)
+        assert len(addrs_by_obj) == 4
+
+
+class TestReadSharedGenerator:
+    def test_single_writer(self):
+        t = synth.read_shared(num_procs=8, writer=2, seed=0)
+        writers = {a.proc for a in t if a.op is Op.WRITE}
+        assert writers == {2}
+
+    def test_all_procs_read(self):
+        t = synth.read_shared(num_procs=8, rounds=2, seed=0)
+        readers = {a.proc for a in t if a.op is Op.READ}
+        assert readers == set(range(8))
+
+
+class TestProducerConsumer:
+    def test_roles_fixed(self):
+        t = synth.producer_consumer(num_procs=4, num_objects=1, rounds=5,
+                                    consumers=2, seed=1)
+        writers = {a.proc for a in t if a.op is Op.WRITE}
+        readers = {a.proc for a in t if a.op is Op.READ}
+        assert len(writers) == 1
+        assert writers.isdisjoint(readers)
+
+
+class TestFalseSharing:
+    def test_distinct_words_same_block(self):
+        t = synth.false_sharing(num_procs=4, num_blocks=1, block_size=64,
+                                rounds=1, seed=2)
+        blocks = {a.addr // 64 for a in t}
+        assert blocks == {0}
+        # different processors touch different words
+        proc_words = {}
+        for a in t:
+            proc_words.setdefault(a.proc, set()).add(a.addr)
+        words = [frozenset(v) for v in proc_words.values()]
+        assert len(set(words)) == len(words)
+
+
+class TestPrivate:
+    def test_regions_disjoint_per_proc(self):
+        t = synth.private(num_procs=4, seed=3)
+        regions = {}
+        for a in t:
+            regions.setdefault(a.proc, set()).add(a.addr // 4096)
+        all_pages = [p for pages in regions.values() for p in pages]
+        assert len(all_pages) == len(set(all_pages))
+
+
+class TestInterleave:
+    def test_preserves_per_trace_order(self):
+        t1 = Trace([read(0, i * 4) for i in range(20)])
+        t2 = Trace([write(1, 4096 + i * 4) for i in range(20)])
+        mixed = synth.interleave([t1, t2], chunk=3, seed=4)
+        assert len(mixed) == 40
+        sub1 = [a for a in mixed if a.proc == 0]
+        sub2 = [a for a in mixed if a.proc == 1]
+        assert sub1 == list(t1)
+        assert sub2 == list(t2)
+
+    def test_actually_interleaves(self):
+        t1 = Trace([read(0, 0)] * 10)
+        t2 = Trace([read(1, 4096)] * 10)
+        mixed = synth.interleave([t1, t2], chunk=2, seed=5)
+        procs = [a.proc for a in mixed]
+        # not all of t1 then all of t2
+        assert procs != sorted(procs)

@@ -1,0 +1,200 @@
+"""Exhaustive state-space verification of every protocol.
+
+Each test explores the *entire* reachable global state space of a
+protocol (single block, 3 processors, every read/write interleaving) and
+asserts the safety invariants in every state, plus structural facts the
+paper states about the protocols.
+"""
+
+import pytest
+
+from repro.directory.policy import (
+    AGGRESSIVE,
+    BASIC,
+    CONSERVATIVE,
+    CONVENTIONAL,
+    AdaptivePolicy,
+)
+from repro.snooping.protocols import (
+    AdaptiveSnoopingProtocol,
+    AlwaysMigrateProtocol,
+    MesiProtocol,
+)
+from repro.snooping.update_protocols import (
+    CompetitiveUpdateProtocol,
+    WriteUpdateProtocol,
+)
+from repro.verification.space import (
+    directory_states_seen,
+    explore_directory,
+    explore_snooping,
+)
+
+
+class TestSnoopingStateSpaces:
+    def test_mesi_safe_and_minimal(self):
+        result = explore_snooping(MesiProtocol)
+        assert result.ok, result.violations
+        assert result.line_states_seen() == {"E", "S", "D"}
+        assert len(result.states) == 11
+
+    def test_adaptive_safe_uses_all_six_states(self):
+        result = explore_snooping(AdaptiveSnoopingProtocol)
+        assert result.ok, result.violations
+        assert result.line_states_seen() == {"E", "S", "S2", "D", "MC", "MD"}
+
+    def test_initial_migratory_kills_the_exclusive_state(self):
+        """Figure 1's remark, proven over the model: with
+        migrate-on-read-miss as the initial policy, E has no
+        in-transitions and is never reached."""
+        result = explore_snooping(
+            lambda: AdaptiveSnoopingProtocol(initial_migratory=True)
+        )
+        assert result.ok, result.violations
+        assert "E" not in result.line_states_seen()
+        assert result.line_states_seen() == {"S", "S2", "D", "MC", "MD"}
+
+    def test_always_migrate_safe(self):
+        result = explore_snooping(AlwaysMigrateProtocol)
+        assert result.ok, result.violations
+        # S2/MD never used by the non-adaptive protocol
+        assert "S2" not in result.line_states_seen()
+        assert "MD" not in result.line_states_seen()
+
+    def test_write_update_safe(self):
+        result = explore_snooping(WriteUpdateProtocol)
+        assert result.ok, result.violations
+
+    @pytest.mark.parametrize("threshold", [0, 1, 2])
+    def test_competitive_update_safe(self, threshold):
+        result = explore_snooping(
+            lambda: CompetitiveUpdateProtocol(threshold)
+        )
+        assert result.ok, result.violations
+
+    def test_transition_relation_total(self):
+        """Every (state, processor, op) has exactly one successor."""
+        result = explore_snooping(AdaptiveSnoopingProtocol)
+        assert len(result.transitions) == len(result.states) * 3 * 2
+
+    def test_four_processors(self):
+        result = explore_snooping(AdaptiveSnoopingProtocol, num_procs=4)
+        assert result.ok, result.violations
+
+
+class TestDirectoryStateSpaces:
+    @pytest.mark.parametrize(
+        "policy", [CONVENTIONAL, CONSERVATIVE, BASIC, AGGRESSIVE],
+        ids=lambda p: p.name,
+    )
+    def test_safe(self, policy):
+        result = explore_directory(policy)
+        assert result.ok, result.violations
+
+    def test_conventional_never_reaches_migratory_states(self):
+        result = explore_directory(CONVENTIONAL)
+        assert "ONE_COPY_MIG" not in directory_states_seen(result)
+        assert "UNCACHED_MIG" not in directory_states_seen(result)
+
+    def test_adaptive_reaches_migratory_state(self):
+        for policy in (CONSERVATIVE, BASIC, AGGRESSIVE):
+            result = explore_directory(policy)
+            assert "ONE_COPY_MIG" in directory_states_seen(result), policy
+
+    def test_aggressive_never_returns_to_plain_uncached(self):
+        """Without evictions the block never becomes uncached again, and
+        the aggressive protocol starts migratory-uncached."""
+        result = explore_directory(AGGRESSIVE)
+        seen = directory_states_seen(result)
+        assert "UNCACHED_MIG" in seen
+        assert "UNCACHED" not in seen
+
+    def test_hysteresis_expands_the_state_space(self):
+        """Hysteresis multiplies states (the paper: "adding hysteresis
+        ... would multiplicatively increase the number of states")."""
+        basic = explore_directory(BASIC)
+        conservative = explore_directory(CONSERVATIVE)
+        deep = explore_directory(
+            AdaptivePolicy("deep", migratory_threshold=3)
+        )
+        assert len(conservative.states) > len(basic.states)
+        assert len(deep.states) > len(conservative.states)
+
+    def test_streak_is_bounded(self):
+        """The evidence streak cannot exceed the threshold (it promotes
+        or resets), keeping directory entries finite."""
+        for policy, bound in ((CONSERVATIVE, 2), (BASIC, 1)):
+            result = explore_directory(policy)
+            for state in result.states:
+                assert state[2] <= bound, (policy.name, state)
+
+    def test_four_processors(self):
+        result = explore_directory(BASIC, num_procs=4)
+        assert result.ok, result.violations
+
+
+class TestDirectoryWithEvictions:
+    """State spaces including replacement (notification/writeback) paths."""
+
+    @pytest.mark.parametrize(
+        "policy", [CONVENTIONAL, CONSERVATIVE, BASIC, AGGRESSIVE],
+        ids=lambda p: p.name,
+    )
+    def test_safe_with_evictions(self, policy):
+        result = explore_directory(policy, with_evictions=True)
+        assert result.ok, result.violations
+
+    def test_uncached_states_reachable_with_evictions(self):
+        """Evicting the last copy reaches the UNCACHED* states that the
+        eviction-free exploration cannot."""
+        result = explore_directory(BASIC, with_evictions=True)
+        seen = directory_states_seen(result)
+        assert "UNCACHED" in seen
+        assert "UNCACHED_MIG" in seen  # classification remembered
+
+    def test_forgetful_policy_never_remembers(self):
+        forgetful = AdaptivePolicy(
+            "forgetful", migratory_threshold=1, remember_uncached=False
+        )
+        result = explore_directory(forgetful, with_evictions=True)
+        assert result.ok, result.violations
+        assert "UNCACHED_MIG" not in directory_states_seen(result)
+
+    def test_eviction_expands_state_space(self):
+        plain = explore_directory(BASIC)
+        with_ev = explore_directory(BASIC, with_evictions=True)
+        assert len(with_ev.states) > len(plain.states)
+
+
+class TestSnoopingWithEvictions:
+    """Silent replacement enlarges the snooping state space (e.g. a lone
+    plain-S copy exists only after its S2 partner was dropped)."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [MesiProtocol, AdaptiveSnoopingProtocol, AlwaysMigrateProtocol,
+         WriteUpdateProtocol],
+        ids=["mesi", "adaptive", "always-migrate", "write-update"],
+    )
+    def test_safe_with_evictions(self, factory):
+        result = explore_snooping(factory, with_evictions=True)
+        assert result.ok, result.violations
+
+    def test_eviction_expands_adaptive_space(self):
+        plain = explore_snooping(AdaptiveSnoopingProtocol)
+        with_ev = explore_snooping(AdaptiveSnoopingProtocol,
+                                   with_evictions=True)
+        assert len(with_ev.states) > len(plain.states)
+
+    def test_lone_plain_s_copy_reachable_only_via_eviction(self):
+        def lone_s(result):
+            return any(
+                sum(1 for line in state if line is not None) == 1
+                and any(line and line[0] == "S" for line in state)
+                for state in result.states
+            )
+
+        assert not lone_s(explore_snooping(AdaptiveSnoopingProtocol))
+        assert lone_s(
+            explore_snooping(AdaptiveSnoopingProtocol, with_evictions=True)
+        )

@@ -1,0 +1,163 @@
+"""Structural deep-dives into each SPLASH analogue.
+
+These verify the properties each analogue's docstring promises — the
+properties the protocol results depend on — rather than just that the
+builders run.
+"""
+
+import pytest
+
+from repro.analysis.classify import SharingPattern, summarize_sharing
+from repro.analysis.writeruns import write_run_stats
+from repro.common.types import Op
+from repro.workloads.apps import cholesky, locusroute, mp3d, pthor, water
+
+
+class TestMp3dStructure:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return mp3d.build(num_procs=4, particles_per_proc=24, cells=256,
+                          steps=8, seed=5)
+
+    def test_particles_private_to_owner(self, trace):
+        cell_bytes = 256 * mp3d.CELL_WORDS * 4
+        writers = {}
+        for acc in trace:
+            if acc.addr >= cell_bytes and acc.op is Op.WRITE:
+                writers.setdefault(acc.addr, set()).add(acc.proc)
+        # particle records and the collision counter live past the cells;
+        # all but the counter word must be single-writer
+        multi = [a for a, w in writers.items() if len(w) > 1]
+        assert len(multi) <= 1  # only the collision counter
+
+    def test_cells_read_modify_written(self, trace):
+        """Every cell write is preceded by a read of the same cell by
+        the same processor (the RMW visit structure)."""
+        cell_bytes = 256 * mp3d.CELL_WORDS * 4
+        last_read = {}
+        violations = 0
+        for acc in trace:
+            if acc.addr >= cell_bytes:
+                continue
+            key = (acc.proc, acc.addr)
+            if acc.op is Op.READ:
+                last_read[key] = True
+            elif not last_read.get(key):
+                violations += 1
+        assert violations == 0
+
+    def test_cell_visits_mostly_local_walks(self, trace):
+        """Consecutive visits by one processor's particle cluster in
+        space (the false-sharing mechanism at large blocks)."""
+        summary = summarize_sharing(trace, block_size=256)
+        # at 256-byte blocks, neighbouring cells from different procs
+        # share blocks: the 'other' share must be substantial
+        assert summary.block_fraction(SharingPattern.OTHER) > 0.1
+
+
+class TestWaterStructure:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return water.build(num_procs=4, molecules_per_proc=6, steps=4,
+                           interactions_per_molecule=3, seed=6)
+
+    def test_force_accumulators_migratory(self, trace):
+        nmol = 24
+        force_lo = nmol * water.POS_WORDS * 4
+        force_hi = force_lo + nmol * water.FORCE_WORDS * 4
+        sub = [a for a in trace if force_lo <= a.addr < force_hi]
+        writers_per_word = {}
+        for acc in sub:
+            if acc.op is Op.WRITE:
+                writers_per_word.setdefault(acc.addr, set()).add(acc.proc)
+        multi_writer = sum(1 for w in writers_per_word.values() if len(w) > 1)
+        assert multi_writer / len(writers_per_word) > 0.5
+
+    def test_update_phase_follows_force_phase(self, trace):
+        """Velocities are only written in the update phase; within each
+        step every force write precedes every velocity write."""
+        nmol = 24
+        vel_lo = nmol * (water.POS_WORDS + water.FORCE_WORDS) * 4
+        saw_velocity_write = False
+        for acc in trace:
+            if acc.op is Op.WRITE and acc.addr >= vel_lo:
+                saw_velocity_write = True
+        assert saw_velocity_write
+
+
+class TestCholeskyStructure:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return cholesky.build(num_procs=4, columns=48, words_per_column=16,
+                              updates_per_column=4, touched_words=8, seed=7)
+
+    def test_columns_have_multiple_visitors(self, trace):
+        """cmod updates come from different workers than the cdiv."""
+        col_bytes = 48 * 16 * 4
+        writers = {}
+        for acc in trace:
+            if acc.op is Op.WRITE and acc.addr < col_bytes:
+                writers.setdefault(acc.addr // (16 * 4), set()).add(acc.proc)
+        multi = sum(1 for w in writers.values() if len(w) > 1)
+        assert multi / len(writers) > 0.4
+
+    def test_migratory_signature(self, trace):
+        stats = write_run_stats(trace, block_size=16)
+        assert stats.mean_external_rereads < 1.5
+
+
+class TestPthorStructure:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return pthor.build(num_procs=4, elements=128, steps=4,
+                           activations_per_proc=16, seed=8)
+
+    def test_netlist_is_read_only(self, trace):
+        netlist_bytes = 128 * pthor.NETLIST_WORDS * 4
+        writes = [a for a in trace
+                  if a.op is Op.WRITE and a.addr < netlist_bytes]
+        assert writes == []
+
+    def test_element_state_updated_by_many_procs(self, trace):
+        netlist_bytes = 128 * pthor.NETLIST_WORDS * 4
+        state_bytes = netlist_bytes + 128 * pthor.STATE_WORDS * 4
+        writers = {}
+        for acc in trace:
+            if acc.op is Op.WRITE and netlist_bytes <= acc.addr < state_bytes:
+                writers.setdefault(acc.addr, set()).add(acc.proc)
+        multi = sum(1 for w in writers.values() if len(w) > 1)
+        assert multi > 0
+
+    def test_read_dominated(self, trace):
+        assert trace.write_fraction < 0.35
+
+
+class TestLocusRouteStructure:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return locusroute.build(num_procs=4, grid_cells=512,
+                                wires_per_proc=8, seed=9)
+
+    def test_grid_overwhelmingly_read(self, trace):
+        grid_bytes = 512 * 4
+        grid_accesses = [a for a in trace if a.addr < grid_bytes]
+        writes = sum(1 for a in grid_accesses if a.op is Op.WRITE)
+        assert writes / len(grid_accesses) < 0.15
+
+    def test_probe_runs_are_sequential(self, trace):
+        """Candidate evaluation reads consecutive grid cells (the
+        spatial locality that makes Table 3's counts fall)."""
+        grid_bytes = 512 * 4
+        per_proc_last = {}
+        sequential = 0
+        total = 0
+        for acc in trace:
+            if acc.addr >= grid_bytes or acc.op is not Op.READ:
+                continue
+            last = per_proc_last.get(acc.proc)
+            if last is not None:
+                total += 1
+                if acc.addr - last == 4 or (acc.addr == 0 and last != 0):
+                    sequential += 1
+            per_proc_last[acc.proc] = acc.addr
+        assert sequential / total > 0.5

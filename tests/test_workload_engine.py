@@ -1,0 +1,287 @@
+"""Unit tests for the workload execution engine."""
+
+import pytest
+
+from repro.common.errors import DeadlockError, WorkloadError
+from repro.common.types import Op
+from repro.workloads.engine import (
+    Acquire,
+    BarrierWait,
+    Engine,
+    Heap,
+    ReadEffect,
+    Release,
+    WriteEffect,
+    run_program,
+)
+
+
+class TestHeap:
+    def test_bump_allocation(self):
+        h = Heap()
+        a = h.alloc(16)
+        b = h.alloc(16)
+        assert b == a + 16
+        assert h.used == 32
+
+    def test_alignment(self):
+        h = Heap()
+        h.alloc(3)
+        b = h.alloc(4, align=8)
+        assert b % 8 == 0
+
+    def test_alloc_words(self):
+        h = Heap()
+        assert h.alloc_words(4) == 0
+        assert h.used == 16
+
+    def test_base_offset(self):
+        assert Heap(base=4096).alloc(4) == 4096
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(WorkloadError):
+            Heap().alloc(0)
+        with pytest.raises(WorkloadError):
+            Heap().alloc(4, align=3)
+
+
+class TestEngineBasics:
+    def test_single_thread_trace(self):
+        def prog():
+            yield ReadEffect(0)
+            yield WriteEffect(4)
+            yield ReadEffect(8)
+
+        engine = Engine(1)
+        engine.spawn(0, prog())
+        trace = engine.run()
+        assert [(a.proc, a.op, a.addr) for a in trace] == [
+            (0, Op.READ, 0),
+            (0, Op.WRITE, 4),
+            (0, Op.READ, 8),
+        ]
+
+    def test_program_order_preserved_per_proc(self):
+        def prog(proc):
+            for i in range(50):
+                yield ReadEffect(proc * 1024 + i * 4)
+
+        trace = run_program(4, lambda p: prog(p), seed=3)
+        for proc in range(4):
+            addrs = [a.addr for a in trace if a.proc == proc]
+            assert addrs == [proc * 1024 + i * 4 for i in range(50)]
+
+    def test_interleaving_deterministic(self):
+        def prog(proc):
+            for i in range(20):
+                yield WriteEffect(proc * 64 + i * 4)
+
+        t1 = run_program(4, prog, seed=9)
+        t2 = run_program(4, prog, seed=9)
+        assert list(t1) == list(t2)
+        t3 = run_program(4, prog, seed=10)
+        assert list(t3) != list(t1)
+
+    def test_threads_actually_interleave(self):
+        def prog(proc):
+            for i in range(50):
+                yield ReadEffect(proc * 1024)
+
+        trace = run_program(2, prog, seed=1)
+        procs = [a.proc for a in trace]
+        assert procs != sorted(procs)
+
+    def test_invalid_proc_rejected(self):
+        engine = Engine(2)
+        with pytest.raises(WorkloadError):
+            engine.spawn(5, iter([]))
+
+    def test_bad_engine_params(self):
+        with pytest.raises(WorkloadError):
+            Engine(0)
+        with pytest.raises(WorkloadError):
+            Engine(2, max_quantum=0)
+
+
+class TestLocks:
+    def test_mutual_exclusion_serialises_critical_sections(self):
+        """Accesses inside one lock's critical sections never interleave."""
+        events = []
+
+        def prog(proc):
+            for _ in range(10):
+                yield Acquire("L")
+                events.append(("enter", proc))
+                yield ReadEffect(0)
+                yield WriteEffect(0)
+                events.append(("exit", proc))
+                yield Release("L")
+
+        run_program(4, prog, seed=2, max_quantum=1)
+        depth = 0
+        for kind, _proc in events:
+            depth += 1 if kind == "enter" else -1
+            assert 0 <= depth <= 1
+
+    def test_double_acquire_rejected(self):
+        def prog():
+            yield Acquire("L")
+            yield Acquire("L")
+
+        engine = Engine(1)
+        engine.spawn(0, prog())
+        with pytest.raises(WorkloadError):
+            engine.run()
+
+    def test_release_unheld_rejected(self):
+        def prog():
+            yield Release("L")
+
+        engine = Engine(1)
+        engine.spawn(0, prog())
+        with pytest.raises(WorkloadError):
+            engine.run()
+
+    def test_exit_holding_lock_rejected(self):
+        def prog():
+            yield Acquire("L")
+
+        engine = Engine(1)
+        engine.spawn(0, prog())
+        with pytest.raises(WorkloadError):
+            engine.run()
+
+    def test_lock_deadlock_detected(self):
+        def prog_a():
+            yield Acquire("A")
+            yield Acquire("B")
+            yield Release("B")
+            yield Release("A")
+
+        def prog_b():
+            yield Acquire("B")
+            yield Acquire("A")
+            yield Release("A")
+            yield Release("B")
+
+        # Force the interleaving that deadlocks: quantum of 1 and many
+        # seeds; at least one seed must interleave the first acquires.
+        saw_deadlock = False
+        for seed in range(20):
+            engine = Engine(2, seed=seed, max_quantum=1)
+            engine.spawn(0, prog_a())
+            engine.spawn(1, prog_b())
+            try:
+                engine.run()
+            except DeadlockError:
+                saw_deadlock = True
+                break
+        assert saw_deadlock
+
+    def test_sync_accesses_not_traced(self):
+        def prog():
+            yield Acquire("L")
+            yield ReadEffect(0)
+            yield Release("L")
+
+        engine = Engine(1)
+        engine.spawn(0, prog())
+        trace = engine.run()
+        assert len(trace) == 1  # only the data access
+
+
+class TestBarriers:
+    def test_barrier_synchronises(self):
+        order = []
+
+        def prog(proc):
+            order.append(("before", proc))
+            yield BarrierWait("b")
+            order.append(("after", proc))
+            yield ReadEffect(proc * 4)
+
+        run_program(4, prog, seed=5)
+        befores = [i for i, (k, _) in enumerate(order) if k == "before"]
+        afters = [i for i, (k, _) in enumerate(order) if k == "after"]
+        assert max(befores) < min(afters)
+
+    def test_barrier_sequence(self):
+        phase_of_access = {}
+
+        def prog(proc):
+            yield WriteEffect(proc * 4)
+            yield BarrierWait("phase1")
+            yield WriteEffect(1024 + proc * 4)
+            yield BarrierWait("phase2")
+            yield WriteEffect(2048 + proc * 4)
+
+        trace = run_program(3, prog, seed=6)
+        regions = [a.addr // 1024 for a in trace]
+        assert regions == sorted(regions)
+
+    def test_finished_threads_do_not_block_barrier(self):
+        def short(proc):
+            yield ReadEffect(proc * 4)
+
+        def long(proc):
+            yield ReadEffect(proc * 4)
+            yield BarrierWait("b")
+            yield ReadEffect(1024 + proc * 4)
+
+        engine = Engine(3, seed=7)
+        engine.spawn(0, short(0))
+        engine.spawn(1, long(1))
+        engine.spawn(2, long(2))
+        trace = engine.run()  # must terminate
+        assert len(trace) == 5
+
+    def test_reused_barrier_name(self):
+        def prog(proc):
+            for step in range(3):
+                yield WriteEffect(step * 1024 + proc * 4)
+                yield BarrierWait("step")
+
+        trace = run_program(4, prog, seed=8)
+        steps = [a.addr // 1024 for a in trace]
+        assert steps == sorted(steps)
+
+
+class TestLocalCompute:
+    def test_not_traced(self):
+        from repro.workloads.engine import LocalCompute
+
+        def prog():
+            yield ReadEffect(0)
+            yield LocalCompute(5)
+            yield WriteEffect(4)
+
+        engine = Engine(1)
+        engine.spawn(0, prog())
+        trace = engine.run()
+        assert len(trace) == 2
+
+    def test_large_compute_yields_the_processor(self):
+        """A big compute block ends the thread's quantum, letting other
+        threads interleave mid-sequence."""
+        from repro.workloads.engine import LocalCompute
+
+        def busy(proc):
+            for i in range(10):
+                yield WriteEffect(proc * 1024 + i * 4)
+                yield LocalCompute(100)
+
+        trace = run_program(2, busy, seed=4, max_quantum=8)
+        procs = [a.proc for a in trace]
+        # with forced yields, the two threads must interleave
+        assert procs != sorted(procs)
+
+    def test_zero_cost_compute_allowed(self):
+        from repro.workloads.engine import LocalCompute
+
+        def prog():
+            yield LocalCompute(0)
+            yield ReadEffect(0)
+
+        engine = Engine(1)
+        engine.spawn(0, prog())
+        assert len(engine.run()) == 1

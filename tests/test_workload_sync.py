@@ -1,0 +1,174 @@
+"""Unit tests for the shared synchronized data structures."""
+
+from repro.common.types import Op
+from repro.workloads.engine import Engine, Heap
+from repro.workloads.sync import SharedCounter, SharedRecord, SharedTaskQueue
+
+
+def drive(num_procs, make_worker, seed=0):
+    engine = Engine(num_procs, seed=seed)
+    for proc in range(num_procs):
+        engine.spawn(proc, make_worker(proc))
+    return engine.run()
+
+
+class TestSharedCounter:
+    def test_fetch_add_returns_previous(self):
+        heap = Heap()
+        counter = SharedCounter(heap, "c")
+        seen = []
+
+        def worker(proc):
+            for _ in range(5):
+                old = yield from counter.fetch_add()
+                seen.append(old)
+
+        drive(3, worker)
+        assert sorted(seen) == list(range(15))
+        assert counter.value == 15
+
+    def test_traffic_is_read_then_write(self):
+        heap = Heap()
+        counter = SharedCounter(heap, "c")
+
+        def worker(proc):
+            yield from counter.fetch_add()
+
+        trace = drive(2, worker)
+        ops = [a.op for a in trace]
+        assert ops == [Op.READ, Op.WRITE] * 2
+        assert all(a.addr == counter.addr for a in trace)
+
+    def test_counter_is_migratory_under_contention(self):
+        """The counter block must be detected migratory by the protocol."""
+        from repro.common.config import CacheConfig, MachineConfig
+        from repro.directory.policy import BASIC
+        from repro.system.machine import DirectoryMachine
+
+        heap = Heap()
+        counter = SharedCounter(heap, "c")
+
+        def worker(proc):
+            for _ in range(10):
+                yield from counter.fetch_add()
+
+        trace = drive(4, worker, seed=3)
+        cfg = MachineConfig(
+            num_procs=4, cache=CacheConfig(size_bytes=None, block_size=16)
+        )
+        m = DirectoryMachine(cfg, BASIC, check=True)
+        m.run(trace)
+        assert m.protocol.is_migratory(counter.addr // 16)
+
+
+class TestSharedTaskQueue:
+    def test_fifo_order_single_thread(self):
+        heap = Heap()
+        q = SharedTaskQueue(heap, "q", capacity=8)
+        popped = []
+
+        def worker(proc):
+            for i in range(5):
+                yield from q.push(i)
+            while True:
+                item = yield from q.pop()
+                if item is None:
+                    return
+                popped.append(item)
+
+        drive(1, worker)
+        assert popped == [0, 1, 2, 3, 4]
+
+    def test_items_conserved_across_threads(self):
+        heap = Heap()
+        q = SharedTaskQueue(heap, "q", capacity=128)
+        q.preload(range(40))
+        got = []
+
+        def worker(proc):
+            while True:
+                item = yield from q.pop()
+                if item is None:
+                    return
+                got.append(item)
+
+        drive(4, worker, seed=5)
+        assert sorted(got) == list(range(40))
+        assert len(q) == 0
+
+    def test_push_many_single_lock(self):
+        heap = Heap()
+        q = SharedTaskQueue(heap, "q")
+
+        def worker(proc):
+            yield from q.push_many([1, 2, 3])
+
+        trace = drive(1, worker)
+        # 1 tail read + 3 slot writes + 1 tail write
+        assert len(trace) == 5
+
+    def test_pop_empty_returns_none_and_reads_control(self):
+        heap = Heap()
+        q = SharedTaskQueue(heap, "q")
+        results = []
+
+        def worker(proc):
+            item = yield from q.pop()
+            results.append(item)
+
+        trace = drive(1, worker)
+        assert results == [None]
+        assert len(trace) == 2  # head + tail reads
+
+    def test_slots_wrap(self):
+        heap = Heap()
+        q = SharedTaskQueue(heap, "q", capacity=4)
+
+        def worker(proc):
+            for i in range(10):
+                yield from q.push(i)
+                item = yield from q.pop()
+                assert item == i
+
+        drive(1, worker)
+
+    def test_preload_generates_no_trace(self):
+        heap = Heap()
+        q = SharedTaskQueue(heap, "q")
+        q.preload(range(10))
+        assert len(q) == 10
+
+
+class TestSharedRecord:
+    def test_update_pattern(self):
+        heap = Heap()
+        rec = SharedRecord(heap, "r", nwords=3)
+
+        def worker(proc):
+            yield from rec.update()
+
+        trace = drive(1, worker)
+        ops = [a.op for a in trace]
+        assert ops == [Op.READ] * 3 + [Op.WRITE] * 3
+        addrs = {a.addr for a in trace}
+        assert addrs == {rec.addr, rec.addr + 4, rec.addr + 8}
+
+    def test_partial_update(self):
+        heap = Heap()
+        rec = SharedRecord(heap, "r", nwords=4)
+
+        def worker(proc):
+            yield from rec.update(read_words=2, write_words=1)
+
+        trace = drive(1, worker)
+        assert len(trace) == 3
+
+    def test_read_only(self):
+        heap = Heap()
+        rec = SharedRecord(heap, "r", nwords=2)
+
+        def worker(proc):
+            yield from rec.read_only()
+
+        trace = drive(1, worker)
+        assert all(a.op is Op.READ for a in trace)
