@@ -1,0 +1,170 @@
+"""Record simulator throughput before/after numbers.
+
+Measures the directory- and bus-machine trace-replay benchmark (the same
+workload as ``test_simulator_throughput.py``) on the current tree —
+packed fast path and generic per-``Access`` path — and writes the
+results to ``BENCH_throughput.json``.
+
+Each configuration is timed in its own subprocess (min over
+``--rounds`` process launches of the min over ``--reps`` in-process
+repetitions), and configurations are interleaved across rounds so slow
+periods of a noisy machine hit every configuration equally.
+
+To refresh the pre-optimization baseline, point ``--baseline-src`` at a
+checkout of the code to compare against (e.g. a git worktree of the
+commit before the packed-trace work)::
+
+    python benchmarks/record_throughput.py --baseline-src /path/to/old/src
+
+Without ``--baseline-src`` the previously recorded ``before`` section of
+``BENCH_throughput.json`` is carried forward unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO / "BENCH_throughput.json"
+
+#: Number of accesses in the benchmark trace (for throughput figures).
+_TIMER_BODY = r'''
+import sys, time
+sys.path.insert(0, sys.argv[1])
+machine_kind, representation, reps = sys.argv[2], sys.argv[3], int(sys.argv[4])
+from repro.common.config import CacheConfig, MachineConfig
+from repro.trace import synth
+
+CFG = MachineConfig(num_procs=16,
+                    cache=CacheConfig(size_bytes=64 * 1024, block_size=16))
+TRACE = synth.interleave(
+    [synth.migratory(num_procs=16, num_objects=16, visits=50, seed=1),
+     synth.read_shared(num_procs=16, num_objects=16, rounds=20,
+                       base=1 << 20, seed=2)],
+    chunk=8, seed=3)
+
+if representation == "unpacked":
+    trace = list(TRACE)
+else:
+    trace = TRACE
+    pack = getattr(TRACE, "pack", None)
+    if pack is not None:  # resolve columns outside the timed region
+        pack().blocks_column(4)
+
+if machine_kind == "directory":
+    from repro.directory.policy import AGGRESSIVE
+    from repro.system.machine import DirectoryMachine
+    make = lambda: DirectoryMachine(CFG, AGGRESSIVE)
+else:
+    from repro.snooping.machine import BusMachine
+    from repro.snooping.protocols import AdaptiveSnoopingProtocol
+    make = lambda: BusMachine(CFG, AdaptiveSnoopingProtocol())
+
+make().run(trace)  # warm-up
+best = float("inf")
+for _ in range(reps):
+    machine = make()
+    t0 = time.perf_counter()
+    machine.run(trace)
+    best = min(best, time.perf_counter() - t0)
+print(f"{len(TRACE)} {best}")
+'''
+
+
+def time_config(src: Path, machine: str, representation: str,
+                reps: int) -> tuple[int, float]:
+    """Best wall time for one (source tree, machine, representation)."""
+    out = subprocess.run(
+        [sys.executable, "-c", _TIMER_BODY, str(src), machine,
+         representation, str(reps)],
+        capture_output=True, text=True, check=True,
+    )
+    accesses, best = out.stdout.split()
+    return int(accesses), float(best)
+
+
+def measure(src: Path, configs: list[tuple[str, str]], rounds: int,
+            reps: int) -> dict:
+    """Interleaved min-of-rounds measurement of every configuration."""
+    best: dict[tuple[str, str], float] = {c: float("inf") for c in configs}
+    accesses = 0
+    for _ in range(rounds):
+        for config in configs:
+            accesses, elapsed = time_config(src, *config, reps=reps)
+            best[config] = min(best[config], elapsed)
+    result = {"accesses": accesses}
+    for (machine, representation), elapsed in best.items():
+        key = f"{machine}_{representation}"
+        result[f"{key}_ms"] = round(elapsed * 1e3, 3)
+        result[f"{key}_accesses_per_s"] = round(accesses / elapsed)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=6,
+                        help="interleaved process launches per config")
+    parser.add_argument("--reps", type=int, default=10,
+                        help="in-process repetitions per launch")
+    parser.add_argument("--baseline-src", type=Path, default=None,
+                        help="src/ of the pre-optimization tree to "
+                        "re-measure as the 'before' section")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    configs = [("directory", "packed"), ("directory", "unpacked"),
+               ("bus", "packed"), ("bus", "unpacked")]
+
+    previous = {}
+    if args.out.exists():
+        previous = json.loads(args.out.read_text())
+
+    after = measure(REPO / "src", configs, args.rounds, args.reps)
+
+    if args.baseline_src is not None:
+        # The old tree has no packed representation; both labels run the
+        # generic loop, so measure it once under the 'unpacked' label.
+        base = measure(args.baseline_src,
+                       [("directory", "unpacked"), ("bus", "unpacked")],
+                       args.rounds, args.reps)
+        before = {
+            "accesses": base["accesses"],
+            "directory_ms": base["directory_unpacked_ms"],
+            "directory_accesses_per_s": base["directory_unpacked_accesses_per_s"],
+            "bus_ms": base["bus_unpacked_ms"],
+            "bus_accesses_per_s": base["bus_unpacked_accesses_per_s"],
+        }
+    else:
+        before = previous.get("before", {})
+
+    record = {
+        "benchmark": "benchmarks/test_simulator_throughput.py "
+                     "(16 procs, 64K caches, 16-byte blocks, "
+                     "migratory+read_shared interleave)",
+        "method": f"min over {args.rounds} interleaved subprocess rounds "
+                  f"of min-of-{args.reps} in-process repetitions",
+        "before": before,
+        "after": after,
+    }
+    if before:
+        record["speedup"] = {
+            "directory_packed_vs_before": round(
+                before["directory_ms"] / after["directory_packed_ms"], 2),
+            "bus_packed_vs_before": round(
+                before["bus_ms"] / after["bus_packed_ms"], 2),
+            "directory_packed_vs_unpacked": round(
+                after["directory_unpacked_ms"] / after["directory_packed_ms"], 2),
+            "bus_packed_vs_unpacked": round(
+                after["bus_unpacked_ms"] / after["bus_packed_ms"], 2),
+        }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,8 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=str, default=None,
                         help="also write the report to this file")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep experiments")
     args = parser.parse_args(argv)
 
     sections = []

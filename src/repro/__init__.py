@@ -15,6 +15,7 @@ Public API highlights:
 * :mod:`repro.workloads` — the mini execution engine and the five SPLASH
   application analogues.
 * :mod:`repro.experiments` — one entry point per paper table/figure.
+* :mod:`repro.parallel` — deterministic process fan-out for the sweeps.
 """
 
 from repro.common import Access, CacheConfig, MachineConfig, Op, read, write
@@ -32,8 +33,9 @@ from repro.snooping import (
     BusMachine,
     MesiProtocol,
 )
+from repro.parallel import parallel_map, resolve_jobs
 from repro.system import DirectoryMachine, make_placement
-from repro.trace import Trace
+from repro.trace import PackedTrace, Trace
 
 __version__ = "1.0.0"
 
@@ -53,9 +55,12 @@ __all__ = [
     "MesiProtocol",
     "Op",
     "PAPER_POLICIES",
+    "PackedTrace",
     "Trace",
     "__version__",
     "make_placement",
+    "parallel_map",
     "read",
+    "resolve_jobs",
     "write",
 ]

@@ -52,6 +52,8 @@ class Cache:
     cache entirely, so iteration never yields stale entries.
     """
 
+    __slots__ = ()
+
     def lookup(self, block: int) -> CacheLine | None:
         """Return the resident line for ``block`` or None (no LRU update)."""
         raise NotImplementedError
@@ -88,6 +90,9 @@ class Cache:
 class SetAssociativeCache(Cache):
     """A finite set-associative cache with LRU/FIFO/random replacement."""
 
+    __slots__ = ("_config", "_num_sets", "_ways", "_sets", "_policy",
+                 "_rng", "_size")
+
     def __init__(self, config: CacheConfig, rng: random.Random | None = None):
         if config.is_infinite:
             raise ConfigError("use InfiniteCache for size_bytes=None")
@@ -110,17 +115,25 @@ class SetAssociativeCache(Cache):
     def _set_of(self, block: int) -> OrderedDict[int, CacheLine]:
         return self._sets[block % self._num_sets]
 
+    def hot_sets(self) -> tuple[list[OrderedDict[int, CacheLine]], int, bool]:
+        """Raw ``(sets, num_sets, is_lru)`` for machine replay fast loops.
+
+        The machines bind these to locals and index/``move_to_end`` the
+        per-set mappings directly, skipping two method calls per hit.
+        """
+        return self._sets, self._num_sets, self._policy == "lru"
+
     def lookup(self, block: int) -> CacheLine | None:
-        return self._set_of(block).get(block)
+        return self._sets[block % self._num_sets].get(block)
 
     def touch(self, block: int) -> None:
         if self._policy == "lru":
-            cache_set = self._set_of(block)
+            cache_set = self._sets[block % self._num_sets]
             if block in cache_set:
                 cache_set.move_to_end(block)
 
     def insert(self, block: int, state: Any, dirty: bool = False) -> CacheLine | None:
-        cache_set = self._set_of(block)
+        cache_set = self._sets[block % self._num_sets]
         if block in cache_set:
             line = cache_set[block]
             line.state = state
@@ -145,7 +158,7 @@ class SetAssociativeCache(Cache):
         return next(iter(cache_set.values()))
 
     def remove(self, block: int) -> CacheLine | None:
-        cache_set = self._set_of(block)
+        cache_set = self._sets[block % self._num_sets]
         line = cache_set.pop(block, None)
         if line is not None:
             self._size -= 1
@@ -162,9 +175,15 @@ class SetAssociativeCache(Cache):
 class InfiniteCache(Cache):
     """A cache that never evicts (no capacity or conflict misses)."""
 
+    __slots__ = ("_config", "_lines")
+
     def __init__(self, config: CacheConfig | None = None):
         self._config = config
         self._lines: dict[int, CacheLine] = {}
+
+    def hot_lines(self) -> dict[int, CacheLine]:
+        """Raw block -> line mapping for machine replay fast loops."""
+        return self._lines
 
     def lookup(self, block: int) -> CacheLine | None:
         return self._lines.get(block)

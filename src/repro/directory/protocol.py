@@ -51,6 +51,8 @@ class DirectoryProtocol:
     policy).
     """
 
+    __slots__ = ("policy", "_entries")
+
     def __init__(self, policy: AdaptivePolicy):
         self.policy = policy
         self._entries: dict[int, DirectoryEntry] = {}

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.directory.policy import CONVENTIONAL, AdaptivePolicy
 from repro.experiments import common
+from repro.parallel import parallel_map
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,6 +38,24 @@ def _reduction(base: int, total: int) -> float:
     return 100.0 * (base - total) / base if base else 0.0
 
 
+def _variant_rows(task: tuple) -> list[AblationRow]:
+    """One app's conventional baseline plus a list of policy variants."""
+    app, policies, cache_size, scale, seed, num_procs = task
+    trace = common.get_trace(app, num_procs, seed, scale)
+    base = common.run_directory(
+        trace, CONVENTIONAL, cache_size, num_procs=num_procs
+    ).total
+    rows = [AblationRow(app, "conventional", base, 0.0)]
+    for policy in policies:
+        total = common.run_directory(
+            trace, policy, cache_size, num_procs=num_procs
+        ).total
+        rows.append(
+            AblationRow(app, policy.name, total, _reduction(base, total))
+        )
+    return rows
+
+
 def hysteresis_sweep(
     apps: tuple[str, ...] = ("mp3d", "water", "pthor"),
     thresholds: tuple[int, ...] = (1, 2, 3, 4),
@@ -44,26 +63,18 @@ def hysteresis_sweep(
     scale: float = 1.0,
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
+    jobs: int | None = None,
 ) -> list[AblationRow]:
     """A1: how quickly adaptation pays off as hysteresis deepens."""
-    rows = []
-    for app in apps:
-        trace = common.get_trace(app, num_procs, seed, scale)
-        base = common.run_directory(
-            trace, CONVENTIONAL, cache_size, num_procs=num_procs
-        ).total
-        rows.append(AblationRow(app, "conventional", base, 0.0))
-        for threshold in thresholds:
-            policy = AdaptivePolicy(
-                f"threshold-{threshold}", migratory_threshold=threshold
-            )
-            total = common.run_directory(
-                trace, policy, cache_size, num_procs=num_procs
-            ).total
-            rows.append(
-                AblationRow(app, policy.name, total, _reduction(base, total))
-            )
-    return rows
+    policies = tuple(
+        AdaptivePolicy(f"threshold-{threshold}", migratory_threshold=threshold)
+        for threshold in thresholds
+    )
+    tasks = [
+        (app, policies, cache_size, scale, seed, num_procs) for app in apps
+    ]
+    per_app = parallel_map(_variant_rows, tasks, jobs=jobs)
+    return [row for rows in per_app for row in rows]
 
 
 def uncached_memory(
@@ -72,30 +83,41 @@ def uncached_memory(
     scale: float = 1.0,
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
+    jobs: int | None = None,
 ) -> list[AblationRow]:
     """A2: value of remembering classifications while uncached.
 
     Uses a small cache so migratory blocks are regularly evicted; the
     remembering variant keeps its head start on reload.
     """
-    remember = AdaptivePolicy("remember", migratory_threshold=1,
-                              remember_uncached=True)
-    forget = AdaptivePolicy("forget", migratory_threshold=1,
-                            remember_uncached=False)
+    policies = (
+        AdaptivePolicy("remember", migratory_threshold=1,
+                       remember_uncached=True),
+        AdaptivePolicy("forget", migratory_threshold=1,
+                       remember_uncached=False),
+    )
+    tasks = [
+        (app, policies, cache_size, scale, seed, num_procs) for app in apps
+    ]
+    per_app = parallel_map(_variant_rows, tasks, jobs=jobs)
+    return [row for rows in per_app for row in rows]
+
+
+def _notification_rows(task: tuple) -> list[AblationRow]:
+    """One app's notify-vs-silent-drop pair."""
+    app, cache_size, scale, seed, num_procs = task
+    trace = common.get_trace(app, num_procs, seed, scale)
     rows = []
-    for app in apps:
-        trace = common.get_trace(app, num_procs, seed, scale)
-        base = common.run_directory(
-            trace, CONVENTIONAL, cache_size, num_procs=num_procs
+    for notify in (True, False):
+        variant = "notify" if notify else "silent-drop"
+        total = common.run_directory(
+            trace,
+            CONVENTIONAL,
+            cache_size,
+            num_procs=num_procs,
+            eviction_notification=notify,
         ).total
-        rows.append(AblationRow(app, "conventional", base, 0.0))
-        for policy in (remember, forget):
-            total = common.run_directory(
-                trace, policy, cache_size, num_procs=num_procs
-            ).total
-            rows.append(
-                AblationRow(app, policy.name, total, _reduction(base, total))
-            )
+        rows.append(AblationRow(app, variant, total, 0.0))
     return rows
 
 
@@ -105,22 +127,12 @@ def eviction_notifications(
     scale: float = 1.0,
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
+    jobs: int | None = None,
 ) -> list[AblationRow]:
     """A3: exact copy sets (notify on clean drop) vs silent drops."""
-    rows = []
-    for app in apps:
-        trace = common.get_trace(app, num_procs, seed, scale)
-        for notify in (True, False):
-            variant = "notify" if notify else "silent-drop"
-            total = common.run_directory(
-                trace,
-                CONVENTIONAL,
-                cache_size,
-                num_procs=num_procs,
-                eviction_notification=notify,
-            ).total
-            rows.append(AblationRow(app, variant, total, 0.0))
-    return rows
+    tasks = [(app, cache_size, scale, seed, num_procs) for app in apps]
+    per_app = parallel_map(_notification_rows, tasks, jobs=jobs)
+    return [row for rows in per_app for row in rows]
 
 
 def render(rows: list[AblationRow], title: str) -> str:

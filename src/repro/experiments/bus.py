@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.experiments import common
+from repro.parallel import parallel_map
 from repro.snooping.costmodels import model1_cost, model2_cost
 from repro.snooping.protocols import (
     AdaptiveSnoopingProtocol,
@@ -45,49 +46,59 @@ class BusRow:
     always_migrate_model1: int
 
 
+def _row(task: tuple) -> BusRow:
+    """One (app, cache size) cell: all three snooping protocols."""
+    app, cache_size, scale, seed, num_procs = task
+    trace = common.get_trace(app, num_procs, seed, scale)
+    mesi = MesiProtocol()
+    adaptive = AdaptiveSnoopingProtocol()
+    always = AlwaysMigrateProtocol()
+    mesi_stats = common.run_bus(trace, mesi, cache_size,
+                                num_procs=num_procs)
+    adapt_stats = common.run_bus(trace, adaptive, cache_size,
+                                 num_procs=num_procs)
+    always_stats = common.run_bus(trace, always, cache_size,
+                                  num_procs=num_procs)
+    m1_base = model1_cost(mesi_stats)
+    m1_adapt = model1_cost(adapt_stats)
+    m2_base = model2_cost(mesi_stats, mesi)
+    m2_adapt = model2_cost(adapt_stats, adaptive)
+    return BusRow(
+        app=app,
+        cache_size=cache_size,
+        mesi_model1=m1_base,
+        adaptive_model1=m1_adapt,
+        model1_saving_pct=(
+            100.0 * (m1_base - m1_adapt) / m1_base if m1_base else 0.0
+        ),
+        mesi_model2=m2_base,
+        adaptive_model2=m2_adapt,
+        model2_saving_pct=(
+            100.0 * (m2_base - m2_adapt) / m2_base if m2_base else 0.0
+        ),
+        always_migrate_model1=model1_cost(always_stats),
+    )
+
+
 def run(
     apps: tuple[str, ...] = APP_ORDER,
     cache_sizes: tuple[int, ...] = BUS_CACHE_SIZES,
     scale: float = 1.0,
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
+    jobs: int | None = None,
 ) -> list[BusRow]:
-    """Run all apps on the bus machine with every protocol."""
-    rows = []
-    for app in apps:
-        trace = common.get_trace(app, num_procs, seed, scale)
-        for cache_size in cache_sizes:
-            mesi = MesiProtocol()
-            adaptive = AdaptiveSnoopingProtocol()
-            always = AlwaysMigrateProtocol()
-            mesi_stats = common.run_bus(trace, mesi, cache_size,
-                                        num_procs=num_procs)
-            adapt_stats = common.run_bus(trace, adaptive, cache_size,
-                                         num_procs=num_procs)
-            always_stats = common.run_bus(trace, always, cache_size,
-                                          num_procs=num_procs)
-            m1_base = model1_cost(mesi_stats)
-            m1_adapt = model1_cost(adapt_stats)
-            m2_base = model2_cost(mesi_stats, mesi)
-            m2_adapt = model2_cost(adapt_stats, adaptive)
-            rows.append(
-                BusRow(
-                    app=app,
-                    cache_size=cache_size,
-                    mesi_model1=m1_base,
-                    adaptive_model1=m1_adapt,
-                    model1_saving_pct=(
-                        100.0 * (m1_base - m1_adapt) / m1_base if m1_base else 0.0
-                    ),
-                    mesi_model2=m2_base,
-                    adaptive_model2=m2_adapt,
-                    model2_saving_pct=(
-                        100.0 * (m2_base - m2_adapt) / m2_base if m2_base else 0.0
-                    ),
-                    always_migrate_model1=model1_cost(always_stats),
-                )
-            )
-    return rows
+    """Run all apps on the bus machine with every protocol.
+
+    ``jobs`` fans the (app, cache size) cells across worker processes;
+    the result is identical for every job count.
+    """
+    tasks = [
+        (app, cache_size, scale, seed, num_procs)
+        for app in apps
+        for cache_size in cache_sizes
+    ]
+    return parallel_map(_row, tasks, jobs=jobs)
 
 
 def render(rows: list[BusRow]) -> str:

@@ -9,6 +9,7 @@ versions while ``repro-experiments`` runs the full calibrated sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 from repro.common.config import CacheConfig, MachineConfig
 from repro.common.stats import BusStats, MessageStats
@@ -17,6 +18,7 @@ from repro.snooping.machine import BusMachine
 from repro.snooping.protocols import SnoopingProtocol
 from repro.system.machine import DirectoryMachine
 from repro.system.placement import PagePlacement, make_placement
+from repro.trace import diskcache
 from repro.trace.core import Trace
 from repro.workloads.profiles import build_app
 
@@ -24,17 +26,27 @@ from repro.workloads.profiles import build_app
 NUM_PROCS = 16
 
 _trace_cache: dict[tuple, Trace] = {}
-_placement_cache: dict[tuple, PagePlacement] = {}
+#: Placements keyed by the trace *object* (not ``id(trace)``: ids are
+#: recycled once a trace is garbage collected, which could silently hand
+#: a new trace the stale placement of a dead one).  The weak keying also
+#: lets dropped traces release their placements.
+_placement_cache: WeakKeyDictionary = WeakKeyDictionary()
 
 
 def get_trace(
     app: str, num_procs: int = NUM_PROCS, seed: int = 0, scale: float = 1.0
 ) -> Trace:
-    """Build (or fetch from cache) one application trace."""
+    """Build (or fetch from cache) one application trace.
+
+    Traces are memoized in-process and persisted to the on-disk packed
+    trace cache (:mod:`repro.trace.diskcache`), so repeated runs — and
+    the worker processes of a ``--jobs N`` sweep — skip the synthesis
+    pass entirely.
+    """
     key = (app, num_procs, seed, scale)
     trace = _trace_cache.get(key)
     if trace is None:
-        trace = build_app(app, num_procs=num_procs, seed=seed, scale=scale)
+        trace = diskcache.load_or_build(app, num_procs, seed, scale, build_app)
         _trace_cache[key] = trace
     return trace
 
@@ -47,11 +59,15 @@ def get_placement(
     Static placements depend only on the trace, the page size, and the
     node count, so they are shared across cache-size and protocol sweeps.
     """
-    key = (kind, id(trace), config.page_size, config.num_procs)
-    placement = _placement_cache.get(key)
+    per_trace = _placement_cache.get(trace)
+    if per_trace is None:
+        per_trace = {}
+        _placement_cache[trace] = per_trace
+    key = (kind, config.page_size, config.num_procs)
+    placement = per_trace.get(key)
     if placement is None:
         placement = make_placement(kind, config, trace)
-        _placement_cache[key] = placement
+        per_trace[key] = placement
     return placement
 
 

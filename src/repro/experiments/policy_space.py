@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.directory.policy import CONVENTIONAL, AdaptivePolicy
 from repro.experiments import common
+from repro.parallel import parallel_map
 
 
 def policy_grid(
@@ -61,38 +62,50 @@ class PolicyPointRow:
     reduction_pct: float
 
 
+def _app_rows(task: tuple) -> list[PolicyPointRow]:
+    """The whole policy grid evaluated on one application."""
+    app, cache_size, scale, seed, num_procs = task
+    trace = common.get_trace(app, num_procs, seed, scale)
+    base = common.run_directory(
+        trace, CONVENTIONAL, cache_size, num_procs=num_procs
+    ).total
+    rows = []
+    for policy in policy_grid():
+        total = common.run_directory(
+            trace, policy, cache_size, num_procs=num_procs
+        ).total
+        rows.append(
+            PolicyPointRow(
+                app=app,
+                policy=policy.name,
+                threshold=policy.migratory_threshold,
+                initial_migratory=policy.initial_migratory,
+                remember_uncached=policy.remember_uncached,
+                total=total,
+                reduction_pct=(
+                    100.0 * (base - total) / base if base else 0.0
+                ),
+            )
+        )
+    return rows
+
+
 def run(
     apps: tuple[str, ...] = ("mp3d", "pthor"),
     cache_size: int | None = 16 * 1024,
     scale: float = 1.0,
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
+    jobs: int | None = None,
 ) -> list[PolicyPointRow]:
-    """Evaluate the full grid (small caches so memory matters)."""
-    rows = []
-    for app in apps:
-        trace = common.get_trace(app, num_procs, seed, scale)
-        base = common.run_directory(
-            trace, CONVENTIONAL, cache_size, num_procs=num_procs
-        ).total
-        for policy in policy_grid():
-            total = common.run_directory(
-                trace, policy, cache_size, num_procs=num_procs
-            ).total
-            rows.append(
-                PolicyPointRow(
-                    app=app,
-                    policy=policy.name,
-                    threshold=policy.migratory_threshold,
-                    initial_migratory=policy.initial_migratory,
-                    remember_uncached=policy.remember_uncached,
-                    total=total,
-                    reduction_pct=(
-                        100.0 * (base - total) / base if base else 0.0
-                    ),
-                )
-            )
-    return rows
+    """Evaluate the full grid (small caches so memory matters).
+
+    ``jobs`` fans the applications across worker processes; the result
+    is identical for every job count.
+    """
+    tasks = [(app, cache_size, scale, seed, num_procs) for app in apps]
+    per_app = parallel_map(_app_rows, tasks, jobs=jobs)
+    return [row for rows in per_app for row in rows]
 
 
 def best_point(rows: list[PolicyPointRow], app: str) -> PolicyPointRow:

@@ -4,8 +4,8 @@ Usage::
 
     repro-experiments table1
     repro-experiments fig2
-    repro-experiments table2 [--scale 0.5]
-    repro-experiments table3 [--scale 0.5]
+    repro-experiments table2 [--scale 0.5] [--jobs 4]
+    repro-experiments table3 [--scale 0.5] [--jobs 4]
     repro-experiments cost-ratio
     repro-experiments exec-time
     repro-experiments placement
@@ -15,7 +15,10 @@ Usage::
     repro-experiments all [--scale 0.5]
 
 ``--scale`` shrinks the workloads uniformly (default 1.0, the calibrated
-sizes used by EXPERIMENTS.md).
+sizes used by EXPERIMENTS.md).  ``--jobs N`` (or the ``REPRO_JOBS``
+environment variable) fans the sweep experiments (table2, table3, bus,
+ablations, policy-space) across N worker processes; every job count
+produces byte-identical output.  Per-experiment timings print to stderr.
 """
 
 from __future__ import annotations
@@ -50,7 +53,15 @@ from repro.experiments import (
     update_protocols,
 )
 from repro.interconnect.costs import render_table1
+from repro.parallel import resolve_jobs
 from repro.workloads.profiles import APP_ORDER
+
+
+def _jobs(args) -> int | None:
+    # COMMANDS handlers are also driven by scripts that build their own
+    # argparse namespaces (e.g. examples/splash_campaign.py), which may
+    # predate the --jobs flag.
+    return getattr(args, "jobs", None)
 
 
 def _run_table1(args) -> str:
@@ -68,11 +79,15 @@ def _run_fig2(args) -> str:
 
 
 def _run_table2(args) -> str:
-    return table2.render(table2.run(scale=args.scale, seed=args.seed))
+    return table2.render(
+        table2.run(scale=args.scale, seed=args.seed, jobs=_jobs(args))
+    )
 
 
 def _run_table3(args) -> str:
-    return table3.render(table3.run(scale=args.scale, seed=args.seed))
+    return table3.render(
+        table3.run(scale=args.scale, seed=args.seed, jobs=_jobs(args))
+    )
 
 
 def _run_cost_ratio(args) -> str:
@@ -94,22 +109,30 @@ def _run_placement(args) -> str:
 
 
 def _run_bus(args) -> str:
-    return bus.render(bus.run(scale=args.scale, seed=args.seed))
+    return bus.render(
+        bus.run(scale=args.scale, seed=args.seed, jobs=_jobs(args))
+    )
 
 
 def _run_ablations(args) -> str:
     parts = [
         ablations.render(
-            ablations.hysteresis_sweep(scale=args.scale, seed=args.seed),
+            ablations.hysteresis_sweep(
+                scale=args.scale, seed=args.seed, jobs=_jobs(args)
+            ),
             "A1: hysteresis depth",
         ),
         ablations.render(
-            ablations.uncached_memory(scale=args.scale, seed=args.seed),
+            ablations.uncached_memory(
+                scale=args.scale, seed=args.seed, jobs=_jobs(args)
+            ),
             "A2: remembering classification across uncached intervals "
             "(4K caches)",
         ),
         ablations.render(
-            ablations.eviction_notifications(scale=args.scale, seed=args.seed),
+            ablations.eviction_notifications(
+                scale=args.scale, seed=args.seed, jobs=_jobs(args)
+            ),
             "A3: eviction notifications vs silent drops (conventional)",
         ),
     ]
@@ -143,7 +166,7 @@ def _run_sharing(args) -> str:
 
 def _run_policy_space(args) -> str:
     return policy_space.render(
-        policy_space.run(scale=args.scale, seed=args.seed)
+        policy_space.run(scale=args.scale, seed=args.seed, jobs=_jobs(args))
     )
 
 
@@ -245,16 +268,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--seed", type=int, default=0,
                         help="workload seed (default 0)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep experiments "
+                        "(default: REPRO_JOBS or serial); results are "
+                        "identical for any job count")
     args = parser.parse_args(argv)
+    try:
+        resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
         output = COMMANDS[name](args)
         elapsed = time.time() - started
-        print(f"==== {name} ({elapsed:.1f}s) ====")
+        # Timing goes to stderr so stdout is byte-identical across runs
+        # (and across --jobs settings).
+        print(f"==== {name} ====")
         print(output)
         print()
+        print(f"[{name}: {elapsed:.1f}s]", file=sys.stderr)
     return 0
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table, thousands
 from repro.directory.policy import PAPER_POLICIES, AdaptivePolicy
 from repro.experiments import common
+from repro.parallel import parallel_map
 from repro.workloads.profiles import APP_ORDER
 
 #: The paper's cache-size sweep (bytes per node).
@@ -34,6 +35,26 @@ class Table2Row:
     cells: dict  # policy name -> ProtocolCell
 
 
+def _row(task: tuple) -> Table2Row:
+    """One (cache size, app) cell: every policy on one trace.
+
+    Module-level so :func:`repro.parallel.parallel_map` can ship it to a
+    worker process; the trace comes from the worker's own cache.
+    """
+    cache_size, app, policies, scale, seed, num_procs = task
+    trace = common.get_trace(app, num_procs, seed, scale)
+    cells = {}
+    baseline_total = 0
+    for policy in policies:
+        stats = common.run_directory(
+            trace, policy, cache_size, num_procs=num_procs
+        )
+        if policy.name == "conventional" or not cells:
+            baseline_total = stats.total
+        cells[policy.name] = common.make_cell(stats, baseline_total)
+    return Table2Row(cache_size, app, cells)
+
+
 def run(
     apps: tuple[str, ...] = APP_ORDER,
     cache_sizes: tuple[int, ...] = CACHE_SIZES,
@@ -41,23 +62,20 @@ def run(
     scale: float = 1.0,
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
+    jobs: int | None = None,
 ) -> list[Table2Row]:
-    """Run the full sweep; returns one row per (cache size, app)."""
-    rows = []
-    for cache_size in cache_sizes:
-        for app in apps:
-            trace = common.get_trace(app, num_procs, seed, scale)
-            cells = {}
-            baseline_total = 0
-            for policy in policies:
-                stats = common.run_directory(
-                    trace, policy, cache_size, num_procs=num_procs
-                )
-                if policy.name == "conventional" or not cells:
-                    baseline_total = stats.total
-                cells[policy.name] = common.make_cell(stats, baseline_total)
-            rows.append(Table2Row(cache_size, app, cells))
-    return rows
+    """Run the full sweep; returns one row per (cache size, app).
+
+    ``jobs`` fans the (cache size, app) cells across worker processes
+    (default: serial, or the ``REPRO_JOBS`` environment variable); the
+    result is identical for every job count.
+    """
+    tasks = [
+        (cache_size, app, tuple(policies), scale, seed, num_procs)
+        for cache_size in cache_sizes
+        for app in apps
+    ]
+    return parallel_map(_row, tasks, jobs=jobs)
 
 
 def render(rows: list[Table2Row]) -> str:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table, thousands
 from repro.directory.policy import PAPER_POLICIES, AdaptivePolicy
 from repro.experiments import common
+from repro.parallel import parallel_map
 from repro.workloads.profiles import APP_ORDER
 
 #: The paper's block-size sweep (bytes).
@@ -33,6 +34,26 @@ class Table3Row:
     cells: dict  # policy name -> ProtocolCell
 
 
+def _row(task: tuple) -> Table3Row:
+    """One (block size, app) cell: every policy on one trace."""
+    block_size, app, policies, scale, seed, num_procs = task
+    trace = common.get_trace(app, num_procs, seed, scale)
+    cells = {}
+    baseline_total = 0
+    for policy in policies:
+        stats = common.run_directory(
+            trace,
+            policy,
+            cache_size=None,
+            block_size=block_size,
+            num_procs=num_procs,
+        )
+        if policy.name == "conventional" or not cells:
+            baseline_total = stats.total
+        cells[policy.name] = common.make_cell(stats, baseline_total)
+    return Table3Row(block_size, app, cells)
+
+
 def run(
     apps: tuple[str, ...] = APP_ORDER,
     block_sizes: tuple[int, ...] = BLOCK_SIZES,
@@ -40,27 +61,19 @@ def run(
     scale: float = 1.0,
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
+    jobs: int | None = None,
 ) -> list[Table3Row]:
-    """Run the full sweep; returns one row per (block size, app)."""
-    rows = []
-    for block_size in block_sizes:
-        for app in apps:
-            trace = common.get_trace(app, num_procs, seed, scale)
-            cells = {}
-            baseline_total = 0
-            for policy in policies:
-                stats = common.run_directory(
-                    trace,
-                    policy,
-                    cache_size=None,
-                    block_size=block_size,
-                    num_procs=num_procs,
-                )
-                if policy.name == "conventional" or not cells:
-                    baseline_total = stats.total
-                cells[policy.name] = common.make_cell(stats, baseline_total)
-            rows.append(Table3Row(block_size, app, cells))
-    return rows
+    """Run the full sweep; returns one row per (block size, app).
+
+    ``jobs`` fans the (block size, app) cells across worker processes;
+    the result is identical for every job count.
+    """
+    tasks = [
+        (block_size, app, tuple(policies), scale, seed, num_procs)
+        for block_size in block_sizes
+        for app in apps
+    ]
+    return parallel_map(_row, tasks, jobs=jobs)
 
 
 def render(rows: list[Table3Row]) -> str:

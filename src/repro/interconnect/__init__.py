@@ -13,8 +13,12 @@ from repro.interconnect.costs import (
     OpClass,
     TABLE1_ROWS,
     eviction_charge,
+    eviction_counts,
+    read_miss_counts,
     render_table1,
     table1_charge,
+    write_hit_counts,
+    write_miss_counts,
 )
 
 __all__ = [
@@ -28,6 +32,10 @@ __all__ = [
     "OpClass",
     "TABLE1_ROWS",
     "eviction_charge",
+    "eviction_counts",
+    "read_miss_counts",
     "render_table1",
     "table1_charge",
+    "write_hit_counts",
+    "write_miss_counts",
 ]

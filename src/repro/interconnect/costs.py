@@ -48,6 +48,53 @@ class Charge:
         return self.short + self.data
 
 
+def read_miss_counts(
+    home_local: bool, dirty: bool, distant_copies: int
+) -> tuple[int, int]:
+    """The read-miss row of Table 1 as a plain ``(short, data)`` tuple.
+
+    The machines' hot paths use these tuple helpers directly, skipping the
+    :class:`OpClass` dispatch and the :class:`Charge` allocation of
+    :func:`table1_charge` (which remains the documented API).
+    """
+    if home_local:
+        return (1, 1) if dirty else (0, 0)
+    if dirty:
+        dc1 = 1 + distant_copies
+        return (dc1, dc1)
+    return (1, 1)
+
+
+def write_miss_counts(
+    home_local: bool, dirty: bool, distant_copies: int
+) -> tuple[int, int]:
+    """The write-miss row of Table 1 as ``(short, data)``."""
+    if home_local:
+        return (1, 1) if dirty else (2 * distant_copies, 0)
+    if dirty:
+        dc1 = 1 + distant_copies
+        return (dc1, dc1)
+    return (1 + 2 * distant_copies, 1)
+
+
+def write_hit_counts(home_local: bool, distant_copies: int) -> tuple[int, int]:
+    """The (clean) write-hit row of Table 1 as ``(short, data)``."""
+    if home_local:
+        return (2 * distant_copies, 0)
+    return (2 + 2 * distant_copies, 0)
+
+
+def eviction_counts(
+    dirty: bool, home_local: bool, notify_clean: bool = True
+) -> tuple[int, int]:
+    """Replacement charge as ``(short, data)`` (see :func:`eviction_charge`)."""
+    if home_local:
+        return (0, 0)
+    if dirty:
+        return (0, 1)
+    return (1, 0) if notify_clean else (0, 0)
+
+
 def table1_charge(
     op: OpClass, home_local: bool, dirty: bool, distant_copies: int
 ) -> Charge:
@@ -67,21 +114,14 @@ def table1_charge(
     """
     if distant_copies < 0:
         raise ValueError("distant_copies must be non-negative")
-    dc = distant_copies
     if op is OpClass.READ_MISS:
-        if home_local:
-            return Charge(1, 1) if dirty else Charge(0, 0)
-        return Charge(1 + dc, 1 + dc) if dirty else Charge(1, 1)
+        return Charge(*read_miss_counts(home_local, dirty, distant_copies))
     if op is OpClass.WRITE_MISS:
-        if home_local:
-            return Charge(1, 1) if dirty else Charge(2 * dc, 0)
-        return Charge(1 + dc, 1 + dc) if dirty else Charge(1 + 2 * dc, 1)
+        return Charge(*write_miss_counts(home_local, dirty, distant_copies))
     if op is OpClass.WRITE_HIT:
         if dirty:
             raise ValueError("a write hit to a dirty block requires no messages")
-        if home_local:
-            return Charge(2 * dc, 0)
-        return Charge(2 + 2 * dc, 0)
+        return Charge(*write_hit_counts(home_local, distant_copies))
     raise ValueError(f"unknown operation class: {op!r}")
 
 
@@ -98,11 +138,7 @@ def eviction_charge(dirty: bool, home_local: bool, notify_clean: bool = True) ->
         home_local: whether the victim's home node is the evicting node.
         notify_clean: set False to model silent clean eviction (ablation).
     """
-    if home_local:
-        return Charge(0, 0)
-    if dirty:
-        return Charge(0, 1)
-    return Charge(1, 0) if notify_clean else Charge(0, 0)
+    return Charge(*eviction_counts(dirty, home_local, notify_clean))
 
 
 #: The rows of Table 1, in the paper's order, as

@@ -1,0 +1,86 @@
+"""Process-level fan-out for the experiment harness.
+
+The experiment sweeps (:mod:`repro.experiments`) are embarrassingly
+parallel: every table cell is a pure function of ``(app, seed, scale,
+machine parameters)``.  :func:`parallel_map` fans such cells across a
+:class:`concurrent.futures.ProcessPoolExecutor` while preserving the
+input order, so a parallel run merges into *exactly* the same result
+list as a serial one.
+
+Determinism contract
+--------------------
+
+``parallel_map(fn, items, jobs=N)`` returns ``[fn(x) for x in items]``
+for every ``N``: worker processes only change *where* each cell runs,
+never its inputs (traces are rebuilt — or loaded from the on-disk trace
+cache — from the same ``(app, num_procs, seed, scale)`` key inside each
+worker).  Experiments therefore produce byte-identical reports whatever
+``--jobs`` says.
+
+The job count resolves in priority order: explicit ``jobs`` argument,
+the ``REPRO_JOBS`` environment variable, then 1 (serial).  Cells must be
+module-level callables with picklable arguments and results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve the worker count: argument, then ``REPRO_JOBS``, then 1.
+
+    Args:
+        jobs: explicit worker count; ``None`` defers to the environment.
+
+    Returns:
+        A worker count of at least 1.
+
+    Raises:
+        ValueError: if ``REPRO_JOBS`` is set but not an integer.
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be an integer, got {env!r}"
+            ) from None
+    return max(1, int(jobs))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every item, optionally across worker processes.
+
+    Args:
+        fn: a module-level (picklable) callable.
+        items: the work list; consumed eagerly.
+        jobs: worker processes (see :func:`resolve_jobs`); 1 runs the
+            map in-process with no executor at all.
+
+    Returns:
+        Results in input order — identical to ``[fn(x) for x in items]``.
+    """
+    work: Sequence[T] = list(items)
+    count = resolve_jobs(jobs)
+    if count <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=min(count, len(work))) as pool:
+        # ``Executor.map`` yields results in submission order, which is
+        # what makes the parallel merge deterministic.
+        return list(pool.map(fn, work))

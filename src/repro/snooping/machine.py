@@ -17,7 +17,13 @@ from __future__ import annotations
 import random
 from typing import Iterable
 
-from repro.cache.core import Cache, CacheLine, make_cache
+from repro.cache.core import (
+    Cache,
+    CacheLine,
+    InfiniteCache,
+    SetAssociativeCache,
+    make_cache,
+)
 from repro.common.config import MachineConfig
 from repro.common.errors import ProtocolError
 from repro.common.stats import BusStats, CacheStats
@@ -25,9 +31,18 @@ from repro.common.types import Access, Op
 from repro.snooping.protocols import SnoopingProtocol
 from repro.snooping.states import SnoopState as St
 
+#: States in which a write completes without a bus transaction — the
+#: precomputed form of ``SnoopState.is_writable`` used by the replay loop.
+_WRITABLE_STATES = frozenset(state for state in St if state.is_writable)
+
 
 class BusMachine:
     """A bus-based multiprocessor running one snooping protocol."""
+
+    __slots__ = (
+        "config", "protocol", "caches", "bus_stats", "cache_stats",
+        "_check", "_block_shift", "_latest", "_version_counter",
+    )
 
     def __init__(
         self,
@@ -51,15 +66,111 @@ class BusMachine:
         self._version_counter = 0
 
     def run(self, trace: Iterable[Access]) -> BusStats:
-        """Process every access in ``trace``; returns bus statistics."""
+        """Process every access in ``trace``; returns bus statistics.
+
+        Like :meth:`repro.system.machine.DirectoryMachine.run`, packable
+        traces (anything exposing ``pack()``) replay through a fast
+        columnar loop with bit-identical statistics; the checker forces
+        the generic per-access path.
+        """
+        pack = getattr(trace, "pack", None)
+        if pack is not None and not self._check:
+            return self._run_packed(pack())
         access = self.access
         for acc in trace:
             access(acc.proc, acc.op is Op.WRITE, acc.addr)
         return self.bus_stats
 
+    def _run_packed(self, packed) -> BusStats:
+        """Replay packed columns, retiring bus-silent hits inline.
+
+        Read hits and writable write hits generate no bus transaction;
+        they retire inside the loop (invoking the protocol's read-hit
+        hook and silent-write transition only when the protocol defines
+        them).  Protocols that update remote copies, or that override
+        ``write_hit_needs_bus``, route every write through the generic
+        handler so their bus accounting is untouched.
+        """
+        blocks = packed.blocks_column(self._block_shift)
+        procs = packed.procs
+        ops = packed.ops
+        caches = self.caches
+        access = self._access_block
+        protocol = self.protocol
+        proto_cls = type(protocol)
+        plain_read_hit = proto_cls.read_hit is SnoopingProtocol.read_hit
+        read_hit = protocol.read_hit
+        write_hit_silent = protocol.write_hit_silent
+        fast_writes = (
+            proto_cls.write_hit_needs_bus is SnoopingProtocol.write_hit_needs_bus
+            and not protocol.updates_remote_copies
+        )
+        writable = _WRITABLE_STATES
+        read_hits = 0
+        write_hits = 0
+        first = caches[0] if caches else None
+        if type(first) is SetAssociativeCache:
+            sets_by_proc = [cache.hot_sets()[0] for cache in caches]
+            _, num_sets, lru = first.hot_sets()
+            if lru:
+                for proc, is_write, block in zip(procs, ops, blocks):
+                    cset = sets_by_proc[proc][block % num_sets]
+                    line = cset.get(block)
+                    if line is not None:
+                        if not is_write:
+                            cset.move_to_end(block)
+                            read_hits += 1
+                            if not plain_read_hit:
+                                read_hit(line)
+                            continue
+                        if fast_writes and line.state in writable:
+                            write_hits += 1
+                            cset.move_to_end(block)
+                            write_hit_silent(line)
+                            continue
+                    access(proc, is_write, block)
+            else:
+                for proc, is_write, block in zip(procs, ops, blocks):
+                    line = sets_by_proc[proc][block % num_sets].get(block)
+                    if line is not None:
+                        if not is_write:
+                            read_hits += 1
+                            if not plain_read_hit:
+                                read_hit(line)
+                            continue
+                        if fast_writes and line.state in writable:
+                            write_hits += 1
+                            write_hit_silent(line)
+                            continue
+                    access(proc, is_write, block)
+        elif type(first) is InfiniteCache:
+            lines_by_proc = [cache.hot_lines() for cache in caches]
+            for proc, is_write, block in zip(procs, ops, blocks):
+                line = lines_by_proc[proc].get(block)
+                if line is not None:
+                    if not is_write:
+                        read_hits += 1
+                        if not plain_read_hit:
+                            read_hit(line)
+                        continue
+                    if fast_writes and line.state in writable:
+                        write_hits += 1
+                        write_hit_silent(line)
+                        continue
+                access(proc, is_write, block)
+        else:
+            for proc, is_write, block in zip(procs, ops, blocks):
+                access(proc, is_write, block)
+        self.cache_stats.read_hits += read_hits
+        self.cache_stats.write_hits += write_hits
+        return self.bus_stats
+
     def access(self, proc: int, is_write: bool, addr: int) -> None:
         """Process one reference from ``proc`` to byte address ``addr``."""
-        block = addr >> self._block_shift
+        self._access_block(proc, is_write, addr >> self._block_shift)
+
+    def _access_block(self, proc: int, is_write: bool, block: int) -> None:
+        """Process one reference given its block number directly."""
         cache = self.caches[proc]
         line = cache.lookup(block)
         if not is_write:

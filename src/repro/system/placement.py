@@ -30,6 +30,8 @@ from repro.common.types import Access
 class PagePlacement:
     """Maps page numbers to home nodes."""
 
+    __slots__ = ()
+
     def home(self, page: int, accessor: int) -> int:
         """Return the home node of ``page``.
 
@@ -44,6 +46,8 @@ class PagePlacement:
 class RoundRobinPlacement(PagePlacement):
     """Standard round-robin allocation (used by Section 4.2)."""
 
+    __slots__ = ("_num_procs",)
+
     def __init__(self, num_procs: int):
         self._num_procs = num_procs
 
@@ -53,6 +57,8 @@ class RoundRobinPlacement(PagePlacement):
 
 class FirstTouchPlacement(PagePlacement):
     """Each page is homed at the first node that touches it."""
+
+    __slots__ = ("_homes",)
 
     def __init__(self) -> None:
         self._homes: dict[int, int] = {}
@@ -68,6 +74,8 @@ class FirstTouchPlacement(PagePlacement):
 class BestStaticPlacement(PagePlacement):
     """Majority-accessor static placement derived from a profiling pass."""
 
+    __slots__ = ("_homes", "_fallback")
+
     def __init__(self, homes: dict[int, int], fallback_procs: int):
         self._homes = homes
         self._fallback = RoundRobinPlacement(fallback_procs)
@@ -79,15 +87,23 @@ class BestStaticPlacement(PagePlacement):
         """Profile ``trace`` and home every page at its majority accessor.
 
         Pages never seen in the profiling pass fall back to round-robin.
+        Packable traces (``iter_packed``) profile over the raw columns
+        without materialising ``Access`` objects.
         """
         counts: dict[int, Counter] = {}
-        for acc in trace:
-            page = acc.addr // config.page_size
+        page_size = config.page_size
+        iter_packed = getattr(trace, "iter_packed", None)
+        if iter_packed is not None:
+            pairs = ((addr // page_size, proc)
+                     for proc, _is_write, addr in iter_packed())
+        else:
+            pairs = ((acc.addr // page_size, acc.proc) for acc in trace)
+        for page, proc in pairs:
             per_page = counts.get(page)
             if per_page is None:
                 per_page = Counter()
                 counts[page] = per_page
-            per_page[acc.proc] += 1
+            per_page[proc] += 1
         homes = {page: counter.most_common(1)[0][0] for page, counter in counts.items()}
         return cls(homes, config.num_procs)
 

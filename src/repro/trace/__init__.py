@@ -1,6 +1,7 @@
 """Traces of shared-data references and synthetic pattern generators."""
 
-from repro.trace import synth
+from repro.trace import diskcache, synth
 from repro.trace.core import Trace
+from repro.trace.packed import PackedTrace
 
-__all__ = ["Trace", "synth"]
+__all__ = ["PackedTrace", "Trace", "diskcache", "synth"]

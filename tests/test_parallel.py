@@ -1,0 +1,80 @@
+"""Tests for the parallel experiment harness and its determinism."""
+
+import pytest
+
+from repro.experiments import common, table2
+from repro.parallel import parallel_map, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs() == 4
+
+    def test_floor_of_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-2) == 1
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+
+
+class TestParallelMap:
+    def test_serial_matches_comprehension(self):
+        items = list(range(10))
+        assert parallel_map(_square, items, jobs=1) == [x * x for x in items]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(10))
+        assert parallel_map(_square, items, jobs=2) == [x * x for x in items]
+
+    def test_empty_and_single(self):
+        assert parallel_map(_square, [], jobs=4) == []
+        assert parallel_map(_square, [3], jobs=4) == [9]
+
+
+class TestExperimentDeterminism:
+    #: A deliberately tiny slice of the Table 2 sweep.
+    KWARGS = dict(
+        apps=("mp3d",),
+        cache_sizes=(16 * 1024, 64 * 1024),
+        scale=0.05,
+    )
+
+    def test_table2_parallel_equals_serial(self):
+        serial = table2.run(jobs=1, **self.KWARGS)
+        common.clear_caches()  # force workers' trace path end-to-end
+        parallel = table2.run(jobs=2, **self.KWARGS)
+        assert serial == parallel
+        # Identical message-stat tables cell by cell.
+        for s_row, p_row in zip(serial, parallel):
+            assert s_row.cells == p_row.cells
+
+
+class TestPlacementCache:
+    def test_keyed_by_live_trace_object(self):
+        """Recreated traces must not inherit a dead trace's placement."""
+        config = common.directory_config(16 * 1024)
+        first = common.get_trace("mp3d", seed=0, scale=0.05)
+        placement_first = common.get_placement("best_static", first, config)
+        assert common.get_placement("best_static", first, config) \
+            is placement_first
+        common.clear_caches()
+        second = common.get_trace("mp3d", seed=0, scale=0.05)
+        placement_second = common.get_placement("best_static", second, config)
+        if second is not first:
+            assert placement_second is not placement_first
