@@ -19,6 +19,9 @@ setup(
     packages=find_packages(where="src"),
     package_data={"repro": ["py.typed"]},
     entry_points={
-        "console_scripts": ["repro-experiments=repro.experiments.runner:main"]
+        "console_scripts": [
+            "repro-experiments=repro.experiments.runner:main",
+            "repro-fuzz=repro.conformance.cli:main",
+        ]
     },
 )

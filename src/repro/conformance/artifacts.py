@@ -1,0 +1,133 @@
+"""Reproducer artifact directories.
+
+A reproducer is one directory holding everything needed to replay a
+fuzz case without the fuzzer: the trace in the repository's text format
+(``trace.txt``) plus a JSON sidecar (``case.json``) recording the
+machine geometry, the generating seed/profile, and — for failing cases
+— the oracle failure it demonstrates.  ``repro-fuzz`` writes one per
+shrunk failure; interesting *passing* traces are checked into
+``tests/reproducers/`` and replayed by the regression suite so that
+every future protocol or fast-path change is exercised against them.
+
+The JSON schema is versioned (:data:`SCHEMA_VERSION`); loaders reject
+versions they do not understand rather than mis-replaying a case.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.errors import TraceError
+from repro.conformance.fuzzer import FuzzCase
+from repro.conformance.oracle import CaseFailure
+from repro.trace.core import Trace
+
+#: Bump when the sidecar layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default artifact root used by the ``repro-fuzz`` CLI.
+DEFAULT_ARTIFACT_DIR = Path("repro-fuzz-artifacts")
+
+TRACE_FILE = "trace.txt"
+CASE_FILE = "case.json"
+
+
+def reproducer_name(case: FuzzCase) -> str:
+    """The directory name for one case: ``<profile>-seed<n>``."""
+    return f"{case.profile}-seed{case.seed:05d}"
+
+
+def save_reproducer(
+    root: str | Path,
+    case: FuzzCase,
+    failure: CaseFailure | None = None,
+    notes: str = "",
+) -> Path:
+    """Write one reproducer directory under ``root``; returns its path.
+
+    Args:
+        case: the case to serialize (its trace is written verbatim —
+            pass the shrunk case, not the original, after shrinking).
+        failure: the oracle failure the trace demonstrates, or None for
+            a passing regression trace.
+        notes: free-form description stored in the sidecar.
+    """
+    directory = Path(root) / reproducer_name(case)
+    directory.mkdir(parents=True, exist_ok=True)
+    case.trace.save(directory / TRACE_FILE)
+    sidecar = {
+        "schema_version": SCHEMA_VERSION,
+        "seed": case.seed,
+        "profile": case.profile,
+        "num_procs": case.num_procs,
+        "block_size": case.block_size,
+        "cache_size": case.cache_size,
+        "associativity": case.associativity,
+        "replacement": case.replacement,
+        "ops": len(case.trace),
+        "failure": (
+            {
+                "stage": failure.stage,
+                "engine": failure.engine,
+                "detail": failure.detail,
+            }
+            if failure is not None
+            else None
+        ),
+        "notes": notes,
+    }
+    (directory / CASE_FILE).write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n",
+        encoding="ascii",
+    )
+    return directory
+
+
+def load_reproducer(directory: str | Path) -> tuple[FuzzCase, dict]:
+    """Load one reproducer directory back into a replayable case.
+
+    Returns:
+        ``(case, sidecar)`` where ``sidecar`` is the raw JSON mapping
+        (including any recorded failure and notes).
+
+    Raises:
+        TraceError: on a missing file or unsupported schema version.
+    """
+    directory = Path(directory)
+    case_path = directory / CASE_FILE
+    if not case_path.exists():
+        raise TraceError(f"{directory}: no {CASE_FILE} sidecar")
+    sidecar = json.loads(case_path.read_text(encoding="ascii"))
+    version = sidecar.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise TraceError(
+            f"{case_path}: schema version {version!r} not supported "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    trace = Trace.load(directory / TRACE_FILE, name=directory.name)
+    case = FuzzCase(
+        seed=int(sidecar["seed"]),
+        profile=str(sidecar["profile"]),
+        num_procs=int(sidecar["num_procs"]),
+        block_size=int(sidecar["block_size"]),
+        cache_size=(
+            None if sidecar["cache_size"] is None
+            else int(sidecar["cache_size"])
+        ),
+        associativity=int(sidecar["associativity"]),
+        replacement=str(sidecar["replacement"]),
+        trace=trace,
+    )
+    return case, sidecar
+
+
+def iter_reproducers(root: str | Path):
+    """Yield ``(path, case, sidecar)`` for every reproducer under root."""
+    root = Path(root)
+    if not root.exists():
+        return
+    for case_path in sorted(root.glob(f"*/{CASE_FILE}")):
+        directory = case_path.parent
+        case, sidecar = load_reproducer(directory)
+        yield directory, case, sidecar

@@ -1,0 +1,142 @@
+"""The ``repro-fuzz`` console entry point.
+
+Usage::
+
+    repro-fuzz [--seeds N] [--start-seed S] [--jobs N]
+               [--profile migratory|uniform|adversarial|all]
+               [--artifacts DIR] [--inject NAME] [--no-shrink]
+               [--verbose]
+
+Each seed becomes one fuzz case per selected profile; cases fan out
+across worker processes via :func:`repro.parallel.parallel_map`
+(``--jobs`` or ``REPRO_JOBS``, serial by default) and replay through
+the differential oracle.  Failures are shrunk to minimal reproducers
+with delta debugging and written to the artifact directory as
+``<profile>-seed<n>/{trace.txt,case.json}``.
+
+Output on stdout is byte-deterministic for a fixed seed range,
+whatever ``--jobs`` says: results merge in submission order and all
+timing goes to stderr.  The exit status is 0 when every case is clean
+and 1 otherwise, so the command slots directly into CI.
+
+``--inject`` swaps a deliberately broken engine variant in (see
+:mod:`repro.conformance.bugs`) — the self-test proving the fuzzer,
+oracle, shrinker, and artifact writer actually work end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.conformance import artifacts, bugs
+from repro.conformance.fuzzer import PROFILES, generate_case
+from repro.conformance.oracle import CaseFailure, run_case
+from repro.conformance.shrink import shrink_case
+from repro.parallel import parallel_map, resolve_jobs
+
+
+def _fuzz_worker(task: tuple[int, str, str]) -> tuple[int, str, int, tuple | None]:
+    """Run one (seed, profile, inject) case; picklable in and out."""
+    seed, profile, inject = task
+    case = generate_case(seed, profile)
+    failure = run_case(case, **bugs.engine_overrides(inject))
+    packed_failure = (
+        None if failure is None
+        else (failure.stage, failure.engine, failure.detail)
+    )
+    return (seed, profile, len(case.trace), packed_failure)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Differential conformance fuzzing of the coherence "
+        "engines: seeded traces, cross-engine oracle, delta-debugged "
+        "reproducers.",
+    )
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="number of seeds per profile (default 50)")
+    parser.add_argument("--start-seed", type=int, default=0,
+                        help="first seed (default 0)")
+    parser.add_argument("--profile", choices=[*PROFILES, "all"],
+                        default="all",
+                        help="fuzz profile (default: all three)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or "
+                        "serial); output is identical for any job count")
+    parser.add_argument("--artifacts", type=Path,
+                        default=artifacts.DEFAULT_ARTIFACT_DIR,
+                        help="directory for shrunk reproducers (default "
+                        f"{artifacts.DEFAULT_ARTIFACT_DIR})")
+    parser.add_argument("--inject", choices=sorted(bugs.INJECTIONS),
+                        default="none",
+                        help="swap in a deliberately broken engine "
+                        "variant (pipeline self-test)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="save failing traces unshrunk")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every case, not just failures")
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+    try:
+        resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    profiles = PROFILES if args.profile == "all" else (args.profile,)
+    tasks = [
+        (seed, profile, args.inject)
+        for seed in range(args.start_seed, args.start_seed + args.seeds)
+        for profile in profiles
+    ]
+    print(
+        f"repro-fuzz: {args.seeds} seeds x {len(profiles)} profile(s), "
+        f"inject={args.inject}"
+    )
+    started = time.time()
+    results = parallel_map(_fuzz_worker, tasks, jobs=args.jobs)
+    print(f"[fuzzed {len(tasks)} cases in {time.time() - started:.1f}s]",
+          file=sys.stderr)
+
+    failures = []
+    for seed, profile, ops, packed_failure in results:
+        if packed_failure is None:
+            if args.verbose:
+                print(f"seed {seed:05d} {profile}: ok ({ops} ops)")
+            continue
+        failure = CaseFailure(*packed_failure)
+        failures.append((seed, profile, failure))
+        print(f"seed {seed:05d} {profile}: FAIL {failure}")
+
+    overrides = bugs.engine_overrides(args.inject)
+    for seed, profile, failure in failures:
+        case = generate_case(seed, profile)
+        if args.no_shrink:
+            path = artifacts.save_reproducer(args.artifacts, case, failure)
+            print(f"saved seed {seed:05d} {profile} unshrunk "
+                  f"({len(case.trace)} ops) -> {path}")
+            continue
+        result = shrink_case(case, failure, **overrides)
+        path = artifacts.save_reproducer(
+            args.artifacts, result.case, result.failure,
+            notes=f"shrunk from {result.original_ops} ops in "
+            f"{result.tests} oracle runs",
+        )
+        print(
+            f"shrunk seed {seed:05d} {profile} to {result.ops} ops "
+            f"(from {result.original_ops}) -> {path}"
+        )
+
+    print(
+        f"repro-fuzz: {len(tasks)} cases, {len(failures)} failure(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

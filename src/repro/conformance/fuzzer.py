@@ -1,0 +1,293 @@
+"""Deterministic, seed-driven trace fuzzer.
+
+Every fuzz case is a pure function of ``(profile, seed)``: the same pair
+always yields the same machine geometry and byte-identical trace, which
+is what makes ``repro-fuzz`` runs reproducible and lets a failing seed
+be named in a bug report.  Three profiles are provided:
+
+* ``migratory`` — compositions of the synthetic sharing patterns the
+  paper studies (migratory objects, lock-style read-modify-write
+  hand-offs, producer/consumer, read-shared), interleaved in random
+  chunk order.  This is the traffic the adaptive protocols are built
+  for, so it exercises the classification machinery hardest.
+* ``uniform`` — memoryless random accesses over a small block space,
+  the classic coverage profile (every interleaving is equally likely).
+* ``adversarial`` — interleavings the synthetic generators never emit:
+  single-block write storms by all processors, two-processor
+  ping-pong, false sharing inside one block, eviction sweeps sized to
+  overflow tiny caches mid-pattern, and silent-upgrade probes (write
+  then remote read then write again).
+
+Machine geometry (processor count, block size, finite vs infinite
+caches, associativity, replacement policy) is fuzzed along with the
+trace so the packed-replay fast paths for every cache flavour are
+covered, not just the infinite-cache one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.types import WORD_SIZE, Access, read, write
+from repro.trace import synth
+from repro.trace.core import Trace
+
+#: The recognised fuzz profiles, in CLI order.
+PROFILES = ("migratory", "uniform", "adversarial")
+
+#: Hard ceiling on trace length so one case replays in milliseconds.
+MAX_OPS = 512
+
+
+@dataclass(frozen=True, eq=False)
+class FuzzCase:
+    """One fuzzed (trace, machine geometry) pair.
+
+    Attributes:
+        seed: the generating seed.
+        profile: the generating profile name.
+        num_procs: processor count for both machines.
+        block_size: coherence granularity in bytes.
+        cache_size: per-processor capacity in bytes; None = infinite.
+        associativity: ways per set (finite caches only).
+        replacement: ``"lru"``, ``"fifo"`` or ``"random"``.
+        trace: the access trace to replay.
+    """
+
+    seed: int
+    profile: str
+    num_procs: int
+    block_size: int
+    cache_size: int | None
+    associativity: int
+    replacement: str
+    trace: Trace
+
+    def machine_config(self) -> MachineConfig:
+        """The :class:`MachineConfig` both engines replay under."""
+        return MachineConfig(
+            num_procs=self.num_procs,
+            cache=CacheConfig(
+                size_bytes=self.cache_size,
+                block_size=self.block_size,
+                associativity=self.associativity,
+                replacement=self.replacement,
+            ),
+        )
+
+    def with_trace(self, trace: Trace) -> "FuzzCase":
+        """A copy of this case replaying a different trace (shrinking)."""
+        return replace(self, trace=trace)
+
+    def describe(self) -> str:
+        """One-line summary for logs and artifacts."""
+        cache = (
+            "inf" if self.cache_size is None
+            else f"{self.cache_size}B/{self.associativity}w/{self.replacement}"
+        )
+        return (
+            f"{self.profile} seed={self.seed} procs={self.num_procs} "
+            f"block={self.block_size} cache={cache} ops={len(self.trace)}"
+        )
+
+
+def _rng_for(profile: str, seed: int) -> random.Random:
+    # str seeds hash deterministically inside random.Random (sha512),
+    # independent of PYTHONHASHSEED, so cases reproduce across runs.
+    return random.Random(f"repro-fuzz:{profile}:{seed}")
+
+
+def _truncate(accesses: list[Access], rng: random.Random) -> list[Access]:
+    if len(accesses) > MAX_OPS:
+        # Keep a contiguous window so per-processor program order (and
+        # therefore the patterns' temporal structure) survives.
+        start = rng.randrange(len(accesses) - MAX_OPS + 1)
+        return accesses[start:start + MAX_OPS]
+    return accesses
+
+
+# ----------------------------------------------------------------------
+# Profile generators
+# ----------------------------------------------------------------------
+
+def _migratory_trace(rng: random.Random, num_procs: int,
+                     block_size: int) -> list[Access]:
+    pieces = []
+    for _ in range(rng.randint(1, 3)):
+        kind = rng.choice(
+            ["migratory", "migratory", "lock", "producer_consumer",
+             "read_shared"]
+        )
+        base = rng.choice([0, 4096, 16384])
+        seed = rng.randrange(2 ** 31)
+        if kind == "migratory":
+            piece = synth.migratory(
+                num_procs=num_procs,
+                num_objects=rng.randint(1, 4),
+                words_per_object=rng.randint(1, 4),
+                visits=rng.randint(2, 10),
+                reads_per_visit=rng.randint(1, 3),
+                writes_per_visit=rng.randint(1, 3),
+                base=base,
+                stride=rng.choice([None, block_size, 2 * block_size]),
+                seed=seed,
+            )
+        elif kind == "lock":
+            # A lock-protected record: strict read-modify-write
+            # hand-offs on a single word — the purest migratory input.
+            piece = synth.migratory(
+                num_procs=num_procs,
+                num_objects=1,
+                words_per_object=1,
+                visits=rng.randint(4, 16),
+                reads_per_visit=1,
+                writes_per_visit=1,
+                base=base,
+                seed=seed,
+            )
+        elif kind == "producer_consumer":
+            piece = synth.producer_consumer(
+                num_procs=num_procs,
+                num_objects=rng.randint(1, 3),
+                words_per_object=rng.randint(1, 4),
+                rounds=rng.randint(2, 8),
+                consumers=rng.randint(1, max(1, num_procs - 1)),
+                base=base,
+                seed=seed,
+            )
+        else:
+            piece = synth.read_shared(
+                num_procs=num_procs,
+                num_objects=rng.randint(1, 3),
+                words_per_object=rng.randint(1, 4),
+                rounds=rng.randint(1, 4),
+                base=base,
+                seed=seed,
+            )
+        pieces.append(piece)
+    mixed = synth.interleave(
+        pieces, chunk=rng.randint(1, 8), seed=rng.randrange(2 ** 31)
+    )
+    return list(mixed)
+
+
+def _uniform_trace(rng: random.Random, num_procs: int,
+                   block_size: int) -> list[Access]:
+    num_blocks = rng.randint(2, 10)
+    words_per_block = max(1, block_size // WORD_SIZE)
+    length = rng.randint(50, 300)
+    out = []
+    for _ in range(length):
+        proc = rng.randrange(num_procs)
+        addr = (
+            rng.randrange(num_blocks) * block_size
+            + rng.randrange(words_per_block) * WORD_SIZE
+        )
+        out.append(
+            write(proc, addr) if rng.random() < 0.4 else read(proc, addr)
+        )
+    return out
+
+
+def _adversarial_trace(rng: random.Random, num_procs: int,
+                       block_size: int, cache_size: int | None) -> list[Access]:
+    out: list[Access] = []
+    words_per_block = max(1, block_size // WORD_SIZE)
+    hot = rng.randrange(4) * block_size
+    while len(out) < rng.randint(100, MAX_OPS):
+        phase = rng.choice(
+            ["write_storm", "ping_pong", "false_share", "sweep",
+             "upgrade_probe", "noise"]
+        )
+        if phase == "write_storm":
+            # Every processor writes the same block back to back — the
+            # hysteresis/invalidation machinery under maximum pressure.
+            for _ in range(rng.randint(1, 3)):
+                for proc in range(num_procs):
+                    out.append(write(proc, hot))
+        elif phase == "ping_pong":
+            a, b = rng.sample(range(num_procs), 2) if num_procs > 1 else (0, 0)
+            for _ in range(rng.randint(2, 6)):
+                out.append(read(a, hot))
+                out.append(write(a, hot))
+                out.append(read(b, hot))
+                out.append(write(b, hot))
+        elif phase == "false_share":
+            for _ in range(rng.randint(2, 6)):
+                proc = rng.randrange(num_procs)
+                word = rng.randrange(words_per_block)
+                addr = hot + word * WORD_SIZE
+                out.append(read(proc, addr))
+                out.append(write(proc, addr))
+        elif phase == "sweep":
+            # Touch more distinct blocks than a tiny cache can hold so
+            # the hot block is evicted mid-pattern (dirty writebacks,
+            # replacement notifications, re-classification on return).
+            span = 16 if cache_size is None else (cache_size // block_size) + 4
+            proc = rng.randrange(num_procs)
+            for i in range(span):
+                addr = (8 + i) * block_size
+                if rng.random() < 0.3:
+                    out.append(write(proc, addr))
+                else:
+                    out.append(read(proc, addr))
+        elif phase == "upgrade_probe":
+            # Write, let a remote reader demote the copy, write again:
+            # probes the silent-upgrade / revoked-permission paths.
+            a = rng.randrange(num_procs)
+            b = rng.randrange(num_procs)
+            out.append(write(a, hot))
+            out.append(read(b, hot))
+            out.append(write(a, hot))
+            out.append(read(b, hot))
+        else:
+            for _ in range(rng.randint(1, 8)):
+                proc = rng.randrange(num_procs)
+                addr = rng.randrange(12) * block_size
+                out.append(
+                    write(proc, addr) if rng.random() < 0.5
+                    else read(proc, addr)
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Case generation
+# ----------------------------------------------------------------------
+
+def generate_case(seed: int, profile: str) -> FuzzCase:
+    """Build the fuzz case for ``(profile, seed)`` — pure and stable."""
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown fuzz profile {profile!r}; expected one of {PROFILES}"
+        )
+    rng = _rng_for(profile, seed)
+    num_procs = rng.choice([2, 3, 4, 4, 6])
+    block_size = rng.choice([16, 16, 32, 64])
+    if rng.random() < 0.5:
+        cache_size, associativity, replacement = None, 4, "lru"
+    else:
+        associativity = rng.choice([1, 2, 4])
+        num_sets = rng.choice([1, 2])
+        cache_size = block_size * associativity * num_sets
+        replacement = rng.choice(["lru", "lru", "fifo", "random"])
+    if profile == "migratory":
+        accesses = _migratory_trace(rng, num_procs, block_size)
+    elif profile == "uniform":
+        accesses = _uniform_trace(rng, num_procs, block_size)
+    else:
+        accesses = _adversarial_trace(rng, num_procs, block_size, cache_size)
+    accesses = _truncate(accesses, rng)
+    trace = Trace(accesses, name=f"fuzz-{profile}-{seed}")
+    return FuzzCase(
+        seed=seed,
+        profile=profile,
+        num_procs=num_procs,
+        block_size=block_size,
+        cache_size=cache_size,
+        associativity=associativity,
+        replacement=replacement,
+        trace=trace,
+    )

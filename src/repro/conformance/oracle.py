@@ -1,0 +1,282 @@
+"""The differential cross-engine oracle.
+
+One fuzz case is replayed through every engine the repository ships and
+each replay is audited three ways:
+
+1. **Invariant-clean state at every step.**  The generic (unpacked)
+   replay runs with the built-in checker enabled, which asserts the
+   structural invariants of :mod:`repro.conformance.invariants` and the
+   read-latest-write version property after every protocol-visible
+   operation.
+2. **Bit-identical packed replay.**  A second, checker-free machine
+   replays the same trace through the packed-trace fast path
+   (:meth:`PackedTrace.blocks_column` et al.); every statistic the
+   machine produces — message/bus counters including the per-cause
+   breakdowns, cache event counters, invalidation-size histograms —
+   must be *exactly* equal to the generic replay's.  This is the
+   contract PR 1 introduced and every future fast-path change must
+   keep.
+3. **Sequential-consistency reference model.**  An independent flat
+   memory model tracks, per block, the globally latest write version;
+   after the replay the machine's observed version history must agree
+   with it, and every engine must agree with every other (the final
+   write to each block is visible identically everywhere).
+
+The first discrepancy is reported as a :class:`CaseFailure` naming the
+stage, the engine, and the detail; ``None`` means the case is clean.
+Engine factories are parameters so the fault-injection variants of
+:mod:`repro.conformance.bugs` can be swapped in — that is how the
+pipeline proves the oracle actually fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.common.errors import ReproError
+from repro.common.types import Op
+from repro.conformance.fuzzer import FuzzCase
+from repro.directory.policy import (
+    AGGRESSIVE,
+    BASIC,
+    CONSERVATIVE,
+    CONVENTIONAL,
+    AdaptivePolicy,
+)
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import (
+    AdaptiveSnoopingProtocol,
+    AlwaysMigrateProtocol,
+    MesiProtocol,
+    SnoopingProtocol,
+)
+from repro.system.machine import DirectoryMachine
+
+#: Directory policies replayed by default: the full Table 2 family.
+DEFAULT_POLICIES: tuple[AdaptivePolicy, ...] = (
+    CONVENTIONAL, CONSERVATIVE, BASIC, AGGRESSIVE,
+)
+
+#: Snooping protocol factories replayed by default (invalidate family;
+#: the update protocols keep remote copies current and are covered by
+#: the model checker instead).
+DEFAULT_SNOOP_FACTORIES: tuple[Callable[[], SnoopingProtocol], ...] = (
+    MesiProtocol,
+    AdaptiveSnoopingProtocol,
+    lambda: AdaptiveSnoopingProtocol(initial_migratory=True),
+    AlwaysMigrateProtocol,
+)
+
+
+@dataclass(frozen=True)
+class CaseFailure:
+    """One conformance discrepancy.
+
+    Attributes:
+        stage: which audit failed — ``"invariants"``, ``"packed-diff"``
+            or ``"sc-reference"``.
+        engine: the engine label, e.g. ``"directory[basic]"``.
+        detail: human-readable description of the discrepancy.
+    """
+
+    stage: str
+    engine: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.stage} {self.engine}: {self.detail}"
+
+
+class SCReference:
+    """Flat sequentially-consistent memory: one global write order.
+
+    Mirrors what real memory would contain if every access completed
+    atomically in trace order — the ground truth the machines' version
+    checkers are compared against.
+    """
+
+    __slots__ = ("latest", "writes", "_block_shift")
+
+    def __init__(self, block_shift: int):
+        self._block_shift = block_shift
+        #: block -> version id of the globally latest write.
+        self.latest: dict[int, int] = {}
+        #: total writes observed (version ids are 1..writes).
+        self.writes = 0
+
+    def access(self, proc: int, is_write: bool, addr: int) -> None:
+        if is_write:
+            self.writes += 1
+            self.latest[addr >> self._block_shift] = self.writes
+
+
+def _replay_reference(case: FuzzCase) -> SCReference:
+    ref = SCReference(case.block_size.bit_length() - 1)
+    for acc in case.trace:
+        ref.access(acc.proc, acc.op is Op.WRITE, acc.addr)
+    return ref
+
+
+def _diff_fields(pairs: Sequence[tuple[str, object, object]]) -> str | None:
+    """Describe the first few mismatching (name, generic, packed) triples."""
+    diffs = [
+        f"{name}: generic={generic!r} packed={packed!r}"
+        for name, generic, packed in pairs
+        if generic != packed
+    ]
+    if not diffs:
+        return None
+    return "; ".join(diffs[:4])
+
+
+def _cache_stats_fields(stats) -> list[tuple[str, object]]:
+    return [
+        ("read_hits", stats.read_hits),
+        ("read_misses", stats.read_misses),
+        ("write_hits", stats.write_hits),
+        ("write_misses", stats.write_misses),
+        ("upgrades", stats.upgrades),
+        ("evictions_clean", stats.evictions_clean),
+        ("evictions_dirty", stats.evictions_dirty),
+    ]
+
+
+def _version_mismatch(label: str, ref: SCReference, machine) -> str | None:
+    if machine._version_counter != ref.writes:  # noqa: SLF001 - oracle peer
+        return (
+            f"{label} recorded {machine._version_counter} writes, "  # noqa: SLF001
+            f"reference saw {ref.writes}"
+        )
+    if machine._latest != ref.latest:  # noqa: SLF001 - oracle peer
+        stale = {
+            block: (machine._latest.get(block), version)  # noqa: SLF001
+            for block, version in ref.latest.items()
+            if machine._latest.get(block) != version  # noqa: SLF001
+        }
+        return f"{label} final write versions diverge from reference: {stale}"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Per-engine differential replays
+# ----------------------------------------------------------------------
+
+def _run_directory(
+    case: FuzzCase,
+    policy: AdaptivePolicy,
+    machine_factory: Callable[..., DirectoryMachine],
+    ref: SCReference,
+) -> CaseFailure | None:
+    label = f"directory[{policy.name}]"
+    config = case.machine_config()
+    checked = machine_factory(config, policy, check=True)
+    try:
+        checked.run(case.trace)
+    except ReproError as exc:
+        return CaseFailure("invariants", label, str(exc))
+    mismatch = _version_mismatch(label, ref, checked)
+    if mismatch is not None:
+        return CaseFailure("sc-reference", label, mismatch)
+    packed = machine_factory(config, policy, check=False)
+    packed.run(case.trace)
+    diff = _diff_fields(
+        [
+            ("short", checked.stats.short, packed.stats.short),
+            ("data", checked.stats.data, packed.stats.data),
+            ("by_cause_short", checked.stats.by_cause_short,
+             packed.stats.by_cause_short),
+            ("by_cause_data", checked.stats.by_cause_data,
+             packed.stats.by_cause_data),
+            ("invalidation_sizes", checked.invalidation_sizes,
+             packed.invalidation_sizes),
+        ]
+        + [
+            (name, generic, packed_value)
+            for (name, generic), (_, packed_value) in zip(
+                _cache_stats_fields(checked.cache_stats),
+                _cache_stats_fields(packed.cache_stats),
+            )
+        ]
+    )
+    if diff is not None:
+        return CaseFailure("packed-diff", label, diff)
+    return None
+
+
+def _run_snooping(
+    case: FuzzCase,
+    protocol_factory: Callable[[], SnoopingProtocol],
+    machine_factory: Callable[..., BusMachine],
+    ref: SCReference,
+) -> CaseFailure | None:
+    protocol = protocol_factory()
+    label = f"bus[{protocol.name}]"
+    config = case.machine_config()
+    checked = machine_factory(config, protocol, check=True)
+    try:
+        checked.run(case.trace)
+    except ReproError as exc:
+        return CaseFailure("invariants", label, str(exc))
+    mismatch = _version_mismatch(label, ref, checked)
+    if mismatch is not None:
+        return CaseFailure("sc-reference", label, mismatch)
+    packed = machine_factory(config, protocol_factory(), check=False)
+    packed.run(case.trace)
+    diff = _diff_fields(
+        [
+            ("read_miss", checked.bus_stats.read_miss,
+             packed.bus_stats.read_miss),
+            ("write_miss", checked.bus_stats.write_miss,
+             packed.bus_stats.write_miss),
+            ("invalidation", checked.bus_stats.invalidation,
+             packed.bus_stats.invalidation),
+            ("writeback", checked.bus_stats.writeback,
+             packed.bus_stats.writeback),
+            ("update", checked.bus_stats.update, packed.bus_stats.update),
+            ("by_kind", checked.bus_stats.by_kind, packed.bus_stats.by_kind),
+        ]
+        + [
+            (name, generic, packed_value)
+            for (name, generic), (_, packed_value) in zip(
+                _cache_stats_fields(checked.cache_stats),
+                _cache_stats_fields(packed.cache_stats),
+            )
+        ]
+    )
+    if diff is not None:
+        return CaseFailure("packed-diff", label, diff)
+    return None
+
+
+def run_case(
+    case: FuzzCase,
+    policies: Sequence[AdaptivePolicy] = DEFAULT_POLICIES,
+    snoop_factories: Sequence[Callable[[], SnoopingProtocol]] =
+        DEFAULT_SNOOP_FACTORIES,
+    directory_machine: Callable[..., DirectoryMachine] = DirectoryMachine,
+    bus_machine: Callable[..., BusMachine] = BusMachine,
+) -> CaseFailure | None:
+    """Replay one fuzz case through every engine; None when clean.
+
+    Args:
+        case: the fuzzed (trace, geometry) pair.
+        policies: directory policies to replay.
+        snoop_factories: zero-argument snooping-protocol constructors.
+        directory_machine: the directory-machine class — swap in a
+            :mod:`repro.conformance.bugs` variant for fault injection.
+        bus_machine: the bus-machine class, likewise swappable.
+
+    Returns:
+        The first :class:`CaseFailure` discovered, or None.
+    """
+    ref = _replay_reference(case)
+    for policy in policies:
+        failure = _run_directory(case, policy, directory_machine, ref)
+        if failure is not None:
+            return failure
+    for factory in snoop_factories:
+        failure = _run_snooping(case, factory, bus_machine, ref)
+        if failure is not None:
+            return failure
+    return None

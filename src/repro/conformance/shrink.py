@@ -1,0 +1,142 @@
+"""Greedy delta-debugging shrinker for failing traces.
+
+Given a trace the oracle rejects, :func:`ddmin` (Zeller &
+Hildebrandt's minimizing delta debugging) removes chunks of accesses —
+halves first, then progressively finer granularity down to single
+accesses — keeping any reduction that still fails.  The result is
+1-minimal: removing any single remaining access makes the failure
+disappear.  A dropped-invalidation bug, for instance, shrinks from
+hundreds of operations to the three that matter (two sharers created,
+one upgrade).
+
+:func:`shrink_case` wires the oracle in as the failure predicate.  The
+predicate accepts *any* oracle failure, not just a repetition of the
+original one — for minimisation purposes a trace that exposes a
+different symptom of the same broken engine is just as valuable, and
+insisting on message-identical failures makes shrinking brittle.
+
+Everything here is deterministic: the chunk schedule depends only on
+the trace length, so a given (case, engine set) always shrinks to the
+same reproducer — which is what makes the ``repro-fuzz`` artifact
+files byte-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.common.types import Access
+from repro.conformance.fuzzer import FuzzCase
+from repro.conformance.oracle import CaseFailure, run_case
+from repro.trace.core import Trace
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of shrinking one failing case.
+
+    Attributes:
+        case: the original case with its trace replaced by the minimal
+            reproducer.
+        failure: the oracle failure the minimal trace still produces.
+        original_ops: access count before shrinking.
+        ops: access count after shrinking.
+        tests: number of oracle replays the shrink consumed.
+    """
+
+    case: FuzzCase
+    failure: CaseFailure
+    original_ops: int
+    ops: int
+    tests: int
+
+
+def ddmin(
+    items: Sequence[Access],
+    failing: Callable[[list[Access]], bool],
+) -> list[Access]:
+    """Reduce ``items`` to a 1-minimal subsequence that still fails.
+
+    Args:
+        items: the failing input (``failing(list(items))`` must be True).
+        failing: the predicate; called on candidate subsequences.
+
+    Returns:
+        A minimal failing subsequence (program order preserved).
+    """
+    current = list(items)
+    granularity = 2
+    while len(current) >= 2:
+        size = len(current) / granularity
+        complements = [
+            current[: int(i * size)] + current[int((i + 1) * size):]
+            for i in range(granularity)
+        ]
+        for complement in complements:
+            if failing(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                break
+        else:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+            continue
+    return current
+
+
+def shrink_case(
+    case: FuzzCase,
+    failure: CaseFailure | None = None,
+    **engine_overrides,
+) -> ShrinkResult:
+    """Shrink a failing case to a minimal reproducer.
+
+    Args:
+        case: the failing case.
+        failure: the already-observed failure (re-derived when None).
+        engine_overrides: keyword overrides forwarded to
+            :func:`repro.conformance.oracle.run_case` — pass the same
+            injected engines that made the case fail.
+
+    Returns:
+        A :class:`ShrinkResult` whose trace is 1-minimal.
+
+    Raises:
+        ValueError: if the case does not actually fail under the given
+            engines.
+    """
+    counter = {"tests": 0}
+    last_failure: dict[str, CaseFailure | None] = {"failure": None}
+
+    def failing(accesses: list[Access]) -> bool:
+        counter["tests"] += 1
+        candidate = case.with_trace(
+            Trace(accesses, name=f"{case.trace.name}-shrunk")
+        )
+        result = run_case(candidate, **engine_overrides)
+        if result is not None:
+            last_failure["failure"] = result
+        return result is not None
+
+    original = list(case.trace)
+    if not failing(original):
+        raise ValueError(
+            f"case {case.describe()} does not fail under the given engines"
+        )
+    if failure is None:
+        failure = last_failure["failure"]
+    minimal = ddmin(original, failing)
+    # Re-derive the failure the *minimal* trace produces (it may be an
+    # earlier symptom than the original trace's).
+    failing(minimal)
+    return ShrinkResult(
+        case=case.with_trace(
+            Trace(minimal, name=f"{case.trace.name}-shrunk")
+        ),
+        failure=last_failure["failure"] or failure,
+        original_ops=len(original),
+        ops=len(minimal),
+        tests=counter["tests"],
+    )

@@ -15,7 +15,7 @@ directory protocols that Section 4.3 highlights).
 from __future__ import annotations
 
 import random
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.cache.core import (
     Cache,
@@ -25,6 +25,7 @@ from repro.cache.core import (
     make_cache,
 )
 from repro.common.config import MachineConfig
+from repro.conformance.invariants import check_snooping_block
 from repro.common.errors import ProtocolError
 from repro.common.stats import BusStats, CacheStats
 from repro.common.types import Access, Op
@@ -41,7 +42,7 @@ class BusMachine:
 
     __slots__ = (
         "config", "protocol", "caches", "bus_stats", "cache_stats",
-        "_check", "_block_shift", "_latest", "_version_counter",
+        "step_hook", "_check", "_block_shift", "_latest", "_version_counter",
     )
 
     def __init__(
@@ -50,6 +51,7 @@ class BusMachine:
         protocol: SnoopingProtocol,
         check: bool = False,
         seed: int = 0,
+        step_hook: Callable[["BusMachine", int, int], None] | None = None,
     ):
         self.config = config
         self.protocol = protocol
@@ -60,6 +62,10 @@ class BusMachine:
         ]
         self.bus_stats = BusStats()
         self.cache_stats = CacheStats()
+        #: Observer called as ``step_hook(machine, proc, block)`` after
+        #: every bus-visible step (the same points the built-in checker
+        #: audits).  Installing one forces the generic replay path.
+        self.step_hook = step_hook
         self._check = check
         self._block_shift = config.cache.block_size.bit_length() - 1
         self._latest: dict[int, int] = {}
@@ -70,11 +76,11 @@ class BusMachine:
 
         Like :meth:`repro.system.machine.DirectoryMachine.run`, packable
         traces (anything exposing ``pack()``) replay through a fast
-        columnar loop with bit-identical statistics; the checker forces
-        the generic per-access path.
+        columnar loop with bit-identical statistics; the checker and an
+        installed step hook force the generic per-access path.
         """
         pack = getattr(trace, "pack", None)
-        if pack is not None and not self._check:
+        if pack is not None and not self._check and self.step_hook is None:
             return self._run_packed(pack())
         access = self.access
         for acc in trace:
@@ -187,6 +193,8 @@ class BusMachine:
             self._fill(proc, block, state, dirty)
             if self._check:
                 self._check_block(block)
+            if self.step_hook is not None:
+                self.step_hook(self, proc, block)
             return
         if line is not None:
             self.cache_stats.write_hits += 1
@@ -209,6 +217,8 @@ class BusMachine:
             self._sync_versions(block)
         if self._check:
             self._check_block(block)
+        if self.step_hook is not None:
+            self.step_hook(self, proc, block)
 
     def _fill(self, proc: int, block: int, state: St, dirty: bool) -> None:
         victim = self.caches[proc].insert(block, state, dirty)
@@ -251,24 +261,4 @@ class BusMachine:
             )
 
     def _check_block(self, block: int) -> None:
-        lines = [
-            cache.lookup(block)
-            for cache in self.caches
-            if cache.lookup(block) is not None
-        ]
-        exclusive = [ln for ln in lines if ln.state.is_exclusive]
-        if exclusive and len(lines) > 1:
-            raise ProtocolError(
-                f"exclusive copy coexists with {len(lines) - 1} others "
-                f"for block {block}"
-            )
-        dirty = [ln for ln in lines if ln.dirty]
-        if len(dirty) > 1:
-            raise ProtocolError(f"multiple dirty copies of block {block}")
-        s2 = [ln for ln in lines if ln.state is St.S2]
-        if len(s2) > 1:
-            raise ProtocolError(f"multiple S2 copies of block {block}")
-        if s2 and len(lines) > 2:
-            raise ProtocolError(
-                f"S2 copy of block {block} coexists with {len(lines)} copies"
-            )
+        check_snooping_block(self, block)

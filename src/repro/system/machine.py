@@ -20,7 +20,11 @@ The model follows the paper:
 An optional coherence checker simulates block versions end-to-end and
 asserts that every read observes the most recent write and that the
 directory's copy set matches reality.  It is enabled in tests and disabled
-in benchmark runs.
+in benchmark runs.  The structural invariants themselves live in
+:mod:`repro.conformance.invariants` (shared with the model checker and
+the conformance fuzzer), and external tools can observe every
+protocol-visible step through :attr:`DirectoryMachine.step_hook`
+without enabling the version checker.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from __future__ import annotations
 import enum
 import random
 from collections import Counter
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.cache.core import (
     Cache,
@@ -38,6 +42,7 @@ from repro.cache.core import (
     make_cache,
 )
 from repro.common.config import MachineConfig
+from repro.conformance.invariants import check_directory_block
 from repro.common.errors import ProtocolError
 from repro.common.stats import CacheStats, MessageStats
 from repro.common.types import Access, Op
@@ -70,7 +75,8 @@ class DirectoryMachine:
     __slots__ = (
         "config", "policy", "placement", "protocol", "representation",
         "block_messages", "caches", "stats", "cache_stats",
-        "invalidation_sizes", "_check", "_block_shift", "_page_shift", "_home_shift",
+        "invalidation_sizes", "step_hook",
+        "_check", "_block_shift", "_page_shift", "_home_shift",
         "_latest", "_version_counter",
     )
 
@@ -83,6 +89,7 @@ class DirectoryMachine:
         seed: int = 0,
         track_blocks: bool = False,
         representation: DirectoryRepresentation | None = None,
+        step_hook: Callable[["DirectoryMachine", int, int], None] | None = None,
     ):
         self.config = config
         self.policy = policy
@@ -103,6 +110,11 @@ class DirectoryMachine:
         #: Distribution of invalidation sizes: number of copies destroyed
         #: per invalidating write (Weber & Gupta's invalidation patterns).
         self.invalidation_sizes: Counter = Counter()
+        #: Observer called as ``step_hook(machine, proc, block)`` after
+        #: every protocol-visible step (misses, upgrades — the same
+        #: points the built-in checker audits).  Installing one forces
+        #: the generic per-access replay path.
+        self.step_hook = step_hook
         self._check = check
         self._block_shift = config.cache.block_size.bit_length() - 1
         self._page_shift = config.page_size.bit_length() - 1
@@ -124,10 +136,11 @@ class DirectoryMachine:
         :class:`repro.trace.packed.PackedTrace`, or any iterable of
         :class:`Access` records.  Packable traces replay through a fast
         columnar loop (bit-identical statistics, several times faster);
-        the coherence checker forces the generic per-access path.
+        the coherence checker and an installed step hook force the
+        generic per-access path.
         """
         pack = getattr(trace, "pack", None)
-        if pack is not None and not self._check:
+        if pack is not None and not self._check and self.step_hook is None:
             return self._run_packed(pack())
         access = self.access
         for acc in trace:
@@ -258,6 +271,8 @@ class DirectoryMachine:
                 self._read_miss(proc, block)
             if self._check:
                 self._check_block(proc, block)
+            if self.step_hook is not None:
+                self.step_hook(self, proc, block)
             return
         if line is not None:
             if line.state is CState.EXCL:
@@ -275,6 +290,8 @@ class DirectoryMachine:
             self._write_miss(proc, block)
         if self._check:
             self._check_block(proc, block)
+        if self.step_hook is not None:
+            self.step_hook(self, proc, block)
 
     # ------------------------------------------------------------------
     # Miss and upgrade handling
@@ -486,39 +503,7 @@ class DirectoryMachine:
 
     def _check_block(self, proc: int, block: int) -> None:
         """Verify structural invariants for one block after an operation."""
-        ent = self.protocol.peek(block)
-        holders = {
-            node
-            for node in range(self.config.num_procs)
-            if self.caches[node].lookup(block) is not None
-        }
-        if self.config.eviction_notification and ent.copyset != holders:
-            raise ProtocolError(
-                f"copyset {sorted(ent.copyset)} != holders {sorted(holders)} "
-                f"for block {block}"
-            )
-        dirty_holders = [
-            node
-            for node in holders
-            if self.caches[node].lookup(block).dirty
-        ]
-        if len(dirty_holders) > 1:
-            raise ProtocolError(
-                f"multiple dirty holders for block {block}: {dirty_holders}"
-            )
-        excl_holders = [
-            node
-            for node in holders
-            if self.caches[node].lookup(block).state is CState.EXCL
-        ]
-        if len(excl_holders) > 1:
-            raise ProtocolError(
-                f"multiple exclusive holders for block {block}: {excl_holders}"
-            )
-        if excl_holders and len(holders) > 1:
-            raise ProtocolError(
-                f"exclusive copy coexists with other copies for block {block}"
-            )
+        check_directory_block(self, block)
         line = self.caches[proc].lookup(block)
         if line is not None:
             self._check_read(block, line)

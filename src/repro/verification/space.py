@@ -32,6 +32,10 @@ from dataclasses import dataclass, field
 
 from repro.cache.core import InfiniteCache
 from repro.common.config import CacheConfig, MachineConfig
+from repro.conformance.invariants import (
+    directory_copy_violations,
+    snooping_copy_violations,
+)
 from repro.directory.entry import DirectoryEntry, DirState
 from repro.directory.policy import AdaptivePolicy
 from repro.snooping.machine import BusMachine
@@ -104,22 +108,13 @@ def _snoop_install(machine: BusMachine, state: SnoopGlobal) -> None:
 
 
 def _check_snoop_invariants(state: SnoopGlobal) -> list[str]:
-    problems = []
-    lines = [line for line in state if line is not None]
-    exclusive = [
-        line for line in lines if SnoopState[line[0]].is_exclusive
+    lines = [
+        (SnoopState[line[0]], line[1]) for line in state if line is not None
     ]
-    if exclusive and len(lines) > 1:
-        problems.append(f"exclusive copy with {len(lines)} copies: {state}")
-    dirty = [line for line in lines if line[1]]
-    if len(dirty) > 1:
-        problems.append(f"multiple dirty copies: {state}")
-    s2 = [line for line in lines if line[0] == "S2"]
-    if len(s2) > 1:
-        problems.append(f"multiple S2 copies: {state}")
-    if s2 and len(lines) > 2:
-        problems.append(f"S2 with more than two copies: {state}")
-    return problems
+    return [
+        f"{problem}: {state}"
+        for problem in snooping_copy_violations(lines, BLOCK)
+    ]
 
 
 def explore_snooping(
@@ -201,18 +196,14 @@ def _dir_install(machine: DirectoryMachine, state: DirGlobal) -> None:
 
 
 def _check_dir_invariants(state: DirGlobal) -> list[str]:
-    problems = []
     _dir_state, _last_inv, _streak, copyset, lines = state
-    holders = {i for i, line in enumerate(lines) if line is not None}
-    if set(copyset) != holders:
-        problems.append(f"copyset {set(copyset)} != holders {holders}")
-    exclusive = [line for line in lines if line and line[0] == "EXCL"]
-    if exclusive and len(holders) > 1:
-        problems.append(f"exclusive copy with {len(holders)} holders: {state}")
-    dirty = [line for line in lines if line and line[1]]
-    if len(dirty) > 1:
-        problems.append(f"multiple dirty copies: {state}")
-    return problems
+    per_node = {
+        node: line for node, line in enumerate(lines) if line is not None
+    }
+    return [
+        f"{problem}: {state}"
+        for problem in directory_copy_violations(copyset, per_node, BLOCK)
+    ]
 
 
 def explore_directory(

@@ -1,45 +1,36 @@
 """Failure injection: the coherence checkers must catch broken protocols.
 
 A checker that never fires is worthless evidence.  These tests implant
-classic coherence bugs into deliberately broken protocol variants and
-assert that the version/invariant checkers detect each one.  Every bug
-here is a real historical failure mode: forgotten invalidations, stale
-fills, lost dirty bits, phantom directory state.
+classic coherence bugs — now maintained as first-class engine variants
+in :mod:`repro.conformance.bugs` — and assert that the shared invariant
+layer (:mod:`repro.conformance.invariants`) and the machines'
+version/invariant checkers detect each one.  Every bug here is a real
+historical failure mode: forgotten invalidations, stale fills, lost
+dirty bits, phantom directory state.
 """
 
 import pytest
 
 from repro.common.config import CacheConfig, MachineConfig
 from repro.common.errors import ProtocolError
+from repro.conformance.bugs import (
+    DropsInvalidationsDirectory,
+    FillsStaleExclusive,
+    ForgetsToInvalidate,
+)
+from repro.conformance.invariants import (
+    directory_machine_violations,
+    snooping_machine_violations,
+)
 from repro.directory.policy import BASIC
 from repro.snooping.machine import BusMachine
 from repro.snooping.protocols import MesiProtocol
-from repro.snooping.states import SnoopState as St
 from repro.system.machine import CState, DirectoryMachine
 
 
 def bus_machine(protocol):
     cfg = MachineConfig(num_procs=4, cache=CacheConfig(size_bytes=None))
     return BusMachine(cfg, protocol, check=True)
-
-
-class ForgetsToInvalidate(MesiProtocol):
-    """Bug: write hits upgrade locally but never invalidate sharers."""
-
-    name = "buggy-no-invalidate"
-
-    def write_hit_invalidate(self, caches, proc, block, line):
-        line.state = St.D
-        line.dirty = True  # other copies left alive and stale!
-
-
-class FillsStaleExclusive(MesiProtocol):
-    """Bug: write misses fill the writer but leave old copies valid."""
-
-    name = "buggy-stale-copies"
-
-    def write_miss_fill(self, caches, proc, block):
-        return St.D, True  # skipped the snoop-invalidate loop
 
 
 class TestBusCheckerCatchesBugs:
@@ -66,11 +57,11 @@ class TestBusCheckerCatchesBugs:
 
 
 class TestDirectoryCheckerCatchesBugs:
-    def machine(self):
+    def machine(self, cls=DirectoryMachine, check=True):
         cfg = MachineConfig(
             num_procs=4, cache=CacheConfig(size_bytes=None, block_size=16)
         )
-        return DirectoryMachine(cfg, BASIC, check=True)
+        return cls(cfg, BASIC, check=check)
 
     def test_phantom_copyset_member_detected(self):
         m = self.machine()
@@ -101,12 +92,75 @@ class TestDirectoryCheckerCatchesBugs:
         with pytest.raises(ProtocolError):
             m.access(2, False, 0)  # two dirty/exclusive holders
 
+    def test_dropped_invalidation_machine_detected(self):
+        m = self.machine(cls=DropsInvalidationsDirectory)
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        # The buggy upgrade leaves P0's copy alive while the directory
+        # believes it destroyed it; caught at that very step.
+        with pytest.raises(ProtocolError):
+            m.access(1, True, 0)
+
     def test_clean_state_passes(self):
         m = self.machine()
         for proc in range(4):
             m.access(proc, False, 0)
         m.access(2, True, 0)
         m.access(3, False, 0)  # no error on a legal history
+
+
+class TestInvariantLayerStandalone:
+    """The shared invariant functions work on unchecked machines too —
+    the step-level view the conformance oracle relies on."""
+
+    def test_directory_violations_on_unchecked_machine(self):
+        cfg = MachineConfig(
+            num_procs=4, cache=CacheConfig(size_bytes=None, block_size=16)
+        )
+        m = DropsInvalidationsDirectory(cfg, BASIC, check=False)
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        m.access(1, True, 0)  # buggy silent corruption, no raise
+        problems = directory_machine_violations(m, 0)
+        assert any("copyset" in p for p in problems)
+        assert any("exclusive copy coexists" in p for p in problems)
+
+    def test_snooping_violations_on_unchecked_machine(self):
+        cfg = MachineConfig(num_procs=4, cache=CacheConfig(size_bytes=None))
+        m = BusMachine(cfg, ForgetsToInvalidate(), check=False)
+        m.access(0, False, 0)
+        m.access(1, False, 0)
+        m.access(1, True, 0)
+        assert snooping_machine_violations(m, 0)
+
+    def test_step_hook_observes_every_checked_step(self):
+        cfg = MachineConfig(
+            num_procs=4, cache=CacheConfig(size_bytes=None, block_size=16)
+        )
+        seen = []
+        m = DirectoryMachine(
+            cfg, BASIC,
+            step_hook=lambda machine, proc, block: seen.append((proc, block)),
+        )
+        m.access(0, False, 0)   # read miss: hook fires
+        m.access(0, False, 0)   # read hit: silent, no hook
+        m.access(1, True, 16)   # write miss: hook fires
+        assert seen == [(0, 0), (1, 1)]
+
+    def test_step_hook_forces_generic_replay(self):
+        from repro.trace import synth
+
+        cfg = MachineConfig(num_procs=4, cache=CacheConfig(size_bytes=None))
+        trace = synth.migratory(num_procs=4, num_objects=2, visits=4)
+        steps = []
+        hooked = DirectoryMachine(
+            cfg, BASIC, step_hook=lambda m, p, b: steps.append(b)
+        )
+        hooked.run(trace)
+        assert steps  # the hook actually fired during run()
+        plain = DirectoryMachine(cfg, BASIC)
+        plain.run(trace)
+        assert hooked.stats == plain.stats  # observing changes nothing
 
 
 class TestCheckerOffMeansNoEnforcement:

@@ -1,0 +1,70 @@
+"""Reproducer artifact round-trips and schema guarding."""
+
+import json
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.conformance import artifacts
+from repro.conformance.fuzzer import generate_case
+from repro.conformance.oracle import CaseFailure
+
+
+class TestRoundTrip:
+    def test_save_then_load_preserves_case(self, tmp_path):
+        case = generate_case(3, "adversarial")
+        failure = CaseFailure("invariants", "directory[basic]", "detail")
+        path = artifacts.save_reproducer(
+            tmp_path, case, failure, notes="round trip"
+        )
+        assert path == tmp_path / "adversarial-seed00003"
+        loaded, sidecar = artifacts.load_reproducer(path)
+        assert list(loaded.trace) == list(case.trace)
+        assert (loaded.seed, loaded.profile, loaded.num_procs,
+                loaded.block_size, loaded.cache_size, loaded.associativity,
+                loaded.replacement) == \
+               (case.seed, case.profile, case.num_procs, case.block_size,
+                case.cache_size, case.associativity, case.replacement)
+        assert sidecar["failure"] == {
+            "stage": "invariants",
+            "engine": "directory[basic]",
+            "detail": "detail",
+        }
+        assert sidecar["notes"] == "round trip"
+
+    def test_passing_trace_has_null_failure(self, tmp_path):
+        case = generate_case(0, "migratory")
+        path = artifacts.save_reproducer(tmp_path, case)
+        _, sidecar = artifacts.load_reproducer(path)
+        assert sidecar["failure"] is None
+
+    def test_iter_reproducers_sorted(self, tmp_path):
+        for seed in (5, 1, 3):
+            artifacts.save_reproducer(
+                tmp_path, generate_case(seed, "uniform")
+            )
+        names = [path.name for path, _, _ in
+                 artifacts.iter_reproducers(tmp_path)]
+        assert names == [
+            "uniform-seed00001", "uniform-seed00003", "uniform-seed00005",
+        ]
+
+    def test_iter_on_missing_root_is_empty(self, tmp_path):
+        assert list(artifacts.iter_reproducers(tmp_path / "nowhere")) == []
+
+
+class TestSchemaGuards:
+    def test_missing_sidecar_rejected(self, tmp_path):
+        (tmp_path / "stray").mkdir()
+        with pytest.raises(TraceError, match="no case.json"):
+            artifacts.load_reproducer(tmp_path / "stray")
+
+    def test_future_schema_rejected(self, tmp_path):
+        case = generate_case(0, "uniform")
+        path = artifacts.save_reproducer(tmp_path, case)
+        sidecar_path = path / artifacts.CASE_FILE
+        sidecar = json.loads(sidecar_path.read_text())
+        sidecar["schema_version"] = artifacts.SCHEMA_VERSION + 1
+        sidecar_path.write_text(json.dumps(sidecar))
+        with pytest.raises(TraceError, match="schema version"):
+            artifacts.load_reproducer(path)

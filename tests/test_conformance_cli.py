@@ -1,0 +1,84 @@
+"""The ``repro-fuzz`` CLI, exercised in-process via ``main(argv)``."""
+
+import pytest
+
+from repro.conformance import artifacts
+from repro.conformance.cli import main
+
+
+def run_cli(capsys, *argv):
+    status = main(list(argv))
+    captured = capsys.readouterr()
+    return status, captured.out
+
+
+class TestCleanRuns:
+    def test_clean_run_exits_zero(self, capsys, tmp_path):
+        status, out = run_cli(
+            capsys, "--seeds", "2", "--profile", "uniform",
+            "--artifacts", str(tmp_path / "art"),
+        )
+        assert status == 0
+        assert "2 cases, 0 failure(s)" in out
+        assert not (tmp_path / "art").exists()  # nothing to save
+
+    def test_stdout_is_deterministic_across_job_counts(
+        self, capsys, tmp_path
+    ):
+        args = ("--seeds", "2", "--profile", "migratory",
+                "--artifacts", str(tmp_path / "art"), "--verbose")
+        _, serial = run_cli(capsys, *args, "--jobs", "1")
+        _, parallel = run_cli(capsys, *args, "--jobs", "2")
+        assert serial == parallel
+
+    def test_all_profiles_by_default(self, capsys, tmp_path):
+        status, out = run_cli(
+            capsys, "--seeds", "1", "--artifacts", str(tmp_path / "art"),
+        )
+        assert status == 0
+        assert "1 seeds x 3 profile(s)" in out
+
+
+class TestInjectedFailures:
+    def test_injected_bug_yields_shrunk_artifact(self, capsys, tmp_path):
+        art = tmp_path / "art"
+        status, out = run_cli(
+            capsys, "--seeds", "1", "--profile", "migratory",
+            "--inject", "drop-invalidation", "--artifacts", str(art),
+        )
+        assert status == 1
+        assert "FAIL invariants" in out
+        saved = list(artifacts.iter_reproducers(art))
+        assert len(saved) == 1
+        path, case, sidecar = saved[0]
+        assert path.name == "migratory-seed00000"
+        assert len(case.trace) <= 20  # the acceptance bound
+        assert sidecar["failure"]["stage"] == "invariants"
+        assert "shrunk from" in sidecar["notes"]
+
+    def test_no_shrink_saves_full_trace(self, capsys, tmp_path):
+        art = tmp_path / "art"
+        status, out = run_cli(
+            capsys, "--seeds", "1", "--profile", "migratory",
+            "--inject", "drop-invalidation", "--artifacts", str(art),
+            "--no-shrink",
+        )
+        assert status == 1
+        assert "unshrunk" in out
+        (_, case, _), = artifacts.iter_reproducers(art)
+        assert len(case.trace) > 20  # untouched original
+
+
+class TestArgumentValidation:
+    def test_zero_seeds_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--seeds", "0"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_profile_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--profile", "nope"])
+
+    def test_unknown_injection_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--inject", "nope"])

@@ -1,0 +1,95 @@
+"""The trace fuzzer: determinism, bounds, and profile structure."""
+
+import pytest
+
+from repro.common.types import WORD_SIZE, Op
+from repro.conformance.fuzzer import MAX_OPS, PROFILES, FuzzCase, generate_case
+from repro.trace.core import Trace
+
+SOME_SEEDS = range(8)
+
+
+def cases():
+    return [
+        (profile, seed) for profile in PROFILES for seed in SOME_SEEDS
+    ]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("profile,seed", cases())
+    def test_same_seed_same_case(self, profile, seed):
+        a = generate_case(seed, profile)
+        b = generate_case(seed, profile)
+        assert (a.num_procs, a.block_size, a.cache_size,
+                a.associativity, a.replacement) == \
+               (b.num_procs, b.block_size, b.cache_size,
+                b.associativity, b.replacement)
+        assert list(a.trace) == list(b.trace)
+
+    def test_different_seeds_differ(self):
+        # Not guaranteed for any single pair, but across eight seeds at
+        # least one trace must differ or the fuzzer is a constant.
+        traces = [list(generate_case(s, "uniform").trace) for s in SOME_SEEDS]
+        assert any(t != traces[0] for t in traces[1:])
+
+    def test_profiles_differ_for_same_seed(self):
+        by_profile = {
+            p: list(generate_case(0, p).trace) for p in PROFILES
+        }
+        values = list(by_profile.values())
+        assert all(v != values[0] for v in values[1:])
+
+
+class TestCaseShape:
+    @pytest.mark.parametrize("profile,seed", cases())
+    def test_bounds_and_wellformedness(self, profile, seed):
+        case = generate_case(seed, profile)
+        assert 0 < len(case.trace) <= MAX_OPS
+        assert case.num_procs >= 2
+        assert case.block_size in (16, 32, 64)
+        for acc in case.trace:
+            assert 0 <= acc.proc < case.num_procs
+            assert acc.addr % WORD_SIZE == 0
+            assert acc.op in (Op.READ, Op.WRITE)
+
+    @pytest.mark.parametrize("profile,seed", cases())
+    def test_finite_geometry_consistent(self, profile, seed):
+        case = generate_case(seed, profile)
+        if case.cache_size is None:
+            return
+        # A finite fuzz cache is a whole number of sets of whole blocks.
+        assert case.cache_size % (case.block_size * case.associativity) == 0
+        assert case.replacement in ("lru", "fifo", "random")
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_mixes_reads_and_writes(self, profile):
+        ops = {
+            acc.op
+            for seed in SOME_SEEDS
+            for acc in generate_case(seed, profile).trace
+        }
+        assert ops == {Op.READ, Op.WRITE}
+
+    def test_machine_config_round_trip(self):
+        case = generate_case(0, "uniform")
+        config = case.machine_config()
+        assert config.num_procs == case.num_procs
+        assert config.cache.block_size == case.block_size
+        assert config.cache.size_bytes == case.cache_size
+
+    def test_with_trace_replaces_only_trace(self):
+        case = generate_case(0, "migratory")
+        shorter = Trace(list(case.trace)[:3], name="cut")
+        other = case.with_trace(shorter)
+        assert list(other.trace) == list(shorter)
+        assert (other.seed, other.profile, other.num_procs) == \
+               (case.seed, case.profile, case.num_procs)
+
+    def test_describe_mentions_key_facts(self):
+        case = generate_case(7, "adversarial")
+        text = case.describe()
+        assert "adversarial" in text and "seed=7" in text
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz profile"):
+            generate_case(0, "nope")

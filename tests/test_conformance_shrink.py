@@ -1,0 +1,74 @@
+"""Delta debugging: ddmin minimality and end-to-end case shrinking."""
+
+import pytest
+
+from repro.conformance import bugs
+from repro.conformance.fuzzer import generate_case
+from repro.conformance.oracle import run_case
+from repro.conformance.shrink import ddmin, shrink_case
+
+
+class TestDdmin:
+    def test_reduces_to_required_pair(self):
+        items = list(range(30))
+
+        def failing(subset):
+            return {3, 17} <= set(subset)
+
+        assert ddmin(items, failing) == [3, 17]
+
+    def test_single_culprit(self):
+        assert ddmin(list(range(100)), lambda s: 42 in s) == [42]
+
+    def test_preserves_order(self):
+        items = list(range(20))
+
+        def failing(subset):
+            return {2, 9, 15} <= set(subset)
+
+        assert ddmin(items, failing) == [2, 9, 15]
+
+    def test_result_is_one_minimal(self):
+        items = list(range(16))
+
+        def failing(subset):
+            # fails iff it contains at least two even numbers
+            return sum(1 for x in subset if x % 2 == 0) >= 2
+
+        minimal = ddmin(items, failing)
+        assert failing(minimal)
+        for i in range(len(minimal)):
+            assert not failing(minimal[:i] + minimal[i + 1:])
+
+    def test_everything_matters(self):
+        items = [1, 2, 3]
+        assert ddmin(items, lambda s: s == items) == items
+
+
+class TestShrinkCase:
+    def test_shrinks_injected_bug_to_tiny_reproducer(self):
+        case = generate_case(0, "migratory")
+        overrides = bugs.engine_overrides("drop-invalidation")
+        result = shrink_case(case, **overrides)
+        assert result.ops <= 20
+        assert result.ops < result.original_ops == len(case.trace)
+        assert result.tests > 0
+        assert result.failure is not None
+        # The minimal trace still fails on its own.
+        assert run_case(result.case, **overrides) is not None
+        # ...and passes on the correct engines: the bug is in the
+        # machine, not the trace.
+        assert run_case(result.case) is None
+
+    def test_shrink_is_deterministic(self):
+        case = generate_case(1, "uniform")
+        overrides = bugs.engine_overrides("drop-invalidation")
+        first = shrink_case(case, **overrides)
+        second = shrink_case(case, **overrides)
+        assert list(first.case.trace) == list(second.case.trace)
+        assert first.tests == second.tests
+
+    def test_passing_case_rejected(self):
+        case = generate_case(0, "migratory")
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_case(case)

@@ -52,6 +52,7 @@ def test_false_sharing_study(capsys):
     assert "100.0%" in out  # padded variant is fully private
 
 
+@pytest.mark.slow  # ~35s: the full campaign even at tiny scale
 def test_splash_campaign_tiny(capsys, tmp_path):
     out_file = tmp_path / "report.txt"
     run_example(

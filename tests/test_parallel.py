@@ -10,6 +10,12 @@ def _square(x):
     return x * x
 
 
+def _explode(x):
+    if x == 3:
+        raise RuntimeError(f"worker exploded on {x}")
+    return x
+
+
 class TestResolveJobs:
     def test_default_is_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
@@ -45,6 +51,35 @@ class TestParallelMap:
     def test_empty_and_single(self):
         assert parallel_map(_square, [], jobs=4) == []
         assert parallel_map(_square, [3], jobs=4) == [9]
+
+
+class TestWorkerCrash:
+    """A raising cell must fail the whole run, promptly and loudly —
+    never hang the pool or silently drop the cell."""
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="worker exploded on 3"):
+            parallel_map(_explode, list(range(6)), jobs=1)
+
+    def test_parallel_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="worker exploded on 3"):
+            parallel_map(_explode, list(range(6)), jobs=2)
+
+    def test_parallel_exception_carries_worker_traceback(self):
+        with pytest.raises(RuntimeError) as excinfo:
+            parallel_map(_explode, list(range(6)), jobs=2)
+        # concurrent.futures chains the remote traceback onto the
+        # re-raised exception; the original raise site must be visible.
+        assert excinfo.value.__cause__ is not None
+        assert "_explode" in str(excinfo.value.__cause__)
+
+    def test_parallel_crash_finishes_quickly(self):
+        import time
+
+        started = time.time()
+        with pytest.raises(RuntimeError):
+            parallel_map(_explode, list(range(64)), jobs=2)
+        assert time.time() - started < 30  # failed run, not a hang
 
 
 class TestExperimentDeterminism:

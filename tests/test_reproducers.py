@@ -1,0 +1,53 @@
+"""Replay every checked-in reproducer artifact through the oracle.
+
+``tests/reproducers/`` holds fuzz cases serialized by
+:mod:`repro.conformance.artifacts` — traces that once mattered: either
+interesting geometry/pattern combinations checked in as regression
+seeds, or (after a real bug) the shrunk reproducer of the fix.  Every
+one must replay clean through every shipped engine forever; a failure
+here means a protocol or fast-path change reintroduced an old problem.
+
+To add one after fixing a bug, copy the shrunk artifact directory that
+``repro-fuzz`` wrote out of ``repro-fuzz-artifacts/`` into
+``tests/reproducers/`` and clear the recorded failure from its
+``case.json`` once the fix lands (checked-in artifacts document the
+now-passing behaviour).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance.artifacts import iter_reproducers
+from repro.conformance.oracle import run_case
+
+REPRODUCER_DIR = Path(__file__).parent / "reproducers"
+
+REPRODUCERS = list(iter_reproducers(REPRODUCER_DIR))
+
+
+def test_reproducer_corpus_is_seeded():
+    assert len(REPRODUCERS) >= 3
+
+
+@pytest.mark.parametrize(
+    "path,case,sidecar",
+    REPRODUCERS,
+    ids=[path.name for path, _, _ in REPRODUCERS],
+)
+def test_reproducer_replays_clean(path, case, sidecar):
+    failure = run_case(case)
+    assert failure is None, f"{path.name}: {failure}"
+
+
+@pytest.mark.parametrize(
+    "path,case,sidecar",
+    REPRODUCERS,
+    ids=[path.name for path, _, _ in REPRODUCERS],
+)
+def test_checked_in_artifacts_record_no_open_failure(path, case, sidecar):
+    # A checked-in artifact with a recorded failure would mean someone
+    # committed a reproducer before fixing the bug it demonstrates.
+    assert sidecar["failure"] is None, (
+        f"{path.name} records an unfixed failure: {sidecar['failure']}"
+    )

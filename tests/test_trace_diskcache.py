@@ -1,0 +1,137 @@
+"""Failure paths of the on-disk trace cache.
+
+The cache must be an invisible accelerator: corrupted files, torn
+writes, and a read-only or disabled cache all degrade to rebuilding the
+trace, never to wrong results or crashes.
+"""
+
+import pytest
+
+from repro.trace import diskcache, synth
+from repro.trace.packed import PackedTrace
+
+
+class CountingBuilder:
+    """A stand-in workload builder that counts invocations."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, app, num_procs, seed, scale):
+        self.calls += 1
+        return synth.migratory(
+            num_procs=num_procs, num_objects=2, visits=4, seed=seed
+        )
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    return tmp_path
+
+
+def build(builder):
+    return diskcache.load_or_build("synthapp", 4, 0, 1.0, builder)
+
+
+class TestHappyPath:
+    def test_second_load_hits_cache(self, cache_env):
+        builder = CountingBuilder()
+        first = build(builder)
+        second = build(builder)
+        assert builder.calls == 1
+        assert list(first) == list(second)
+        assert len(list(cache_env.glob("*.ptrace"))) == 1
+
+
+class TestCorruption:
+    def test_garbage_file_rebuilds(self, cache_env):
+        builder = CountingBuilder()
+        path = diskcache.cache_path("synthapp", 4, 0, 1.0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"this is not a packed trace")
+        trace = build(builder)
+        assert builder.calls == 1  # fell back to the builder
+        assert list(trace) == list(build(CountingBuilder()))
+        # ...and the rebuild repaired the cache entry in place.
+        assert list(PackedTrace.load(path).to_trace()) == list(trace)
+
+    def test_truncated_file_rebuilds(self, cache_env):
+        builder = CountingBuilder()
+        build(builder)
+        path = diskcache.cache_path("synthapp", 4, 0, 1.0)
+        good = path.read_bytes()
+        path.write_bytes(good[: len(good) // 2])  # torn write
+        again = build(builder)
+        assert builder.calls == 2
+        assert list(again) == list(build(CountingBuilder()))
+
+    def test_empty_file_rebuilds(self, cache_env):
+        builder = CountingBuilder()
+        path = diskcache.cache_path("synthapp", 4, 0, 1.0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"")
+        build(builder)
+        assert builder.calls == 1
+
+
+class TestDisabled:
+    @pytest.mark.parametrize("value", ["off", "0", "no", "disabled"])
+    def test_disable_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", value)
+        assert diskcache.cache_dir() is None
+        assert diskcache.cache_path("synthapp", 4, 0, 1.0) is None
+
+    def test_disabled_cache_always_builds(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        builder = CountingBuilder()
+        first = build(builder)
+        second = build(builder)
+        assert builder.calls == 2
+        assert list(first) == list(second)
+
+    def test_clear_with_cache_off_is_noop(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        assert diskcache.clear() == 0
+
+
+class TestBestEffortWrites:
+    def test_failed_store_is_silent_and_leaves_no_artifact(
+        self, cache_env, monkeypatch
+    ):
+        def broken_save(self, path):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(PackedTrace, "save", broken_save)
+        builder = CountingBuilder()
+        trace = build(builder)  # must not raise
+        assert builder.calls == 1
+        assert len(trace) > 0
+        # No cache entry and no leaked temporary file.
+        assert list(cache_env.iterdir()) == []
+
+    def test_store_failure_does_not_poison_later_loads(
+        self, cache_env, monkeypatch
+    ):
+        real_save = PackedTrace.save
+
+        def broken_save(self, path):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(PackedTrace, "save", broken_save)
+        build(CountingBuilder())
+        monkeypatch.setattr(PackedTrace, "save", real_save)
+        builder = CountingBuilder()
+        first = build(builder)   # builds and stores successfully now
+        second = build(builder)  # served from the repaired cache
+        assert builder.calls == 1
+        assert list(first) == list(second)
+
+
+class TestClear:
+    def test_clear_counts_removed_entries(self, cache_env):
+        for seed in range(3):
+            diskcache.load_or_build("synthapp", 4, seed, 1.0,
+                                    CountingBuilder())
+        assert diskcache.clear() == 3
+        assert diskcache.clear() == 0
