@@ -22,6 +22,7 @@ setup(
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
             "repro-fuzz=repro.conformance.cli:main",
+            "repro-stats=repro.telemetry.cli:main",
         ]
     },
 )

@@ -28,6 +28,14 @@ class TraceError(ReproError):
     """A trace record or trace file is malformed."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry record, metric, or exporter was misused.
+
+    Raised for schema-invalid event records, metric name/kind conflicts,
+    and merges of incompatible registries.
+    """
+
+
 class WorkloadError(ReproError):
     """A simulated parallel program misused the workload engine API."""
 

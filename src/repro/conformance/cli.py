@@ -5,7 +5,7 @@ Usage::
     repro-fuzz [--seeds N] [--start-seed S] [--jobs N]
                [--profile migratory|uniform|adversarial|all]
                [--artifacts DIR] [--inject NAME] [--no-shrink]
-               [--verbose]
+               [--verbose] [--telemetry-dir DIR]
 
 Each seed becomes one fuzz case per selected profile; cases fan out
 across worker processes via :func:`repro.parallel.parallel_map`
@@ -22,6 +22,13 @@ and 1 otherwise, so the command slots directly into CI.
 ``--inject`` swaps a deliberately broken engine variant in (see
 :mod:`repro.conformance.bugs`) — the self-test proving the fuzzer,
 oracle, shrinker, and artifact writer actually work end to end.
+
+``--telemetry-dir DIR`` records the campaign: one ``progress`` event
+per case plus per-profile outcome counters and a trace-size histogram
+stream to ``DIR/events.jsonl`` / ``DIR/metrics.prom``.  Campaign
+records are emitted in the parent from the (order-merged) results, so
+the deterministic part of the log is byte-identical for any ``--jobs``;
+machine instrumentation stays off so replay speed is unchanged.
 """
 
 from __future__ import annotations
@@ -36,6 +43,10 @@ from repro.conformance.fuzzer import PROFILES, generate_case
 from repro.conformance.oracle import CaseFailure, run_case
 from repro.conformance.shrink import shrink_case
 from repro.parallel import parallel_map, resolve_jobs
+from repro.telemetry import runtime as telemetry
+
+#: Bucket bounds for the fuzz trace-size histogram (operation counts).
+_OPS_BUCKETS = (16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0)
 
 
 def _fuzz_worker(task: tuple[int, str, str]) -> tuple[int, str, int, tuple | None]:
@@ -48,6 +59,27 @@ def _fuzz_worker(task: tuple[int, str, str]) -> tuple[int, str, int, tuple | Non
         else (failure.stage, failure.engine, failure.detail)
     )
     return (seed, profile, len(case.trace), packed_failure)
+
+
+def _record_case(session, seed: int, profile: str, ops: int,
+                 status: str) -> None:
+    """Emit one case's campaign telemetry (parent process only).
+
+    Results arrive merged in submission order whatever ``--jobs`` was,
+    so these records land in the log in a deterministic order too.
+    """
+    session.registry.counter(
+        "repro_fuzz_cases_total", "fuzz cases by profile and outcome"
+    ).inc(profile=profile, status=status)
+    session.registry.histogram(
+        "repro_fuzz_trace_ops", "operations per fuzzed trace",
+        buckets=_OPS_BUCKETS,
+    ).observe(ops, profile=profile)
+    if session.sink is not None:
+        session.sink.write({
+            "type": "progress", "campaign": "fuzz", "seed": seed,
+            "profile": profile, "ops": ops, "status": status,
+        })
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -80,6 +112,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="save failing traces unshrunk")
     parser.add_argument("--verbose", action="store_true",
                         help="print every case, not just failures")
+    parser.add_argument("--telemetry-dir", type=Path, default=None,
+                        help="record campaign telemetry (progress "
+                        "events, outcome counters, stage spans) into "
+                        "this directory; render with repro-stats")
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be at least 1")
@@ -87,7 +123,21 @@ def main(argv: list[str] | None = None) -> int:
         resolve_jobs(args.jobs)
     except ValueError as exc:
         parser.error(str(exc))
+    if args.telemetry_dir is not None:
+        # Campaign-level observability only: the worker replays stay on
+        # their fast paths and keep their byte-determinism contract.
+        telemetry.configure(telemetry.TelemetrySession(
+            args.telemetry_dir, instrument_machines=False
+        ))
+    try:
+        return _campaign(args)
+    finally:
+        if args.telemetry_dir is not None:
+            telemetry.shutdown()
 
+
+def _campaign(args) -> int:
+    """Run the fuzz campaign described by the parsed ``args``."""
     profiles = PROFILES if args.profile == "all" else (args.profile,)
     tasks = [
         (seed, profile, args.inject)
@@ -99,12 +149,18 @@ def main(argv: list[str] | None = None) -> int:
         f"inject={args.inject}"
     )
     started = time.time()
-    results = parallel_map(_fuzz_worker, tasks, jobs=args.jobs)
+    with telemetry.span("fuzz.campaign", cases=len(tasks),
+                        inject=args.inject):
+        results = parallel_map(_fuzz_worker, tasks, jobs=args.jobs)
     print(f"[fuzzed {len(tasks)} cases in {time.time() - started:.1f}s]",
           file=sys.stderr)
 
+    session = telemetry.active()
     failures = []
     for seed, profile, ops, packed_failure in results:
+        status = "ok" if packed_failure is None else "fail"
+        if session is not None:
+            _record_case(session, seed, profile, ops, status)
         if packed_failure is None:
             if args.verbose:
                 print(f"seed {seed:05d} {profile}: ok ({ops} ops)")
@@ -121,7 +177,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"saved seed {seed:05d} {profile} unshrunk "
                   f"({len(case.trace)} ops) -> {path}")
             continue
-        result = shrink_case(case, failure, **overrides)
+        with telemetry.span("fuzz.shrink", seed=seed, profile=profile):
+            result = shrink_case(case, failure, **overrides)
         path = artifacts.save_reproducer(
             args.artifacts, result.case, result.failure,
             notes=f"shrunk from {result.original_ops} ops in "

@@ -52,6 +52,7 @@ from repro.snooping.protocols import (
     SnoopingProtocol,
 )
 from repro.system.machine import DirectoryMachine
+from repro.telemetry.runtime import span
 
 #: Directory policies replayed by default: the full Table 2 family.
 DEFAULT_POLICIES: tuple[AdaptivePolicy, ...] = (
@@ -172,14 +173,16 @@ def _run_directory(
     config = case.machine_config()
     checked = machine_factory(config, policy, check=True)
     try:
-        checked.run(case.trace)
+        with span("conformance.replay", engine=label, stage="checked"):
+            checked.run(case.trace)
     except ReproError as exc:
         return CaseFailure("invariants", label, str(exc))
     mismatch = _version_mismatch(label, ref, checked)
     if mismatch is not None:
         return CaseFailure("sc-reference", label, mismatch)
     packed = machine_factory(config, policy, check=False)
-    packed.run(case.trace)
+    with span("conformance.replay", engine=label, stage="packed"):
+        packed.run(case.trace)
     diff = _diff_fields(
         [
             ("short", checked.stats.short, packed.stats.short),
@@ -215,14 +218,16 @@ def _run_snooping(
     config = case.machine_config()
     checked = machine_factory(config, protocol, check=True)
     try:
-        checked.run(case.trace)
+        with span("conformance.replay", engine=label, stage="checked"):
+            checked.run(case.trace)
     except ReproError as exc:
         return CaseFailure("invariants", label, str(exc))
     mismatch = _version_mismatch(label, ref, checked)
     if mismatch is not None:
         return CaseFailure("sc-reference", label, mismatch)
     packed = machine_factory(config, protocol_factory(), check=False)
-    packed.run(case.trace)
+    with span("conformance.replay", engine=label, stage="packed"):
+        packed.run(case.trace)
     diff = _diff_fields(
         [
             ("read_miss", checked.bus_stats.read_miss,

@@ -39,6 +39,8 @@ Fidelity notes (documented deviations from the literal pseudo-code):
 
 from __future__ import annotations
 
+from collections import Counter
+
 from repro.directory.entry import DirectoryEntry, DirState
 from repro.directory.policy import AdaptivePolicy
 
@@ -49,13 +51,24 @@ class DirectoryProtocol:
     Entries are created lazily; a block with no entry behaves as
     ``UNCACHED`` (or ``UNCACHED/MIGRATORY`` under an initially-migratory
     policy).
+
+    ``transitions`` aggregates classification activity across the run:
+    ``promote`` (the migratory bit turned on), ``demote`` (it turned
+    off), ``evidence`` (the hysteresis streak advanced without reaching
+    the threshold), and ``forget`` (a forgetting policy's eviction reset
+    flipped the bit outside any access).  Promote/demote/evidence bumps
+    happen only inside the miss/upgrade handlers — steps where the
+    machine fires its ``step_hook`` for the same block — so for the
+    remembering policies they match, one for one, the classification
+    events a :class:`repro.telemetry.recorder.DirectoryRecorder` emits.
     """
 
-    __slots__ = ("policy", "_entries")
+    __slots__ = ("policy", "_entries", "transitions")
 
     def __init__(self, policy: AdaptivePolicy):
         self.policy = policy
         self._entries: dict[int, DirectoryEntry] = {}
+        self.transitions: Counter = Counter()
 
     @property
     def entries(self) -> dict[int, DirectoryEntry]:
@@ -92,7 +105,12 @@ class DirectoryProtocol:
         if threshold is None:
             return False
         ent.streak += 1
-        return ent.streak >= threshold
+        if ent.streak >= threshold:
+            # Every caller applies the promotion when we return True.
+            self.transitions["promote"] += 1
+            return True
+        self.transitions["evidence"] += 1
+        return False
 
     # ------------------------------------------------------------------
     # Event handlers (one per pseudo-code fragment in Figure 3)
@@ -120,6 +138,7 @@ class DirectoryProtocol:
                 # Migrated but never written: counter-evidence; demote.
                 ent.state = DirState.TWO_COPIES
                 ent.streak = 0
+                self.transitions["demote"] += 1
         elif state is DirState.TWO_COPIES:
             ent.state = DirState.THREE_PLUS
         # THREE_PLUS stays THREE_PLUS.
@@ -140,6 +159,7 @@ class DirectoryProtocol:
                 # as counter-evidence (Stenström et al.).
                 ent.state = DirState.ONE_COPY
                 ent.streak = 0
+                self.transitions["demote"] += 1
         elif state is DirState.UNCACHED_MIG:
             # Deviation (see module docstring): stay migratory.
             ent.state = DirState.ONE_COPY_MIG
@@ -181,8 +201,14 @@ class DirectoryProtocol:
         """Record that the last cached copy of ``block`` was dropped."""
         ent = self.entry(block)
         if not self.policy.remember_uncached:
-            # Forget everything, as a snooping protocol must.
-            self._entries[block] = DirectoryEntry(state=self._initial_state())
+            # Forget everything, as a snooping protocol must.  A reset
+            # that flips the migratory bit happens during some *other*
+            # block's step, so it is tallied separately from the
+            # promote/demote transitions the step hook can observe.
+            fresh = DirectoryEntry(state=self._initial_state())
+            if ent.migratory != fresh.migratory:
+                self.transitions["forget"] += 1
+            self._entries[block] = fresh
             return
         if ent.state is DirState.ONE_COPY_MIG:
             ent.state = DirState.UNCACHED_MIG

@@ -18,6 +18,7 @@ from repro.snooping.machine import BusMachine
 from repro.snooping.protocols import SnoopingProtocol
 from repro.system.machine import DirectoryMachine
 from repro.system.placement import PagePlacement, make_placement
+from repro.telemetry import runtime as telemetry
 from repro.trace import diskcache
 from repro.trace.core import Trace
 from repro.workloads.profiles import build_app
@@ -106,7 +107,12 @@ def run_directory(
     )
     placement = get_placement(placement_kind, trace, config)
     machine = DirectoryMachine(config, policy, placement)
-    return machine.run(trace)
+    # Zero-cost when no telemetry session is active (the usual case);
+    # under one, the machine gets a recorder and the replay is timed.
+    telemetry.attach(machine)
+    with telemetry.span("replay.directory", app=trace.name,
+                        policy=policy.name):
+        return machine.run(trace)
 
 
 def run_bus(
@@ -122,7 +128,10 @@ def run_bus(
         cache=CacheConfig(size_bytes=cache_size, block_size=block_size),
     )
     machine = BusMachine(config, protocol)
-    return machine.run(trace)
+    telemetry.attach(machine)
+    with telemetry.span("replay.bus", app=trace.name,
+                        protocol=protocol.name):
+        return machine.run(trace)
 
 
 @dataclass(frozen=True, slots=True)

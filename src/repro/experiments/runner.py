@@ -19,6 +19,14 @@ sizes used by EXPERIMENTS.md).  ``--jobs N`` (or the ``REPRO_JOBS``
 environment variable) fans the sweep experiments (table2, table3, bus,
 ablations, policy-space) across N worker processes; every job count
 produces byte-identical output.  Per-experiment timings print to stderr.
+
+``--telemetry-dir DIR`` opens a telemetry session for the run: machine
+replays are instrumented (coherence and classification events stream to
+``DIR/events.jsonl``), every experiment and replay is timed by a span,
+and the metrics registry is dumped to ``DIR/metrics.prom`` on exit.
+Render the log with ``repro-stats``.  Sessions do not cross process
+boundaries, so machine events are recorded for serial runs (telemetry
+runs drop to the generic replay path anyway — use serial for them).
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.analysis.classify import SharingPattern, summarize_sharing
 from repro.analysis.overhead import overhead_table
@@ -54,6 +63,7 @@ from repro.experiments import (
 )
 from repro.interconnect.costs import render_table1
 from repro.parallel import resolve_jobs
+from repro.telemetry import runtime as telemetry
 from repro.workloads.profiles import APP_ORDER
 
 
@@ -272,23 +282,34 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes for the sweep experiments "
                         "(default: REPRO_JOBS or serial); results are "
                         "identical for any job count")
+    parser.add_argument("--telemetry-dir", type=Path, default=None,
+                        help="record a telemetry session into this "
+                        "directory (events.jsonl + metrics.prom); "
+                        "render it with repro-stats")
     args = parser.parse_args(argv)
     try:
         resolve_jobs(args.jobs)
     except ValueError as exc:
         parser.error(str(exc))
+    if args.telemetry_dir is not None:
+        telemetry.configure(telemetry.TelemetrySession(args.telemetry_dir))
 
     names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        started = time.time()
-        output = COMMANDS[name](args)
-        elapsed = time.time() - started
-        # Timing goes to stderr so stdout is byte-identical across runs
-        # (and across --jobs settings).
-        print(f"==== {name} ====")
-        print(output)
-        print()
-        print(f"[{name}: {elapsed:.1f}s]", file=sys.stderr)
+    try:
+        for name in names:
+            started = time.time()
+            with telemetry.span(f"experiment.{name}"):
+                output = COMMANDS[name](args)
+            elapsed = time.time() - started
+            # Timing goes to stderr so stdout is byte-identical across
+            # runs (and across --jobs settings).
+            print(f"==== {name} ====")
+            print(output)
+            print()
+            print(f"[{name}: {elapsed:.1f}s]", file=sys.stderr)
+    finally:
+        if args.telemetry_dir is not None:
+            telemetry.shutdown()
     return 0
 
 

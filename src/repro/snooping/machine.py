@@ -77,7 +77,13 @@ class BusMachine:
         Like :meth:`repro.system.machine.DirectoryMachine.run`, packable
         traces (anything exposing ``pack()``) replay through a fast
         columnar loop with bit-identical statistics; the checker and an
-        installed step hook force the generic per-access path.
+        installed step hook force the generic per-access path.  The
+        hook contract is symmetric across both machines: install the
+        hook *before* calling ``run``.  A hook that appears mid-replay
+        on the packed path (e.g. from a protocol handler) would observe
+        only part of the stream, so the replay ends with a
+        :class:`ProtocolError` instead of returning silently partial
+        observations.
         """
         pack = getattr(trace, "pack", None)
         if pack is not None and not self._check and self.step_hook is None:
@@ -169,6 +175,13 @@ class BusMachine:
                 access(proc, is_write, block)
         self.cache_stats.read_hits += read_hits
         self.cache_stats.write_hits += write_hits
+        if self.step_hook is not None:
+            raise ProtocolError(
+                "step_hook installed mid-replay on the packed fast path: "
+                "the hook missed every earlier step, so its observations "
+                "are unreliable; install it before run() to take the "
+                "generic per-access path"
+            )
         return self.bus_stats
 
     def access(self, proc: int, is_write: bool, addr: int) -> None:

@@ -137,7 +137,13 @@ class DirectoryMachine:
         :class:`Access` records.  Packable traces replay through a fast
         columnar loop (bit-identical statistics, several times faster);
         the coherence checker and an installed step hook force the
-        generic per-access path.
+        generic per-access path.  The hook contract is symmetric with
+        :meth:`repro.snooping.machine.BusMachine.run`: install the hook
+        *before* calling ``run``.  A hook that appears mid-replay on
+        the packed path (from a placement or protocol callback, say)
+        would observe only part of the stream, so the replay ends with
+        a :class:`ProtocolError` instead of returning silently partial
+        observations.
         """
         pack = getattr(trace, "pack", None)
         if pack is not None and not self._check and self.step_hook is None:
@@ -214,6 +220,13 @@ class DirectoryMachine:
                 access(proc, is_write, block)
         self.cache_stats.read_hits += read_hits
         self.cache_stats.write_hits += write_hits
+        if self.step_hook is not None:
+            raise ProtocolError(
+                "step_hook installed mid-replay on the packed fast path: "
+                "the hook missed every earlier step, so its observations "
+                "are unreliable; install it before run() to take the "
+                "generic per-access path"
+            )
         return self.stats
 
     def run_with_hints(

@@ -1,0 +1,163 @@
+"""The ``repro-stats`` console entry point.
+
+Usage::
+
+    repro-stats summary  events.jsonl
+    repro-stats timeline events.jsonl [--engine E] [--block B] [--top N]
+    repro-stats hot      events.jsonl [--top N]
+    repro-stats validate events.jsonl
+
+Reads a JSONL event log produced by a telemetry session (the
+``--telemetry-dir`` flag of ``repro-experiments`` / ``repro-fuzz``, or
+a :class:`repro.telemetry.sinks.JsonlSink` fed by a machine recorder)
+and renders human summaries: per-block classification timelines
+("block 0x40: migratory from step 812, 3 relapses"), top-N hot-block
+tables, and stream-level counts.  ``validate`` checks every record
+against the event schema and exits non-zero on the first violation —
+that is the CI smoke hook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.common.errors import ReproError
+from repro.telemetry import events, timeline
+from repro.telemetry.sinks import read_jsonl
+
+
+def _load(path: Path) -> list[dict]:
+    return list(read_jsonl(path))
+
+
+def _cmd_summary(args) -> int:
+    records = _load(args.log)
+    by_type: Counter = Counter(r.get("type", "?") for r in records)
+    rows = [[name, count] for name, count in sorted(by_type.items())]
+    print(format_table(["record type", "count"], rows,
+                       title=f"{args.log}: {len(records)} records"))
+    coherence: Counter = Counter()
+    for record in records:
+        if record.get("type") == "coherence":
+            coherence[(record["engine"], record["kind"])] += 1
+    if coherence:
+        print()
+        print(format_table(
+            ["engine", "kind", "steps"],
+            [[e, k, n] for (e, k), n in sorted(coherence.items())],
+            title="Coherence steps",
+        ))
+    counts = timeline.classification_counts(records)
+    if counts:
+        print()
+        print(format_table(
+            ["engine", "transition", "count"],
+            [[e, t, n] for (e, t), n in sorted(counts.items())],
+            title="Classification transitions",
+        ))
+        timelines = timeline.build_timelines(records)
+        engines = sorted({engine for engine, _ in timelines})
+        rows = [
+            [engine, len(timeline.migratory_blocks(timelines, engine))]
+            for engine in engines
+        ]
+        print()
+        print(format_table(
+            ["engine", "blocks migratory at end"], rows,
+            title="Final classification (from events alone)",
+        ))
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    records = _load(args.log)
+    timelines = timeline.build_timelines(records)
+    if args.block is not None:
+        keys = [key for key in sorted(timelines)
+                if key[1] == args.block
+                and (args.engine is None or key[0] == args.engine)]
+        if not keys:
+            print(f"no classification events for block {args.block:#x}")
+            return 1
+        for key in keys:
+            t = timelines[key]
+            print(t.describe())
+            for start, end in t.intervals():
+                until = "end of run" if end is None else f"step {end}"
+                print(f"  migratory from step {start} until {until}")
+            if t.evidence:
+                print(f"  evidence below threshold at steps "
+                      f"{', '.join(map(str, t.evidence))}")
+        return 0
+    print(timeline.render_timelines(timelines, engine=args.engine,
+                                    top=args.top))
+    return 0
+
+
+def _cmd_hot(args) -> int:
+    records = _load(args.log)
+    print(timeline.hot_block_table(records, top=args.top))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    count = events.validate_jsonl(args.log)
+    print(f"{args.log}: {count} records, all schema-valid")
+    return 0
+
+
+def _parse_block(text: str) -> int:
+    return int(text, 0)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-stats",
+        description="Render telemetry event logs: classification "
+        "timelines, hot-block tables, stream summaries.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="stream-level counts")
+    p_summary.set_defaults(fn=_cmd_summary)
+
+    p_timeline = sub.add_parser(
+        "timeline", help="per-block classification timelines"
+    )
+    p_timeline.add_argument("--engine", help="restrict to one engine label")
+    p_timeline.add_argument("--block", type=_parse_block, default=None,
+                            help="one block (accepts 0x... hex)")
+    p_timeline.add_argument("--top", type=int, default=20,
+                            help="most-active blocks to show (default 20)")
+    p_timeline.set_defaults(fn=_cmd_timeline)
+
+    p_hot = sub.add_parser("hot", help="top-N blocks by coherence events")
+    p_hot.add_argument("--top", type=int, default=10)
+    p_hot.set_defaults(fn=_cmd_hot)
+
+    p_validate = sub.add_parser(
+        "validate", help="check every record against the event schema"
+    )
+    p_validate.set_defaults(fn=_cmd_validate)
+
+    for p in (p_summary, p_timeline, p_hot, p_validate):
+        p.add_argument("log", type=Path, help="JSONL event log")
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except FileNotFoundError as exc:
+        print(f"repro-stats: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"repro-stats: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""Typed telemetry event records and their schema.
+
+Every record on the event stream is a flat JSON object with a ``type``
+field; the recognised types are:
+
+``coherence``
+    One protocol-visible step (read miss, write miss, or upgrade) on one
+    machine — the same points the built-in coherence checker audits.
+``classification``
+    A protocol classification transition for one block: ``promote``
+    (replicate -> migrate), ``demote`` (migrate -> replicate), or
+    ``evidence`` (a hysteresis step: the evidence streak advanced
+    without reaching the policy threshold).  These are the records the
+    per-block classification timelines are rebuilt from.
+``span``
+    A wall-clock timing span around a harness stage (experiment, trace
+    replay, fuzz-oracle stage).  Span durations are *not* part of the
+    deterministic-merge contract — wall time is not reproducible — so
+    consumers that compare event logs byte-for-byte must filter them
+    out (:func:`deterministic_records` does).
+``progress``
+    Campaign progress (the fuzz CLI emits one per case).
+
+:func:`validate_record` checks one record against the schema and
+:func:`validate_jsonl` checks a whole log; both raise
+:class:`repro.common.errors.TelemetryError` naming the offending field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.common.errors import TelemetryError
+
+#: Event-schema version stamped nowhere (the stream is flat records);
+#: bump when a required field changes meaning.
+SCHEMA_VERSION = 1
+
+#: Coherence step kinds, matching the cache-stats counters they bump.
+COHERENCE_KINDS = ("read_miss", "write_miss", "upgrade")
+
+#: Classification transition kinds.
+TRANSITIONS = ("promote", "demote", "evidence")
+
+#: Required fields (name -> type) per record type.  ``int`` accepts
+#: bools being excluded explicitly; floats accept ints.
+SCHEMA: dict[str, dict[str, type]] = {
+    "coherence": {
+        "step": int, "engine": str, "kind": str, "proc": int, "block": int,
+    },
+    "classification": {
+        "step": int, "engine": str, "block": int, "proc": int,
+        "transition": str, "from": str, "to": str, "streak": int,
+    },
+    "span": {"name": str, "seconds": float},
+    "progress": {"campaign": str},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CoherenceEvent:
+    """One protocol-visible step on one machine."""
+
+    step: int
+    engine: str
+    kind: str
+    proc: int
+    block: int
+
+    def to_record(self) -> dict:
+        return {
+            "type": "coherence", "step": self.step, "engine": self.engine,
+            "kind": self.kind, "proc": self.proc, "block": self.block,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationEvent:
+    """One classification transition for one block.
+
+    ``from_state``/``to_state`` are the engine's own state names (the
+    directory machine's :class:`~repro.directory.entry.DirState` values,
+    or ``migratory``/``non-migratory`` for the snooping machine, whose
+    classification lives distributed in the cache-line states).
+    """
+
+    step: int
+    engine: str
+    block: int
+    proc: int
+    transition: str
+    from_state: str
+    to_state: str
+    streak: int = 0
+
+    def to_record(self) -> dict:
+        return {
+            "type": "classification", "step": self.step,
+            "engine": self.engine, "block": self.block, "proc": self.proc,
+            "transition": self.transition, "from": self.from_state,
+            "to": self.to_state, "streak": self.streak,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """One wall-clock timing span around a harness stage."""
+
+    name: str
+    seconds: float
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        record = {"type": "span", "name": self.name,
+                  "seconds": round(self.seconds, 6)}
+        record.update({k: v for k, v in self.meta.items()
+                       if k not in ("type", "name", "seconds")})
+        return record
+
+
+def validate_record(record: Mapping) -> None:
+    """Check one event record against the schema.
+
+    Raises:
+        TelemetryError: naming the missing or mistyped field.
+    """
+    if not isinstance(record, Mapping):
+        raise TelemetryError(f"event record must be an object, got {record!r}")
+    rtype = record.get("type")
+    if rtype not in SCHEMA:
+        raise TelemetryError(
+            f"unknown event type {rtype!r} (expected one of {sorted(SCHEMA)})"
+        )
+    for name, expected in SCHEMA[rtype].items():
+        if name not in record:
+            raise TelemetryError(f"{rtype} record missing field {name!r}")
+        value = record[name]
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float) if expected is float else expected
+        ):
+            raise TelemetryError(
+                f"{rtype} record field {name!r} must be "
+                f"{expected.__name__}, got {value!r}"
+            )
+    if rtype == "coherence" and record["kind"] not in COHERENCE_KINDS:
+        raise TelemetryError(
+            f"coherence record kind {record['kind']!r} not in "
+            f"{COHERENCE_KINDS}"
+        )
+    if rtype == "classification" and record["transition"] not in TRANSITIONS:
+        raise TelemetryError(
+            f"classification record transition {record['transition']!r} "
+            f"not in {TRANSITIONS}"
+        )
+
+
+def validate_records(records: Iterable[Mapping]) -> int:
+    """Validate every record; returns the number checked."""
+    count = 0
+    for record in records:
+        validate_record(record)
+        count += 1
+    return count
+
+
+def validate_jsonl(path) -> int:
+    """Validate a JSONL event log on disk; returns the record count."""
+    from repro.telemetry.sinks import read_jsonl
+
+    return validate_records(read_jsonl(path))
+
+
+def deterministic_records(
+    records: Iterable[Mapping],
+) -> Iterator[Mapping]:
+    """Drop the wall-clock (span) records from an event stream.
+
+    What remains — coherence, classification, and progress records — is
+    a pure function of the replayed traces, so two logs of the same run
+    agree byte-for-byte after this filter.
+    """
+    for record in records:
+        if record.get("type") != "span":
+            yield record

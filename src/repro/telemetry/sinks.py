@@ -1,0 +1,106 @@
+"""Event sinks and exporters.
+
+A *sink* is anything with a ``write(record: dict)`` method; recorders
+and spans feed flat JSON-able dicts to it.  Two sinks are provided —
+an in-memory list (:class:`MemorySink`) and an append-only JSON-lines
+file (:class:`JsonlSink`) — plus the Prometheus text exporter for a
+:class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+JSONL records are written with sorted keys and compact separators, so
+logs of deterministic event streams compare byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.common.errors import TelemetryError
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def encode_record(record: Mapping) -> str:
+    """One event record as its canonical JSON line (no newline)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class MemorySink:
+    """Collects records in a list (``sink.records``)."""
+
+    __slots__ = ("records",)
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def write(self, record: Mapping) -> None:
+        self.records.append(dict(record))
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonlSink:
+    """Appends records to a JSON-lines file, one object per line."""
+
+    __slots__ = ("path", "_fh", "count")
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="ascii")
+        #: Records written through this sink instance.
+        self.count = 0
+
+    def write(self, record: Mapping) -> None:
+        self._fh.write(encode_record(record) + "\n")
+        self.count += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield the records of a JSONL event log.
+
+    Raises:
+        TelemetryError: on a line that is not a JSON object.
+    """
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise TelemetryError(
+                    f"{path}:{lineno}: expected a JSON object, "
+                    f"got {type(record).__name__}"
+                )
+            yield record
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Dump a registry in Prometheus text format; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(registry.render_prometheus(), encoding="ascii")
+    return path

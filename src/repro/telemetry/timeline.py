@@ -1,0 +1,229 @@
+"""Per-block classification timelines, rebuilt from the event stream.
+
+Given the ``classification`` records of a JSONL event log (or a
+memory-sink recorder), :func:`build_timelines` reconstructs, for every
+``(engine, block)`` pair, the full promote/demote history — when the
+block was first classified migratory, how often it relapsed, and where
+it ended up.  This is the observable form of the paper's central claim:
+the adaptive protocols *detect* migratory blocks on-line, and this
+module shows exactly when and for how long.
+
+:func:`render_timelines` prints the human summary the ``repro-stats``
+CLI shows, e.g.::
+
+    block 0x40 [directory[basic]]: migratory from step 812, 3 relapses
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.analysis.report import format_table
+
+
+@dataclass(slots=True)
+class BlockTimeline:
+    """Classification history of one block on one engine."""
+
+    engine: str
+    block: int
+    #: Classification before the first recorded transition.
+    initial_migratory: bool = False
+    #: Steps at which the block was promoted to migratory.
+    promotions: list[int] = field(default_factory=list)
+    #: Steps at which the block was demoted back to replicate mode.
+    demotions: list[int] = field(default_factory=list)
+    #: Steps at which hysteresis evidence accrued below the threshold.
+    evidence: list[int] = field(default_factory=list)
+
+    @property
+    def final_migratory(self) -> bool:
+        """Classification after the last recorded transition."""
+        last_promote = self.promotions[-1] if self.promotions else None
+        last_demote = self.demotions[-1] if self.demotions else None
+        if last_promote is None and last_demote is None:
+            return self.initial_migratory
+        if last_demote is None:
+            return True
+        if last_promote is None:
+            return False
+        return last_promote > last_demote
+
+    @property
+    def ever_migratory(self) -> bool:
+        """Whether the block was classified migratory at any point."""
+        return self.initial_migratory or bool(self.promotions)
+
+    @property
+    def relapses(self) -> int:
+        """Promotions after the block had already been migratory once.
+
+        A block that starts migratory (aggressive policy) counts every
+        promotion as a relapse; one that earns its first promotion
+        counts the promotions after it.
+        """
+        if self.initial_migratory:
+            return len(self.promotions)
+        return max(0, len(self.promotions) - 1)
+
+    def intervals(self) -> list[tuple[int, int | None]]:
+        """Migratory intervals as ``(start_step, end_step)`` pairs.
+
+        An open final interval has ``end_step`` None.  The initial
+        classification opens an interval at step 0.
+        """
+        transitions = sorted(
+            [(step, True) for step in self.promotions]
+            + [(step, False) for step in self.demotions]
+        )
+        spans: list[tuple[int, int | None]] = []
+        start: int | None = 0 if self.initial_migratory else None
+        for step, promoted in transitions:
+            if promoted and start is None:
+                start = step
+            elif not promoted and start is not None:
+                spans.append((start, step))
+                start = None
+        if start is not None:
+            spans.append((start, None))
+        return spans
+
+    def describe(self) -> str:
+        """One summary line, repro-stats style."""
+        label = f"block {self.block:#x} [{self.engine}]"
+        if not self.ever_migratory:
+            if self.evidence:
+                return (
+                    f"{label}: never migratory "
+                    f"({len(self.evidence)} evidence event(s) below threshold)"
+                )
+            return f"{label}: never migratory"
+        spans = self.intervals()
+        first = spans[0][0]
+        origin = (
+            "migratory from the start" if self.initial_migratory
+            else f"migratory from step {first}"
+        )
+        parts = [origin]
+        if self.relapses:
+            parts.append(f"{self.relapses} relapse(s)")
+        if not self.final_migratory:
+            parts.append(f"demoted for good at step {self.demotions[-1]}")
+        return f"{label}: " + ", ".join(parts)
+
+
+def build_timelines(
+    records: Iterable[Mapping],
+) -> dict[tuple[str, int], BlockTimeline]:
+    """Rebuild per-block timelines from classification records.
+
+    Non-classification records are ignored, so the full event stream
+    (or a whole JSONL log) can be passed directly.
+    """
+    timelines: dict[tuple[str, int], BlockTimeline] = {}
+    for record in records:
+        if record.get("type") != "classification":
+            continue
+        key = (record["engine"], record["block"])
+        timeline = timelines.get(key)
+        if timeline is None:
+            timeline = timelines[key] = BlockTimeline(*key)
+            # The first transition's source state reveals the initial
+            # classification (a first demote means it started migratory).
+            timeline.initial_migratory = record["transition"] == "demote"
+        step = record["step"]
+        transition = record["transition"]
+        if transition == "promote":
+            timeline.promotions.append(step)
+        elif transition == "demote":
+            timeline.demotions.append(step)
+        else:
+            timeline.evidence.append(step)
+    return timelines
+
+
+def classification_counts(
+    records: Iterable[Mapping],
+) -> Counter:
+    """Transition totals per (engine, direction) from events alone.
+
+    The promote/demote totals here must equal the machine-side
+    aggregate counters (``DirectoryProtocol.transitions``) for the same
+    run — the reconstruction property the acceptance tests assert.
+    """
+    counts: Counter = Counter()
+    for record in records:
+        if record.get("type") == "classification":
+            counts[(record["engine"], record["transition"])] += 1
+    return counts
+
+
+def migratory_blocks(
+    timelines: Mapping[tuple[str, int], BlockTimeline], engine: str
+) -> set[int]:
+    """Blocks finally classified migratory on ``engine``, from events."""
+    return {
+        block for (eng, block), timeline in timelines.items()
+        if eng == engine and timeline.final_migratory
+    }
+
+
+def render_timelines(
+    timelines: Mapping[tuple[str, int], BlockTimeline],
+    engine: str | None = None,
+    top: int | None = None,
+) -> str:
+    """Human timeline summary, most-active blocks first."""
+    chosen = [
+        timeline for (eng, _), timeline in sorted(timelines.items())
+        if engine is None or eng == engine
+    ]
+    chosen.sort(
+        key=lambda t: (
+            -(len(t.promotions) + len(t.demotions)), t.engine, t.block
+        )
+    )
+    total = len(chosen)
+    if top is not None:
+        chosen = chosen[:top]
+    lines = [timeline.describe() for timeline in chosen]
+    if total > len(chosen):
+        lines.append(f"... and {total - len(chosen)} more block(s)")
+    return "\n".join(lines) if lines else "(no classification events)"
+
+
+def hot_block_table(
+    records: Iterable[Mapping], top: int = 10
+) -> str:
+    """Top-N blocks by coherence events, with classification context."""
+    events_per_block: Counter = Counter()
+    kinds_per_block: dict[tuple[str, int], Counter] = {}
+    for record in records:
+        if record.get("type") != "coherence":
+            continue
+        key = (record["engine"], record["block"])
+        events_per_block[key] += 1
+        kinds_per_block.setdefault(key, Counter())[record["kind"]] += 1
+    timelines = build_timelines(records)
+    rows = []
+    for (engine, block), count in events_per_block.most_common(top):
+        kinds = kinds_per_block[(engine, block)]
+        timeline = timelines.get((engine, block))
+        rows.append([
+            f"{block:#x}",
+            engine,
+            count,
+            kinds.get("read_miss", 0),
+            kinds.get("write_miss", 0),
+            kinds.get("upgrade", 0),
+            "yes" if timeline and timeline.ever_migratory else "no",
+        ])
+    return format_table(
+        ["block", "engine", "events", "rd miss", "wr miss", "upgrades",
+         "migratory?"],
+        rows,
+        title=f"Top {min(top, len(events_per_block))} blocks by coherence "
+        "events",
+    )

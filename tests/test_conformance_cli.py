@@ -4,6 +4,8 @@ import pytest
 
 from repro.conformance import artifacts
 from repro.conformance.cli import main
+from repro.telemetry import deterministic_records, validate_jsonl
+from repro.telemetry.sinks import encode_record, read_jsonl
 
 
 def run_cli(capsys, *argv):
@@ -67,6 +69,53 @@ class TestInjectedFailures:
         assert "unshrunk" in out
         (_, case, _), = artifacts.iter_reproducers(art)
         assert len(case.trace) > 20  # untouched original
+
+
+class TestTelemetry:
+    def test_campaign_telemetry_recorded(self, capsys, tmp_path):
+        tel = tmp_path / "tel"
+        status, _ = run_cli(
+            capsys, "--seeds", "2", "--profile", "uniform",
+            "--artifacts", str(tmp_path / "art"),
+            "--telemetry-dir", str(tel),
+        )
+        assert status == 0
+        assert validate_jsonl(tel / "events.jsonl") > 0
+        records = list(read_jsonl(tel / "events.jsonl"))
+        progress = [r for r in records if r["type"] == "progress"]
+        assert len(progress) == 2
+        assert all(r["status"] == "ok" for r in progress)
+        metrics = (tel / "metrics.prom").read_text()
+        assert ('repro_fuzz_cases_total{profile="uniform",status="ok"} 2'
+                in metrics)
+        assert "repro_fuzz_trace_ops" in metrics
+
+    def test_deterministic_part_identical_across_job_counts(
+        self, capsys, tmp_path
+    ):
+        logs = []
+        for jobs, name in (("1", "a"), ("2", "b")):
+            tel = tmp_path / name
+            run_cli(
+                capsys, "--seeds", "2", "--profile", "migratory",
+                "--artifacts", str(tmp_path / "art"),
+                "--telemetry-dir", str(tel), "--jobs", jobs,
+            )
+            logs.append("\n".join(
+                encode_record(r) for r in
+                deterministic_records(read_jsonl(tel / "events.jsonl"))
+            ))
+        assert logs[0] == logs[1]
+
+    def test_session_is_torn_down_after_run(self, capsys, tmp_path):
+        from repro.telemetry import runtime
+
+        run_cli(
+            capsys, "--seeds", "1", "--profile", "uniform",
+            "--artifacts", str(tmp_path / "art"),
+            "--telemetry-dir", str(tmp_path / "tel"),
+        )
+        assert runtime.active() is None
 
 
 class TestArgumentValidation:

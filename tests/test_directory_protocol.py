@@ -238,3 +238,76 @@ class TestForgetfulPolicy:
         assert p.entry(B).state is DirState.TWO_COPIES
         p.note_uncached(B)
         assert p.entry(B).state is DirState.UNCACHED_MIG
+
+
+class TestTransitionCounters:
+    """The aggregate ``transitions`` counter mirrors state changes."""
+
+    def test_fresh_protocol_has_no_transitions(self):
+        assert DirectoryProtocol(BASIC).transitions == {}
+
+    def test_promote_counted_once(self):
+        p = DirectoryProtocol(BASIC)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.write_hit(B, 1, sole_copy=False)
+        assert p.transitions["promote"] == 1
+        assert p.transitions["demote"] == 0
+        assert p.transitions["evidence"] == 0
+
+    def test_read_miss_demotion_counted(self):
+        p = DirectoryProtocol(BASIC)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.write_hit(B, 1, sole_copy=False)  # promote
+        p.read_miss(B, 2, dirty=False)  # clean migratory read: demote
+        assert p.transitions["demote"] == 1
+
+    def test_write_miss_demotion_counted(self):
+        p = DirectoryProtocol(BASIC)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.write_hit(B, 1, sole_copy=False)  # promote
+        p.write_miss(B, 2, dirty=False)  # clean: counter-evidence, demote
+        assert p.transitions["demote"] == 1
+        assert p.transitions["promote"] == 1
+
+    def test_conservative_counts_evidence_below_threshold(self):
+        p = DirectoryProtocol(CONSERVATIVE)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.write_hit(B, 1, sole_copy=False)  # evidence (streak 1 of 2)
+        assert p.transitions["evidence"] == 1
+        assert p.transitions["promote"] == 0
+        p.read_miss(B, 2, dirty=True)
+        p.write_hit(B, 2, sole_copy=False)  # second event promotes
+        assert p.transitions["evidence"] == 1
+        assert p.transitions["promote"] == 1
+
+    def test_conventional_never_transitions(self):
+        p = DirectoryProtocol(CONVENTIONAL)
+        for round_ in range(5):
+            proc = round_ % 4
+            p.read_miss(B, proc, dirty=round_ > 0)
+            p.write_hit(B, proc, sole_copy=False)
+        assert p.transitions == {}
+
+    def test_forgetting_reset_counted_as_forget_not_demote(self):
+        policy = AdaptivePolicy("forgetful", migratory_threshold=1,
+                                remember_uncached=False)
+        p = DirectoryProtocol(policy)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.write_hit(B, 1, sole_copy=False)  # promote
+        p.note_uncached(B)  # flag flips via the reset
+        assert p.transitions["forget"] == 1
+        assert p.transitions["demote"] == 0
+
+    def test_remembering_uncached_is_not_a_transition(self):
+        p = DirectoryProtocol(BASIC)
+        p.write_miss(B, 0, dirty=False)
+        p.read_miss(B, 1, dirty=True)
+        p.write_hit(B, 1, sole_copy=False)  # promote
+        p.note_uncached(B)  # stays migratory across the uncached interval
+        assert p.transitions["forget"] == 0
+        assert p.transitions["demote"] == 0

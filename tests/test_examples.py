@@ -65,6 +65,16 @@ def test_splash_campaign_tiny(capsys, tmp_path):
     assert "==== fig2" in report
 
 
+def test_telemetry_tour(capsys, tmp_path):
+    run_example("telemetry_tour.py", ["--out", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "protocol-visible steps" in out
+    assert "migratory from step" in out
+    assert "identical to the directory's own end-of-run state" in out
+    assert (tmp_path / "events.jsonl").exists()
+    assert (tmp_path / "metrics.prom").exists()
+
+
 def test_latency_tolerance_study(capsys):
     run_example("latency_tolerance_study.py", ["--scale", "0.1"])
     out = capsys.readouterr().out

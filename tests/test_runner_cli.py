@@ -70,6 +70,30 @@ class TestWorkloadCommands:
         assert out1 != out2
 
 
+class TestTelemetry:
+    def test_telemetry_dir_records_machine_events(self, capsys, tmp_path):
+        from repro.telemetry import runtime, validate_jsonl
+        from repro.telemetry.sinks import read_jsonl
+
+        tel = tmp_path / "tel"
+        assert main(["bus", "--scale", "0.01",
+                     "--telemetry-dir", str(tel)]) == 0
+        assert runtime.active() is None  # session torn down
+        assert validate_jsonl(tel / "events.jsonl") > 0
+        types = {r["type"] for r in read_jsonl(tel / "events.jsonl")}
+        # experiment + replay spans, plus instrumented machine events.
+        assert {"span", "coherence", "classification"} <= types
+        metrics = (tel / "metrics.prom").read_text()
+        assert "repro_span_seconds" in metrics
+        assert "repro_steps_total" in metrics
+
+    def test_no_telemetry_dir_leaves_no_session(self, capsys):
+        from repro.telemetry import runtime
+
+        assert main(["table1"]) == 0
+        assert runtime.active() is None
+
+
 def test_every_command_is_callable():
     """All registered commands exist and have docstring-visible names."""
     for name, command in COMMANDS.items():

@@ -1,0 +1,126 @@
+"""The symmetric ``step_hook`` contract on both machines.
+
+A hook installed before ``run`` forces the generic per-access path (on
+both machines) and observes every protocol-visible step while leaving
+every statistic bit-identical to the packed replay.  A hook that
+appears *mid-replay* on the packed path missed earlier steps, so the
+replay must fail loudly instead of returning partial observations.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.errors import ProtocolError
+from repro.common.types import Access, Op
+from repro.directory.policy import BASIC
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import MesiProtocol
+from repro.system.machine import DirectoryMachine
+from repro.trace.core import Trace
+
+NUM_PROCS = 4
+
+
+def _trace() -> Trace:
+    accesses = []
+    for round_no in range(8):
+        for proc in range(NUM_PROCS):
+            accesses.append(Access(proc, Op.READ, 16 * proc))
+            accesses.append(Access(proc, Op.WRITE, 16 * proc))
+            accesses.append(Access(proc, Op.READ, 0))
+            if round_no % 2:
+                accesses.append(Access(proc, Op.WRITE, 0))
+    return Trace(accesses, name="hook-contract")
+
+
+def _config() -> MachineConfig:
+    return MachineConfig(
+        num_procs=NUM_PROCS,
+        cache=CacheConfig(size_bytes=None, block_size=16),
+    )
+
+
+class TestHookForcesGenericPath:
+    """With a hook, both machines take the per-access path, fire the
+    hook on every protocol-visible step, and keep identical stats."""
+
+    def test_directory(self):
+        packed = DirectoryMachine(_config(), BASIC)
+        packed.run(_trace())
+        seen = []
+        hooked = DirectoryMachine(
+            _config(), BASIC,
+            step_hook=lambda m, p, b: seen.append((p, b)),
+        )
+        hooked.run(_trace())
+        stats = hooked.cache_stats
+        assert len(seen) == (stats.read_misses + stats.write_misses
+                             + stats.upgrades)
+        assert hooked.cache_stats == packed.cache_stats
+        assert hooked.stats.short == packed.stats.short
+        assert hooked.stats.data == packed.stats.data
+
+    def test_bus(self):
+        packed = BusMachine(_config(), MesiProtocol())
+        packed.run(_trace())
+        seen = []
+        hooked = BusMachine(
+            _config(), MesiProtocol(),
+            step_hook=lambda m, p, b: seen.append((p, b)),
+        )
+        hooked.run(_trace())
+        stats = hooked.cache_stats
+        # The bus hook additionally fires on bus-silent write hits.
+        assert len(seen) >= (stats.read_misses + stats.write_misses
+                             + stats.upgrades)
+        assert hooked.cache_stats == packed.cache_stats
+        assert hooked.bus_stats.by_kind == packed.bus_stats.by_kind
+
+
+class _HookInstallingPlacement:
+    """Placement that sneaks a hook onto the machine during a replay."""
+
+    def __init__(self):
+        self.machine = None
+
+    def home(self, page: int, accessor: int) -> int:
+        if self.machine.step_hook is None:
+            self.machine.step_hook = lambda m, p, b: None
+        return 0
+
+
+class _HookInstallingProtocol(MesiProtocol):
+    """Snooping protocol that installs a hook from a miss handler."""
+
+    def __init__(self):
+        self.machine = None
+
+    def read_miss_fill(self, caches, proc, block):
+        if self.machine.step_hook is None:
+            self.machine.step_hook = lambda m, p, b: None
+        return super().read_miss_fill(caches, proc, block)
+
+
+class TestMidReplayInstallRejected:
+    def test_directory_packed_path_raises(self):
+        placement = _HookInstallingPlacement()
+        machine = DirectoryMachine(_config(), BASIC, placement=placement)
+        placement.machine = machine
+        with pytest.raises(ProtocolError, match="mid-replay"):
+            machine.run(_trace())
+
+    def test_bus_packed_path_raises(self):
+        protocol = _HookInstallingProtocol()
+        machine = BusMachine(_config(), protocol)
+        protocol.machine = machine
+        with pytest.raises(ProtocolError, match="mid-replay"):
+            machine.run(_trace())
+
+    def test_generic_path_tolerates_mid_replay_install(self):
+        # On the per-access path there is no packed fast-path contract
+        # to violate: iterating plain accesses never consults pack().
+        placement = _HookInstallingPlacement()
+        machine = DirectoryMachine(_config(), BASIC, placement=placement)
+        placement.machine = machine
+        machine.run(iter(_trace()))
+        assert machine.step_hook is not None

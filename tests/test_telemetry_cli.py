@@ -1,0 +1,111 @@
+"""The ``repro-stats`` CLI, exercised in-process via ``main(argv)``."""
+
+import json
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.types import Access, Op
+from repro.directory.policy import BASIC
+from repro.system.machine import DirectoryMachine
+from repro.telemetry import JsonlSink, attach_recorder
+from repro.telemetry.cli import main
+from repro.trace.core import Trace
+
+
+def _migratory_trace() -> Trace:
+    accesses = []
+    for _ in range(3):
+        for proc in range(4):
+            accesses.append(Access(proc, Op.READ, 0x40))
+            accesses.append(Access(proc, Op.WRITE, 0x40))
+    accesses.append(Access(1, Op.READ, 0x80))
+    return Trace(accesses, name="cli")
+
+
+@pytest.fixture(scope="module")
+def log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("telemetry") / "events.jsonl"
+    config = MachineConfig(
+        num_procs=4, cache=CacheConfig(size_bytes=None, block_size=16)
+    )
+    machine = DirectoryMachine(config, BASIC)
+    with JsonlSink(path) as sink:
+        attach_recorder(machine, sink=sink)
+        machine.run(_migratory_trace())
+    return path
+
+
+def run_cli(capsys, *argv):
+    status = main(list(argv))
+    captured = capsys.readouterr()
+    return status, captured.out, captured.err
+
+
+class TestSummary:
+    def test_counts_by_type(self, capsys, log):
+        status, out, _ = run_cli(capsys, "summary", str(log))
+        assert status == 0
+        assert "coherence" in out and "classification" in out
+        assert "directory[basic]" in out
+        assert "blocks migratory at end" in out
+
+
+class TestTimeline:
+    def test_renders_per_block_lines(self, capsys, log):
+        status, out, _ = run_cli(capsys, "timeline", str(log))
+        assert status == 0
+        assert "block 0x4 [directory[basic]]: migratory from step" in out
+
+    def test_block_filter_accepts_hex(self, capsys, log):
+        status, out, _ = run_cli(capsys, "timeline", str(log),
+                                 "--block", "0x4")
+        assert status == 0
+        assert "migratory from step" in out
+        assert "until end of run" in out
+
+    def test_unknown_block_reports_and_fails(self, capsys, log):
+        status, out, _ = run_cli(capsys, "timeline", str(log),
+                                 "--block", "0x999")
+        assert status == 1
+        assert "no classification events" in out
+
+    def test_engine_filter(self, capsys, log):
+        status, out, _ = run_cli(capsys, "timeline", str(log),
+                                 "--engine", "bus[mesi]")
+        assert status == 0
+        assert "no classification events" in out
+
+
+class TestHot:
+    def test_top_table(self, capsys, log):
+        status, out, _ = run_cli(capsys, "hot", str(log), "--top", "1")
+        assert status == 0
+        assert "0x4" in out
+        assert "0x8" not in out  # truncated to the single hottest block
+
+
+class TestValidate:
+    def test_valid_log_passes(self, capsys, log):
+        status, out, _ = run_cli(capsys, "validate", str(log))
+        assert status == 0
+        assert "all schema-valid" in out
+
+    def test_schema_violation_fails(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"type": "coherence", "step": 1}) + "\n")
+        status, _, err = run_cli(capsys, "validate", str(bad))
+        assert status == 1
+        assert "missing field" in err
+
+
+class TestErrors:
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        status, _, err = run_cli(capsys, "summary",
+                                 str(tmp_path / "nope.jsonl"))
+        assert status == 2
+        assert "repro-stats" in err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

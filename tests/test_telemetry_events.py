@@ -1,0 +1,160 @@
+"""Telemetry event schema and the sinks/exporters that carry it."""
+
+import json
+
+import pytest
+
+from repro.common.errors import TelemetryError
+from repro.telemetry.events import (
+    ClassificationEvent,
+    CoherenceEvent,
+    SpanEvent,
+    deterministic_records,
+    validate_jsonl,
+    validate_record,
+    validate_records,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sinks import (
+    JsonlSink,
+    MemorySink,
+    encode_record,
+    read_jsonl,
+    write_prometheus,
+)
+
+
+def _coherence() -> dict:
+    return CoherenceEvent(12, "directory[basic]", "read_miss", 3, 64).to_record()
+
+
+def _classification() -> dict:
+    return ClassificationEvent(
+        12, "directory[basic]", 64, 3, "promote", "ONE_COPY",
+        "ONE_COPY_MIG", 2,
+    ).to_record()
+
+
+class TestSchema:
+    def test_typed_records_validate(self):
+        validate_record(_coherence())
+        validate_record(_classification())
+        validate_record(SpanEvent("replay", 0.25, {"app": "mp3d"}).to_record())
+        validate_record({"type": "progress", "campaign": "fuzz", "seed": 1})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TelemetryError, match="unknown event type"):
+            validate_record({"type": "mystery"})
+
+    def test_missing_field_rejected(self):
+        record = _coherence()
+        del record["proc"]
+        with pytest.raises(TelemetryError, match="proc"):
+            validate_record(record)
+
+    def test_mistyped_field_rejected(self):
+        record = _coherence()
+        record["block"] = "0x40"
+        with pytest.raises(TelemetryError, match="block"):
+            validate_record(record)
+
+    def test_bool_is_not_an_int(self):
+        record = _coherence()
+        record["step"] = True
+        with pytest.raises(TelemetryError, match="step"):
+            validate_record(record)
+
+    def test_unknown_coherence_kind_rejected(self):
+        record = _coherence()
+        record["kind"] = "teleport"
+        with pytest.raises(TelemetryError, match="teleport"):
+            validate_record(record)
+
+    def test_unknown_transition_rejected(self):
+        record = _classification()
+        record["transition"] = "sideways"
+        with pytest.raises(TelemetryError, match="sideways"):
+            validate_record(record)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(TelemetryError):
+            validate_record(["not", "a", "record"])
+
+    def test_validate_records_counts(self):
+        assert validate_records([_coherence(), _classification()]) == 2
+
+
+class TestDeterministicFilter:
+    def test_spans_are_dropped(self):
+        stream = [
+            _coherence(),
+            SpanEvent("replay", 0.1).to_record(),
+            _classification(),
+        ]
+        kept = list(deterministic_records(stream))
+        assert [r["type"] for r in kept] == ["coherence", "classification"]
+
+
+class TestSinks:
+    def test_memory_sink_copies_records(self):
+        sink = MemorySink()
+        record = _coherence()
+        sink.write(record)
+        record["step"] = 999
+        assert sink.records[0]["step"] == 12
+        assert len(sink) == 1
+
+    def test_encode_record_is_canonical(self):
+        assert encode_record({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "deep" / "events.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(_coherence())
+            sink.write(_classification())
+            assert sink.count == 2
+        loaded = list(read_jsonl(path))
+        assert loaded == [_coherence(), _classification()]
+        assert validate_jsonl(path) == 2
+
+    def test_jsonl_appends(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(_coherence())
+        with JsonlSink(path) as sink:
+            sink.write(_classification())
+        assert len(list(read_jsonl(path))) == 2
+
+    def test_read_jsonl_rejects_garbage_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"coherence"}\nnot json\n')
+        with pytest.raises(TelemetryError, match="bad.jsonl:2"):
+            list(read_jsonl(path))
+
+    def test_read_jsonl_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(TelemetryError, match="JSON object"):
+            list(read_jsonl(path))
+
+    def test_identical_streams_produce_identical_files(self, tmp_path):
+        records = [_coherence(), _classification()]
+        for name in ("a", "b"):
+            with JsonlSink(tmp_path / name) as sink:
+                for record in records:
+                    sink.write(record)
+        assert (tmp_path / "a").read_bytes() == (tmp_path / "b").read_bytes()
+
+    def test_write_prometheus(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c", "help").inc(3)
+        path = write_prometheus(reg, tmp_path / "out" / "metrics.prom")
+        assert path.read_text() == "# HELP c help\n# TYPE c counter\nc 3\n"
+
+
+def test_span_meta_cannot_shadow_required_fields():
+    record = SpanEvent("replay", 0.5, {"name": "evil", "app": "mp3d"}).to_record()
+    assert record["name"] == "replay"
+    assert record["app"] == "mp3d"
+    # meta values must stay JSON-able
+    json.dumps(record)

@@ -1,0 +1,170 @@
+"""The telemetry metrics registry: families, labels, merge, rendering."""
+
+import pytest
+
+from repro.common.errors import TelemetryError
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    merge_dicts,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c", "help text")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+
+    def test_labeled_series_are_independent(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(engine="a")
+        counter.inc(5, engine="b")
+        assert counter.value(engine="a") == 1
+        assert counter.value(engine="b") == 5
+        assert counter.value(engine="missing") == 0
+
+    def test_label_order_is_canonicalized(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(a="1", b="2")
+        counter.inc(b="2", a="1")
+        assert counter.value(b="2", a="1") == 2
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value() == 2
+
+    def test_inc_may_go_down(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.inc(3)
+        gauge.inc(-5)
+        assert gauge.value() == -2
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 5.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.count() == 4
+        assert hist.sum() == pytest.approx(104.5)
+        # Bucket bounds are inclusive (Prometheus ``le`` semantics).
+        cells = hist.series[()]
+        assert cells[0] == 2  # 0.5 and 1.0
+        assert cells[1] == 1  # 3.0
+        assert cells[2] == 1  # 100.0 -> +Inf
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_families_memoized_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TelemetryError):
+            reg.gauge("m")
+
+    def test_histogram_bucket_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(TelemetryError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("c").inc(100)
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        assert NULL_REGISTRY.families() == []
+
+
+def _sample_registry(scale: int) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_steps_total", "steps").inc(10 * scale, engine="d")
+    reg.counter("repro_steps_total", "steps").inc(3 * scale, engine="b")
+    reg.gauge("repro_migratory_blocks", "blocks").set(7 * scale, engine="d")
+    hist = reg.histogram("repro_span_seconds", "spans")
+    hist.observe(0.002 * scale, span="replay")
+    hist.observe(2.0, span="replay")
+    return reg
+
+
+class TestMergeAndSerialization:
+    def test_roundtrip_through_dict(self):
+        reg = _sample_registry(1)
+        clone = MetricsRegistry.from_dict(reg.to_dict())
+        assert clone.render_prometheus() == reg.render_prometheus()
+
+    def test_counters_sum_gauges_max_histograms_sum(self):
+        merged = merge_dicts(
+            [_sample_registry(1).to_dict(), _sample_registry(2).to_dict()]
+        )
+        assert merged.counter("repro_steps_total").value(engine="d") == 30
+        assert merged.gauge("repro_migratory_blocks").value(engine="d") == 14
+        assert merged.histogram("repro_span_seconds").count(span="replay") == 4
+
+    def test_merge_is_order_independent(self):
+        payloads = [_sample_registry(s).to_dict() for s in (1, 2, 3)]
+        forward = merge_dicts(payloads).render_prometheus()
+        backward = merge_dicts(reversed(payloads)).render_prometheus()
+        assert forward == backward
+
+    def test_merge_partitions_equal_whole(self):
+        """Any worker partition folds to the same registry (the --jobs
+        determinism contract)."""
+        parts = [_sample_registry(s).to_dict() for s in (1, 2, 3, 4)]
+        whole = merge_dicts(parts).render_prometheus()
+        split = merge_dicts(
+            [merge_dicts(parts[:2]).to_dict(), merge_dicts(parts[2:]).to_dict()]
+        ).render_prometheus()
+        assert whole == split
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TelemetryError):
+            merge_dicts([{"m": {"kind": "summary", "series": []}}])
+
+    def test_histogram_shape_mismatch_rejected(self):
+        one = MetricsRegistry()
+        one.histogram("h", buckets=(1.0,)).observe(0.5)
+        other = {"h": {"kind": "histogram", "buckets": [1.0, 2.0],
+                       "series": [[[], [1.0, 0.0, 0.0, 0.5]]]}}
+        with pytest.raises(TelemetryError):
+            one.merge_dict(other)
+
+
+class TestPrometheusRendering:
+    def test_text_format_shape(self):
+        text = _sample_registry(1).render_prometheus()
+        assert "# TYPE repro_steps_total counter" in text
+        assert 'repro_steps_total{engine="d"} 10' in text
+        assert "# TYPE repro_span_seconds histogram" in text
+        assert 'repro_span_seconds_bucket{le="+Inf",span="replay"} 2' in text
+        assert 'repro_span_seconds_count{span="replay"} 2' in text
+        assert text.endswith("\n")
+
+    def test_rendering_is_deterministic(self):
+        assert (_sample_registry(2).render_prometheus()
+                == _sample_registry(2).render_prometheus())
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_default_buckets_are_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS

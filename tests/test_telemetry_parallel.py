@@ -1,0 +1,65 @@
+"""Worker telemetry merges byte-identically for any ``--jobs`` count.
+
+Each worker process builds its own registry and event list (sessions do
+not cross process boundaries) and returns them as plain payloads; the
+parent folds the payloads in submission order.  The regression locked
+in here: the merged Prometheus text and the merged event log are
+byte-for-byte identical for ``--jobs 1`` and ``--jobs 4``.
+"""
+
+from repro.conformance.fuzzer import generate_case
+from repro.directory.policy import BASIC
+from repro.parallel import parallel_map
+from repro.system.machine import DirectoryMachine
+from repro.telemetry import MemorySink, MetricsRegistry, attach_recorder
+from repro.telemetry.metrics import merge_dicts
+from repro.telemetry.sinks import encode_record
+
+SEEDS = (0, 1, 2, 3)
+
+
+def _worker(seed: int) -> tuple[dict, list]:
+    """Replay one fuzz case with per-worker telemetry; return payloads."""
+    case = generate_case(seed, "migratory")
+    machine = DirectoryMachine(case.machine_config(), BASIC)
+    registry = MetricsRegistry()
+    sink = MemorySink()
+    attach_recorder(machine, registry=registry, sink=sink)
+    machine.run(case.trace)
+    return registry.to_dict(), sink.records
+
+
+def _campaign(jobs: int) -> tuple[str, bytes]:
+    results = parallel_map(_worker, SEEDS, jobs=jobs)
+    metrics = merge_dicts([payload for payload, _ in results])
+    log = b"".join(
+        (encode_record(record) + "\n").encode("ascii")
+        for _, records in results
+        for record in records
+    )
+    return metrics.render_prometheus(), log
+
+
+def test_jobs_1_and_jobs_4_merge_byte_identically():
+    serial_metrics, serial_log = _campaign(jobs=1)
+    parallel_metrics, parallel_log = _campaign(jobs=4)
+    assert serial_metrics == parallel_metrics
+    assert serial_log == parallel_log
+    assert serial_metrics  # the campaign actually recorded something
+    assert serial_log
+
+
+def test_merged_registry_sums_worker_series():
+    results = parallel_map(_worker, SEEDS, jobs=2)
+    payloads = [payload for payload, _ in results]
+    merged = merge_dicts(payloads)
+    per_worker = [
+        MetricsRegistry.from_dict(p).counter("repro_steps_total").value(
+            engine="directory[basic]"
+        )
+        for p in payloads
+    ]
+    assert merged.counter("repro_steps_total").value(
+        engine="directory[basic]"
+    ) == sum(per_worker)
+    assert all(count > 0 for count in per_worker)

@@ -1,0 +1,234 @@
+"""Machine recorders: event streams reproduce the machines' own story.
+
+The acceptance property of the telemetry subsystem: replaying a trace
+with a recorder attached (a) leaves every statistic bit-identical to a
+bare run, and (b) produces an event log from which the run's migratory
+classification — transition counts and the final migratory block set —
+can be reconstructed exactly, matching the machine-side aggregates.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.errors import TelemetryError
+from repro.common.types import Access, Op
+from repro.directory.policy import AGGRESSIVE, BASIC, CONSERVATIVE
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import AdaptiveSnoopingProtocol
+from repro.system.machine import DirectoryMachine
+from repro.telemetry import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    attach_recorder,
+    build_timelines,
+    classification_counts,
+    migratory_blocks,
+    validate_records,
+)
+from repro.telemetry.cli import main as stats_main
+from repro.telemetry.events import COHERENCE_KINDS
+from repro.telemetry.recorder import (
+    COHERENCE_TOTAL,
+    STEPS_TOTAL,
+    TRANSITIONS_TOTAL,
+)
+from repro.telemetry.sinks import read_jsonl
+from repro.trace.core import Trace
+from repro.workloads.profiles import build_app
+
+NUM_PROCS = 8
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_app("water", num_procs=NUM_PROCS, seed=1, scale=0.03)
+
+
+def _config(cache_size=4096):
+    return MachineConfig(
+        num_procs=NUM_PROCS,
+        cache=CacheConfig(size_bytes=cache_size, block_size=16),
+    )
+
+
+def _machine_transitions(machine) -> dict:
+    return {
+        t: machine.protocol.transitions.get(t, 0)
+        for t in ("promote", "demote", "evidence")
+    }
+
+
+def _event_transitions(records, engine) -> dict:
+    counts = classification_counts(records)
+    return {
+        t: counts.get((engine, t), 0)
+        for t in ("promote", "demote", "evidence")
+    }
+
+
+class TestAcceptance:
+    """The ISSUE's acceptance property, end to end through a JSONL log."""
+
+    @pytest.mark.parametrize("policy", [BASIC, CONSERVATIVE, AGGRESSIVE],
+                             ids=lambda p: p.name)
+    def test_events_reproduce_machine_classification(
+        self, trace, tmp_path, policy
+    ):
+        machine = DirectoryMachine(_config(), policy)
+        log = tmp_path / "events.jsonl"
+        with JsonlSink(log) as sink:
+            recorder = attach_recorder(machine, sink=sink)
+            machine.run(trace)
+        records = list(read_jsonl(log))
+        validate_records(records)
+
+        # Transition counts from events alone == the protocol's own
+        # aggregate counters.
+        assert (_event_transitions(records, recorder.engine)
+                == _machine_transitions(machine))
+
+        # The final migratory block set, rebuilt from the log, matches
+        # the directory's end-of-run state for every block that ever
+        # produced a classification event.  Under a remembering policy
+        # whose initial classification is non-migratory, that is the
+        # complete migratory set.
+        rebuilt = migratory_blocks(build_timelines(records), recorder.engine)
+        actual = {
+            block for block, ent in machine.protocol.entries.items()
+            if ent.migratory
+        }
+        if policy.initial_migratory:
+            # Blocks that started migratory and never transitioned have
+            # no classification events; events still pin down every
+            # block that ever changed.
+            seen = {r["block"] for r in records
+                    if r["type"] == "classification"}
+            assert rebuilt == {b for b in actual if b in seen}
+        else:
+            assert rebuilt == actual
+        assert recorder.migratory_blocks == actual
+
+    def test_repro_stats_renders_timeline_from_log(
+        self, trace, tmp_path, capsys
+    ):
+        machine = DirectoryMachine(_config(), BASIC)
+        log = tmp_path / "events.jsonl"
+        with JsonlSink(log) as sink:
+            attach_recorder(machine, sink=sink)
+            machine.run(trace)
+        assert stats_main(["timeline", str(log), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "migratory from step" in out
+
+
+class TestStatisticsUntouched:
+    def test_directory_stats_identical_with_recorder(self, trace):
+        bare = DirectoryMachine(_config(), BASIC)
+        bare.run(trace)
+        observed = DirectoryMachine(_config(), BASIC)
+        attach_recorder(observed, sink=MemorySink())
+        observed.run(trace)
+        assert bare.stats.short == observed.stats.short
+        assert bare.stats.data == observed.stats.data
+        assert bare.stats.by_cause_short == observed.stats.by_cause_short
+        assert bare.cache_stats == observed.cache_stats
+
+    def test_bus_stats_identical_with_recorder(self, trace):
+        bare = BusMachine(_config(), AdaptiveSnoopingProtocol())
+        bare.run(trace)
+        observed = BusMachine(_config(), AdaptiveSnoopingProtocol())
+        attach_recorder(observed, sink=MemorySink())
+        observed.run(trace)
+        assert bare.bus_stats.by_kind == observed.bus_stats.by_kind
+        assert bare.cache_stats == observed.cache_stats
+
+
+class TestRecorderStream:
+    def test_coherence_kinds_and_metrics(self, trace):
+        machine = DirectoryMachine(_config(), BASIC)
+        registry = MetricsRegistry()
+        recorder = attach_recorder(machine, registry=registry,
+                                   sink=MemorySink())
+        machine.run(trace)
+        coherence = [r for r in recorder.records if r["type"] == "coherence"]
+        assert coherence, "expected coherence events"
+        assert {r["kind"] for r in coherence} <= set(COHERENCE_KINDS)
+        assert recorder.steps == len(coherence)
+        steps_metric = registry.counter(STEPS_TOTAL)
+        assert steps_metric.value(engine=recorder.engine) == recorder.steps
+        per_kind = registry.counter(COHERENCE_TOTAL)
+        for kind in COHERENCE_KINDS:
+            assert per_kind.value(engine=recorder.engine, kind=kind) == sum(
+                1 for r in coherence if r["kind"] == kind
+            )
+        transitions = registry.counter(TRANSITIONS_TOTAL)
+        assert (transitions.value(engine=recorder.engine, direction="promote")
+                == _machine_transitions(machine)["promote"])
+
+    def test_bus_recorder_sees_adaptive_classification(self, trace):
+        machine = BusMachine(_config(), AdaptiveSnoopingProtocol())
+        recorder = attach_recorder(machine, sink=MemorySink())
+        machine.run(trace)
+        validate_records(recorder.records)
+        assert recorder.engine == "bus[adaptive]"
+        promotes = [r for r in recorder.records
+                    if r["type"] == "classification"
+                    and r["transition"] == "promote"]
+        assert promotes, "adaptive snooping should classify migratory blocks"
+        assert all(r["to"] == "migratory" for r in promotes)
+
+    def test_bus_silent_write_hits_emit_no_events(self):
+        # Two processors read (shared copies), then one writes the
+        # block repeatedly: the first write upgrades on the bus, every
+        # later write is bus-silent and must not produce events.
+        accesses = [Access(1, Op.READ, 0), Access(0, Op.READ, 0)] + [
+            Access(0, Op.WRITE, 0) for _ in range(5)
+        ]
+        machine = BusMachine(_config(None), AdaptiveSnoopingProtocol())
+        recorder = attach_recorder(machine, sink=MemorySink())
+        machine.run(Trace(accesses, name="silent"))
+        kinds = [r["kind"] for r in recorder.records
+                 if r["type"] == "coherence"]
+        assert kinds == ["read_miss", "read_miss", "upgrade"]
+
+    def test_demotion_observed(self):
+        # Migrate block 0 between four processors, then read-share it:
+        # the read miss to a clean migratory block demotes it.
+        accesses = []
+        for _ in range(3):
+            for proc in range(4):
+                accesses.append(Access(proc, Op.READ, 0))
+                accesses.append(Access(proc, Op.WRITE, 0))
+        accesses += [Access(proc, Op.READ, 0) for proc in range(4)]
+        config = MachineConfig(
+            num_procs=4, cache=CacheConfig(size_bytes=None, block_size=16)
+        )
+        machine = DirectoryMachine(config, BASIC)
+        recorder = attach_recorder(machine, sink=MemorySink())
+        machine.run(Trace(accesses, name="migrate-then-share"))
+        assert (_event_transitions(recorder.records, recorder.engine)
+                == _machine_transitions(machine))
+        assert _machine_transitions(machine)["demote"] >= 1
+        (timeline,) = build_timelines(recorder.records).values()
+        assert timeline.promotions and timeline.demotions
+        assert not timeline.final_migratory
+
+
+class TestAttachErrors:
+    def test_occupied_hook_rejected(self, trace):
+        machine = DirectoryMachine(_config(), BASIC,
+                                   step_hook=lambda m, p, b: None)
+        with pytest.raises(TelemetryError, match="already has a step_hook"):
+            attach_recorder(machine)
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(TelemetryError, match="cannot attach"):
+            attach_recorder(object())
+
+    def test_records_require_memory_sink(self, tmp_path):
+        machine = DirectoryMachine(_config(), BASIC)
+        with JsonlSink(tmp_path / "e.jsonl") as sink:
+            recorder = attach_recorder(machine, sink=sink)
+            with pytest.raises(TelemetryError, match="MemorySink"):
+                recorder.records

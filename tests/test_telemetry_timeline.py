@@ -1,0 +1,128 @@
+"""Per-block classification timelines rebuilt from event records."""
+
+from repro.telemetry.timeline import (
+    BlockTimeline,
+    build_timelines,
+    classification_counts,
+    hot_block_table,
+    migratory_blocks,
+    render_timelines,
+)
+
+ENGINE = "directory[basic]"
+
+
+def _cls(step, transition, block=64, streak=0):
+    return {
+        "type": "classification", "step": step, "engine": ENGINE,
+        "block": block, "proc": 0, "transition": transition,
+        "from": "ONE_COPY", "to": "ONE_COPY_MIG", "streak": streak,
+    }
+
+
+def _coh(step, kind, block=64):
+    return {
+        "type": "coherence", "step": step, "engine": ENGINE,
+        "kind": kind, "proc": 0, "block": block,
+    }
+
+
+class TestBlockTimeline:
+    def test_promote_then_demote(self):
+        t = BlockTimeline(ENGINE, 64, promotions=[10], demotions=[20])
+        assert t.ever_migratory
+        assert not t.final_migratory
+        assert t.relapses == 0
+        assert t.intervals() == [(10, 20)]
+
+    def test_relapse_counting(self):
+        t = BlockTimeline(ENGINE, 64, promotions=[10, 30, 50],
+                          demotions=[20, 40])
+        assert t.relapses == 2
+        assert t.final_migratory
+        assert t.intervals() == [(10, 20), (30, 40), (50, None)]
+
+    def test_initially_migratory_opens_interval_at_zero(self):
+        t = BlockTimeline(ENGINE, 64, initial_migratory=True,
+                          demotions=[15])
+        assert t.intervals() == [(0, 15)]
+        assert not t.final_migratory
+        t2 = BlockTimeline(ENGINE, 64, initial_migratory=True)
+        assert t2.final_migratory and t2.intervals() == [(0, None)]
+
+    def test_describe_examples(self):
+        t = BlockTimeline(ENGINE, 0x40, promotions=[812, 900, 950, 960],
+                          demotions=[850, 930, 955, 970])
+        line = t.describe()
+        assert line.startswith(f"block 0x40 [{ENGINE}]")
+        assert "migratory from step 812" in line
+        assert "3 relapse(s)" in line
+        assert "demoted for good at step 970" in line
+
+    def test_describe_never_migratory(self):
+        t = BlockTimeline(ENGINE, 64, evidence=[5])
+        assert "never migratory" in t.describe()
+        assert "1 evidence event(s)" in t.describe()
+
+
+class TestBuildTimelines:
+    def test_groups_by_engine_and_block(self):
+        records = [
+            _cls(10, "promote", block=64),
+            _cls(12, "promote", block=65),
+            _cls(20, "demote", block=64),
+        ]
+        timelines = build_timelines(records)
+        assert set(timelines) == {(ENGINE, 64), (ENGINE, 65)}
+        assert timelines[(ENGINE, 64)].demotions == [20]
+
+    def test_first_demote_implies_initially_migratory(self):
+        timelines = build_timelines([_cls(10, "demote")])
+        assert timelines[(ENGINE, 64)].initial_migratory
+
+    def test_non_classification_records_ignored(self):
+        timelines = build_timelines([_coh(1, "read_miss"),
+                                     {"type": "span", "name": "x",
+                                      "seconds": 0.1}])
+        assert timelines == {}
+
+    def test_counts_and_final_sets(self):
+        records = [
+            _cls(10, "promote", block=64),
+            _cls(11, "evidence", block=65, streak=1),
+            _cls(20, "demote", block=64),
+            _cls(30, "promote", block=66),
+        ]
+        counts = classification_counts(records)
+        assert counts[(ENGINE, "promote")] == 2
+        assert counts[(ENGINE, "demote")] == 1
+        assert counts[(ENGINE, "evidence")] == 1
+        assert migratory_blocks(build_timelines(records), ENGINE) == {66}
+
+
+class TestRendering:
+    def test_render_orders_by_activity_and_truncates(self):
+        records = (
+            [_cls(s, "promote", block=1) for s in (1, 5, 9)]
+            + [_cls(s, "demote", block=1) for s in (3, 7)]
+            + [_cls(2, "promote", block=2)]
+            + [_cls(4, "promote", block=3)]
+        )
+        text = render_timelines(build_timelines(records), top=2)
+        lines = text.splitlines()
+        assert lines[0].startswith("block 0x1 ")
+        assert "and 1 more block(s)" in lines[-1]
+
+    def test_render_empty(self):
+        assert "no classification events" in render_timelines({})
+
+    def test_hot_block_table(self):
+        records = (
+            [_coh(s, "read_miss", block=64) for s in range(4)]
+            + [_coh(9, "upgrade", block=64), _coh(5, "write_miss", block=65)]
+            + [_cls(9, "promote", block=64)]
+        )
+        table = hot_block_table(records, top=1)
+        assert "0x40" in table
+        assert "yes" in table  # block 64 was migratory
+        assert "0x41" not in table  # truncated at top=1
