@@ -1,0 +1,81 @@
+"""CI perf-smoke: a warm rerun must be served by the result cache.
+
+Runs a tiny Table 2 sweep twice against a temporary result cache and
+asserts that the second pass is at least 90% cache hits with
+byte-identical rendered output.  This is the fast contract check behind
+the full ``benchmarks/record_parallel.py`` measurement: if the
+content-addressed keys drift between two identical in-process runs
+(e.g. a non-deterministic digest input sneaks in), this fails in
+seconds.
+
+Run from the repository root::
+
+    python benchmarks/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: Minimum warm-pass hit rate the cache must deliver.
+MIN_HIT_RATE = 0.90
+
+SWEEP = dict(
+    apps=("mp3d", "water"),
+    cache_sizes=(16 * 1024, 64 * 1024),
+    scale=0.1,
+)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-perf-smoke-") as tmp:
+        os.environ["REPRO_RESULT_CACHE"] = os.path.join(tmp, "results")
+        from repro.experiments import common, resultcache, table2
+
+        started = time.perf_counter()
+        cold_rows = table2.run(jobs=1, **SWEEP)
+        cold_seconds = time.perf_counter() - started
+        cold = resultcache.counts()
+
+        # A fresh process would arrive with empty in-process state; the
+        # disk cache alone must carry the warm run.
+        resultcache.reset_counts()
+        resultcache.clear_memory()
+        common.clear_caches()
+
+        started = time.perf_counter()
+        warm_rows = table2.run(jobs=1, **SWEEP)
+        warm_seconds = time.perf_counter() - started
+        warm = resultcache.counts()
+
+        total = warm["hits"] + warm["misses"]
+        hit_rate = warm["hits"] / total if total else 0.0
+        print(f"cold: {cold_seconds:.2f}s "
+              f"({cold['hits']} hits, {cold['misses']} misses)")
+        print(f"warm: {warm_seconds:.2f}s "
+              f"({warm['hits']} hits, {warm['misses']} misses, "
+              f"hit rate {100 * hit_rate:.0f}%)")
+
+        if table2.render(warm_rows) != table2.render(cold_rows):
+            print("FAIL: warm output differs from cold output",
+                  file=sys.stderr)
+            return 1
+        if total == 0:
+            print("FAIL: warm run made no cache lookups", file=sys.stderr)
+            return 1
+        if hit_rate < MIN_HIT_RATE:
+            print(f"FAIL: warm hit rate {100 * hit_rate:.0f}% "
+                  f"< {100 * MIN_HIT_RATE:.0f}%", file=sys.stderr)
+            return 1
+        print("ok")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

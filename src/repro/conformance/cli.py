@@ -9,10 +9,12 @@ Usage::
 
 Each seed becomes one fuzz case per selected profile; cases fan out
 across worker processes via :func:`repro.parallel.parallel_map`
-(``--jobs`` or ``REPRO_JOBS``, serial by default) and replay through
-the differential oracle.  Failures are shrunk to minimal reproducers
-with delta debugging and written to the artifact directory as
-``<profile>-seed<n>/{trace.txt,case.json}``.
+(``--jobs`` or ``REPRO_JOBS``, serial by default, ``0`` = all CPUs)
+and replay through the differential oracle.  The campaign reuses the
+session's persistent executor, so the spawn cost is paid once even when
+the shrinker fans out again after failures.  Failures are shrunk to
+minimal reproducers with delta debugging and written to the artifact
+directory as ``<profile>-seed<n>/{trace.txt,case.json}``.
 
 Output on stdout is byte-deterministic for a fixed seed range,
 whatever ``--jobs`` says: results merge in submission order and all
@@ -99,7 +101,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="fuzz profile (default: all three)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: REPRO_JOBS or "
-                        "serial); output is identical for any job count")
+                        "serial; 0 = all CPUs); output is identical for "
+                        "any job count")
     parser.add_argument("--artifacts", type=Path,
                         default=artifacts.DEFAULT_ARTIFACT_DIR,
                         help="directory for shrunk reproducers (default "

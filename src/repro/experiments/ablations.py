@@ -21,7 +21,14 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.directory.policy import CONVENTIONAL, AdaptivePolicy
 from repro.experiments import common
-from repro.parallel import parallel_map
+from repro.parallel import effective_workers, parallel_map
+
+
+def _handles(apps, jobs, scale, seed, num_procs) -> dict:
+    """Shared-trace handles when the sweep actually goes parallel."""
+    if effective_workers(jobs, len(apps)) > 1:
+        return common.publish_traces(tuple(apps), num_procs, seed, scale)
+    return {}
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,8 +47,8 @@ def _reduction(base: int, total: int) -> float:
 
 def _variant_rows(task: tuple) -> list[AblationRow]:
     """One app's conventional baseline plus a list of policy variants."""
-    app, policies, cache_size, scale, seed, num_procs = task
-    trace = common.get_trace(app, num_procs, seed, scale)
+    app, policies, cache_size, scale, seed, num_procs, handle = task
+    trace = common.get_trace(app, num_procs, seed, scale, handle=handle)
     base = common.run_directory(
         trace, CONVENTIONAL, cache_size, num_procs=num_procs
     ).total
@@ -70,8 +77,11 @@ def hysteresis_sweep(
         AdaptivePolicy(f"threshold-{threshold}", migratory_threshold=threshold)
         for threshold in thresholds
     )
+    handles = _handles(apps, jobs, scale, seed, num_procs)
     tasks = [
-        (app, policies, cache_size, scale, seed, num_procs) for app in apps
+        (app, policies, cache_size, scale, seed, num_procs,
+         handles.get(app))
+        for app in apps
     ]
     per_app = parallel_map(_variant_rows, tasks, jobs=jobs)
     return [row for rows in per_app for row in rows]
@@ -96,8 +106,11 @@ def uncached_memory(
         AdaptivePolicy("forget", migratory_threshold=1,
                        remember_uncached=False),
     )
+    handles = _handles(apps, jobs, scale, seed, num_procs)
     tasks = [
-        (app, policies, cache_size, scale, seed, num_procs) for app in apps
+        (app, policies, cache_size, scale, seed, num_procs,
+         handles.get(app))
+        for app in apps
     ]
     per_app = parallel_map(_variant_rows, tasks, jobs=jobs)
     return [row for rows in per_app for row in rows]
@@ -105,8 +118,8 @@ def uncached_memory(
 
 def _notification_rows(task: tuple) -> list[AblationRow]:
     """One app's notify-vs-silent-drop pair."""
-    app, cache_size, scale, seed, num_procs = task
-    trace = common.get_trace(app, num_procs, seed, scale)
+    app, cache_size, scale, seed, num_procs, handle = task
+    trace = common.get_trace(app, num_procs, seed, scale, handle=handle)
     rows = []
     for notify in (True, False):
         variant = "notify" if notify else "silent-drop"
@@ -130,7 +143,11 @@ def eviction_notifications(
     jobs: int | None = None,
 ) -> list[AblationRow]:
     """A3: exact copy sets (notify on clean drop) vs silent drops."""
-    tasks = [(app, cache_size, scale, seed, num_procs) for app in apps]
+    handles = _handles(apps, jobs, scale, seed, num_procs)
+    tasks = [
+        (app, cache_size, scale, seed, num_procs, handles.get(app))
+        for app in apps
+    ]
     per_app = parallel_map(_notification_rows, tasks, jobs=jobs)
     return [row for rows in per_app for row in rows]
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.experiments import common
-from repro.parallel import parallel_map
+from repro.parallel import effective_workers, parallel_map
 from repro.snooping.costmodels import model1_cost, model2_cost
 from repro.snooping.protocols import (
     AdaptiveSnoopingProtocol,
@@ -48,8 +48,8 @@ class BusRow:
 
 def _row(task: tuple) -> BusRow:
     """One (app, cache size) cell: all three snooping protocols."""
-    app, cache_size, scale, seed, num_procs = task
-    trace = common.get_trace(app, num_procs, seed, scale)
+    app, cache_size, scale, seed, num_procs, handle = task
+    trace = common.get_trace(app, num_procs, seed, scale, handle=handle)
     mesi = MesiProtocol()
     adaptive = AdaptiveSnoopingProtocol()
     always = AlwaysMigrateProtocol()
@@ -93,8 +93,12 @@ def run(
     ``jobs`` fans the (app, cache size) cells across worker processes;
     the result is identical for every job count.
     """
+    num_tasks = len(apps) * len(cache_sizes)
+    handles: dict = {}
+    if effective_workers(jobs, num_tasks) > 1:
+        handles = common.publish_traces(tuple(apps), num_procs, seed, scale)
     tasks = [
-        (app, cache_size, scale, seed, num_procs)
+        (app, cache_size, scale, seed, num_procs, handles.get(app))
         for app in apps
         for cache_size in cache_sizes
     ]

@@ -14,12 +14,13 @@ from weakref import WeakKeyDictionary
 from repro.common.config import CacheConfig, MachineConfig
 from repro.common.stats import BusStats, MessageStats
 from repro.directory.policy import AdaptivePolicy
+from repro.experiments import resultcache
 from repro.snooping.machine import BusMachine
 from repro.snooping.protocols import SnoopingProtocol
 from repro.system.machine import DirectoryMachine
 from repro.system.placement import PagePlacement, make_placement
 from repro.telemetry import runtime as telemetry
-from repro.trace import diskcache
+from repro.trace import diskcache, shm
 from repro.trace.core import Trace
 from repro.workloads.profiles import build_app
 
@@ -35,21 +36,59 @@ _placement_cache: WeakKeyDictionary = WeakKeyDictionary()
 
 
 def get_trace(
-    app: str, num_procs: int = NUM_PROCS, seed: int = 0, scale: float = 1.0
+    app: str,
+    num_procs: int = NUM_PROCS,
+    seed: int = 0,
+    scale: float = 1.0,
+    handle: shm.TraceHandle | None = None,
 ) -> Trace:
     """Build (or fetch from cache) one application trace.
 
     Traces are memoized in-process and persisted to the on-disk packed
     trace cache (:mod:`repro.trace.diskcache`), so repeated runs — and
     the worker processes of a ``--jobs N`` sweep — skip the synthesis
-    pass entirely.
+    pass entirely.  When the parent published the trace to the
+    shared-memory arena (:func:`publish_traces`), workers pass the
+    ``handle`` and attach zero-copy instead of touching the disk cache
+    at all; a dead or unusable segment silently falls back.
     """
     key = (app, num_procs, seed, scale)
     trace = _trace_cache.get(key)
     if trace is None:
-        trace = diskcache.load_or_build(app, num_procs, seed, scale, build_app)
+        if handle is not None:
+            try:
+                trace = shm.attach(handle)
+            except (OSError, ValueError):
+                trace = None
+        if trace is None:
+            trace = diskcache.load_or_build(
+                app, num_procs, seed, scale, build_app
+            )
         _trace_cache[key] = trace
     return trace
+
+
+def publish_traces(
+    apps: tuple[str, ...],
+    num_procs: int = NUM_PROCS,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> dict[str, shm.TraceHandle | None]:
+    """Publish each app's trace to the shared-memory arena.
+
+    Called by the sweep experiments before fanning cells out, so every
+    worker attaches one shared copy of each trace instead of loading its
+    own.  Returns one handle per app; ``None`` entries mean publication
+    failed there and workers should use their normal trace path.
+    """
+    arena = shm.default_arena()
+    handles: dict[str, shm.TraceHandle | None] = {}
+    for app in apps:
+        trace = get_trace(app, num_procs, seed, scale)
+        handles[app] = arena.publish(
+            (app, num_procs, seed, scale), trace.pack()
+        )
+    return handles
 
 
 def get_placement(
@@ -101,18 +140,39 @@ def run_directory(
     num_procs: int = NUM_PROCS,
     eviction_notification: bool = True,
 ) -> MessageStats:
-    """Run one directory-machine simulation and return its message stats."""
+    """Run one directory-machine simulation and return its message stats.
+
+    Results are served through the replay result cache
+    (:mod:`repro.experiments.resultcache`) keyed by the trace bytes, the
+    machine configuration, and the policy's behavioural fields — except
+    when the active telemetry session instruments machines, whose whole
+    point is observing the replay this cache would skip.
+    """
     config = directory_config(
         cache_size, block_size, num_procs, eviction_notification
     )
-    placement = get_placement(placement_kind, trace, config)
-    machine = DirectoryMachine(config, policy, placement)
-    # Zero-cost when no telemetry session is active (the usual case);
-    # under one, the machine gets a recorder and the replay is timed.
-    telemetry.attach(machine)
-    with telemetry.span("replay.directory", app=trace.name,
-                        policy=policy.name):
-        return machine.run(trace)
+
+    def replay() -> MessageStats:
+        placement = get_placement(placement_kind, trace, config)
+        machine = DirectoryMachine(config, policy, placement)
+        # Zero-cost when no telemetry session is active (the usual
+        # case); under one, the machine gets a recorder and the replay
+        # is timed.
+        telemetry.attach(machine)
+        with telemetry.span("replay.directory", app=trace.name,
+                            policy=policy.name):
+            return machine.run(trace)
+
+    if telemetry.machine_instrumentation_active():
+        return replay()
+    return resultcache.memoize(
+        "directory",
+        (trace.pack().digest(), resultcache.config_digest(config),
+         resultcache.policy_digest(policy), placement_kind),
+        resultcache.encode_message_stats,
+        resultcache.decode_message_stats,
+        replay,
+    )
 
 
 def run_bus(
@@ -122,16 +182,71 @@ def run_bus(
     block_size: int = 16,
     num_procs: int = NUM_PROCS,
 ) -> BusStats:
-    """Run one bus-machine simulation and return its transaction stats."""
+    """Run one bus-machine simulation and return its transaction stats.
+
+    Cached like :func:`run_directory`, with the protocol digest standing
+    in for the policy digest.
+    """
     config = MachineConfig(
         num_procs=num_procs,
         cache=CacheConfig(size_bytes=cache_size, block_size=block_size),
     )
-    machine = BusMachine(config, protocol)
-    telemetry.attach(machine)
-    with telemetry.span("replay.bus", app=trace.name,
-                        protocol=protocol.name):
-        return machine.run(trace)
+
+    def replay() -> BusStats:
+        machine = BusMachine(config, protocol)
+        telemetry.attach(machine)
+        with telemetry.span("replay.bus", app=trace.name,
+                            protocol=protocol.name):
+            return machine.run(trace)
+
+    if telemetry.machine_instrumentation_active():
+        return replay()
+    return resultcache.memoize(
+        "bus",
+        (trace.pack().digest(), resultcache.config_digest(config),
+         resultcache.protocol_digest(protocol)),
+        resultcache.encode_bus_stats,
+        resultcache.decode_bus_stats,
+        replay,
+    )
+
+
+def timing_profile(
+    trace: Trace,
+    policy: AdaptivePolicy,
+    cache_size: int | None,
+    block_size: int = 16,
+    placement_kind: str = "round_robin",
+    num_procs: int = NUM_PROCS,
+):
+    """One cached timing replay, priceable under any :class:`TimingParams`.
+
+    The execution-time experiments (exec-time, topology, prefetch
+    baselines) replay the same ``(trace, config, policy)`` design points
+    under varying latency parameters.  The replay itself is parameter-
+    independent, so it is run once, profiled, and cached; callers price
+    the returned profile with :func:`repro.timing.sim.cost`.
+    """
+    from repro.timing.sim import TimingSimulator
+
+    config = directory_config(cache_size, block_size, num_procs)
+
+    def replay():
+        placement = get_placement(placement_kind, trace, config)
+        machine = DirectoryMachine(config, policy, placement)
+        telemetry.attach(machine)
+        with telemetry.span("replay.timing", app=trace.name,
+                            policy=policy.name):
+            return TimingSimulator(machine).profile(trace)
+
+    return resultcache.memoize(
+        "timing_profile",
+        (trace.pack().digest(), resultcache.config_digest(config),
+         resultcache.policy_digest(policy), placement_kind),
+        resultcache.encode_timing_profile,
+        resultcache.decode_timing_profile,
+        replay,
+    )
 
 
 @dataclass(frozen=True, slots=True)

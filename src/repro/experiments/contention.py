@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.directory.policy import BASIC, CONVENTIONAL, AdaptivePolicy
-from repro.experiments import common
+from repro.experiments import common, resultcache
 from repro.system.machine import DirectoryMachine
 from repro.timing.eventsim import EventDrivenSimulator, EventTimingParams
 
@@ -46,28 +46,34 @@ def run(
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
 ) -> list[ContentionRow]:
-    """Run the contended comparison for each application."""
+    """Run the contended comparison for each application.
+
+    Rows are served through the replay result cache, keyed by the trace
+    bytes, the configuration, the policy, and the timing parameters.
+    """
     params = params or EventTimingParams()
     rows = []
     for app in apps:
         trace = common.get_trace(app, num_procs, seed, scale)
         config = common.directory_config(cache_size, 16, num_procs)
-        placement = common.get_placement("round_robin", trace, config)
-        results = {}
-        for policy in (CONVENTIONAL, adaptive):
-            machine = DirectoryMachine(config, policy, placement)
-            results[policy.name] = EventDrivenSimulator(
-                machine, params
-            ).run(trace)
-        base = results["conventional"]
-        adapt = results[adaptive.name]
-        lat_reduction = 0.0
-        if base.mean_read_miss_latency:
-            lat_reduction = 100.0 * (
-                base.mean_read_miss_latency - adapt.mean_read_miss_latency
-            ) / base.mean_read_miss_latency
-        rows.append(
-            ContentionRow(
+
+        def compute(app=app, trace=trace,
+                    config=config) -> list[ContentionRow]:
+            placement = common.get_placement("round_robin", trace, config)
+            results = {}
+            for policy in (CONVENTIONAL, adaptive):
+                machine = DirectoryMachine(config, policy, placement)
+                results[policy.name] = EventDrivenSimulator(
+                    machine, params
+                ).run(trace)
+            base = results["conventional"]
+            adapt = results[adaptive.name]
+            lat_reduction = 0.0
+            if base.mean_read_miss_latency:
+                lat_reduction = 100.0 * (
+                    base.mean_read_miss_latency - adapt.mean_read_miss_latency
+                ) / base.mean_read_miss_latency
+            return [ContentionRow(
                 app=app,
                 base_cycles=base.execution_time,
                 adaptive_cycles=adapt.execution_time,
@@ -82,8 +88,14 @@ def run(
                 read_miss_latency_reduction_pct=lat_reduction,
                 base_contention_share=base.contention_share,
                 adaptive_contention_share=adapt.contention_share,
-            )
-        )
+            )]
+
+        rows.extend(resultcache.memoize_rows(
+            "contention",
+            (trace.pack().digest(), resultcache.config_digest(config),
+             resultcache.policy_digest(adaptive), repr(params)),
+            ContentionRow, compute,
+        ))
     return rows
 
 
@@ -154,16 +166,18 @@ def run_bus(
             num_procs=num_procs,
             cache=CacheConfig(size_bytes=cache_size, block_size=16),
         )
-        results = {}
-        for key, protocol in (
-            ("mesi", MesiProtocol()),
-            ("adaptive", AdaptiveSnoopingProtocol()),
-        ):
-            machine = BusMachine(config, protocol)
-            results[key] = BusEventSimulator(machine).run(trace)
-        mesi, adaptive = results["mesi"], results["adaptive"]
-        rows.append(
-            BusContentionRow(
+
+        def compute(app=app, trace=trace,
+                    config=config) -> list[BusContentionRow]:
+            results = {}
+            for key, protocol in (
+                ("mesi", MesiProtocol()),
+                ("adaptive", AdaptiveSnoopingProtocol()),
+            ):
+                machine = BusMachine(config, protocol)
+                results[key] = BusEventSimulator(machine).run(trace)
+            mesi, adaptive = results["mesi"], results["adaptive"]
+            return [BusContentionRow(
                 app=app,
                 mesi_utilization=mesi.utilization,
                 adaptive_utilization=adaptive.utilization,
@@ -176,8 +190,13 @@ def run_bus(
                     if mesi.execution_time else 0.0
                 ),
                 adaptive_read_share=adaptive.kind_share("read_miss"),
-            )
-        )
+            )]
+
+        rows.extend(resultcache.memoize_rows(
+            "contention_bus",
+            (trace.pack().digest(), resultcache.config_digest(config)),
+            BusContentionRow, compute,
+        ))
     return rows
 
 

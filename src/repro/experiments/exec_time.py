@@ -16,12 +16,11 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.directory.policy import BASIC, CONVENTIONAL, AdaptivePolicy
-from repro.experiments import common
-from repro.system.machine import DirectoryMachine
+from repro.experiments import common, resultcache
 from repro.timing.sim import (
     TimingParams,
     TimingResult,
-    TimingSimulator,
+    cost,
     percent_time_reduction,
 )
 
@@ -45,10 +44,13 @@ def _timed_run(
     trace, policy: AdaptivePolicy, cache_size: int, num_procs: int,
     params: TimingParams,
 ) -> TimingResult:
-    config = common.directory_config(cache_size, 16, num_procs)
-    placement = common.get_placement("round_robin", trace, config)
-    machine = DirectoryMachine(config, policy, placement)
-    return TimingSimulator(machine, params).run(trace)
+    # The replay is priced separately from the parameters: the profile
+    # is cached and shared with the topology/prefetch experiments, which
+    # time the same design points under other latency sets.
+    profile = common.timing_profile(
+        trace, policy, cache_size, num_procs=num_procs
+    )
+    return cost(profile, params)
 
 
 def run(
@@ -60,23 +62,37 @@ def run(
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
 ) -> list[ExecTimeRow]:
-    """Time each app under the conventional and adaptive protocols."""
+    """Time each app under the conventional and adaptive protocols.
+
+    Rows are served through the replay result cache, keyed by the trace
+    bytes, the cache geometry, the adaptive policy, and the timing
+    parameters.
+    """
     params = params or TimingParams()
     rows = []
     for app in apps:
         trace = common.get_trace(app, num_procs, seed, scale)
-        base = _timed_run(trace, CONVENTIONAL, cache_size, num_procs, params)
-        adapt = _timed_run(trace, adaptive, cache_size, num_procs, params)
-        rows.append(
-            ExecTimeRow(
+
+        def compute(app=app, trace=trace) -> list[ExecTimeRow]:
+            base = _timed_run(
+                trace, CONVENTIONAL, cache_size, num_procs, params
+            )
+            adapt = _timed_run(trace, adaptive, cache_size, num_procs, params)
+            return [ExecTimeRow(
                 app=app,
                 base_cycles=base.execution_time,
                 adaptive_cycles=adapt.execution_time,
                 time_reduction_pct=percent_time_reduction(base, adapt),
                 base_read_miss_latency=base.mean_read_miss_latency,
                 adaptive_read_miss_latency=adapt.mean_read_miss_latency,
-            )
-        )
+            )]
+
+        rows.extend(resultcache.memoize_rows(
+            "exec_time",
+            (trace.pack().digest(), cache_size, num_procs,
+             resultcache.policy_digest(adaptive), repr(params)),
+            ExecTimeRow, compute,
+        ))
     return rows
 
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.directory.policy import AGGRESSIVE, CONVENTIONAL, AdaptivePolicy
-from repro.experiments import common
+from repro.experiments import common, resultcache
 from repro.system.machine import DirectoryMachine
 from repro.workloads.profiles import APP_ORDER
 
@@ -39,6 +39,25 @@ class InvalPatternRow:
         return self.by_size.get(bucket, 0) / self.total_invalidations
 
 
+def _decode_row(payload: dict) -> InvalPatternRow:
+    """Rebuild one row from its cached payload.
+
+    JSON stringifies the integer histogram buckets; restore them so
+    ``share(1)`` keeps finding the single-copy bucket (``"4+"`` stays a
+    string on both sides).
+    """
+    by_size = {
+        (int(bucket) if bucket.isdigit() else bucket): int(count)
+        for bucket, count in payload["by_size"].items()
+    }
+    return InvalPatternRow(
+        app=payload["app"],
+        protocol=payload["protocol"],
+        total_invalidations=int(payload["total_invalidations"]),
+        by_size=by_size,
+    )
+
+
 def run(
     apps: tuple[str, ...] = APP_ORDER,
     policies: tuple[AdaptivePolicy, ...] = (CONVENTIONAL, AGGRESSIVE),
@@ -47,27 +66,46 @@ def run(
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
 ) -> list[InvalPatternRow]:
-    """Collect invalidation-size histograms."""
+    """Collect invalidation-size histograms.
+
+    Per-application row groups are served through the replay result
+    cache (with a custom decoder restoring the integer histogram
+    buckets JSON stringifies).
+    """
     rows = []
     for app in apps:
         trace = common.get_trace(app, num_procs, seed, scale)
         config = common.directory_config(cache_size, 16, num_procs)
-        placement = common.get_placement("best_static", trace, config)
-        for policy in policies:
-            machine = DirectoryMachine(config, policy, placement)
-            machine.run(trace)
-            by_size: dict = {}
-            for size, count in machine.invalidation_sizes.items():
-                bucket = size if size in SIZE_BUCKETS else "4+"
-                by_size[bucket] = by_size.get(bucket, 0) + count
-            rows.append(
-                InvalPatternRow(
-                    app=app,
-                    protocol=policy.name,
-                    total_invalidations=sum(by_size.values()),
-                    by_size=by_size,
+
+        def compute(app=app, trace=trace,
+                    config=config) -> list[InvalPatternRow]:
+            placement = common.get_placement("best_static", trace, config)
+            out = []
+            for policy in policies:
+                machine = DirectoryMachine(config, policy, placement)
+                machine.run(trace)
+                by_size: dict = {}
+                for size, count in machine.invalidation_sizes.items():
+                    bucket = size if size in SIZE_BUCKETS else "4+"
+                    by_size[bucket] = by_size.get(bucket, 0) + count
+                out.append(
+                    InvalPatternRow(
+                        app=app,
+                        protocol=policy.name,
+                        total_invalidations=sum(by_size.values()),
+                        by_size=by_size,
+                    )
                 )
-            )
+            return out
+
+        rows.extend(resultcache.memoize_rows(
+            "inval_patterns",
+            (trace.pack().digest(), resultcache.config_digest(config),
+             "|".join(f"{policy.name}:{resultcache.policy_digest(policy)}"
+                      for policy in policies)),
+            InvalPatternRow, compute,
+            decode_row=_decode_row,
+        ))
     return rows
 
 

@@ -20,7 +20,7 @@ from repro.directory.representation import (
     FullMapDirectory,
     LimitedPointerDirectory,
 )
-from repro.experiments import common
+from repro.experiments import common, resultcache
 from repro.system.machine import DirectoryMachine
 from repro.workloads.profiles import APP_ORDER
 
@@ -53,41 +53,58 @@ def run(
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
 ) -> list[LimitedDirRow]:
-    """Compare conventional vs aggressive under each representation."""
+    """Compare conventional vs aggressive under each representation.
+
+    Per-application row groups are served through the replay result
+    cache, keyed by the trace bytes, configuration, and representation
+    set.
+    """
     reprs = representations or default_representations()
     rows = []
     for app in apps:
         trace = common.get_trace(app, num_procs, seed, scale)
         config = common.directory_config(cache_size, 16, num_procs)
-        placement = common.get_placement("best_static", trace, config)
-        for representation in reprs:
-            conv = DirectoryMachine(
-                config, CONVENTIONAL, placement,
-                representation=type(representation)(
-                    *_repr_args(representation)
-                ),
-            )
-            conv.run(trace)
-            aggr = DirectoryMachine(
-                config, AGGRESSIVE, placement,
-                representation=type(representation)(
-                    *_repr_args(representation)
-                ),
-            )
-            aggr.run(trace)
-            base = conv.stats.total
-            rows.append(
-                LimitedDirRow(
-                    app=app,
-                    representation=representation.name,
-                    conventional_total=base,
-                    aggressive_total=aggr.stats.total,
-                    reduction_pct=(
-                        100.0 * (base - aggr.stats.total) / base
-                        if base else 0.0
+
+        def compute(app=app, trace=trace,
+                    config=config) -> list[LimitedDirRow]:
+            placement = common.get_placement("best_static", trace, config)
+            out = []
+            for representation in reprs:
+                conv = DirectoryMachine(
+                    config, CONVENTIONAL, placement,
+                    representation=type(representation)(
+                        *_repr_args(representation)
                     ),
                 )
-            )
+                conv.run(trace)
+                aggr = DirectoryMachine(
+                    config, AGGRESSIVE, placement,
+                    representation=type(representation)(
+                        *_repr_args(representation)
+                    ),
+                )
+                aggr.run(trace)
+                base = conv.stats.total
+                out.append(
+                    LimitedDirRow(
+                        app=app,
+                        representation=representation.name,
+                        conventional_total=base,
+                        aggressive_total=aggr.stats.total,
+                        reduction_pct=(
+                            100.0 * (base - aggr.stats.total) / base
+                            if base else 0.0
+                        ),
+                    )
+                )
+            return out
+
+        rows.extend(resultcache.memoize_rows(
+            "limited_dir",
+            (trace.pack().digest(), resultcache.config_digest(config),
+             "|".join(representation.name for representation in reprs)),
+            LimitedDirRow, compute,
+        ))
     return rows
 
 

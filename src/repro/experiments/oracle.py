@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from repro.analysis.oracle import hint_coverage, read_exclusive_hints
 from repro.analysis.report import format_table
 from repro.directory.policy import AGGRESSIVE, BASIC, CONVENTIONAL
-from repro.experiments import common
+from repro.experiments import common, resultcache
 from repro.system.machine import DirectoryMachine
 from repro.workloads.profiles import APP_ORDER
 
@@ -50,22 +50,27 @@ def run(
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
 ) -> list[OracleRow]:
-    """Compare the adaptive protocols against the read-exclusive oracle."""
+    """Compare the adaptive protocols against the read-exclusive oracle.
+
+    One row per application, served through the replay result cache
+    keyed by the trace bytes and the machine configuration.
+    """
     rows = []
     for app in apps:
         trace = common.get_trace(app, num_procs, seed, scale)
         config = common.directory_config(cache_size, block_size, num_procs)
-        placement = common.get_placement("best_static", trace, config)
-        totals = {}
-        for policy in (CONVENTIONAL, BASIC, AGGRESSIVE):
-            machine = DirectoryMachine(config, policy, placement)
-            totals[policy.name] = machine.run(trace).total
-        hints = read_exclusive_hints(trace, block_size)
-        machine = DirectoryMachine(config, CONVENTIONAL, placement)
-        oracle_total = machine.run_with_hints(trace, hints).total
-        base = totals["conventional"]
-        rows.append(
-            OracleRow(
+
+        def compute(app=app, trace=trace, config=config) -> list[OracleRow]:
+            placement = common.get_placement("best_static", trace, config)
+            totals = {}
+            for policy in (CONVENTIONAL, BASIC, AGGRESSIVE):
+                machine = DirectoryMachine(config, policy, placement)
+                totals[policy.name] = machine.run(trace).total
+            hints = read_exclusive_hints(trace, block_size)
+            machine = DirectoryMachine(config, CONVENTIONAL, placement)
+            oracle_total = machine.run_with_hints(trace, hints).total
+            base = totals["conventional"]
+            return [OracleRow(
                 app=app,
                 conventional=base,
                 basic=totals["basic"],
@@ -75,11 +80,17 @@ def run(
                     100.0 * (base - oracle_total) / base if base else 0.0
                 ),
                 aggressive_reduction_pct=(
-                    100.0 * (base - totals["aggressive"]) / base if base else 0.0
+                    100.0 * (base - totals["aggressive"]) / base
+                    if base else 0.0
                 ),
                 hint_fraction_pct=100.0 * hint_coverage(hints, trace),
-            )
-        )
+            )]
+
+        rows.extend(resultcache.memoize_rows(
+            "oracle",
+            (trace.pack().digest(), resultcache.config_digest(config)),
+            OracleRow, compute,
+        ))
     return rows
 
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.directory.policy import CONVENTIONAL, AdaptivePolicy
 from repro.experiments import common
-from repro.parallel import parallel_map
+from repro.parallel import effective_workers, parallel_map
 
 
 def policy_grid(
@@ -64,8 +64,8 @@ class PolicyPointRow:
 
 def _app_rows(task: tuple) -> list[PolicyPointRow]:
     """The whole policy grid evaluated on one application."""
-    app, cache_size, scale, seed, num_procs = task
-    trace = common.get_trace(app, num_procs, seed, scale)
+    app, cache_size, scale, seed, num_procs, handle = task
+    trace = common.get_trace(app, num_procs, seed, scale, handle=handle)
     base = common.run_directory(
         trace, CONVENTIONAL, cache_size, num_procs=num_procs
     ).total
@@ -103,7 +103,13 @@ def run(
     ``jobs`` fans the applications across worker processes; the result
     is identical for every job count.
     """
-    tasks = [(app, cache_size, scale, seed, num_procs) for app in apps]
+    handles: dict = {}
+    if effective_workers(jobs, len(apps)) > 1:
+        handles = common.publish_traces(tuple(apps), num_procs, seed, scale)
+    tasks = [
+        (app, cache_size, scale, seed, num_procs, handles.get(app))
+        for app in apps
+    ]
     per_app = parallel_map(_app_rows, tasks, jobs=jobs)
     return [row for rows in per_app for row in rows]
 

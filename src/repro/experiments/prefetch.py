@@ -22,10 +22,10 @@ from dataclasses import dataclass
 from repro.analysis.oracle import read_exclusive_hints
 from repro.analysis.report import format_table
 from repro.directory.policy import BASIC, CONVENTIONAL
-from repro.experiments import common
+from repro.experiments import common, resultcache
 from repro.system.machine import DirectoryMachine
 from repro.timing.prefetch import PrefetchingTimingSimulator
-from repro.timing.sim import TimingParams, TimingSimulator
+from repro.timing.sim import TimingParams, cost
 
 PREFETCH_APPS = ("mp3d", "pthor", "cholesky")
 
@@ -55,35 +55,54 @@ def run(
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
 ) -> list[PrefetchRow]:
-    """Time every app under the four schemes."""
+    """Time every app under the four schemes.
+
+    Rows are served through the replay result cache, keyed by the trace
+    bytes, configuration, prefetch coverage, and timing parameters.
+    """
     params = params or TimingParams()
     rows = []
     for app in apps:
         trace = common.get_trace(app, num_procs, seed, scale)
         config = common.directory_config(cache_size, 16, num_procs)
-        placement = common.get_placement("round_robin", trace, config)
 
-        def machine(policy):
-            return DirectoryMachine(config, policy, placement)
+        def compute(app=app, trace=trace,
+                    config=config) -> list[PrefetchRow]:
+            placement = common.get_placement("round_robin", trace, config)
 
-        base = TimingSimulator(machine(CONVENTIONAL), params).run(trace)
-        adaptive = TimingSimulator(machine(BASIC), params).run(trace)
-        prefetch = PrefetchingTimingSimulator(
-            machine(CONVENTIONAL), params, coverage=coverage
-        ).run(trace)
-        hints = read_exclusive_hints(trace, config.block_size)
-        prefetch_excl = PrefetchingTimingSimulator(
-            machine(CONVENTIONAL), params, coverage=coverage
-        ).run(trace, exclusive_hints=hints)
-        rows.append(
-            PrefetchRow(
+            def machine(policy):
+                return DirectoryMachine(config, policy, placement)
+
+            # The two plain timing runs share cached profiles with the
+            # exec-time and topology experiments; the prefetch runs stay
+            # live — prefetch issue decisions depend on the params.
+            base = cost(common.timing_profile(
+                trace, CONVENTIONAL, cache_size, num_procs=num_procs
+            ), params)
+            adaptive = cost(common.timing_profile(
+                trace, BASIC, cache_size, num_procs=num_procs
+            ), params)
+            prefetch = PrefetchingTimingSimulator(
+                machine(CONVENTIONAL), params, coverage=coverage
+            ).run(trace)
+            hints = read_exclusive_hints(trace, config.block_size)
+            prefetch_excl = PrefetchingTimingSimulator(
+                machine(CONVENTIONAL), params, coverage=coverage
+            ).run(trace, exclusive_hints=hints)
+            return [PrefetchRow(
                 app=app,
                 conventional=base.execution_time,
                 adaptive=adaptive.execution_time,
                 prefetch=prefetch.execution_time,
                 prefetch_exclusive=prefetch_excl.execution_time,
-            )
-        )
+            )]
+
+        rows.extend(resultcache.memoize_rows(
+            "prefetch",
+            (trace.pack().digest(), resultcache.config_digest(config),
+             coverage, repr(params)),
+            PrefetchRow, compute,
+        ))
     return rows
 
 

@@ -17,8 +17,17 @@ Usage::
 ``--scale`` shrinks the workloads uniformly (default 1.0, the calibrated
 sizes used by EXPERIMENTS.md).  ``--jobs N`` (or the ``REPRO_JOBS``
 environment variable) fans the sweep experiments (table2, table3, bus,
-ablations, policy-space) across N worker processes; every job count
-produces byte-identical output.  Per-experiment timings print to stderr.
+ablations, policy-space) across N worker processes — ``--jobs 0`` means
+all CPUs — reusing one persistent executor for the whole run and
+publishing each trace once to the shared-memory arena so workers attach
+zero-copy; every job count produces byte-identical output.
+
+Replay results are memoized in the content-addressed result cache
+(:mod:`repro.experiments.resultcache`), so re-runs and overlapping
+sweeps skip identical replays; ``--no-result-cache`` (or
+``REPRO_RESULT_CACHE=off``) forces every replay to execute.
+Per-experiment timings and the final cache hit/miss totals print to
+stderr, keeping stdout byte-identical across runs.
 
 ``--telemetry-dir DIR`` opens a telemetry session for the run: machine
 replays are instrumented (coherence and classification events stream to
@@ -32,6 +41,7 @@ runs drop to the generic replay path anyway — use serial for them).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -61,6 +71,7 @@ from repro.experiments import (
     topology,
     update_protocols,
 )
+from repro.experiments import resultcache
 from repro.interconnect.costs import render_table1
 from repro.parallel import resolve_jobs
 from repro.telemetry import runtime as telemetry
@@ -280,8 +291,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload seed (default 0)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the sweep experiments "
-                        "(default: REPRO_JOBS or serial); results are "
-                        "identical for any job count")
+                        "(default: REPRO_JOBS or serial; 0 = all CPUs); "
+                        "results are identical for any job count")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="disable the on-disk replay result cache "
+                        "for this run (same as REPRO_RESULT_CACHE=off)")
     parser.add_argument("--telemetry-dir", type=Path, default=None,
                         help="record a telemetry session into this "
                         "directory (events.jsonl + metrics.prom); "
@@ -291,6 +305,10 @@ def main(argv: list[str] | None = None) -> int:
         resolve_jobs(args.jobs)
     except ValueError as exc:
         parser.error(str(exc))
+    if args.no_result_cache:
+        # Before any experiment (and before any worker spawns, which
+        # inherit the environment): every replay runs for real.
+        os.environ["REPRO_RESULT_CACHE"] = "off"
     if args.telemetry_dir is not None:
         telemetry.configure(telemetry.TelemetrySession(args.telemetry_dir))
 
@@ -308,6 +326,13 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(f"[{name}: {elapsed:.1f}s]", file=sys.stderr)
     finally:
+        if resultcache.enabled():
+            totals = resultcache.counts()
+            print(
+                f"[result cache: {totals['hits']} hits, "
+                f"{totals['misses']} misses, {totals['stores']} stores]",
+                file=sys.stderr,
+            )
         if args.telemetry_dir is not None:
             telemetry.shutdown()
     return 0

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table, thousands
 from repro.directory.policy import PAPER_POLICIES, AdaptivePolicy
 from repro.experiments import common
-from repro.parallel import parallel_map
+from repro.parallel import effective_workers, parallel_map
 from repro.workloads.profiles import APP_ORDER
 
 #: The paper's cache-size sweep (bytes per node).
@@ -39,10 +39,11 @@ def _row(task: tuple) -> Table2Row:
     """One (cache size, app) cell: every policy on one trace.
 
     Module-level so :func:`repro.parallel.parallel_map` can ship it to a
-    worker process; the trace comes from the worker's own cache.
+    worker process; the trace attaches zero-copy through the shared
+    handle, falling back to the worker's own cache.
     """
-    cache_size, app, policies, scale, seed, num_procs = task
-    trace = common.get_trace(app, num_procs, seed, scale)
+    cache_size, app, policies, scale, seed, num_procs, handle = task
+    trace = common.get_trace(app, num_procs, seed, scale, handle=handle)
     cells = {}
     baseline_total = 0
     for policy in policies:
@@ -70,8 +71,13 @@ def run(
     (default: serial, or the ``REPRO_JOBS`` environment variable); the
     result is identical for every job count.
     """
+    num_tasks = len(cache_sizes) * len(apps)
+    handles: dict = {}
+    if effective_workers(jobs, num_tasks) > 1:
+        handles = common.publish_traces(tuple(apps), num_procs, seed, scale)
     tasks = [
-        (cache_size, app, tuple(policies), scale, seed, num_procs)
+        (cache_size, app, tuple(policies), scale, seed, num_procs,
+         handles.get(app))
         for cache_size in cache_sizes
         for app in apps
     ]

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table, thousands
 from repro.directory.policy import PAPER_POLICIES, AdaptivePolicy
 from repro.experiments import common
-from repro.parallel import parallel_map
+from repro.parallel import effective_workers, parallel_map
 from repro.workloads.profiles import APP_ORDER
 
 #: The paper's block-size sweep (bytes).
@@ -36,8 +36,8 @@ class Table3Row:
 
 def _row(task: tuple) -> Table3Row:
     """One (block size, app) cell: every policy on one trace."""
-    block_size, app, policies, scale, seed, num_procs = task
-    trace = common.get_trace(app, num_procs, seed, scale)
+    block_size, app, policies, scale, seed, num_procs, handle = task
+    trace = common.get_trace(app, num_procs, seed, scale, handle=handle)
     cells = {}
     baseline_total = 0
     for policy in policies:
@@ -68,8 +68,13 @@ def run(
     ``jobs`` fans the (block size, app) cells across worker processes;
     the result is identical for every job count.
     """
+    num_tasks = len(block_sizes) * len(apps)
+    handles: dict = {}
+    if effective_workers(jobs, num_tasks) > 1:
+        handles = common.publish_traces(tuple(apps), num_procs, seed, scale)
     tasks = [
-        (block_size, app, tuple(policies), scale, seed, num_procs)
+        (block_size, app, tuple(policies), scale, seed, num_procs,
+         handles.get(app))
         for block_size in block_sizes
         for app in apps
     ]

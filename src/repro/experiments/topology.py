@@ -19,10 +19,9 @@ from dataclasses import dataclass, replace
 
 from repro.analysis.report import format_table
 from repro.directory.policy import BASIC, CONVENTIONAL
-from repro.experiments import common
+from repro.experiments import common, resultcache
 from repro.interconnect.topology import Topology, standard_topologies
-from repro.system.machine import DirectoryMachine
-from repro.timing.sim import TimingParams, TimingSimulator, percent_time_reduction
+from repro.timing.sim import TimingParams, cost, percent_time_reduction
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,37 +45,61 @@ def run(
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
 ) -> list[TopologyRow]:
-    """Time conventional vs basic under each topology's hop scaling."""
+    """Time conventional vs basic under each topology's hop scaling.
+
+    Per-application row groups are served through the replay result
+    cache, keyed by the trace bytes, configuration, timing parameters,
+    and the topology set.
+    """
     params = params or TimingParams()
     topologies = topologies or standard_topologies(num_procs)
     rows = []
     for app in apps:
         trace = common.get_trace(app, num_procs, seed, scale)
         config = common.directory_config(cache_size, 16, num_procs)
-        placement = common.get_placement("round_robin", trace, config)
-        for topology in topologies:
-            scaled = replace(
-                params,
-                message_cycles=max(
-                    1, round(params.message_cycles * topology.average_hops)
-                ),
+
+        def compute(app=app, trace=trace) -> list[TopologyRow]:
+            # Only message_cycles varies across topologies, so each
+            # policy is replayed once and the profile re-priced per
+            # topology instead of re-simulating the same machine four
+            # times over.
+            base_profile = common.timing_profile(
+                trace, CONVENTIONAL, cache_size, num_procs=num_procs
             )
-            base = TimingSimulator(
-                DirectoryMachine(config, CONVENTIONAL, placement), scaled
-            ).run(trace)
-            adaptive = TimingSimulator(
-                DirectoryMachine(config, BASIC, placement), scaled
-            ).run(trace)
-            rows.append(
-                TopologyRow(
-                    app=app,
-                    topology=topology.name,
-                    average_hops=topology.average_hops,
-                    base_cycles=base.execution_time,
-                    adaptive_cycles=adaptive.execution_time,
-                    time_reduction_pct=percent_time_reduction(base, adaptive),
+            adaptive_profile = common.timing_profile(
+                trace, BASIC, cache_size, num_procs=num_procs
+            )
+            out = []
+            for topology in topologies:
+                scaled = replace(
+                    params,
+                    message_cycles=max(
+                        1,
+                        round(params.message_cycles * topology.average_hops),
+                    ),
                 )
-            )
+                base = cost(base_profile, scaled)
+                adaptive = cost(adaptive_profile, scaled)
+                out.append(
+                    TopologyRow(
+                        app=app,
+                        topology=topology.name,
+                        average_hops=topology.average_hops,
+                        base_cycles=base.execution_time,
+                        adaptive_cycles=adaptive.execution_time,
+                        time_reduction_pct=percent_time_reduction(
+                            base, adaptive
+                        ),
+                    )
+                )
+            return out
+
+        rows.extend(resultcache.memoize_rows(
+            "topology",
+            (trace.pack().digest(), resultcache.config_digest(config),
+             repr(params), repr(tuple(topologies))),
+            TopologyRow, compute,
+        ))
     return rows
 
 

@@ -3,29 +3,46 @@
 The experiment sweeps (:mod:`repro.experiments`) are embarrassingly
 parallel: every table cell is a pure function of ``(app, seed, scale,
 machine parameters)``.  :func:`parallel_map` fans such cells across a
-:class:`concurrent.futures.ProcessPoolExecutor` while preserving the
-input order, so a parallel run merges into *exactly* the same result
-list as a serial one.
+**persistent, session-scoped** :class:`concurrent.futures.
+ProcessPoolExecutor` while preserving the input order, so a parallel run
+merges into *exactly* the same result list as a serial one.
 
 Determinism contract
 --------------------
 
 ``parallel_map(fn, items, jobs=N)`` returns ``[fn(x) for x in items]``
 for every ``N``: worker processes only change *where* each cell runs,
-never its inputs (traces are rebuilt — or loaded from the on-disk trace
-cache — from the same ``(app, num_procs, seed, scale)`` key inside each
-worker).  Experiments therefore produce byte-identical reports whatever
-``--jobs`` says.
+never its inputs (traces arrive through the shared-memory arena of
+:mod:`repro.trace.shm`, or are re-loaded from the on-disk trace cache,
+from the same ``(app, num_procs, seed, scale)`` key).  Experiments
+therefore produce byte-identical reports whatever ``--jobs`` says.
 
 The job count resolves in priority order: explicit ``jobs`` argument,
-the ``REPRO_JOBS`` environment variable, then 1 (serial).  Cells must be
-module-level callables with picklable arguments and results.
+the ``REPRO_JOBS`` environment variable, then 1 (serial).  A count of
+**0 means "all CPUs"** (``os.process_cpu_count()``, falling back to the
+scheduler affinity mask and ``os.cpu_count()``).  Because output never
+depends on the job count, the effective worker count is additionally
+clamped to the CPUs actually available — oversubscribing a 2-core CI
+runner with ``--jobs 16`` only adds overhead; set
+``REPRO_PARALLEL_CLAMP=off`` to force the literal count (the pool
+contract tests do).
+
+The executor is created lazily on first parallel use and reused by
+every subsequent :func:`parallel_map` in the session — one spawn cost
+per run of ``repro-experiments all``, not one per sweep.  The start
+method is pinned (``spawn`` by default, override with
+``REPRO_MP_START``) so results and worker semantics are reproducible
+across platforms.  Cells must be module-level callables with picklable
+arguments and results.
 """
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -34,12 +51,45 @@ R = TypeVar("R")
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV = "REPRO_JOBS"
 
+#: Environment variable pinning the multiprocessing start method.
+START_METHOD_ENV = "REPRO_MP_START"
+
+#: Environment variable disabling the CPU clamp (``off``/``0``/...).
+CLAMP_ENV = "REPRO_PARALLEL_CLAMP"
+
+#: The pinned default start method: uniform worker semantics on every
+#: platform (fork would hand Linux workers a snapshot of parent state
+#: that macOS/Windows workers never see).
+DEFAULT_START_METHOD = "spawn"
+
+_OFF_VALUES = {"off", "0", "no", "false", "disable", "disabled"}
+
+#: Target number of chunks handed to each worker; >1 keeps the tail of
+#: a sweep balanced, while chunking itself amortises per-item IPC.
+_CHUNKS_PER_WORKER = 4
+
+
+def effective_cpu_count() -> int:
+    """CPUs actually available to this process (at least 1)."""
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:  # pragma: no cover - Python >= 3.13
+        count = counter()
+        return count if count else 1
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
 
 def resolve_jobs(jobs: int | None = None) -> int:
     """Resolve the worker count: argument, then ``REPRO_JOBS``, then 1.
 
     Args:
         jobs: explicit worker count; ``None`` defers to the environment.
+            ``0`` (argument or environment) means **all CPUs**.
 
     Returns:
         A worker count of at least 1.
@@ -57,7 +107,78 @@ def resolve_jobs(jobs: int | None = None) -> int:
             raise ValueError(
                 f"{JOBS_ENV} must be an integer, got {env!r}"
             ) from None
-    return max(1, int(jobs))
+    jobs = int(jobs)
+    if jobs == 0:
+        return effective_cpu_count()
+    return max(1, jobs)
+
+
+def _clamp_enabled() -> bool:
+    value = os.environ.get(CLAMP_ENV, "").strip().lower()
+    return value not in _OFF_VALUES
+
+
+def effective_workers(jobs: int | None, num_items: int) -> int:
+    """Worker processes a ``parallel_map`` over ``num_items`` would use.
+
+    Resolves ``jobs`` (argument / environment / serial default), caps at
+    the number of items, and — unless ``REPRO_PARALLEL_CLAMP=off`` —
+    at the CPUs actually available.  Experiments consult this before
+    paying parallel-only setup costs such as publishing traces to the
+    shared-memory arena.
+    """
+    workers = min(resolve_jobs(jobs), num_items)
+    if _clamp_enabled():
+        workers = min(workers, effective_cpu_count())
+    return max(1, workers)
+
+
+# ----------------------------------------------------------------------
+# The persistent executor
+# ----------------------------------------------------------------------
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def _start_method() -> str:
+    return os.environ.get(START_METHOD_ENV, "").strip() or DEFAULT_START_METHOD
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The session executor, grown to at least ``workers`` processes.
+
+    Created lazily on first use with the pinned start method and reused
+    by every later :func:`parallel_map`; asking for more workers than
+    the current pool has replaces it (asking for fewer reuses the larger
+    pool — output never depends on the worker count).
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or workers > _POOL_WORKERS:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(_start_method()),
+        )
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Shut the session executor down (idempotent; next use recreates)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _chunksize(num_items: int, workers: int) -> int:
+    return max(1, -(-num_items // (workers * _CHUNKS_PER_WORKER)))
 
 
 def parallel_map(
@@ -70,17 +191,25 @@ def parallel_map(
     Args:
         fn: a module-level (picklable) callable.
         items: the work list; consumed eagerly.
-        jobs: worker processes (see :func:`resolve_jobs`); 1 runs the
-            map in-process with no executor at all.
+        jobs: worker processes (see :func:`resolve_jobs`; 0 = all CPUs);
+            an effective count of 1 runs the map in-process with no
+            executor at all.
 
     Returns:
         Results in input order — identical to ``[fn(x) for x in items]``.
     """
     work: Sequence[T] = list(items)
-    count = resolve_jobs(jobs)
-    if count <= 1 or len(work) <= 1:
+    workers = effective_workers(jobs, len(work))
+    if workers <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
-    with ProcessPoolExecutor(max_workers=min(count, len(work))) as pool:
+    pool = get_pool(workers)
+    try:
         # ``Executor.map`` yields results in submission order, which is
-        # what makes the parallel merge deterministic.
-        return list(pool.map(fn, work))
+        # what makes the parallel merge deterministic; chunking batches
+        # the per-item pickling round-trips for short cells.
+        return list(pool.map(fn, work, chunksize=_chunksize(len(work), workers)))
+    except BrokenProcessPool:
+        # A worker died hard (signal, OOM).  Dispose of the broken pool
+        # so the next parallel_map starts from a clean executor.
+        shutdown_pool()
+        raise

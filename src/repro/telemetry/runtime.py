@@ -173,3 +173,24 @@ def attach(machine) -> MachineRecorder | None:
     if sess is None:
         return None
     return sess.attach(machine)
+
+
+def count(name: str, help_text: str, **labels) -> None:
+    """Bump a counter on the active session's registry; free no-op
+    without one.  The ambient-metric form instrumentation points use
+    (the replay result cache records its hits and misses this way)."""
+    sess = _ACTIVE
+    if sess is None:
+        return
+    sess.registry.counter(name, help_text).inc(**labels)
+
+
+def machine_instrumentation_active() -> bool:
+    """Whether the active session instruments machine replays.
+
+    Consumers that would change what an instrumented replay observes —
+    the replay result cache, which skips the replay entirely — must
+    stand down when this is True.
+    """
+    sess = _ACTIVE
+    return sess is not None and sess.instrument_machines

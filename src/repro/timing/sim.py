@@ -50,6 +50,68 @@ class TimingParams:
 
 
 @dataclass(slots=True)
+class TimingProfile:
+    """The params-independent skeleton of one timed replay.
+
+    The machine replay — the expensive part of :meth:`TimingSimulator.
+    run` — does not depend on :class:`TimingParams` at all: latencies
+    are a pure function of each access's ``(missed-or-upgraded, message
+    count)`` outcome.  A profile records exactly those outcomes, so one
+    replay prices under *any* parameter set (the topology sweep costs
+    the same replay once per topology; the replay result cache shares
+    profiles across experiments).
+
+    Attributes:
+        num_procs: processor count of the profiled machine.
+        total_references: accesses replayed.
+        refs_per_proc: references issued per processor.
+        hits_per_proc: accesses that neither missed nor upgraded.
+        miss_msgs_per_proc: per processor, ``{message count: events}``
+            over the accesses that missed or upgraded.
+        read_miss_msgs: ``{message count: events}`` over read misses.
+    """
+
+    num_procs: int
+    total_references: int
+    refs_per_proc: list
+    hits_per_proc: list
+    miss_msgs_per_proc: list
+    read_miss_msgs: dict
+
+
+def cost(profile: TimingProfile, params: TimingParams | None = None) -> "TimingResult":
+    """Price a profile under one parameter set.
+
+    Pure integer arithmetic over the profile's event counts; for any
+    ``params``, ``cost(sim.profile(trace), params)`` equals what
+    ``TimingSimulator(machine, params).run(trace)`` would have returned,
+    field for field.
+    """
+    params = params or TimingParams()
+    cycles = []
+    miss_cycles = 0
+    for proc in range(profile.num_procs):
+        total = profile.hits_per_proc[proc] * params.hit_cycles
+        for msg_count, events in profile.miss_msgs_per_proc[proc].items():
+            latency = params.memory_cycles + params.message_cycles * msg_count
+            total += latency * events
+            miss_cycles += latency * events
+        total += profile.refs_per_proc[proc] * params.compute_cycles_per_ref
+        cycles.append(total)
+    read_miss_cycles = sum(
+        (params.memory_cycles + params.message_cycles * msg_count) * events
+        for msg_count, events in profile.read_miss_msgs.items()
+    )
+    return TimingResult(
+        per_proc_cycles=cycles,
+        total_references=profile.total_references,
+        miss_cycles=miss_cycles,
+        read_miss_count=sum(profile.read_miss_msgs.values()),
+        read_miss_cycles=read_miss_cycles,
+    )
+
+
+@dataclass(slots=True)
 class TimingResult:
     """Outcome of one timed run."""
 
@@ -81,31 +143,56 @@ class TimingSimulator:
 
     def run(self, trace: Iterable[Access]) -> TimingResult:
         """Time every access in ``trace``."""
+        return cost(self.profile(trace), self.params)
+
+    def profile(self, trace: Iterable[Access]) -> TimingProfile:
+        """Replay the trace once, recording the priceable outcomes.
+
+        The returned profile is independent of this simulator's
+        ``params``; hand it to :func:`cost` with any parameter set.
+        """
         machine = self.machine
-        params = self.params
         stats = machine.stats
         cache_stats = machine.cache_stats
-        cycles = [0] * machine.config.num_procs
-        result = TimingResult(per_proc_cycles=cycles, total_references=0)
-        for acc in trace:
+        num_procs = machine.config.num_procs
+        refs = [0] * num_procs
+        hits = [0] * num_procs
+        miss_msgs: list = [{} for _ in range(num_procs)]
+        read_miss_msgs: dict = {}
+        total = 0
+        packer = getattr(trace, "iter_packed", None)
+        if packer is not None:  # columnar traces skip Access boxing
+            iterator = packer()
+        else:
+            iterator = (
+                (acc.proc, acc.op is Op.WRITE, acc.addr) for acc in trace
+            )
+        for proc, is_write, addr in iterator:
             before_msgs = stats.short + stats.data
             before_misses = cache_stats.misses
             before_upgrades = cache_stats.upgrades
-            machine.access(acc.proc, acc.op is Op.WRITE, acc.addr)
-            msg_delta = stats.short + stats.data - before_msgs
+            machine.access(proc, bool(is_write), addr)
             missed = cache_stats.misses != before_misses
-            upgraded = cache_stats.upgrades != before_upgrades
-            if missed or upgraded:
-                latency = params.memory_cycles + params.message_cycles * msg_delta
-                result.miss_cycles += latency
-                if missed and acc.op is Op.READ:
-                    result.read_miss_count += 1
-                    result.read_miss_cycles += latency
+            if missed or cache_stats.upgrades != before_upgrades:
+                msg_delta = stats.short + stats.data - before_msgs
+                hist = miss_msgs[proc]
+                hist[msg_delta] = hist.get(msg_delta, 0) + 1
+                if missed and not is_write:
+                    read_miss_msgs[msg_delta] = (
+                        read_miss_msgs.get(msg_delta, 0) + 1
+                    )
             else:
-                latency = params.hit_cycles
-            cycles[acc.proc] += latency + params.compute_cycles_per_ref
-            result.total_references += 1
-        return result
+                hits[proc] += 1
+            refs[proc] += 1
+            total += 1
+        return TimingProfile(
+            num_procs=num_procs,
+            total_references=total,
+            refs_per_proc=refs,
+            hits_per_proc=hits,
+            miss_msgs_per_proc=miss_msgs,
+            read_miss_msgs=read_miss_msgs,
+        )
 
 
 def percent_time_reduction(base: TimingResult, other: TimingResult) -> float:

@@ -20,6 +20,7 @@ exactly and loads an order of magnitude faster than the text format.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from array import array
 from pathlib import Path
@@ -46,7 +47,7 @@ class PackedTrace:
     """
 
     __slots__ = ("name", "procs", "ops", "addrs", "_blocks_shift",
-                 "_blocks", "_num_procs")
+                 "_blocks", "_num_procs", "_digest")
 
     def __init__(
         self,
@@ -65,6 +66,7 @@ class PackedTrace:
         self._blocks_shift: int | None = None
         self._blocks: array | None = None
         self._num_procs: int | None = None
+        self._digest: str | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -128,6 +130,25 @@ class PackedTrace:
             self._num_procs = max(self.procs, default=-1) + 1
         return self._num_procs
 
+    def digest(self) -> str:
+        """Content digest of the trace bytes (hex, cached).
+
+        Covers the raw column buffers and the trace length — not the
+        name, which plays no role in replay results.  The result cache
+        (:mod:`repro.experiments.resultcache`) uses this as the trace
+        component of its keys.
+        """
+        if self._digest is None:
+            h = hashlib.sha256()
+            h.update(b"RPRO-PTRACE-DIGEST-1|")
+            h.update(len(self).to_bytes(8, "little"))
+            for column in (self.procs, self.ops, self.addrs):
+                # Columns are array('q'/'b') or shared-memory memoryview
+                # casts; both expose the buffer protocol directly.
+                h.update(column)
+            self._digest = h.hexdigest()
+        return self._digest
+
     def to_accesses(self) -> list[Access]:
         """Materialise the boxed :class:`Access` list."""
         return list(self)
@@ -162,9 +183,11 @@ class PackedTrace:
         with open(path, "wb") as fh:
             fh.write(MAGIC)
             fh.write(payload)
-            self.procs.tofile(fh)
-            self.ops.tofile(fh)
-            self.addrs.tofile(fh)
+            # ``tobytes`` (rather than ``array.tofile``) also accepts the
+            # memoryview columns of shared-memory attached traces.
+            fh.write(self.procs.tobytes())
+            fh.write(self.ops.tobytes())
+            fh.write(self.addrs.tobytes())
 
     @classmethod
     def load(cls, path: str | Path, name: str | None = None) -> "PackedTrace":

@@ -1,0 +1,208 @@
+"""Zero-copy publication of packed traces via shared memory.
+
+A ``--jobs N`` sweep replays the *same* handful of traces in every
+worker.  Before this module each worker re-loaded (or, cache-off,
+re-synthesised) its traces from the ``(app, num_procs, seed, scale)``
+key; here the parent publishes each :class:`~repro.trace.packed.
+PackedTrace`'s columns into one :class:`multiprocessing.shared_memory.
+SharedMemory` segment, and workers attach **zero-copy** — their column
+objects are ``memoryview`` casts straight over the shared buffer, so a
+trace costs a worker one ``shm_open`` instead of a rebuild, however many
+cells it runs.
+
+Segment layout (``n`` = access count)::
+
+    [0,        8n)   procs  as int64    (memoryview cast 'q')
+    [8n,      16n)   addrs  as int64    (memoryview cast 'q')
+    [16n,     17n)   ops    as int8     (memoryview cast 'b')
+
+Lifecycle: the parent-side :class:`TraceArena` owns every segment it
+publishes and guarantees ``close``+``unlink`` — it is a context manager
+*and* registers an ``atexit`` hook, so segments disappear even when a
+worker crashes mid-sweep or the parent exits on an exception.  Workers
+only ever attach (``create=False``) and never unlink; attached segments
+are cached per process so repeated cells reuse one mapping.
+
+Publication is best-effort: on platforms where shared memory is
+unavailable (or the segment cannot be created), :meth:`TraceArena.
+publish` returns ``None`` and the harness falls back to the per-worker
+disk-cache path — behaviour, and output bytes, are identical either way.
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING
+
+from repro.trace.packed import PackedTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.trace.core import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class TraceHandle:
+    """A picklable reference to one published trace.
+
+    Attributes:
+        segment: shared-memory segment name to attach to.
+        length: number of accesses (fixes the column layout).
+        name: the trace's display name.
+    """
+
+    segment: str
+    length: int
+    name: str
+
+
+class SharedPackedTrace(PackedTrace):
+    """A :class:`PackedTrace` whose columns view a shared segment.
+
+    Keeps the :class:`SharedMemory` object alive for as long as the
+    trace is — the column memoryviews would otherwise dangle.
+    """
+
+    __slots__ = ("_shm",)
+
+    def __init__(self, shm, length: int, name: str):
+        procs, ops, addrs = _column_views(shm.buf, length)
+        super().__init__(procs, ops, addrs, name=name)
+        self._shm = shm
+
+    def __del__(self):
+        # Release the column views *before* the SharedMemory object is
+        # torn down: slot clearing drops ``_shm`` first, and its close()
+        # raises BufferError while the buffer is still exported.
+        for view in ("procs", "ops", "addrs"):
+            try:
+                getattr(self, view).release()
+            except (AttributeError, BufferError):
+                pass
+
+
+def _column_views(buf, length: int):
+    """The three typed column views over one segment buffer."""
+    view = memoryview(buf)
+    procs = view[0:8 * length].cast("q")
+    addrs = view[8 * length:16 * length].cast("q")
+    ops = view[16 * length:17 * length].cast("b")
+    return procs, ops, addrs
+
+
+def _segment_size(length: int) -> int:
+    # Zero-length segments are rejected by the OS; keep a 1-byte floor.
+    return max(1, 17 * length)
+
+
+class TraceArena:
+    """Parent-side owner of published trace segments.
+
+    Guarantees every published segment is closed *and unlinked* exactly
+    once, via :meth:`close` — called explicitly, by ``with``-exit, or by
+    the ``atexit`` hook :func:`default_arena` registers.  Worker death
+    cannot leak a segment: workers never own one.
+    """
+
+    def __init__(self):
+        self._segments: dict[tuple, tuple] = {}
+
+    def publish(self, key: tuple, packed: PackedTrace) -> TraceHandle | None:
+        """Publish one packed trace; returns its handle, or ``None``.
+
+        Idempotent per ``key``: repeated publication of the same trace
+        returns the existing handle.  Any OS-level failure (no shared
+        memory, exhausted space) is swallowed — callers treat ``None``
+        as "workers load their own copies".
+        """
+        existing = self._segments.get(key)
+        if existing is not None:
+            return existing[1]
+        length = len(packed)
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=_segment_size(length)
+            )
+            procs, ops, addrs = _column_views(shm.buf, length)
+            procs[:] = packed.procs
+            ops[:] = packed.ops
+            addrs[:] = packed.addrs
+        except (OSError, ValueError):
+            return None
+        handle = TraceHandle(shm.name, length, packed.name)
+        self._segments[key] = (shm, handle)
+        return handle
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        segments, self._segments = self._segments, {}
+        for shm, _handle in segments.values():
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+            try:
+                shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __enter__(self) -> "TraceArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+_DEFAULT_ARENA: TraceArena | None = None
+
+#: Per-process cache of attached traces, keyed by segment name — one
+#: mapping per worker however many cells replay the trace.
+_attached: dict[str, "Trace"] = {}
+
+
+def default_arena() -> TraceArena:
+    """The session-scoped arena (created lazily, unlinked at exit)."""
+    global _DEFAULT_ARENA
+    if _DEFAULT_ARENA is None:
+        _DEFAULT_ARENA = TraceArena()
+        atexit.register(_DEFAULT_ARENA.close)
+    return _DEFAULT_ARENA
+
+
+def attach(handle: TraceHandle) -> "Trace":
+    """Attach to a published trace, zero-copy.
+
+    Returns a :class:`repro.trace.core.Trace` wrapping a
+    :class:`SharedPackedTrace` whose columns are memoryviews over the
+    segment.  Raises ``OSError``/``ValueError`` when the segment is gone
+    or malformed — callers fall back to their own trace source.
+    """
+    from repro.trace.core import Trace
+
+    cached = _attached.get(handle.segment)
+    if cached is not None:
+        return cached
+    shm = shared_memory.SharedMemory(name=handle.segment, create=False)
+    if shm.size < _segment_size(handle.length):
+        shm.close()
+        raise ValueError(
+            f"segment {handle.segment} too small for {handle.length} accesses"
+        )
+    trace = Trace.from_packed(
+        SharedPackedTrace(shm, handle.length, handle.name)
+    )
+    _attached[handle.segment] = trace
+    return trace
+
+
+def _reset_for_tests() -> None:
+    """Drop the process-level arena and attach caches (tests only)."""
+    global _DEFAULT_ARENA
+    if _DEFAULT_ARENA is not None:
+        _DEFAULT_ARENA.close()
+        _DEFAULT_ARENA = None
+    _attached.clear()

@@ -1,0 +1,31 @@
+"""Shared test configuration.
+
+The replay result cache (:mod:`repro.experiments.resultcache`) is
+redirected to a session-private temporary directory: the tests exercise
+the replays themselves, and a stale entry left in the user's
+``~/.cache/repro/results`` by an earlier (differently-coded) run could
+mask a real replay.  The *trace* cache stays shared — traces are pure
+functions of their ``(app, num_procs, seed, scale)`` key, and rebuilding
+them would only slow the suite down.
+
+The variable is set in ``os.environ`` directly (not per-test
+monkeypatching) so the spawned worker processes of the parallel-harness
+tests inherit it too.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    previous = os.environ.get("REPRO_RESULT_CACHE")
+    os.environ["REPRO_RESULT_CACHE"] = str(
+        tmp_path_factory.mktemp("result-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_RESULT_CACHE", None)
+    else:
+        os.environ["REPRO_RESULT_CACHE"] = previous

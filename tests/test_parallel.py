@@ -3,7 +3,15 @@
 import pytest
 
 from repro.experiments import common, table2
-from repro.parallel import parallel_map, resolve_jobs
+from repro.parallel import (
+    effective_cpu_count,
+    effective_workers,
+    get_pool,
+    parallel_map,
+    resolve_jobs,
+    shutdown_pool,
+    _chunksize,
+)
 
 
 def _square(x):
@@ -14,6 +22,17 @@ def _explode(x):
     if x == 3:
         raise RuntimeError(f"worker exploded on {x}")
     return x
+
+
+@pytest.fixture
+def real_workers(monkeypatch):
+    """Disable the CPU clamp so ``jobs=2`` really uses worker processes.
+
+    On a single-CPU CI runner the clamp would otherwise drop these runs
+    to the in-process path, and the pool-contract assertions (remote
+    tracebacks, executor reuse) would test nothing.
+    """
+    monkeypatch.setenv("REPRO_PARALLEL_CLAMP", "off")
 
 
 class TestResolveJobs:
@@ -29,8 +48,12 @@ class TestResolveJobs:
         monkeypatch.setenv("REPRO_JOBS", "4")
         assert resolve_jobs() == 4
 
-    def test_floor_of_one(self):
-        assert resolve_jobs(0) == 1
+    def test_zero_means_all_cpus(self, monkeypatch):
+        assert resolve_jobs(0) == effective_cpu_count()
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolve_jobs() == effective_cpu_count()
+
+    def test_negative_floors_to_one(self):
         assert resolve_jobs(-2) == 1
 
     def test_bad_env_raises(self, monkeypatch):
@@ -39,18 +62,71 @@ class TestResolveJobs:
             resolve_jobs()
 
 
+class TestEffectiveWorkers:
+    def test_capped_at_item_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_CLAMP", "off")
+        assert effective_workers(8, 3) == 3
+
+    def test_clamped_to_available_cpus(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_CLAMP", raising=False)
+        assert effective_workers(64, 64) <= effective_cpu_count()
+
+    def test_clamp_off_honours_literal_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_CLAMP", "off")
+        assert effective_workers(3, 8) == 3
+
+    def test_floor_of_one(self):
+        assert effective_workers(None, 0) == 1
+
+    def test_chunksize_covers_all_items(self):
+        for n in (1, 5, 16, 100):
+            for workers in (1, 2, 4):
+                chunk = _chunksize(n, workers)
+                assert chunk >= 1
+                # Every item lands in some chunk; no chunk is empty.
+                assert chunk * ((n + chunk - 1) // chunk) >= n
+
+
 class TestParallelMap:
     def test_serial_matches_comprehension(self):
         items = list(range(10))
         assert parallel_map(_square, items, jobs=1) == [x * x for x in items]
 
-    def test_parallel_preserves_order(self):
+    def test_parallel_preserves_order(self, real_workers):
         items = list(range(10))
         assert parallel_map(_square, items, jobs=2) == [x * x for x in items]
 
     def test_empty_and_single(self):
         assert parallel_map(_square, [], jobs=4) == []
         assert parallel_map(_square, [3], jobs=4) == [9]
+
+
+class TestPersistentPool:
+    """One executor per session: spawn cost is paid once, not per sweep."""
+
+    def test_pool_reused_across_maps(self, real_workers):
+        shutdown_pool()
+        assert parallel_map(_square, [1, 2, 3, 4], jobs=2) == [1, 4, 9, 16]
+        pool = get_pool(2)
+        assert parallel_map(_square, [5, 6], jobs=2) == [25, 36]
+        assert get_pool(2) is pool
+        # A smaller request reuses the larger pool rather than shrinking.
+        assert get_pool(1) is pool
+
+    def test_shutdown_is_idempotent_and_recoverable(self, real_workers):
+        shutdown_pool()
+        shutdown_pool()
+        assert parallel_map(_square, [2, 3], jobs=2) == [4, 9]
+
+    def test_worker_exception_does_not_break_pool(self, real_workers):
+        shutdown_pool()
+        with pytest.raises(RuntimeError):
+            parallel_map(_explode, list(range(6)), jobs=2)
+        # An ordinary exception is not a crashed worker: the same
+        # executor keeps serving.
+        pool = get_pool(2)
+        assert parallel_map(_square, [1, 2, 3], jobs=2) == [1, 4, 9]
+        assert get_pool(2) is pool
 
 
 class TestWorkerCrash:
@@ -61,11 +137,11 @@ class TestWorkerCrash:
         with pytest.raises(RuntimeError, match="worker exploded on 3"):
             parallel_map(_explode, list(range(6)), jobs=1)
 
-    def test_parallel_exception_propagates(self):
+    def test_parallel_exception_propagates(self, real_workers):
         with pytest.raises(RuntimeError, match="worker exploded on 3"):
             parallel_map(_explode, list(range(6)), jobs=2)
 
-    def test_parallel_exception_carries_worker_traceback(self):
+    def test_parallel_exception_carries_worker_traceback(self, real_workers):
         with pytest.raises(RuntimeError) as excinfo:
             parallel_map(_explode, list(range(6)), jobs=2)
         # concurrent.futures chains the remote traceback onto the
@@ -73,7 +149,7 @@ class TestWorkerCrash:
         assert excinfo.value.__cause__ is not None
         assert "_explode" in str(excinfo.value.__cause__)
 
-    def test_parallel_crash_finishes_quickly(self):
+    def test_parallel_crash_finishes_quickly(self, real_workers):
         import time
 
         started = time.time()
@@ -90,7 +166,7 @@ class TestExperimentDeterminism:
         scale=0.05,
     )
 
-    def test_table2_parallel_equals_serial(self):
+    def test_table2_parallel_equals_serial(self, real_workers):
         serial = table2.run(jobs=1, **self.KWARGS)
         common.clear_caches()  # force workers' trace path end-to-end
         parallel = table2.run(jobs=2, **self.KWARGS)

@@ -1,0 +1,247 @@
+"""Tests for the content-addressed replay result cache."""
+
+import dataclasses
+import json
+from collections import Counter
+
+import pytest
+
+from repro.common.stats import BusStats, MessageStats
+from repro.directory.policy import BASIC, CONVENTIONAL
+from repro.experiments import common, resultcache, table2
+from repro.experiments.inval_patterns import InvalPatternRow, _decode_row
+from repro.snooping.protocols import AdaptiveSnoopingProtocol
+from repro.telemetry import runtime as telemetry
+from repro.trace import synth
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(tmp_path, monkeypatch):
+    """Every test gets its own empty cache directory and zeroed counters."""
+    monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "rc"))
+    resultcache.clear_memory()
+    resultcache.reset_counts()
+    yield
+    resultcache.clear_memory()
+    resultcache.reset_counts()
+
+
+def _stats(short=3, data=4):
+    stats = MessageStats(short=short, data=data)
+    stats.by_cause_short = Counter({"read_miss": short})
+    stats.by_cause_data = Counter({"read_miss": data})
+    return stats
+
+
+class TestKeys:
+    def test_key_changes_with_every_part(self):
+        base = resultcache.result_key("directory", ("t", "c", "p"))
+        assert resultcache.result_key("directory", ("t2", "c", "p")) != base
+        assert resultcache.result_key("directory", ("t", "c2", "p")) != base
+        assert resultcache.result_key("bus", ("t", "c", "p")) != base
+
+    def test_key_changes_with_engine_tag(self, monkeypatch):
+        before = resultcache.result_key("directory", ("t",))
+        monkeypatch.setattr(resultcache, "_engine_tag", "0" * 16)
+        assert resultcache.result_key("directory", ("t",)) != before
+
+    def test_trace_digest_tracks_bytes(self):
+        one = synth.migratory(num_procs=4, num_objects=2, visits=3, seed=1)
+        two = synth.migratory(num_procs=4, num_objects=2, visits=3, seed=2)
+        same = synth.migratory(num_procs=4, num_objects=2, visits=3, seed=1)
+        assert one.pack().digest() == same.pack().digest()
+        assert one.pack().digest() != two.pack().digest()
+
+    def test_policy_digest_ignores_display_name(self):
+        renamed = dataclasses.replace(BASIC, name="threshold-1")
+        assert resultcache.policy_digest(renamed) \
+            == resultcache.policy_digest(BASIC)
+        assert resultcache.policy_digest(CONVENTIONAL) \
+            != resultcache.policy_digest(BASIC)
+
+    def test_protocol_digest_separates_variants(self):
+        assert resultcache.protocol_digest(AdaptiveSnoopingProtocol()) \
+            == resultcache.protocol_digest(AdaptiveSnoopingProtocol())
+
+
+class TestFailurePaths:
+    def test_corrupted_entry_is_a_miss_not_an_error(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _stats()
+
+        args = ("directory", ("x",), resultcache.encode_message_stats,
+                resultcache.decode_message_stats, compute)
+        resultcache.memoize(*args)
+        key = resultcache.result_key("directory", ("x",))
+        path = resultcache.cache_dir() / f"{key}.json"
+        assert path.exists()
+        path.write_text("{truncated garb")
+        resultcache.clear_memory()  # force the disk path
+        result = resultcache.memoize(*args)
+        assert len(calls) == 2
+        assert result.short == 3 and result.data == 4
+
+    def test_wrong_shape_entry_is_recomputed(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _stats()
+
+        args = ("directory", ("y",), resultcache.encode_message_stats,
+                resultcache.decode_message_stats, compute)
+        resultcache.memoize(*args)
+        key = resultcache.result_key("directory", ("y",))
+        # Valid JSON, wrong schema: decode raises, memoize recomputes.
+        (resultcache.cache_dir() / f"{key}.json").write_text('{"short": 1}')
+        resultcache.clear_memory()
+        result = resultcache.memoize(*args)
+        assert len(calls) == 2
+        assert result.data == 4
+
+    def test_disabled_cache_computes_every_time(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "off")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _stats()
+
+        args = ("directory", ("z",), resultcache.encode_message_stats,
+                resultcache.decode_message_stats, compute)
+        assert not resultcache.enabled()
+        resultcache.memoize(*args)
+        resultcache.memoize(*args)
+        assert len(calls) == 2
+        assert resultcache.counts() == {"hits": 0, "misses": 0, "stores": 0}
+
+    def test_hit_returns_a_fresh_object(self):
+        args = ("directory", ("w",), resultcache.encode_message_stats,
+                resultcache.decode_message_stats, _stats)
+        first = resultcache.memoize(*args)
+        first.by_cause_short["read_miss"] = 999  # caller mutates its copy
+        second = resultcache.memoize(*args)
+        assert second.by_cause_short["read_miss"] == 3
+
+
+class TestCodecs:
+    def test_message_stats_roundtrip(self):
+        stats = _stats(short=7, data=9)
+        payload = json.loads(json.dumps(
+            resultcache.encode_message_stats(stats)))
+        back = resultcache.decode_message_stats(payload)
+        assert back == stats
+        assert isinstance(back.by_cause_short, Counter)
+
+    def test_bus_stats_roundtrip(self):
+        stats = BusStats(read_miss=1, write_miss=2, invalidation=3,
+                         writeback=4, update=5)
+        stats.by_kind = Counter({"read_miss": 1, "update": 5})
+        payload = json.loads(json.dumps(resultcache.encode_bus_stats(stats)))
+        assert resultcache.decode_bus_stats(payload) == stats
+
+    def test_inval_pattern_buckets_survive_json(self):
+        row = InvalPatternRow(app="mp3d", protocol="basic",
+                              total_invalidations=5,
+                              by_size={1: 3, "4+": 2})
+        payload = json.loads(json.dumps(dataclasses.asdict(row)))
+        back = _decode_row(payload)
+        assert back == row
+        assert back.share(1) == pytest.approx(0.6)
+        assert back.share("4+") == pytest.approx(0.4)
+
+    def test_timing_profile_int_keys_survive_json(self):
+        from repro.timing.sim import TimingParams, TimingProfile, cost
+
+        profile = TimingProfile(
+            num_procs=2, total_references=7,
+            refs_per_proc=[4, 3], hits_per_proc=[2, 1],
+            miss_msgs_per_proc=[{0: 1, 3: 1}, {2: 2}],
+            read_miss_msgs={3: 1, 2: 1},
+        )
+        payload = json.loads(json.dumps(
+            resultcache.encode_timing_profile(profile)))
+        back = resultcache.decode_timing_profile(payload)
+        # JSON stringifies dict keys; the decoder must restore ints or
+        # cost() would price message histograms with str * int errors.
+        assert back.miss_msgs_per_proc == profile.miss_msgs_per_proc
+        assert back.read_miss_msgs == profile.read_miss_msgs
+        params = TimingParams(hit_cycles=2, memory_cycles=10,
+                              message_cycles=7, compute_cycles_per_ref=1)
+        assert cost(back, params) == cost(profile, params)
+
+    def test_timing_profile_shared_across_experiments(self):
+        from repro.experiments import exec_time, topology
+
+        apps = ("mp3d",)
+        exec_time.run(apps=apps, scale=0.05)
+        resultcache.reset_counts()
+        # topology prices the same (trace, 64K, round_robin) replays, so
+        # its profiles must be cache hits, not fresh simulations.
+        topology.run(apps=apps, scale=0.05)
+        counts = resultcache.counts()
+        assert counts["hits"] >= 2
+
+    def test_memoize_rows_roundtrip(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return [InvalPatternRow(app="a", protocol="p",
+                                    total_invalidations=2,
+                                    by_size={1: 1, "4+": 1})]
+
+        first = resultcache.memoize_rows("inval_patterns", ("k",),
+                                         InvalPatternRow, compute,
+                                         decode_row=_decode_row)
+        resultcache.clear_memory()
+        second = resultcache.memoize_rows("inval_patterns", ("k",),
+                                          InvalPatternRow, compute,
+                                          decode_row=_decode_row)
+        assert len(calls) == 1
+        assert second == first
+
+
+class TestIntegration:
+    def test_run_directory_served_from_cache(self):
+        trace = common.get_trace("mp3d", seed=0, scale=0.05)
+        cold = common.run_directory(trace, BASIC, 16 * 1024)
+        before = resultcache.counts()
+        resultcache.clear_memory()  # second fetch must survive the disk trip
+        warm = common.run_directory(trace, BASIC, 16 * 1024)
+        after = resultcache.counts()
+        assert warm == cold
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_machine_instrumentation_bypasses_cache(self, tmp_path):
+        trace = common.get_trace("mp3d", seed=0, scale=0.05)
+        common.run_directory(trace, BASIC, 16 * 1024)  # populate
+        resultcache.reset_counts()
+        telemetry.configure(telemetry.TelemetrySession(
+            tmp_path / "telemetry", instrument_machines=True))
+        try:
+            common.run_directory(trace, BASIC, 16 * 1024)
+        finally:
+            telemetry.shutdown()
+        # The instrumented replay ran for real: no lookup was even made.
+        assert resultcache.counts() == {"hits": 0, "misses": 0, "stores": 0}
+
+    def test_warm_table2_run_is_mostly_hits(self):
+        kwargs = dict(apps=("mp3d",), cache_sizes=(16 * 1024,), scale=0.05)
+        table2.run(jobs=1, **kwargs)
+        resultcache.reset_counts()
+        resultcache.clear_memory()
+        first = table2.run(jobs=1, **kwargs)
+        warm = resultcache.counts()
+        total = warm["hits"] + warm["misses"]
+        assert total > 0
+        assert warm["hits"] >= 0.9 * total
+        # And the cached rows render identically to computed ones.
+        common.clear_caches()
+        resultcache.clear_memory()
+        second = table2.run(jobs=1, **kwargs)
+        assert table2.render(first) == table2.render(second)

@@ -1,0 +1,161 @@
+"""Tests for the shared-memory trace arena and its lifecycle guarantees."""
+
+import pytest
+from multiprocessing import shared_memory
+
+from repro.directory.policy import BASIC
+from repro.experiments import common
+from repro.parallel import parallel_map
+from repro.system.machine import DirectoryMachine
+from repro.trace import shm, synth
+
+
+@pytest.fixture(autouse=True)
+def _fresh_arena():
+    """Each test starts (and leaves) with no published or attached state."""
+    shm._reset_for_tests()
+    yield
+    shm._reset_for_tests()
+
+
+def _trace():
+    return synth.interleave(
+        [synth.migratory(num_procs=4, num_objects=4, visits=6, seed=1),
+         synth.read_shared(num_procs=4, num_objects=4, rounds=3,
+                           base=1 << 20, seed=2)],
+        chunk=4, seed=3)
+
+
+def _replay(trace):
+    """Directly replay one trace (no result cache in the way)."""
+    config = common.directory_config(16 * 1024, num_procs=4)
+    machine = DirectoryMachine(
+        config, BASIC, common.get_placement("round_robin", trace, config)
+    )
+    machine.run(trace)
+    return (machine.stats.short, machine.stats.data,
+            dict(machine.stats.by_cause_short))
+
+
+def _attached_replay(handle):
+    """Worker body: attach to a published segment and replay it."""
+    trace = shm.attach(handle)
+    return _replay(trace)
+
+
+class TestRoundTrip:
+    def test_attach_reproduces_columns_and_digest(self):
+        trace = _trace()
+        packed = trace.pack()
+        with shm.TraceArena() as arena:
+            handle = arena.publish(("k",), packed)
+            assert handle is not None
+            assert handle.length == len(packed)
+            attached = shm.attach(handle)
+            back = attached.pack()
+            assert list(back.procs) == list(packed.procs)
+            assert list(back.ops) == list(packed.ops)
+            assert list(back.addrs) == list(packed.addrs)
+            assert back.digest() == packed.digest()
+            assert back.name == packed.name
+
+    def test_attached_trace_replays_identically(self):
+        trace = _trace()
+        expected = _replay(trace)
+        with shm.TraceArena() as arena:
+            handle = arena.publish(("k",), trace.pack())
+            assert _attached_replay(handle) == expected
+
+    def test_publish_is_idempotent_per_key(self):
+        trace = _trace()
+        with shm.TraceArena() as arena:
+            first = arena.publish(("k",), trace.pack())
+            second = arena.publish(("k",), trace.pack())
+            assert second is first
+            assert len(arena) == 1
+
+    def test_double_attach_from_two_workers(self, monkeypatch):
+        """Two worker processes attach the same segment and agree."""
+        monkeypatch.setenv("REPRO_PARALLEL_CLAMP", "off")
+        trace = _trace()
+        expected = _replay(trace)
+        with shm.TraceArena() as arena:
+            handle = arena.publish(("k",), trace.pack())
+            assert handle is not None
+            results = parallel_map(_attached_replay, [handle, handle], jobs=2)
+        assert results == [expected, expected]
+
+
+class TestLifecycle:
+    def test_segment_unlinked_after_close(self):
+        trace = _trace()
+        arena = shm.TraceArena()
+        handle = arena.publish(("k",), trace.pack())
+        arena.close()
+        with pytest.raises(OSError):
+            shared_memory.SharedMemory(name=handle.segment, create=False)
+        with pytest.raises((OSError, ValueError)):
+            shm.attach(handle)
+
+    def test_close_is_idempotent(self):
+        arena = shm.TraceArena()
+        arena.publish(("k",), _trace().pack())
+        arena.close()
+        arena.close()
+        assert len(arena) == 0
+
+    def test_unlink_survives_worker_crash(self, monkeypatch):
+        """A dying sweep never leaks its segments: the parent owns them."""
+        monkeypatch.setenv("REPRO_PARALLEL_CLAMP", "off")
+        arena = shm.TraceArena()
+        handle = arena.publish(("k",), _trace().pack())
+        with pytest.raises(RuntimeError):
+            parallel_map(_explode_worker, [0, 3], jobs=2)
+        arena.close()
+        with pytest.raises(OSError):
+            shared_memory.SharedMemory(name=handle.segment, create=False)
+
+    def test_default_arena_reset_unlinks(self):
+        handles = common.publish_traces(("mp3d",), seed=0, scale=0.05)
+        handle = handles["mp3d"]
+        assert handle is not None
+        assert len(shm.default_arena()) == 1
+        shm._reset_for_tests()
+        with pytest.raises(OSError):
+            shared_memory.SharedMemory(name=handle.segment, create=False)
+
+
+class TestFallback:
+    def test_publish_failure_returns_none(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr(shm.shared_memory, "SharedMemory", boom)
+        arena = shm.TraceArena()
+        assert arena.publish(("k",), _trace().pack()) is None
+        assert len(arena) == 0
+
+    def test_get_trace_falls_back_when_segment_gone(self):
+        arena = shm.TraceArena()
+        trace = common.get_trace("mp3d", seed=0, scale=0.05)
+        handle = arena.publish(("gone",), trace.pack())
+        arena.close()
+        common.clear_caches()
+        rebuilt = common.get_trace("mp3d", seed=0, scale=0.05, handle=handle)
+        assert rebuilt.pack().digest() == trace.pack().digest()
+
+    def test_attach_rejects_undersized_segment(self):
+        seg = shared_memory.SharedMemory(create=True, size=8)
+        try:
+            bogus = shm.TraceHandle(seg.name, 1024, "bogus")
+            with pytest.raises(ValueError):
+                shm.attach(bogus)
+        finally:
+            seg.close()
+            seg.unlink()
+
+
+def _explode_worker(x):
+    if x == 3:
+        raise RuntimeError("worker exploded")
+    return x
