@@ -23,6 +23,7 @@ setup(
             "repro-experiments=repro.experiments.runner:main",
             "repro-fuzz=repro.conformance.cli:main",
             "repro-stats=repro.telemetry.cli:main",
+            "repro-serve=repro.service.cli:main",
         ]
     },
 )

@@ -1,0 +1,36 @@
+"""Shared ``--version`` plumbing for the console scripts.
+
+All four CLIs (``repro-experiments``, ``repro-fuzz``, ``repro-stats``,
+``repro-serve``) — plus the service client module — report the same
+version string: the installed package metadata when the distribution is
+present (``pip install -e .``), falling back to the source tree's
+``repro.__version__`` when running straight from a checkout
+(``PYTHONPATH=src``), where no metadata exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+from importlib import metadata
+
+#: Distribution name as declared in setup.py.
+DISTRIBUTION = "repro"
+
+
+def package_version() -> str:
+    """The version string the CLIs report."""
+    try:
+        return metadata.version(DISTRIBUTION)
+    except metadata.PackageNotFoundError:
+        import repro
+
+        return getattr(repro, "__version__", "0.0.0+unknown")
+
+
+def add_version_argument(parser: argparse.ArgumentParser) -> None:
+    """Install the standard ``--version`` flag on a CLI parser."""
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
+        help="print the package version and exit",
+    )

@@ -40,6 +40,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.common.version import add_version_argument
 from repro.conformance import artifacts, bugs
 from repro.conformance.fuzzer import PROFILES, generate_case
 from repro.conformance.oracle import CaseFailure, run_case
@@ -92,6 +93,7 @@ def main(argv: list[str] | None = None) -> int:
         "engines: seeded traces, cross-engine oracle, delta-debugged "
         "reproducers.",
     )
+    add_version_argument(parser)
     parser.add_argument("--seeds", type=int, default=50,
                         help="number of seeds per profile (default 50)")
     parser.add_argument("--start-seed", type=int, default=0,

@@ -225,6 +225,24 @@ def _record(kind: str, status: str) -> None:
                     kind=kind, status=status)
 
 
+def record_lookup(kind: str, status: str) -> None:
+    """Count one out-of-band cache lookup (``status``: hit/miss).
+
+    For consumers that cannot use :func:`memoize` because the compute
+    step happens elsewhere — the serving layer fetches here, coalesces
+    concurrent identical requests into a single pool execution, then
+    stores the worker's payload back.  Routing their counts through the
+    same module counters and ``repro_result_cache_requests_total``
+    metric keeps "one metric, one meaning" across batch and serving.
+    """
+    _record(kind, status)
+
+
+def record_store() -> None:
+    """Count one out-of-band :func:`store` (see :func:`record_lookup`)."""
+    _counts["stores"] += 1
+
+
 def memoize(
     kind: str,
     parts: tuple,

@@ -71,6 +71,7 @@ from repro.experiments import (
     topology,
     update_protocols,
 )
+from repro.common.version import add_version_argument
 from repro.experiments import resultcache
 from repro.interconnect.costs import render_table1
 from repro.parallel import resolve_jobs
@@ -282,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
     )
+    add_version_argument(parser)
     parser.add_argument(
         "experiment", choices=[*COMMANDS, "all"], help="which artifact to run"
     )

@@ -41,6 +41,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -140,6 +141,12 @@ def effective_workers(jobs: int | None, num_items: int) -> int:
 _POOL: ProcessPoolExecutor | None = None
 _POOL_WORKERS = 0
 
+#: Serialises every swap of the module-level pool reference.  The
+#: service layer calls :func:`shutdown_pool` from request handlers
+#: while the atexit hook can fire concurrently from the main thread;
+#: without the lock both could shut down (or leak) the same executor.
+_POOL_LOCK = threading.Lock()
+
 
 def _start_method() -> str:
     return os.environ.get(START_METHOD_ENV, "").strip() or DEFAULT_START_METHOD
@@ -154,24 +161,38 @@ def get_pool(workers: int) -> ProcessPoolExecutor:
     pool — output never depends on the worker count).
     """
     global _POOL, _POOL_WORKERS
-    if _POOL is None or workers > _POOL_WORKERS:
-        if _POOL is not None:
-            _POOL.shutdown(wait=False, cancel_futures=True)
-        _POOL = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=multiprocessing.get_context(_start_method()),
-        )
-        _POOL_WORKERS = workers
-    return _POOL
+    with _POOL_LOCK:
+        previous = None
+        if _POOL is None or workers > _POOL_WORKERS:
+            previous = _POOL
+            _POOL = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context(_start_method()),
+            )
+            _POOL_WORKERS = workers
+        pool = _POOL
+    if previous is not None:
+        previous.shutdown(wait=False, cancel_futures=True)
+    return pool
 
 
 def shutdown_pool() -> None:
-    """Shut the session executor down (idempotent; next use recreates)."""
+    """Shut the session executor down (next use recreates it).
+
+    Idempotent and thread-safe: the pool reference is detached under
+    :data:`_POOL_LOCK`, so concurrent callers — e.g. a request handler
+    disposing of a broken pool racing the atexit hook at interpreter
+    shutdown — agree on a single winner; everyone else sees ``None``
+    and returns.  The actual ``Executor.shutdown`` runs outside the
+    lock (it can block on worker teardown).
+    """
     global _POOL, _POOL_WORKERS
-    if _POOL is not None:
-        _POOL.shutdown(wait=False, cancel_futures=True)
+    with _POOL_LOCK:
+        pool = _POOL
         _POOL = None
         _POOL_WORKERS = 0
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 atexit.register(shutdown_pool)

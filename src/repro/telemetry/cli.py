@@ -26,6 +26,7 @@ from pathlib import Path
 
 from repro.analysis.report import format_table
 from repro.common.errors import ReproError
+from repro.common.version import add_version_argument
 from repro.telemetry import events, timeline
 from repro.telemetry.sinks import read_jsonl
 
@@ -121,6 +122,7 @@ def main(argv: list[str] | None = None) -> int:
         description="Render telemetry event logs: classification "
         "timelines, hot-block tables, stream summaries.",
     )
+    add_version_argument(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_summary = sub.add_parser("summary", help="stream-level counts")

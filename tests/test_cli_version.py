@@ -1,0 +1,56 @@
+"""Tests for the shared ``--version`` plumbing across the CLIs."""
+
+import pytest
+
+from repro.common import version as version_mod
+from repro.common.version import package_version
+
+
+class TestPackageVersion:
+    def test_reports_a_version_string(self):
+        reported = package_version()
+        assert reported
+        assert reported[0].isdigit()
+
+    def test_prefers_installed_metadata(self, monkeypatch):
+        monkeypatch.setattr(
+            version_mod.metadata, "version", lambda dist: "9.9.9"
+        )
+        assert package_version() == "9.9.9"
+
+    def test_falls_back_to_source_tree(self, monkeypatch):
+        def missing(dist):
+            raise version_mod.metadata.PackageNotFoundError(dist)
+
+        monkeypatch.setattr(version_mod.metadata, "version", missing)
+        import repro
+
+        assert package_version() == repro.__version__
+
+
+def _cli_mains():
+    from repro.conformance import cli as fuzz_cli
+    from repro.experiments import runner
+    from repro.service import cli as serve_cli
+    from repro.service import client as client_cli
+    from repro.service import loadgen
+    from repro.telemetry import cli as stats_cli
+
+    return {
+        "repro-experiments": runner.main,
+        "repro-fuzz": fuzz_cli.main,
+        "repro-stats": stats_cli.main,
+        "repro-serve": serve_cli.main,
+        "service-client": client_cli.main,
+        "loadgen": loadgen.main,
+    }
+
+
+@pytest.mark.parametrize("name", list(_cli_mains()))
+def test_every_cli_answers_version(name, capsys):
+    main = _cli_mains()[name]
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert package_version() in out

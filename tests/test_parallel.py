@@ -118,6 +118,62 @@ class TestPersistentPool:
         shutdown_pool()
         assert parallel_map(_square, [2, 3], jobs=2) == [4, 9]
 
+    def test_concurrent_shutdown_single_winner(self, real_workers):
+        """Racing shutdowns (request handler vs atexit hook) must agree
+        on one winner: no double-shutdown, no leaked executor, and the
+        pool is recreatable afterwards."""
+        import threading
+
+        get_pool(2)
+        racers = 8
+        barrier = threading.Barrier(racers)
+        errors = []
+
+        def hammer():
+            barrier.wait()
+            try:
+                shutdown_pool()
+            except BaseException as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(racers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert parallel_map(_square, [2, 3], jobs=2) == [4, 9]
+
+    def test_shutdown_races_get_pool_safely(self, real_workers):
+        """Interleaved get_pool/shutdown_pool from two threads never
+        corrupts the module state: the final get_pool returns a live
+        executor."""
+        import threading
+
+        shutdown_pool()
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def churn(body):
+            barrier.wait()
+            try:
+                for _ in range(25):
+                    body()
+            except BaseException as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(lambda: get_pool(2),)),
+            threading.Thread(target=churn, args=(shutdown_pool,)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        shutdown_pool()
+        assert parallel_map(_square, [5], jobs=2) == [25]
+
     def test_worker_exception_does_not_break_pool(self, real_workers):
         shutdown_pool()
         with pytest.raises(RuntimeError):

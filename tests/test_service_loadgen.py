@@ -1,0 +1,111 @@
+"""Unit tests for the load generator's pure parts.
+
+The subprocess-spawning modes (``bench``/``ci-smoke``) are exercised by
+the CI service-smoke step; these tests cover the request mix, the
+statistics, and the metrics parsing they assert with.
+"""
+
+import math
+
+from repro.service.client import metric_value, parse_metrics_text
+from repro.service.loadgen import (
+    DEFAULT_ZIPF_S,
+    RunStats,
+    SpecMix,
+    percentile,
+    zipf_weights,
+)
+from repro.workloads.profiles import APP_ORDER
+
+
+class TestZipf:
+    def test_weights_normalised_and_decreasing(self):
+        weights = zipf_weights(5)
+        assert math.isclose(sum(weights), 1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_skew_parameter_sharpens_head(self):
+        flat = zipf_weights(5, s=0.5)
+        sharp = zipf_weights(5, s=2.0)
+        assert sharp[0] > flat[0]
+        assert sharp[-1] < flat[-1]
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.50) == 2.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile(values, 0.01) == 1.0
+
+
+class TestSpecMix:
+    def test_deterministic_for_seed(self):
+        first = [SpecMix(seed=7).next_spec() for _ in range(20)]
+        second = [SpecMix(seed=7).next_spec() for _ in range(20)]
+        assert first == second
+
+    def test_different_seed_differs(self):
+        a = [SpecMix(seed=1).next_spec() for _ in range(20)]
+        b = [SpecMix(seed=2).next_spec() for _ in range(20)]
+        assert a != b
+
+    def test_specs_are_servable(self):
+        from repro.service.protocol import ReplaySpec
+
+        mix = SpecMix(seed=0)
+        for _ in range(30):
+            spec = ReplaySpec.from_payload(mix.next_spec())
+            assert spec.app in APP_ORDER
+
+    def test_zipf_head_dominates(self):
+        mix = SpecMix(seed=0, zipf_s=DEFAULT_ZIPF_S)
+        apps = [mix.next_spec()["app"] for _ in range(400)]
+        head = apps.count(APP_ORDER[0])
+        tail = apps.count(APP_ORDER[-1])
+        assert head > tail
+
+
+class TestRunStats:
+    def test_summary_shape(self):
+        stats = RunStats()
+        for latency in (1.0, 2.0, 3.0, 4.0):
+            stats.record(latency)
+        stats.shed += 2
+        stats.seconds = 2.0
+        summary = stats.summary()
+        assert summary["requests"] == 4
+        assert summary["shed_429"] == 2
+        assert summary["throughput_rps"] == 2.0
+        assert summary["p50_ms"] == 2.0
+        assert summary["p99_ms"] == 4.0
+
+    def test_zero_duration_throughput(self):
+        assert RunStats().summary()["throughput_rps"] == 0.0
+
+
+class TestMetricsParsing:
+    TEXT = """\
+# HELP repro_service_requests_total service requests
+# TYPE repro_service_requests_total counter
+repro_service_requests_total{endpoint="/v1/replay",status="200"} 5
+repro_service_requests_total{endpoint="/v1/replay",status="429"} 2
+repro_service_queue_depth 3
+"""
+
+    def test_parses_labelled_and_bare_samples(self):
+        samples = parse_metrics_text(self.TEXT)
+        assert metric_value(samples, "repro_service_requests_total",
+                            endpoint="/v1/replay", status="200") == 5
+        assert metric_value(samples, "repro_service_queue_depth") == 3
+
+    def test_label_subset_sums(self):
+        samples = parse_metrics_text(self.TEXT)
+        assert metric_value(samples, "repro_service_requests_total",
+                            endpoint="/v1/replay") == 7
+
+    def test_absent_metric_is_zero(self):
+        assert metric_value({}, "no_such_metric") == 0

@@ -1,0 +1,172 @@
+"""Tests for the serving layer's versioned wire protocol."""
+
+import pytest
+
+from repro.service.protocol import (
+    DIRECTORY_POLICIES,
+    MAX_SCALE,
+    PROTOCOL_VERSION,
+    SNOOPING_PROTOCOLS,
+    CompareRequest,
+    ExperimentRequest,
+    ReplaySpec,
+    ServiceError,
+    check_version,
+    compare_response,
+    error_response,
+    make_snooping_protocol,
+    parse_replay_request,
+)
+
+
+class TestReplaySpec:
+    def test_defaults_validate(self):
+        spec = ReplaySpec()
+        assert spec.engine == "directory"
+        assert spec.policy in DIRECTORY_POLICIES
+
+    def test_roundtrip_payload(self):
+        spec = ReplaySpec(app="mp3d", policy="aggressive", scale=0.5)
+        assert ReplaySpec.from_payload(spec.to_payload()) == spec
+
+    @pytest.mark.parametrize("field,value", [
+        ("engine", "quantum"),
+        ("app", "doom"),
+        ("policy", "optimal"),
+        ("cache_size", -1),
+        ("block_size", 24),          # not a power of two
+        ("num_procs", 1),
+        ("num_procs", 512),
+        ("scale", 0.0),
+        ("scale", MAX_SCALE + 1),
+        ("placement", "everywhere"),
+    ])
+    def test_bad_field_rejected(self, field, value):
+        with pytest.raises(ServiceError):
+            ReplaySpec(**{field: value})
+
+    def test_bus_engine_wants_snooping_protocols(self):
+        spec = ReplaySpec(engine="bus", policy="mesi")
+        assert spec.policy in SNOOPING_PROTOCOLS
+        with pytest.raises(ServiceError):
+            ReplaySpec(engine="bus", policy="basic")
+        with pytest.raises(ServiceError):
+            ReplaySpec(engine="directory", policy="mesi")
+
+    def test_unknown_payload_field_rejected(self):
+        with pytest.raises(ServiceError, match="unknown spec field"):
+            ReplaySpec.from_payload({"app": "water", "cheat": True})
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ServiceError):
+            ReplaySpec.from_payload(["water"])
+
+    def test_infinite_cache_is_null(self):
+        spec = ReplaySpec.from_payload({"cache_size": None})
+        assert spec.cache_size is None
+
+    def test_trace_key_is_the_harness_key(self):
+        spec = ReplaySpec(app="pthor", num_procs=8, seed=3, scale=0.25)
+        assert spec.trace_key == ("pthor", 8, 3, 0.25)
+
+
+class TestVersioning:
+    def test_current_version_accepted(self):
+        check_version({"v": PROTOCOL_VERSION})
+        check_version({})  # absent defaults to current
+
+    def test_other_version_rejected(self):
+        with pytest.raises(ServiceError, match="protocol version"):
+            check_version({"v": PROTOCOL_VERSION + 1})
+
+    def test_replay_request_checks_version(self):
+        with pytest.raises(ServiceError):
+            parse_replay_request({"v": 999, "spec": {}})
+        spec = parse_replay_request({"v": PROTOCOL_VERSION, "spec": {}})
+        assert spec == ReplaySpec()
+
+
+class TestCompareRequest:
+    def test_defaults_to_every_policy(self):
+        request = CompareRequest.from_payload({"spec": {"app": "water"}})
+        assert request.policies == tuple(DIRECTORY_POLICIES)
+        request = CompareRequest.from_payload(
+            {"spec": {"app": "water", "engine": "bus"}}
+        )
+        assert request.policies == SNOOPING_PROTOCOLS
+
+    def test_explicit_subset_preserved_in_order(self):
+        request = CompareRequest.from_payload(
+            {"spec": {}, "policies": ["aggressive", "conventional"]}
+        )
+        assert request.policies == ("aggressive", "conventional")
+        specs = request.replay_specs()
+        assert [s.policy for s in specs] == ["aggressive", "conventional"]
+
+    def test_spec_level_policy_rejected(self):
+        with pytest.raises(ServiceError, match="policies"):
+            CompareRequest.from_payload({"spec": {"policy": "basic"}})
+
+    def test_unknown_and_duplicate_policies_rejected(self):
+        with pytest.raises(ServiceError):
+            CompareRequest.from_payload(
+                {"spec": {}, "policies": ["optimal"]}
+            )
+        with pytest.raises(ServiceError):
+            CompareRequest.from_payload(
+                {"spec": {}, "policies": ["basic", "basic"]}
+            )
+
+    def test_cheapest_breaks_ties_by_request_order(self):
+        request = CompareRequest.from_payload(
+            {"spec": {}, "policies": ["aggressive", "basic"]}
+        )
+        response = compare_response(
+            request, {"aggressive": {}, "basic": {}},
+            {"aggressive": 10, "basic": 10}, 1.0,
+        )
+        assert response["cheapest"] == "aggressive"
+        response = compare_response(
+            request, {"aggressive": {}, "basic": {}},
+            {"aggressive": 11, "basic": 10}, 1.0,
+        )
+        assert response["cheapest"] == "basic"
+
+
+class TestExperimentRequest:
+    def test_defaults(self):
+        request = ExperimentRequest.from_payload({})
+        assert request.name == "table2"
+        assert len(request.apps) == 5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ServiceError):
+            ExperimentRequest.from_payload({"name": "table9"})
+
+    def test_apps_subset_validated(self):
+        request = ExperimentRequest.from_payload({"apps": ["water"]})
+        assert request.apps == ("water",)
+        with pytest.raises(ServiceError):
+            ExperimentRequest.from_payload({"apps": []})
+        with pytest.raises(ServiceError):
+            ExperimentRequest.from_payload({"apps": ["doom"]})
+
+
+class TestSnoopingFactory:
+    @pytest.mark.parametrize("name", SNOOPING_PROTOCOLS)
+    def test_known_protocols_construct_fresh(self, name):
+        first = make_snooping_protocol(name)
+        second = make_snooping_protocol(name)
+        assert first is not second
+        assert type(first) is type(second)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ServiceError):
+            make_snooping_protocol("dragon")
+
+
+def test_error_response_shape():
+    body = error_response("boom")
+    assert body["type"] == "error"
+    assert body["error"] == "boom"
+    assert body["v"] == PROTOCOL_VERSION

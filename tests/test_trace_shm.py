@@ -155,6 +155,48 @@ class TestFallback:
             seg.unlink()
 
 
+class TestSilentFallbackSweep:
+    """Shared-memory publication is an optimisation, never a dependency:
+    when segment creation fails (containers with a tiny /dev/shm, locked
+    -down platforms), sweeps silently fall back to per-worker trace
+    rebuilds and must produce byte-identical reports."""
+
+    KWARGS = dict(apps=("mp3d",), cache_sizes=(16 * 1024,), scale=0.05)
+
+    def test_parallel_sweep_identical_without_shared_memory(
+            self, monkeypatch):
+        from repro.experiments import table2
+
+        monkeypatch.setenv("REPRO_PARALLEL_CLAMP", "off")
+        # Disable the result cache for both runs: a cache hit would
+        # skip the replays and the fallback path would go untested.
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "off")
+
+        baseline = table2.run(jobs=2, **self.KWARGS)
+        rendered_baseline = table2.render(baseline)
+
+        common.clear_caches()
+
+        def boom(*args, **kwargs):
+            raise OSError("shared memory unavailable")
+
+        monkeypatch.setattr(shm.shared_memory, "SharedMemory", boom)
+        degraded = table2.run(jobs=2, **self.KWARGS)
+
+        assert degraded == baseline
+        for base_row, fallback_row in zip(baseline, degraded):
+            assert base_row.cells == fallback_row.cells
+        assert table2.render(degraded) == rendered_baseline
+
+    def test_publish_traces_degrades_to_none(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise OSError("shared memory unavailable")
+
+        monkeypatch.setattr(shm.shared_memory, "SharedMemory", boom)
+        handles = common.publish_traces(("mp3d",), seed=0, scale=0.05)
+        assert handles == {"mp3d": None}
+
+
 def _explode_worker(x):
     if x == 3:
         raise RuntimeError("worker exploded")
