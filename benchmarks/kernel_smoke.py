@@ -1,0 +1,142 @@
+"""CI kernel smoke: the table-driven kernels must engage, win, and agree.
+
+Replays the throughput-benchmark workload three ways per machine —
+table-driven kernel (:mod:`repro.kernels`), legacy packed loop (kernel
+pinned off via :func:`registry.disabled`), and the generic per-access
+object engine — and asserts the two contracts the kernels ship under:
+
+* **perf**: the kernel replay is no slower than the legacy packed loop
+  it shadows (it is ~20-40x faster in practice; asserting ``<=`` keeps
+  the check immune to CI noise while still catching an engagement
+  regression, because a silently falling-back kernel run *is* a packed
+  run plus gate overhead).
+* **determinism**: every statistic the kernel run produces — message
+  and bus counters with their per-cause/per-kind breakdowns, cache
+  event counters, invalidation-size histograms, classification
+  transitions — is byte-identical to the object engine's on the same
+  fixed seeded trace.
+
+Run from the repository root::
+
+    python benchmarks/kernel_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.config import CacheConfig, MachineConfig  # noqa: E402
+from repro.directory.policy import AGGRESSIVE  # noqa: E402
+from repro.kernels import registry  # noqa: E402
+from repro.snooping.machine import BusMachine  # noqa: E402
+from repro.snooping.protocols import AdaptiveSnoopingProtocol  # noqa: E402
+from repro.system.machine import DirectoryMachine  # noqa: E402
+from repro.trace import synth  # noqa: E402
+
+#: In-process repetitions per timing (min is reported).
+REPS = 5
+
+CFG = MachineConfig(num_procs=16,
+                    cache=CacheConfig(size_bytes=64 * 1024, block_size=16))
+
+
+def _trace():
+    return synth.interleave(
+        [synth.migratory(num_procs=16, num_objects=16, visits=50, seed=1),
+         synth.read_shared(num_procs=16, num_objects=16, rounds=20,
+                           base=1 << 20, seed=2)],
+        chunk=8, seed=3)
+
+
+def _best(make, trace) -> float:
+    best = float("inf")
+    for _ in range(REPS):
+        machine = make()
+        started = time.perf_counter()
+        machine.run(trace)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _check_machine(name, make, trace, stats_of) -> list[str]:
+    """Time kernel vs packed and diff kernel stats against the object
+    engine; returns failure descriptions (empty = clean)."""
+    problems = []
+
+    registry.engagements.clear()
+    kernel_machine = make()
+    kernel_machine.run(trace)
+    if registry.engagements[name] != 1:
+        problems.append(f"{name}: kernel did not engage on the benchmark "
+                        f"workload (engagements={dict(registry.engagements)})")
+    kernel_seconds = _best(make, trace)
+
+    with registry.disabled():
+        packed_seconds = _best(make, trace)
+
+    print(f"{name}: kernel {kernel_seconds * 1e3:.3f}ms  "
+          f"packed {packed_seconds * 1e3:.3f}ms  "
+          f"({packed_seconds / kernel_seconds:.1f}x)")
+    if kernel_seconds > packed_seconds:
+        problems.append(
+            f"{name}: kernel replay ({kernel_seconds * 1e3:.3f}ms) slower "
+            f"than the legacy packed loop ({packed_seconds * 1e3:.3f}ms)")
+
+    generic_machine = make()
+    generic_machine.run(list(trace))  # a plain list has no pack()
+    for field, kernel_value, generic_value in stats_of(kernel_machine,
+                                                       generic_machine):
+        if kernel_value != generic_value:
+            problems.append(f"{name}: {field}: kernel={kernel_value!r} "
+                            f"object-engine={generic_value!r}")
+    return problems
+
+
+def _directory_stats(a, b):
+    return [
+        ("stats.short", a.stats.short, b.stats.short),
+        ("stats.data", a.stats.data, b.stats.data),
+        ("by_cause_short", a.stats.by_cause_short, b.stats.by_cause_short),
+        ("by_cause_data", a.stats.by_cause_data, b.stats.by_cause_data),
+        ("cache_stats", a.cache_stats, b.cache_stats),
+        ("invalidation_sizes", a.invalidation_sizes, b.invalidation_sizes),
+        ("transitions", a.protocol.transitions, b.protocol.transitions),
+    ]
+
+
+def _bus_stats(a, b):
+    return [
+        ("bus_stats", a.bus_stats, b.bus_stats),
+        ("by_kind", a.bus_stats.by_kind, b.bus_stats.by_kind),
+        ("cache_stats", a.cache_stats, b.cache_stats),
+    ]
+
+
+def main() -> int:
+    trace = _trace()
+    # Resolve the packed columns once so neither timing pays for packing.
+    packed = trace.pack()
+    packed.blocks_column(4)
+    packed.block_sequences(4)
+
+    problems = _check_machine(
+        "directory", lambda: DirectoryMachine(CFG, AGGRESSIVE), trace,
+        _directory_stats,
+    )
+    problems += _check_machine(
+        "bus", lambda: BusMachine(CFG, AdaptiveSnoopingProtocol()), trace,
+        _bus_stats,
+    )
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,7 @@
 Usage::
 
     repro-fuzz [--seeds N] [--start-seed S] [--jobs N]
-               [--profile migratory|uniform|adversarial|all]
+               [--profile migratory|uniform|adversarial|kernel|all]
                [--artifacts DIR] [--inject NAME] [--no-shrink]
                [--verbose] [--telemetry-dir DIR]
 
@@ -100,7 +100,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="first seed (default 0)")
     parser.add_argument("--profile", choices=[*PROFILES, "all"],
                         default="all",
-                        help="fuzz profile (default: all three)")
+                        help="fuzz profile (default: all of them)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: REPRO_JOBS or "
                         "serial; 0 = all CPUs); output is identical for "

@@ -3,7 +3,7 @@
 Every fuzz case is a pure function of ``(profile, seed)``: the same pair
 always yields the same machine geometry and byte-identical trace, which
 is what makes ``repro-fuzz`` runs reproducible and lets a failing seed
-be named in a bug report.  Three profiles are provided:
+be named in a bug report.  Four profiles are provided:
 
 * ``migratory`` — compositions of the synthetic sharing patterns the
   paper studies (migratory objects, lock-style read-modify-write
@@ -17,6 +17,11 @@ be named in a bug report.  Three profiles are provided:
   ping-pong, false sharing inside one block, eviction sweeps sized to
   overflow tiny caches mid-pattern, and silent-upgrade probes (write
   then remote read then write again).
+* ``kernel`` — migratory/uniform traffic under geometries chosen to be
+  mostly *kernel-eligible* (infinite or roomy eviction-free caches, see
+  :mod:`repro.kernels`), so the oracle's kernel-diff stage replays on
+  the table-driven kernels rather than falling back; a slice of tiny
+  geometries keeps the fallback decision itself under test.
 
 Machine geometry (processor count, block size, finite vs infinite
 caches, associativity, replacement policy) is fuzzed along with the
@@ -35,7 +40,7 @@ from repro.trace import synth
 from repro.trace.core import Trace
 
 #: The recognised fuzz profiles, in CLI order.
-PROFILES = ("migratory", "uniform", "adversarial")
+PROFILES = ("migratory", "uniform", "adversarial", "kernel")
 
 #: Hard ceiling on trace length so one case replays in milliseconds.
 MAX_OPS = 512
@@ -266,7 +271,23 @@ def generate_case(seed: int, profile: str) -> FuzzCase:
     rng = _rng_for(profile, seed)
     num_procs = rng.choice([2, 3, 4, 4, 6])
     block_size = rng.choice([16, 16, 32, 64])
-    if rng.random() < 0.5:
+    if profile == "kernel":
+        # Mostly kernel-eligible geometry (infinite, or finite with far
+        # more sets than distinct fuzzed blocks so the eviction-free
+        # precheck passes); the tail slice is deliberately tiny so the
+        # kernel-vs-fallback decision is fuzzed too.
+        num_procs = rng.choice([2, 4, 6, 8])
+        if rng.random() < 0.6:
+            cache_size, associativity, replacement = None, 4, "lru"
+        elif rng.random() < 0.7:
+            associativity = rng.choice([2, 4])
+            cache_size = block_size * associativity * 64
+            replacement = "lru"
+        else:
+            associativity = rng.choice([1, 2])
+            cache_size = block_size * associativity * rng.choice([1, 2])
+            replacement = rng.choice(["lru", "fifo", "random"])
+    elif rng.random() < 0.5:
         cache_size, associativity, replacement = None, 4, "lru"
     else:
         associativity = rng.choice([1, 2, 4])
@@ -277,6 +298,11 @@ def generate_case(seed: int, profile: str) -> FuzzCase:
         accesses = _migratory_trace(rng, num_procs, block_size)
     elif profile == "uniform":
         accesses = _uniform_trace(rng, num_procs, block_size)
+    elif profile == "kernel":
+        if rng.random() < 0.5:
+            accesses = _migratory_trace(rng, num_procs, block_size)
+        else:
+            accesses = _uniform_trace(rng, num_procs, block_size)
     else:
         accesses = _adversarial_trace(rng, num_procs, block_size, cache_size)
     accesses = _truncate(accesses, rng)

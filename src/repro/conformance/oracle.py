@@ -1,7 +1,7 @@
 """The differential cross-engine oracle.
 
 One fuzz case is replayed through every engine the repository ships and
-each replay is audited three ways:
+each replay is audited four ways:
 
 1. **Invariant-clean state at every step.**  The generic (unpacked)
    replay runs with the built-in checker enabled, which asserts the
@@ -10,13 +10,23 @@ each replay is audited three ways:
    operation.
 2. **Bit-identical packed replay.**  A second, checker-free machine
    replays the same trace through the packed-trace fast path
-   (:meth:`PackedTrace.blocks_column` et al.); every statistic the
-   machine produces — message/bus counters including the per-cause
-   breakdowns, cache event counters, invalidation-size histograms —
-   must be *exactly* equal to the generic replay's.  This is the
-   contract PR 1 introduced and every future fast-path change must
-   keep.
-3. **Sequential-consistency reference model.**  An independent flat
+   (:meth:`PackedTrace.blocks_column` et al.), with the table-driven
+   kernels pinned off so the *legacy* packed loop is what is measured;
+   every statistic the machine produces — message/bus counters
+   including the per-cause breakdowns, cache event counters,
+   invalidation-size histograms — must be *exactly* equal to the
+   generic replay's.  This is the contract PR 1 introduced and every
+   future fast-path change must keep.
+3. **Bit-identical kernel replay.**  A third machine replays with the
+   table-driven kernels of :mod:`repro.kernels` eligible (they engage
+   or fall back on their own gating rules); its statistics *and* its
+   final microarchitectural state — every cache line's state, dirty
+   bit and competitive counter, every directory entry's classification,
+   copy set, invalidator and evidence streak, the transition counters —
+   must be exactly equal to the packed replay's.  This stage also
+   covers the update-family snooping protocols, which the invariant/SC
+   stages exclude.
+4. **Sequential-consistency reference model.**  An independent flat
    memory model tracks, per block, the globally latest write version;
    after the replay the machine's observed version history must agree
    with it, and every engine must agree with every other (the final
@@ -44,12 +54,17 @@ from repro.directory.policy import (
     CONVENTIONAL,
     AdaptivePolicy,
 )
+from repro.kernels import registry
 from repro.snooping.machine import BusMachine
 from repro.snooping.protocols import (
     AdaptiveSnoopingProtocol,
     AlwaysMigrateProtocol,
     MesiProtocol,
     SnoopingProtocol,
+)
+from repro.snooping.update_protocols import (
+    CompetitiveUpdateProtocol,
+    WriteUpdateProtocol,
 )
 from repro.system.machine import DirectoryMachine
 from repro.telemetry.runtime import span
@@ -69,14 +84,23 @@ DEFAULT_SNOOP_FACTORIES: tuple[Callable[[], SnoopingProtocol], ...] = (
     AlwaysMigrateProtocol,
 )
 
+#: Snooping protocol factories audited by the kernel-diff stage only.
+#: The update family is excluded from the invariant/SC stages (remote
+#: copies stay current, so the read-latest-write property is trivially
+#: a different contract), but legacy-vs-kernel equality still applies.
+KERNEL_ONLY_SNOOP_FACTORIES: tuple[Callable[[], SnoopingProtocol], ...] = (
+    WriteUpdateProtocol,
+    lambda: CompetitiveUpdateProtocol(1),
+)
+
 
 @dataclass(frozen=True)
 class CaseFailure:
     """One conformance discrepancy.
 
     Attributes:
-        stage: which audit failed — ``"invariants"``, ``"packed-diff"``
-            or ``"sc-reference"``.
+        stage: which audit failed — ``"invariants"``, ``"packed-diff"``,
+            ``"kernel-diff"`` or ``"sc-reference"``.
         engine: the engine label, e.g. ``"directory[basic]"``.
         detail: human-readable description of the discrepancy.
     """
@@ -119,12 +143,16 @@ def _replay_reference(case: FuzzCase) -> SCReference:
     return ref
 
 
-def _diff_fields(pairs: Sequence[tuple[str, object, object]]) -> str | None:
-    """Describe the first few mismatching (name, generic, packed) triples."""
+def _diff_fields(
+    pairs: Sequence[tuple[str, object, object]],
+    labels: tuple[str, str] = ("generic", "packed"),
+) -> str | None:
+    """Describe the first few mismatching (name, left, right) triples."""
+    left, right = labels
     diffs = [
-        f"{name}: generic={generic!r} packed={packed!r}"
-        for name, generic, packed in pairs
-        if generic != packed
+        f"{name}: {left}={a!r} {right}={b!r}"
+        for name, a, b in pairs
+        if a != b
     ]
     if not diffs:
         return None
@@ -140,6 +168,64 @@ def _cache_stats_fields(stats) -> list[tuple[str, object]]:
         ("upgrades", stats.upgrades),
         ("evictions_clean", stats.evictions_clean),
         ("evictions_dirty", stats.evictions_dirty),
+    ]
+
+
+def _final_lines(machine) -> list[tuple]:
+    """Every resident cache line as (proc, block, state, dirty, counter).
+
+    Line versions are deliberately excluded: they belong to the checker,
+    which only runs on the generic replay.
+    """
+    out = []
+    for proc, cache in enumerate(machine.caches):
+        for block in sorted(cache.resident_blocks()):
+            line = cache.lookup(block)
+            out.append((proc, block, line.state, line.dirty, line.counter))
+    return out
+
+
+def _directory_entries(machine) -> dict[int, tuple]:
+    """Every directory entry's observable fields, keyed by block."""
+    return {
+        block: (ent.state, tuple(sorted(ent.copyset)),
+                ent.last_invalidator, ent.streak)
+        for block, ent in machine.protocol.entries.items()
+    }
+
+
+def _directory_pairs(a, b) -> list[tuple[str, object, object]]:
+    """Statistic comparison triples for two directory machines."""
+    return [
+        ("short", a.stats.short, b.stats.short),
+        ("data", a.stats.data, b.stats.data),
+        ("by_cause_short", a.stats.by_cause_short, b.stats.by_cause_short),
+        ("by_cause_data", a.stats.by_cause_data, b.stats.by_cause_data),
+        ("invalidation_sizes", a.invalidation_sizes, b.invalidation_sizes),
+    ] + [
+        (name, left, right)
+        for (name, left), (_, right) in zip(
+            _cache_stats_fields(a.cache_stats),
+            _cache_stats_fields(b.cache_stats),
+        )
+    ]
+
+
+def _snooping_pairs(a, b) -> list[tuple[str, object, object]]:
+    """Statistic comparison triples for two bus machines."""
+    return [
+        ("read_miss", a.bus_stats.read_miss, b.bus_stats.read_miss),
+        ("write_miss", a.bus_stats.write_miss, b.bus_stats.write_miss),
+        ("invalidation", a.bus_stats.invalidation, b.bus_stats.invalidation),
+        ("writeback", a.bus_stats.writeback, b.bus_stats.writeback),
+        ("update", a.bus_stats.update, b.bus_stats.update),
+        ("by_kind", a.bus_stats.by_kind, b.bus_stats.by_kind),
+    ] + [
+        (name, left, right)
+        for (name, left), (_, right) in zip(
+            _cache_stats_fields(a.cache_stats),
+            _cache_stats_fields(b.cache_stats),
+        )
     ]
 
 
@@ -181,29 +267,31 @@ def _run_directory(
     if mismatch is not None:
         return CaseFailure("sc-reference", label, mismatch)
     packed = machine_factory(config, policy, check=False)
-    with span("conformance.replay", engine=label, stage="packed"):
-        packed.run(case.trace)
-    diff = _diff_fields(
-        [
-            ("short", checked.stats.short, packed.stats.short),
-            ("data", checked.stats.data, packed.stats.data),
-            ("by_cause_short", checked.stats.by_cause_short,
-             packed.stats.by_cause_short),
-            ("by_cause_data", checked.stats.by_cause_data,
-             packed.stats.by_cause_data),
-            ("invalidation_sizes", checked.invalidation_sizes,
-             packed.invalidation_sizes),
-        ]
-        + [
-            (name, generic, packed_value)
-            for (name, generic), (_, packed_value) in zip(
-                _cache_stats_fields(checked.cache_stats),
-                _cache_stats_fields(packed.cache_stats),
-            )
-        ]
-    )
+    with registry.disabled():
+        # Pin the legacy packed loop so this stage keeps auditing it
+        # even on geometries where the kernel would engage.
+        with span("conformance.replay", engine=label, stage="packed"):
+            packed.run(case.trace)
+    diff = _diff_fields(_directory_pairs(checked, packed))
     if diff is not None:
         return CaseFailure("packed-diff", label, diff)
+    kernel = machine_factory(config, policy, check=False)
+    with span("conformance.replay", engine=label, stage="kernel"):
+        kernel.run(case.trace)
+    diff = _diff_fields(
+        _directory_pairs(packed, kernel)
+        + [
+            ("transitions", packed.protocol.transitions,
+             kernel.protocol.transitions),
+            ("entries", _directory_entries(packed),
+             _directory_entries(kernel)),
+            ("lines", _final_lines(packed), _final_lines(kernel)),
+        ],
+        labels=("packed", "kernel"),
+    )
+    if diff is not None:
+        return CaseFailure("kernel-diff", f"directory-kernel[{policy.name}]",
+                           diff)
     return None
 
 
@@ -226,31 +314,47 @@ def _run_snooping(
     if mismatch is not None:
         return CaseFailure("sc-reference", label, mismatch)
     packed = machine_factory(config, protocol_factory(), check=False)
-    with span("conformance.replay", engine=label, stage="packed"):
-        packed.run(case.trace)
-    diff = _diff_fields(
-        [
-            ("read_miss", checked.bus_stats.read_miss,
-             packed.bus_stats.read_miss),
-            ("write_miss", checked.bus_stats.write_miss,
-             packed.bus_stats.write_miss),
-            ("invalidation", checked.bus_stats.invalidation,
-             packed.bus_stats.invalidation),
-            ("writeback", checked.bus_stats.writeback,
-             packed.bus_stats.writeback),
-            ("update", checked.bus_stats.update, packed.bus_stats.update),
-            ("by_kind", checked.bus_stats.by_kind, packed.bus_stats.by_kind),
-        ]
-        + [
-            (name, generic, packed_value)
-            for (name, generic), (_, packed_value) in zip(
-                _cache_stats_fields(checked.cache_stats),
-                _cache_stats_fields(packed.cache_stats),
-            )
-        ]
-    )
+    with registry.disabled():
+        # Pin the legacy packed loop so this stage keeps auditing it
+        # even on geometries where the kernel would engage.
+        with span("conformance.replay", engine=label, stage="packed"):
+            packed.run(case.trace)
+    diff = _diff_fields(_snooping_pairs(checked, packed))
     if diff is not None:
         return CaseFailure("packed-diff", label, diff)
+    return _snooping_kernel_diff(case, protocol_factory, machine_factory,
+                                 packed)
+
+
+def _snooping_kernel_diff(
+    case: FuzzCase,
+    protocol_factory: Callable[[], SnoopingProtocol],
+    machine_factory: Callable[..., BusMachine],
+    baseline: BusMachine | None = None,
+) -> CaseFailure | None:
+    """Kernel-eligible replay vs the legacy engine, state and all.
+
+    When ``baseline`` is None (the kernel-only protocols), the legacy
+    reference replay is produced here under :func:`registry.disabled`.
+    """
+    protocol = protocol_factory()
+    label = f"bus-kernel[{protocol.name}]"
+    config = case.machine_config()
+    if baseline is None:
+        baseline = machine_factory(config, protocol_factory(), check=False)
+        with registry.disabled():
+            with span("conformance.replay", engine=label, stage="legacy"):
+                baseline.run(case.trace)
+    kernel = machine_factory(config, protocol, check=False)
+    with span("conformance.replay", engine=label, stage="kernel"):
+        kernel.run(case.trace)
+    diff = _diff_fields(
+        _snooping_pairs(baseline, kernel)
+        + [("lines", _final_lines(baseline), _final_lines(kernel))],
+        labels=("packed", "kernel"),
+    )
+    if diff is not None:
+        return CaseFailure("kernel-diff", label, diff)
     return None
 
 
@@ -282,6 +386,10 @@ def run_case(
             return failure
     for factory in snoop_factories:
         failure = _run_snooping(case, factory, bus_machine, ref)
+        if failure is not None:
+            return failure
+    for factory in KERNEL_ONLY_SNOOP_FACTORIES:
+        failure = _snooping_kernel_diff(case, factory, bus_machine)
         if failure is not None:
             return failure
     return None

@@ -2,11 +2,19 @@
 
 Figure 2 presents the adaptive snooping protocol as two tables: the
 transitions taken on local cache events and those taken on bus requests.
-Rather than hard-coding the figure, this module *derives* both tables from
-the implementation by placing caches in each state and observing the
-protocol's behaviour, then renders them in the paper's layout.  The
-benchmark compares the derived table against the published one, making the
-implementation-vs-paper correspondence executable.
+Rather than hard-coding the figure, this module *derives* both tables
+from the implementation by observing the protocol's behaviour, then
+renders them in the paper's layout.  The benchmark compares the derived
+table against the published one, making the implementation-vs-paper
+correspondence executable.
+
+The derive-by-observation probing originally lived here; it has since
+been promoted into the kernel compiler
+(:func:`repro.kernels.tables.compile_snoop_rows`), which probes every
+protocol this way to build the table-driven replay kernels.  This
+module now just *reads* those compiled rows back into the figure's
+vocabulary — so the rendered Figure 2 and the tables the kernels replay
+with are one and the same artifact.
 """
 
 from __future__ import annotations
@@ -14,7 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
-from repro.cache.core import InfiniteCache
+from repro.kernels.tables import (
+    DIRTY_SNOOP,
+    SNOOP_INDEX,
+    SNOOP_STATES,
+    SnoopRows,
+    compile_snoop_rows,
+)
 from repro.snooping.protocols import AdaptiveSnoopingProtocol
 from repro.snooping.states import SnoopState as St
 
@@ -42,102 +56,76 @@ class LocalRow:
     new_state: str
 
 
-def _caches_with_holder(state: St, dirty: bool) -> list[InfiniteCache]:
-    caches = [InfiniteCache(), InfiniteCache()]
-    caches[0].insert(BLOCK, state, dirty)
-    return caches
+def _rows() -> SnoopRows:
+    return compile_snoop_rows(AdaptiveSnoopingProtocol())
 
 
-def _state_name(line) -> str:
-    return "I" if line is None else line.state.name
+def _name(state_idx: int) -> str:
+    return "I" if state_idx == 0 else SNOOP_STATES[state_idx].name
 
 
 def derive_bus_table() -> list[BusRow]:
-    """Probe every (holder state, bus request) pair."""
-    protocol = AdaptiveSnoopingProtocol()
-    rows = []
-    for state, dirty in (
-        (St.E, False),
-        (St.D, True),
-        (St.S2, False),
-        (St.S, False),
-        (St.MC, False),
-        (St.MD, True),
-    ):
-        # Read-miss request from processor 1.
-        caches = _caches_with_holder(state, dirty)
-        fill_state, _fill_dirty = protocol.read_miss_fill(caches, 1, BLOCK)
-        asserted = {St.MC: "M", St.S: "S", St.E: "-"}[fill_state]
-        rows.append(
-            BusRow(state.name, "Brmr", _state_name(caches[0].lookup(BLOCK)),
-                   asserted, dirty)
-        )
-        # Write-miss request from processor 1.
-        caches = _caches_with_holder(state, dirty)
-        fill_state, _fill_dirty = protocol.write_miss_fill(caches, 1, BLOCK)
-        asserted = "M" if fill_state is St.MD else "-"
-        rows.append(
-            BusRow(state.name, "Bwmr", _state_name(caches[0].lookup(BLOCK)),
-                   asserted, dirty)
-        )
-        # Invalidation requests only ever see S2 or S holders.
+    """Read every (holder state, bus request) pair off the compiled rows."""
+    rows = _rows()
+    s_idx = SNOOP_INDEX[St.S]
+    table = []
+    for state in (St.E, St.D, St.S2, St.S, St.MC, St.MD):
+        idx = SNOOP_INDEX[state]
+        dirty = idx in DIRTY_SNOOP
+        # Read-miss request: holder reaction + the line the fill implies.
+        new_s, _c, fill_s, _d = rows.read_react[(idx, 0)]
+        asserted = {St.MC: "M", St.S: "S", St.E: "-"}[SNOOP_STATES[fill_s]]
+        table.append(BusRow(state.name, "Brmr", _name(new_s), asserted, dirty))
+        # Write-miss request.
+        new_s, _c, fill_s, _d = rows.write_react[(idx, 0)]
+        asserted = "M" if SNOOP_STATES[fill_s] is St.MD else "-"
+        table.append(BusRow(state.name, "Bwmr", _name(new_s), asserted, dirty))
+        # Invalidation requests only ever see S2 or S holders (writer in S).
         if state in (St.S2, St.S):
-            caches = _caches_with_holder(state, dirty)
-            caches[1].insert(BLOCK, St.S, False)
-            writer_line = caches[1].lookup(BLOCK)
-            protocol.write_hit_invalidate(caches, 1, BLOCK, writer_line)
-            asserted = "M" if writer_line.state is St.MD else "-"
-            rows.append(
-                BusRow(state.name, "Bir", _state_name(caches[0].lookup(BLOCK)),
-                       asserted, False)
-            )
-    return rows
+            new_s, _c = rows.wh_remote[(idx, 0)]
+            local_s, _c = rows.wh_local[(s_idx, idx, 0)]
+            asserted = "M" if SNOOP_STATES[local_s] is St.MD else "-"
+            table.append(BusRow(state.name, "Bir", _name(new_s), asserted,
+                                False))
+    return table
 
 
 def derive_local_table() -> list[LocalRow]:
-    """Probe every (local state, cache event, bus reply) combination."""
-    protocol = AdaptiveSnoopingProtocol()
-    rows = []
-    # I + Crm with each possible reply.
-    for remote, dirty, reply in (
-        (None, False, "¬M∧¬S"),
-        (St.S, False, "S"),
-        (St.MD, True, "M"),
-    ):
-        caches = [InfiniteCache(), InfiniteCache()]
-        if remote is not None:
-            caches[1].insert(BLOCK, remote, dirty)
-        fill_state, fill_dirty = protocol.read_miss_fill(caches, 0, BLOCK)
-        caches[0].insert(BLOCK, fill_state, fill_dirty)
-        rows.append(LocalRow("I", "Crm", reply, fill_state.name))
+    """Read every (local state, event, reply) combination off the rows."""
+    rows = _rows()
+    s_idx, s2_idx = SNOOP_INDEX[St.S], SNOOP_INDEX[St.S2]
+    table = []
+    # I + Crm with each possible reply: cold, a Shared holder, a
+    # Migratory-Dirty holder.
+    for holder, reply in ((None, "¬M∧¬S"), (St.S, "S"), (St.MD, "M")):
+        if holder is None:
+            fill_s = rows.read_cold[0]
+        else:
+            fill_s = rows.read_react[(SNOOP_INDEX[holder], 0)][2]
+        table.append(LocalRow("I", "Crm", reply, _name(fill_s)))
     # I + Cwm with each possible reply.
-    for remote, dirty, reply in ((None, False, "¬M"), (St.D, True, "M")):
-        caches = [InfiniteCache(), InfiniteCache()]
-        if remote is not None:
-            caches[1].insert(BLOCK, remote, dirty)
-        fill_state, fill_dirty = protocol.write_miss_fill(caches, 0, BLOCK)
-        rows.append(LocalRow("I", "Cwm", reply, fill_state.name))
+    for holder, reply in ((None, "¬M"), (St.D, "M")):
+        if holder is None:
+            fill_s = rows.write_cold[0]
+        else:
+            fill_s = rows.write_react[(SNOOP_INDEX[holder], 0)][2]
+        table.append(LocalRow("I", "Cwm", reply, _name(fill_s)))
     # Silent write hits.
     for state in (St.E, St.MC):
-        caches = _caches_with_holder(state, False)
-        line = caches[0].lookup(BLOCK)
-        assert not protocol.write_hit_needs_bus(line)
-        protocol.write_hit_silent(line)
-        rows.append(LocalRow(state.name, "Cwh", "(silent)", line.state.name))
+        idx = SNOOP_INDEX[state]
+        assert not rows.needs_bus[idx]
+        table.append(LocalRow(state.name, "Cwh", "(silent)",
+                              _name(rows.silent[idx])))
     # Write hits needing the bus: S2 (other copy in S), S vs S2, S vs S.
     for own, other, reply in (
         (St.S2, St.S, "¬M"),
         (St.S, St.S2, "M"),
         (St.S, St.S, "¬M"),
     ):
-        caches = [InfiniteCache(), InfiniteCache()]
-        caches[0].insert(BLOCK, own, False)
-        caches[1].insert(BLOCK, other, False)
-        line = caches[0].lookup(BLOCK)
-        assert protocol.write_hit_needs_bus(line)
-        protocol.write_hit_invalidate(caches, 0, BLOCK, line)
-        rows.append(LocalRow(own.name, "Cwh+Bir", reply, line.state.name))
-    return rows
+        assert rows.needs_bus[SNOOP_INDEX[own]]
+        local_s, _c = rows.wh_local[(SNOOP_INDEX[own], SNOOP_INDEX[other], 0)]
+        table.append(LocalRow(own.name, "Cwh+Bir", reply, _name(local_s)))
+    return table
 
 
 def render() -> str:

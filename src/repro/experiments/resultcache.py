@@ -75,7 +75,8 @@ _DISABLE_VALUES = {"off", "0", "no", "false", "disable", "disabled"}
 #: they observe replays, they do not change results.
 _ENGINE_PACKAGES = (
     "analysis", "cache", "common", "directory", "experiments",
-    "interconnect", "snooping", "system", "timing", "trace", "workloads",
+    "interconnect", "kernels", "snooping", "system", "timing", "trace",
+    "workloads",
 )
 
 _engine_tag: str | None = None
@@ -141,10 +142,18 @@ def policy_digest(policy) -> str:
     The display ``name`` is excluded: it labels table columns but never
     reaches the protocol engine, so e.g. the hysteresis ablation's
     ``threshold-1`` point shares its cache entry with ``basic``.
+
+    The compiled kernel table digest (:mod:`repro.kernels.tables`) is
+    folded in: replays may run on the table-driven kernel, so the key
+    must change whenever the *compiled* behaviour changes, even if a
+    code edit slipped past the engine tag.
     """
+    from repro.kernels.tables import dir_table_digest
+
     return (
         f"policy|{policy.migratory_threshold}|{policy.initial_migratory}"
         f"|{policy.remember_uncached}|{policy.demote_on_migratory_write_miss}"
+        f"|ktable:{dir_table_digest(policy)}"
     )
 
 
@@ -153,12 +162,17 @@ def protocol_digest(protocol) -> str:
 
     Snooping protocols encode their constructor parameters in ``name``
     (``competitive-update(4)``), so class + name + reply/update flags
-    pins the behaviour.
+    pins the behaviour.  The compiled kernel table digest is folded in
+    for the same reason as in :func:`policy_digest` (``"uncompiled"``
+    for protocols outside the kernel envelope).
     """
+    from repro.kernels.tables import snoop_table_digest
+
     return (
         f"protocol|{type(protocol).__qualname__}|{protocol.name}"
         f"|{getattr(protocol, 'invalidations_need_reply', None)}"
         f"|{getattr(protocol, 'updates_remote_copies', None)}"
+        f"|ktable:{snoop_table_digest(protocol)}"
     )
 
 

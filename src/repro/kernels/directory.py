@@ -1,0 +1,349 @@
+"""Table-driven replay for :class:`repro.system.machine.DirectoryMachine`.
+
+With no evictions, cache contents couple blocks only through capacity,
+so every block's coherence life is an independent finite state machine:
+(per-node line states, directory state, evidence streak, last
+invalidator).  The kernel packs that machine state into one integer,
+grows a DFA over it lazily (one sub-DFA per home node, since Table 1
+charges depend on whether the actor is home), and replays each block's
+access sequence (:meth:`PackedTrace.block_sequences`) as a tight
+walk appending one interned delta index per access.  Whole-walk results
+are cached per (home, sequence), so re-replaying a workload — the
+result-cache warm path, sweeps over policies sharing traffic patterns —
+reduces to dictionary lookups and integer adds.
+
+``try_replay`` returns ``None`` without touching the machine whenever
+the replay falls outside the kernel envelope (see the gate comments);
+the caller then runs the packed loop, keeping behavior identical.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cache.core import InfiniteCache, SetAssociativeCache
+from repro.common.errors import ProtocolError
+from repro.common.stats import CacheStats, MessageStats
+from repro.directory.entry import DirectoryEntry
+from repro.directory.protocol import DirectoryProtocol
+from repro.directory.representation import FullMapDirectory
+from repro.interconnect.costs import (
+    read_miss_counts,
+    write_hit_counts,
+    write_miss_counts,
+)
+from repro.kernels import registry
+from repro.kernels.tables import (
+    DIR_STATES,
+    KernelUnsupported,
+    ONE_COPY_MIG_IDX,
+)
+from repro.system.placement import BestStaticPlacement, RoundRobinPlacement
+
+#: Stateless placements whose ``home`` is a pure function of the page.
+#: (First-touch is stateful — homes depend on access order across blocks
+#: — so it replays on the object paths.)
+_PLACEMENT_TYPES = (RoundRobinPlacement, BestStaticPlacement)
+
+# Delta vector layout (17th slot is the invalidation size, not additive):
+# 0 read_hits  1 read_misses  2 write_hits  3 write_misses  4 upgrades
+# 5 short  6 data  7/8 read_miss short/data  9/10 write_miss short/data
+# 11/12 write_hit short/data  13 promote  14 demote  15 evidence
+_VEC = 16
+
+
+def _members(lines: int) -> list[tuple[int, int]]:
+    """Decode the packed per-node fields into ``(node, field)`` pairs."""
+    members = []
+    p = 0
+    while lines:
+        f = lines & 3
+        if f:
+            members.append((p, f))
+        lines >>= 2
+        p += 1
+    return members
+
+
+def _expand(table, home: int, node: list, sym: int):
+    """Grow one DFA edge by running the integer protocol semantics.
+
+    Mirrors ``DirectoryMachine._access_block`` and its miss/upgrade
+    handlers exactly: per-node line fields (0 absent, 1 SHARED, 2
+    EXCL-clean, 3 EXCL-dirty) play the caches and the copy set, the
+    compiled rows play :class:`DirectoryProtocol`, and the Table 1
+    helpers are evaluated here — once per edge, never per access.
+    """
+    rows = table.rows
+    key = node[-1]
+    proc = sym >> 1
+    shift2 = 2 * table.num_procs
+    lines = key & ((1 << shift2) - 1)
+    ds = (key >> shift2) & 7
+    streak = (key >> (shift2 + 3)) & 127
+    li = key >> (shift2 + 10)  # last_invalidator + 1; 0 means None
+    pf = (lines >> (2 * proc)) & 3
+    d = [0] * _VEC
+    inv_size = 0
+    new_lines = lines
+    nds, nstreak, nli = ds, streak, li
+    if not sym & 1:
+        if pf:
+            d[0] = 1  # read hit: touch only, no protocol involvement
+        else:
+            d[1] = 1
+            members = _members(lines)
+            ncopies = len(members)
+            # A dirty copy only exists while the copy set is a singleton
+            # (same invariant DirectoryMachine._dirty_owner relies on).
+            dirty = 1 if ncopies == 1 and members[0][1] == 3 else 0
+            was_migratory = ds == ONE_COPY_MIG_IDX
+            nds, nstreak, promote, demote, evidence, migrate = (
+                rows.read_miss[(ds, streak, dirty)]
+            )
+            d[13], d[14], d[15] = promote, demote, evidence
+            if dirty:
+                dc = sum(1 for p, _ in members if p != proc and p != home)
+                short, data = read_miss_counts(proc == home, True, dc)
+            else:
+                short, data = read_miss_counts(proc == home, False, 0)
+            d[5] = d[7] = short
+            d[6] = d[8] = data
+            if migrate:
+                if dirty:
+                    new_lines &= ~(3 << (2 * members[0][0]))
+                new_lines |= 2 << (2 * proc)  # fill EXCL clean
+            else:
+                if dirty:
+                    owner = members[0][0]  # demoted SHARED, flushed clean
+                    new_lines = new_lines & ~(3 << (2 * owner)) | (1 << (2 * owner))
+                elif was_migratory or ncopies == 1:
+                    # Revoke any clean-exclusive holder's silent-write
+                    # permission, as the replicating read miss does.
+                    for p, f in members:
+                        if f == 2:
+                            new_lines = new_lines & ~(3 << (2 * p)) | (1 << (2 * p))
+                new_lines |= 1 << (2 * proc)  # fill SHARED
+    elif pf >= 2:
+        d[2] = 1  # silent write on an exclusive copy
+        new_lines |= 3 << (2 * proc)
+    elif pf == 1:
+        d[2] = d[4] = 1  # shared write hit: upgrade
+        members = _members(lines)
+        others = [p for p, _ in members if p != proc]
+        same = 1 if li == proc + 1 else 0
+        nds, nstreak, promote, demote, evidence = (
+            rows.write_hit[(ds, streak, same, 0 if others else 1)]
+        )
+        d[13], d[14], d[15] = promote, demote, evidence
+        dc = sum(1 for p in others if p != home)
+        short, data = write_hit_counts(proc == home, dc)
+        d[5] = d[11] = short
+        d[6] = d[12] = data
+        if others:
+            inv_size = len(others)
+            for p in others:
+                new_lines &= ~(3 << (2 * p))
+        new_lines |= 3 << (2 * proc)
+        nli = proc + 1
+    else:
+        d[3] = 1  # write miss
+        members = _members(lines)
+        ncopies = len(members)
+        dirty = 1 if ncopies == 1 and members[0][1] == 3 else 0
+        same = 1 if li == proc + 1 else 0
+        nds, nstreak, promote, demote, evidence = (
+            rows.write_miss[(ds, streak, same, dirty)]
+        )
+        d[13], d[14], d[15] = promote, demote, evidence
+        dc = sum(1 for p, _ in members if p != proc and p != home)
+        short, data = write_miss_counts(proc == home, dirty, dc)
+        d[5] = d[9] = short
+        d[6] = d[10] = data
+        if ncopies:
+            inv_size = ncopies
+        new_lines = 3 << (2 * proc)  # all other copies invalidated
+        nli = proc + 1
+    nkey = (new_lines | (nds << shift2) | (nstreak << (shift2 + 3))
+            | (nli << (shift2 + 10)))
+    edge = (table.node((home, nkey), nkey), table.intern_delta((*d, inv_size)))
+    node[sym] = edge
+    return edge
+
+
+def _delta_counts(out: list[int]):
+    """Occurrence counts of each delta index, via C-level byte scans."""
+    distinct = set(out)
+    try:
+        buf = bytes(out)
+    except ValueError:  # more than 256 interned deltas in this table
+        return Counter(out).items()
+    return [(idx, buf.count(idx)) for idx in distinct]
+
+
+def _walk(table, home: int, root: list, seq: bytes):
+    """Replay one block's symbol sequence; return the walk summary."""
+    node = root
+    out: list[int] = []
+    append = out.append
+    for sym in seq:
+        edge = node[sym]
+        if edge is None:
+            edge = _expand(table, home, node, sym)
+        append(edge[1])
+        node = edge[0]
+    totals = [0] * _VEC
+    inv: dict[int, int] = {}
+    deltas = table.deltas
+    for idx, count in _delta_counts(out):
+        delta = deltas[idx]
+        totals = [t + count * v for t, v in zip(totals, delta)]
+        if delta[_VEC]:
+            inv[delta[_VEC]] = inv.get(delta[_VEC], 0) + count
+    return tuple(totals), tuple(sorted(inv.items())), node[-1]
+
+
+def try_replay(machine, packed):
+    """Replay ``packed`` on the kernel, or return ``None`` untouched.
+
+    The envelope (each gate falls back to the packed loop, which is
+    always correct): kernels enabled; exact production component types
+    (subclassed machines/placements/representations may observe steps
+    the kernel elides); no per-block message tracking; processor ids
+    packable; a fresh machine; and an eviction-free replay — infinite
+    caches, or a finite geometry where no cache set ever sees more
+    distinct blocks than it has ways, so replacement (and its RNG, LRU
+    order, writebacks, notifications) cannot be observed.
+    """
+    if not registry.kernels_enabled():
+        return None
+    config = machine.config
+    num_procs = config.num_procs
+    if num_procs > 128:
+        return None
+    if machine.block_messages is not None:
+        return None
+    if type(machine.placement) not in _PLACEMENT_TYPES:
+        return None
+    if type(machine.representation) is not FullMapDirectory:
+        return None
+    protocol = machine.protocol
+    if type(protocol) is not DirectoryProtocol:
+        return None
+    if packed.num_procs > num_procs:
+        return None
+    if (machine.stats != MessageStats()
+            or machine.cache_stats != CacheStats()
+            or protocol._entries or protocol.transitions
+            or machine.invalidation_sizes
+            or any(len(cache) for cache in machine.caches)):
+        return None
+    first = machine.caches[0] if machine.caches else None
+    finite = type(first) is SetAssociativeCache
+    if not finite and type(first) is not InfiniteCache:
+        return None
+    try:
+        seqs = packed.block_sequences(machine._block_shift)
+    except ValueError:  # a processor id outside the symbol byte
+        return None
+    if finite:
+        num_sets = config.cache.num_sets
+        ways = config.cache.associativity
+        per_set = Counter(block % num_sets for block in seqs)
+        if any(count > ways for count in per_set.values()):
+            return None
+    try:
+        table = registry.dir_table(machine.policy, num_procs)
+    except KernelUnsupported:
+        return None
+    placement = machine.placement
+    home_shift = machine._home_shift
+    seq_results = table.seq_results
+    root_key = table.rows.initial_state << (2 * num_procs)
+    totals = [0] * _VEC
+    inv_sizes: dict[int, int] = {}
+    finals: list[tuple[int, int]] = []
+    try:
+        for block, seq in seqs.items():
+            home = placement.home(block >> home_shift, 0)
+            result = seq_results.get((home, seq))
+            if result is None:
+                root = table.node((home, root_key), root_key)
+                result = _walk(table, home, root, seq)
+                table.cache_seq_result((home, seq), result)
+            vec, inv, final_key = result
+            totals = [a + b for a, b in zip(totals, vec)]
+            for size, count in inv:
+                inv_sizes[size] = inv_sizes.get(size, 0) + count
+            finals.append((block, final_key))
+    except (KernelUnsupported, KeyError):
+        # DFA capacity, or a combination outside the probed rows: the
+        # machine is untouched (mutation happens only below), so the
+        # packed loop can still run the replay.
+        return None
+    _apply(machine, totals, inv_sizes, finals)
+    registry.engagements["directory"] += 1
+    if machine.step_hook is not None:
+        raise ProtocolError(
+            "step_hook installed mid-replay on the table-driven kernel "
+            "path: the hook missed every earlier step, so its "
+            "observations are unreliable; install it before run() to "
+            "take the generic per-access path"
+        )
+    return machine.stats
+
+
+def _apply(machine, totals, inv_sizes, finals) -> None:
+    """Write the walk totals and final per-block state into the machine.
+
+    Counter keys are only created for nonzero totals, matching the
+    object engine's lazy ``by_cause``/``transitions`` population.  Cache
+    lines are re-inserted in first-touch block order; with no evictions
+    the recency order is unobservable, so this canonical order is as
+    good as the historical one.
+    """
+    cache_stats = machine.cache_stats
+    cache_stats.read_hits += totals[0]
+    cache_stats.read_misses += totals[1]
+    cache_stats.write_hits += totals[2]
+    cache_stats.write_misses += totals[3]
+    cache_stats.upgrades += totals[4]
+    stats = machine.stats
+    stats.short += totals[5]
+    stats.data += totals[6]
+    for cause, si, di in (("read_miss", 7, 8), ("write_miss", 9, 10),
+                          ("write_hit", 11, 12)):
+        if totals[si]:
+            stats.by_cause_short[cause] += totals[si]
+        if totals[di]:
+            stats.by_cause_data[cause] += totals[di]
+    transitions = machine.protocol.transitions
+    for name, i in (("promote", 13), ("demote", 14), ("evidence", 15)):
+        if totals[i]:
+            transitions[name] += totals[i]
+    if inv_sizes:
+        machine.invalidation_sizes.update(inv_sizes)
+    from repro.system.machine import CState
+
+    shared, excl = CState.SHARED, CState.EXCL
+    caches = machine.caches
+    entries = machine.protocol._entries
+    shift2 = 2 * machine.config.num_procs
+    for block, final_key in finals:
+        lines = final_key & ((1 << shift2) - 1)
+        ds = (final_key >> shift2) & 7
+        streak = (final_key >> (shift2 + 3)) & 127
+        li = final_key >> (shift2 + 10)
+        copyset = set()
+        p = 0
+        while lines:
+            f = lines & 3
+            if f:
+                copyset.add(p)
+                caches[p].insert(block, shared if f == 1 else excl, f == 3)
+            lines >>= 2
+            p += 1
+        entries[block] = DirectoryEntry(
+            state=DIR_STATES[ds], copyset=copyset,
+            last_invalidator=li - 1 if li else None, streak=streak,
+        )

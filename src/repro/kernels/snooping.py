@@ -1,0 +1,285 @@
+"""Table-driven replay for :class:`repro.snooping.machine.BusMachine`.
+
+The bus analogue of :mod:`repro.kernels.directory`: with no evictions,
+each block's snoop life is an independent finite state machine over the
+per-processor line states (and, for the competitive-update family, the
+per-copy staleness counters).  The kernel packs that state into one
+integer — ``field_bits`` bits per processor, state index in the low
+three bits, counter above — grows a single DFA lazily (bus charges do
+not depend on a home node, so one sub-DFA covers every block), and
+replays each block's symbol sequence as a tight walk appending one
+interned delta index per access.
+
+Multi-holder bus requests are composed from the compiler's single-holder
+probes: every holder's reaction depends only on its own line, and the
+requester fill / writer upgrade is the highest-:data:`RANK` candidate
+(migratory beats shared beats default — exactly the wired-OR of the
+Migratory and Shared bus lines).  A rank tie between *different*
+candidates has no wired-OR reading, so the walk aborts to the packed
+loop rather than guess.
+
+``try_replay`` returns ``None`` without touching the machine whenever
+the replay falls outside the kernel envelope; the caller then runs the
+packed loop, keeping behavior identical.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cache.core import InfiniteCache, SetAssociativeCache
+from repro.common.errors import ProtocolError
+from repro.common.stats import BusStats, CacheStats
+from repro.kernels import registry
+from repro.kernels.tables import (
+    DIRTY_SNOOP,
+    RANK,
+    SNOOP_STATES,
+    KernelUnsupported,
+)
+
+# Delta vector layout (all additive):
+# 0 read_hits  1 read_misses  2 write_hits  3 write_misses  4 upgrades
+# 5 bus read_miss  6 bus write_miss  7 invalidation  8 update
+_VEC = 9
+
+#: Delta slot charged for a bus write hit, by transaction kind.
+_WH_SLOT = {"invalidation": 7, "update": 8}
+
+
+def _holders(key: int, fb: int, skip: int) -> list[tuple[int, int, int]]:
+    """Decode the packed fields into ``(node, state, counter)`` triples,
+    skipping the requester (whose line is not snooped)."""
+    mask = (1 << fb) - 1
+    holders = []
+    p = 0
+    while key:
+        f = key & mask
+        if f and p != skip:
+            holders.append((p, f & 7, f >> 3))
+        key >>= fb
+        p += 1
+    return holders
+
+
+def _prefer(best, cand):
+    """Wired-OR composition of per-holder outcomes: highest rank wins.
+
+    ``best``/``cand`` are ``(state, counter)`` pairs (requester fills
+    carry counter 0).  Equal candidates collapse; a rank tie between
+    different candidates means the single-holder probes cannot be
+    composed, so the walk falls back.
+    """
+    if best is None or cand == best:
+        return cand
+    rb, rc = RANK[best[0]], RANK[cand[0]]
+    if rb == rc:
+        raise KernelUnsupported("ambiguous multi-holder snoop combination")
+    return cand if rc > rb else best
+
+
+def _expand(table, node: list, sym: int):
+    """Grow one DFA edge by running the integer protocol semantics.
+
+    Mirrors ``BusMachine._access_block`` exactly: the packed fields play
+    the caches, the compiled rows play the protocol handlers, and the
+    transaction/event charges are evaluated here — once per edge, never
+    per access.
+    """
+    rows = table.rows
+    key = node[-1]
+    proc = sym >> 1
+    fb = table.field_bits
+    mask = (1 << fb) - 1
+    shift = fb * proc
+    pf = (key >> shift) & mask
+    ps = pf & 7
+    d = [0] * _VEC
+    nkey = key
+    if not sym & 1:
+        if ps:
+            d[0] = 1  # read hit: touch plus the protocol's read_hit hook
+            s, c = rows.read_hit[(ps, pf >> 3)]
+            nkey = key & ~(mask << shift) | (s | c << 3) << shift
+        else:
+            d[1] = d[5] = 1
+            fill = None
+            for p, s, c in _holders(key, fb, proc):
+                ns, nc, fs, _fd = rows.read_react[(s, c)]
+                pos = fb * p
+                nkey = nkey & ~(mask << pos) | (ns | nc << 3) << pos
+                fill = _prefer(fill, (fs, 0))
+            if fill is None:
+                fill = (rows.read_cold[0], 0)
+            nkey |= (fill[0] | fill[1] << 3) << shift
+    elif ps:
+        d[2] = 1
+        if rows.needs_bus[ps]:
+            d[4] = 1  # upgrade
+            d[_WH_SLOT[rows.wh_kind]] = 1
+            local = None
+            for p, s, c in _holders(key, fb, proc):
+                ns, nc = rows.wh_remote[(s, c)]
+                pos = fb * p
+                nkey = nkey & ~(mask << pos) | (ns | nc << 3) << pos
+                local = _prefer(local, rows.wh_local[(ps, s, c)])
+            if local is None:
+                local = rows.wh_local_cold[ps]
+            nkey = nkey & ~(mask << shift) | (local[0] | local[1] << 3) << shift
+        else:
+            # Bus-silent write; the staleness counter is untouched.
+            ns = rows.silent[ps]
+            nkey = key & ~(mask << shift) | (ns | (pf >> 3) << 3) << shift
+    else:
+        d[3] = d[6] = 1
+        fill = None
+        for p, s, c in _holders(key, fb, proc):
+            ns, nc, fs, _fd = rows.write_react[(s, c)]
+            pos = fb * p
+            nkey = nkey & ~(mask << pos) | (ns | nc << 3) << pos
+            fill = _prefer(fill, (fs, 0))
+        if fill is None:
+            fill = (rows.write_cold[0], 0)
+        nkey |= (fill[0] | fill[1] << 3) << shift
+    edge = (table.node(nkey, nkey), table.intern_delta(tuple(d)))
+    node[sym] = edge
+    return edge
+
+
+def _delta_counts(out: list[int]):
+    """Occurrence counts of each delta index, via C-level byte scans."""
+    distinct = set(out)
+    try:
+        buf = bytes(out)
+    except ValueError:  # more than 256 interned deltas in this table
+        return Counter(out).items()
+    return [(idx, buf.count(idx)) for idx in distinct]
+
+
+def _walk(table, root: list, seq: bytes):
+    """Replay one block's symbol sequence; return the walk summary."""
+    node = root
+    out: list[int] = []
+    append = out.append
+    for sym in seq:
+        edge = node[sym]
+        if edge is None:
+            edge = _expand(table, node, sym)
+        append(edge[1])
+        node = edge[0]
+    totals = [0] * _VEC
+    deltas = table.deltas
+    for idx, count in _delta_counts(out):
+        totals = [t + count * v for t, v in zip(totals, deltas[idx])]
+    return tuple(totals), node[-1]
+
+
+def try_replay(machine, packed):
+    """Replay ``packed`` on the kernel, or return ``None`` untouched.
+
+    The envelope (each gate falls back to the packed loop, which is
+    always correct): kernels enabled; an exactly-shipped protocol type
+    (checked by the compiler); processor ids packable; a fresh machine;
+    and an eviction-free replay — infinite caches, or a finite geometry
+    where no cache set ever sees more distinct blocks than it has ways,
+    so replacement (and its RNG, LRU order, writebacks) cannot be
+    observed.
+    """
+    if not registry.kernels_enabled():
+        return None
+    config = machine.config
+    num_procs = config.num_procs
+    if num_procs > 128:
+        return None
+    if packed.num_procs > num_procs:
+        return None
+    if (machine.bus_stats != BusStats()
+            or machine.cache_stats != CacheStats()
+            or any(len(cache) for cache in machine.caches)):
+        return None
+    first = machine.caches[0] if machine.caches else None
+    finite = type(first) is SetAssociativeCache
+    if not finite and type(first) is not InfiniteCache:
+        return None
+    try:
+        seqs = packed.block_sequences(machine._block_shift)
+    except ValueError:  # a processor id outside the symbol byte
+        return None
+    if finite:
+        num_sets = config.cache.num_sets
+        ways = config.cache.associativity
+        per_set = Counter(block % num_sets for block in seqs)
+        if any(count > ways for count in per_set.values()):
+            return None
+    try:
+        table = registry.bus_table(machine.protocol, num_procs)
+    except (KernelUnsupported, ProtocolError):
+        return None
+    seq_results = table.seq_results
+    totals = [0] * _VEC
+    finals: list[tuple[int, int]] = []
+    try:
+        for block, seq in seqs.items():
+            result = seq_results.get(seq)
+            if result is None:
+                root = table.node(0, 0)
+                result = _walk(table, root, seq)
+                table.cache_seq_result(seq, result)
+            vec, final_key = result
+            totals = [a + b for a, b in zip(totals, vec)]
+            finals.append((block, final_key))
+    except (KernelUnsupported, KeyError):
+        # DFA capacity, an un-probed combination, or an uncomposable
+        # multi-holder snoop: the machine is untouched (mutation happens
+        # only below), so the packed loop can still run the replay.
+        return None
+    _apply(machine, table, totals, finals)
+    registry.engagements["bus"] += 1
+    if machine.step_hook is not None:
+        raise ProtocolError(
+            "step_hook installed mid-replay on the table-driven kernel "
+            "path: the hook missed every earlier step, so its "
+            "observations are unreliable; install it before run() to "
+            "take the generic per-access path"
+        )
+    return machine.bus_stats
+
+
+def _apply(machine, table, totals, finals) -> None:
+    """Write the walk totals and final per-block lines into the machine.
+
+    ``by_kind`` keys are only created for nonzero totals, matching the
+    object engine's lazy population.  Cache lines are re-inserted in
+    first-touch block order; with no evictions the recency order is
+    unobservable, so this canonical order is as good as the historical
+    one.
+    """
+    cache_stats = machine.cache_stats
+    cache_stats.read_hits += totals[0]
+    cache_stats.read_misses += totals[1]
+    cache_stats.write_hits += totals[2]
+    cache_stats.write_misses += totals[3]
+    cache_stats.upgrades += totals[4]
+    bus = machine.bus_stats
+    bus.read_miss += totals[5]
+    bus.write_miss += totals[6]
+    bus.invalidation += totals[7]
+    bus.update += totals[8]
+    for kind, i in (("read_miss", 5), ("write_miss", 6),
+                    ("invalidation", 7), ("update", 8)):
+        if totals[i]:
+            bus.by_kind[kind] += totals[i]
+    caches = machine.caches
+    fb = table.field_bits
+    mask = (1 << fb) - 1
+    for block, final_key in finals:
+        p = 0
+        while final_key:
+            f = final_key & mask
+            if f:
+                s = f & 7
+                caches[p].insert(block, SNOOP_STATES[s], s in DIRTY_SNOOP)
+                if f >> 3:
+                    caches[p].lookup(block).counter = f >> 3
+            final_key >>= fb
+            p += 1

@@ -1,0 +1,446 @@
+"""The kernel compiler: protocol objects -> dense integer rows.
+
+Rather than re-implementing any protocol, the compiler *probes* the
+shipped implementations — the same derive-by-observation technique
+:mod:`repro.experiments.fig2` uses to regenerate Figure 2's transition
+table — and records each outcome as a tuple of small integers:
+
+* :func:`compile_dir_rows` drives :class:`DirectoryProtocol` over every
+  (event, directory state, evidence streak, invalidator, dirty/sole)
+  combination reachable under a policy and captures the resulting state,
+  streak, and classification transitions.  The streak axis is closed by
+  fixpoint, so hysteresis depths other than the shipped policies' work
+  too.
+* :func:`compile_snoop_rows` plants cache lines in every snoop state
+  (and, for the competitive-update family, every staleness counter
+  value) around each bus request and captures the holder reactions and
+  requester fills.  Combinations a protocol rejects (states it can never
+  snoop) are recorded as absent; the interpreter treats hitting one as
+  "outside the kernel envelope" and falls back.
+
+Rows are plain integer tuples in deterministic dict order, so
+:func:`dir_table_digest` / :func:`snoop_table_digest` can hash them into
+the result-cache behavioral digests: recompiling identical protocol code
+yields identical digests in any process, while any change to the
+compiled behavior changes the keys.
+
+Multi-holder bus requests are composed from single-holder probes by
+taking the highest-ranked requester fill (``RANK``); exclusivity
+invariants (a Dirty/Exclusive/Migratory holder is alone; S2 implies at
+most two copies) mean at most one rank class is ever present, and the
+interpreter verifies ties are identical before trusting a combination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cache.core import CacheLine, InfiniteCache
+from repro.common.errors import ProtocolError
+from repro.directory.entry import DirState
+from repro.directory.policy import AdaptivePolicy
+from repro.directory.protocol import DirectoryProtocol
+from repro.snooping.protocols import SnoopingProtocol
+from repro.snooping.states import SnoopState as St
+
+# ---------------------------------------------------------------------------
+# Shared encodings
+# ---------------------------------------------------------------------------
+
+#: Directory states in kernel index order (3 bits).
+DIR_STATES: tuple[DirState, ...] = (
+    DirState.UNCACHED,
+    DirState.UNCACHED_MIG,
+    DirState.ONE_COPY,
+    DirState.ONE_COPY_MIG,
+    DirState.TWO_COPIES,
+    DirState.THREE_PLUS,
+)
+DIR_INDEX = {state: i for i, state in enumerate(DIR_STATES)}
+ONE_COPY_MIG_IDX = DIR_INDEX[DirState.ONE_COPY_MIG]
+
+#: Snoop states in kernel index order; index 0 means "not resident".
+SNOOP_STATES: tuple[St | None, ...] = (None, St.E, St.D, St.S2, St.S, St.MC, St.MD)
+SNOOP_INDEX = {state: i for i, state in enumerate(SNOOP_STATES) if state}
+
+#: States whose holder is dirty.  Every shipped protocol folds dirtiness
+#: into the state this way; the compiler asserts it while probing.
+DIRTY_SNOOP = frozenset((SNOOP_INDEX[St.D], SNOOP_INDEX[St.MD]))
+
+#: Priority used to combine per-holder probe outcomes for multi-holder
+#: requests: migratory assertions dominate shared replies, which dominate
+#: the no-assertion defaults.  Indexed by snoop state index.
+RANK = (0, 0, 0, 1, 1, 2, 2)
+
+#: Streak values beyond this cannot be packed into a DFA node key.
+MAX_STREAK = 64
+#: Competitive-update staleness thresholds beyond this are not compiled.
+MAX_COUNTER_THRESHOLD = 8
+
+_DIGEST_PREFIX = b"RPRO-KERNEL-TABLE-1|"
+
+
+def _digest(tag: str, parts: list) -> str:
+    h = hashlib.sha256()
+    h.update(_DIGEST_PREFIX)
+    h.update(tag.encode())
+    h.update(repr(parts).encode())
+    return h.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Directory policy rows
+# ---------------------------------------------------------------------------
+
+
+class DirRows:
+    """Dense transition rows for one directory policy.
+
+    ``read_miss[(state, streak, dirty)]`` ->
+        ``(new_state, new_streak, promote, demote, evidence, migrate)``
+    ``write_miss[(state, streak, same_invalidator, dirty)]`` and
+    ``write_hit[(state, streak, same_invalidator, sole_copy)]`` ->
+        ``(new_state, new_streak, promote, demote, evidence)``
+
+    ``same_invalidator`` is 1 when the entry's ``last_invalidator`` is the
+    acting processor (``None`` behaves as "different", exactly as the
+    protocol's ``!=`` comparisons do).  Write events additionally set the
+    invalidator to the actor — unconditional in the protocol, so it is
+    not part of the rows.
+    """
+
+    __slots__ = ("policy", "initial_state", "max_streak",
+                 "read_miss", "write_miss", "write_hit", "digest")
+
+    def __init__(self, policy: AdaptivePolicy):
+        self.policy = policy
+        self.initial_state = DIR_INDEX[
+            DirState.UNCACHED_MIG if policy.initial_migratory else DirState.UNCACHED
+        ]
+        self.read_miss: dict = {}
+        self.write_miss: dict = {}
+        self.write_hit: dict = {}
+        self.max_streak = _probe_dir_rows(policy, self)
+        self.digest = _digest("dir", [
+            self.initial_state,
+            sorted(self.read_miss.items()),
+            sorted(self.write_miss.items()),
+            sorted(self.write_hit.items()),
+        ])
+
+
+def _probe_dir_event(policy, event, state_idx, streak, same, flag):
+    """Run one protocol event against a planted entry; return the row."""
+    protocol = DirectoryProtocol(policy)
+    ent = protocol.entry(0)
+    ent.state = DIR_STATES[state_idx]
+    ent.streak = streak
+    # Actor is processor 1; "same" plants it as the last invalidator.
+    ent.last_invalidator = 1 if same else 0
+    migrate = 0
+    if event == "read_miss":
+        migrate = 1 if protocol.read_miss(0, 1, dirty=bool(flag)) else 0
+    elif event == "write_miss":
+        protocol.write_miss(0, 1, dirty=bool(flag))
+    else:
+        protocol.write_hit(0, 1, sole_copy=bool(flag))
+    t = protocol.transitions
+    row = (DIR_INDEX[ent.state], ent.streak,
+           t["promote"], t["demote"], t["evidence"])
+    return row + (migrate,) if event == "read_miss" else row
+
+
+def _probe_dir_rows(policy: AdaptivePolicy, rows: DirRows) -> int:
+    """Fill ``rows`` for every reachable ``(state, streak)`` pair.
+
+    Streaks are explored by breadth-first closure from the initial
+    state rather than densely: the protocol never resets the streak on
+    promotion, so unreachable pairs like ``(ONE_COPY, streak >=
+    threshold)`` would re-promote and push the axis out indefinitely.
+    Kernel walks start every block at ``(initial_state, 0)``, so they
+    can only visit pairs this closure probed.
+    """
+    seen = {(rows.initial_state, 0)}
+    frontier = [(rows.initial_state, 0)]
+    max_streak = 0
+    while frontier:
+        state_idx, streak = frontier.pop()
+        nexts = []
+        for flag in (0, 1):
+            row = _probe_dir_event(
+                policy, "read_miss", state_idx, streak, 0, flag)
+            rows.read_miss[(state_idx, streak, flag)] = row
+            nexts.append(row[:2])
+            for same in (0, 1):
+                wkey = (state_idx, streak, same, flag)
+                for event, table in (("write_miss", rows.write_miss),
+                                     ("write_hit", rows.write_hit)):
+                    row = _probe_dir_event(
+                        policy, event, state_idx, streak, same, flag)
+                    table[wkey] = row
+                    nexts.append(row[:2])
+        for pair in nexts:
+            if pair not in seen:
+                if pair[1] > MAX_STREAK:
+                    raise KernelUnsupported(
+                        f"streak axis did not close under {MAX_STREAK}"
+                    )
+                seen.add(pair)
+                frontier.append(pair)
+                max_streak = max(max_streak, pair[1])
+    return max_streak
+
+
+class KernelUnsupported(Exception):
+    """The protocol/policy lies outside what the compiler can lower."""
+
+
+_DIR_ROWS_CACHE: dict = {}
+
+
+def _policy_key(policy: AdaptivePolicy) -> tuple:
+    return (policy.migratory_threshold, policy.initial_migratory,
+            policy.remember_uncached, policy.demote_on_migratory_write_miss)
+
+
+def compile_dir_rows(policy: AdaptivePolicy) -> DirRows:
+    """Compile (with caching) the dense rows for ``policy``.
+
+    Raises:
+        KernelUnsupported: the policy's hysteresis depth cannot be packed.
+    """
+    threshold = policy.migratory_threshold
+    if threshold is not None and threshold > MAX_STREAK:
+        raise KernelUnsupported(f"migratory_threshold {threshold} too deep")
+    key = _policy_key(policy)
+    rows = _DIR_ROWS_CACHE.get(key)
+    if rows is None:
+        rows = _DIR_ROWS_CACHE.setdefault(key, DirRows(policy))
+    return rows
+
+
+def dir_table_digest(policy: AdaptivePolicy) -> str:
+    """Digest of the compiled rows (``"uncompiled"`` when unsupported)."""
+    try:
+        return compile_dir_rows(policy).digest
+    except (KernelUnsupported, ProtocolError):
+        return "uncompiled"
+
+
+# ---------------------------------------------------------------------------
+# Snooping protocol rows
+# ---------------------------------------------------------------------------
+
+#: Protocol types the kernel may replay.  Exact types only: subclasses
+#: (e.g. the fault-injection variants in repro.conformance.bugs) take the
+#: object paths, whose behavior they were written against.
+SNOOP_KERNEL_TYPES: tuple[type, ...] = ()
+
+
+def _snoop_kernel_types() -> tuple[type, ...]:
+    global SNOOP_KERNEL_TYPES
+    if not SNOOP_KERNEL_TYPES:
+        from repro.snooping.protocols import (
+            AdaptiveSnoopingProtocol,
+            AlwaysMigrateProtocol,
+            MesiProtocol,
+        )
+        from repro.snooping.update_protocols import (
+            CompetitiveUpdateProtocol,
+            WriteUpdateProtocol,
+        )
+        SNOOP_KERNEL_TYPES = (
+            MesiProtocol, AdaptiveSnoopingProtocol, AlwaysMigrateProtocol,
+            WriteUpdateProtocol, CompetitiveUpdateProtocol,
+        )
+    return SNOOP_KERNEL_TYPES
+
+
+class SnoopRows:
+    """Dense reaction rows for one snooping protocol.
+
+    All states are kernel indices (``SNOOP_STATES``); counters are the
+    competitive-update staleness values (always 0 for other protocols).
+
+    * ``read_cold`` / ``write_cold`` — requester fill ``(state, dirty)``
+      when no cache holds the block.
+    * ``read_react[(s, c)]`` / ``write_react[(s, c)]`` — one holder's
+      reaction to a miss: ``(new_state, new_counter, fill_state,
+      fill_dirty)`` where fill is the requester fill this holder alone
+      would produce (state 0 = the holder invalidated itself).
+    * ``needs_bus[s]`` — whether a write hit in state ``s`` takes the bus.
+    * ``silent[s]`` — bus-silent write hit: ``(new_state, new_dirty)``.
+    * ``wh_kind`` — the transaction kind bus write hits record.
+    * ``wh_remote[(s, c)]`` — a holder's reaction to that transaction.
+    * ``wh_local[(l, s, c)]`` / ``wh_local_cold[l]`` — the writer's own
+      line ``(state, dirty, counter)`` after upgrading from state ``l``
+      against one holder (or none).
+    * ``read_hit[(s, c)]`` — local read-hit hook effect (identity for
+      protocols that define none).
+    """
+
+    __slots__ = ("name", "counter_threshold", "updates_remote_copies",
+                 "read_cold", "write_cold", "read_react", "write_react",
+                 "needs_bus", "silent", "wh_kind", "wh_remote",
+                 "wh_local", "wh_local_cold", "read_hit", "digest")
+
+    def __init__(self, protocol: SnoopingProtocol):
+        self.name = protocol.name
+        self.counter_threshold = getattr(protocol, "threshold", 0)
+        if self.counter_threshold > MAX_COUNTER_THRESHOLD:
+            raise KernelUnsupported(
+                f"staleness threshold {self.counter_threshold} too deep"
+            )
+        self.updates_remote_copies = protocol.updates_remote_copies
+        self.read_react: dict = {}
+        self.write_react: dict = {}
+        self.wh_remote: dict = {}
+        self.wh_local: dict = {}
+        self.wh_local_cold: dict = {}
+        self.silent: dict = {}
+        self.read_hit: dict = {}
+        self.wh_kind = ""
+        _probe_snoop_rows(protocol, self)
+        self.digest = _digest("snoop", [
+            self.name, self.counter_threshold,
+            self.read_cold, self.write_cold,
+            sorted(self.read_react.items()),
+            sorted(self.write_react.items()),
+            self.needs_bus,
+            sorted(self.silent.items()),
+            self.wh_kind,
+            sorted(self.wh_remote.items()),
+            sorted(self.wh_local.items()),
+            sorted(self.wh_local_cold.items()),
+            sorted(self.read_hit.items()),
+        ])
+
+
+_PROBE_BLOCK = 0
+
+
+def _planted(entries):
+    """Infinite caches with ``entries`` = [(cache_idx, state_idx, counter)]."""
+    caches = [InfiniteCache(), InfiniteCache()]
+    for idx, state_idx, counter in entries:
+        state = SNOOP_STATES[state_idx]
+        caches[idx].insert(_PROBE_BLOCK, state, state_idx in DIRTY_SNOOP)
+        caches[idx].lookup(_PROBE_BLOCK).counter = counter
+    return caches
+
+
+def _encode_line(line: CacheLine | None) -> tuple[int, int]:
+    """``(state_idx, counter)`` for a line, asserting dirty tracks state."""
+    if line is None:
+        return (0, 0)
+    idx = SNOOP_INDEX[line.state]
+    if line.dirty != (idx in DIRTY_SNOOP):
+        raise KernelUnsupported(
+            f"dirty bit diverges from state {line.state} under probe"
+        )
+    return (idx, line.counter)
+
+
+def _fill_idx(fill) -> tuple[int, int]:
+    state, dirty = fill
+    idx = SNOOP_INDEX[state]
+    if bool(dirty) != (idx in DIRTY_SNOOP):
+        raise KernelUnsupported(f"fill dirty bit diverges for state {state}")
+    return idx, 1 if dirty else 0
+
+
+def _probe_snoop_rows(protocol: SnoopingProtocol, rows: SnoopRows) -> None:
+    cap = rows.counter_threshold
+    state_range = range(1, len(SNOOP_STATES))
+
+    # Cold fills.
+    rows.read_cold = _fill_idx(
+        protocol.read_miss_fill(_planted([]), 0, _PROBE_BLOCK))
+    rows.write_cold = _fill_idx(
+        protocol.write_miss_fill(_planted([]), 0, _PROBE_BLOCK))
+
+    # Per-holder miss reactions.
+    for s in state_range:
+        for c in range(cap + 1):
+            for attr, handler in (("read_react", protocol.read_miss_fill),
+                                  ("write_react", protocol.write_miss_fill)):
+                caches = _planted([(1, s, c)])
+                try:
+                    fill = _fill_idx(handler(caches, 0, _PROBE_BLOCK))
+                except ProtocolError:
+                    continue  # state this protocol can never snoop
+                after = _encode_line(caches[1].lookup(_PROBE_BLOCK))
+                getattr(rows, attr)[(s, c)] = after + fill
+
+    # Write-hit classification of each state, and the silent transitions.
+    needs_bus = [False] * len(SNOOP_STATES)
+    for s in state_range:
+        probe = CacheLine(_PROBE_BLOCK, SNOOP_STATES[s], s in DIRTY_SNOOP)
+        needs_bus[s] = bool(protocol.write_hit_needs_bus(probe))
+        if not needs_bus[s]:
+            try:
+                protocol.write_hit_silent(probe)
+            except ProtocolError:
+                continue
+            rows.silent[s] = _encode_line(probe)[0]
+    rows.needs_bus = tuple(needs_bus)
+
+    # Bus write hits: writer in state l, at most one holder (s, c).
+    for l in state_range:
+        if not needs_bus[l]:
+            continue
+        caches = _planted([(0, l, 0)])
+        line = caches[0].lookup(_PROBE_BLOCK)
+        rows.wh_kind = protocol.write_hit_bus(caches, 0, _PROBE_BLOCK, line)
+        rows.wh_local_cold[l] = _encode_line(line)
+        for s in state_range:
+            for c in range(cap + 1):
+                caches = _planted([(0, l, 0), (1, s, c)])
+                line = caches[0].lookup(_PROBE_BLOCK)
+                try:
+                    kind = protocol.write_hit_bus(
+                        caches, 0, _PROBE_BLOCK, line)
+                except ProtocolError:
+                    continue
+                if kind != rows.wh_kind:
+                    raise KernelUnsupported("write-hit kind varies by holder")
+                rows.wh_remote[(s, c)] = _encode_line(
+                    caches[1].lookup(_PROBE_BLOCK))
+                rows.wh_local[(l, s, c)] = _encode_line(line)
+
+    # Read-hit hook (counter bookkeeping for the competitive family).
+    for s in state_range:
+        for c in range(cap + 1):
+            probe = CacheLine(_PROBE_BLOCK, SNOOP_STATES[s], s in DIRTY_SNOOP)
+            probe.counter = c
+            protocol.read_hit(probe)
+            rows.read_hit[(s, c)] = _encode_line(probe)
+
+
+_SNOOP_ROWS_CACHE: dict = {}
+
+
+def compile_snoop_rows(protocol: SnoopingProtocol) -> SnoopRows:
+    """Compile (with caching) the dense rows for ``protocol``.
+
+    Only the exact shipped protocol types are compiled; probing would
+    silently mis-model arbitrary subclasses.
+
+    Raises:
+        KernelUnsupported: unknown type or unpackable parameters.
+    """
+    if type(protocol) not in _snoop_kernel_types():
+        raise KernelUnsupported(f"no kernel for {type(protocol).__qualname__}")
+    key = (type(protocol).__qualname__, protocol.name)
+    rows = _SNOOP_ROWS_CACHE.get(key)
+    if rows is None:
+        rows = _SNOOP_ROWS_CACHE.setdefault(key, SnoopRows(protocol))
+    return rows
+
+
+def snoop_table_digest(protocol: SnoopingProtocol) -> str:
+    """Digest of the compiled rows (``"uncompiled"`` when unsupported)."""
+    try:
+        return compile_snoop_rows(protocol).digest
+    except (KernelUnsupported, ProtocolError):
+        return "uncompiled"

@@ -47,7 +47,7 @@ class PackedTrace:
     """
 
     __slots__ = ("name", "procs", "ops", "addrs", "_blocks_shift",
-                 "_blocks", "_num_procs", "_digest")
+                 "_blocks", "_seqs_shift", "_seqs", "_num_procs", "_digest")
 
     def __init__(
         self,
@@ -65,6 +65,9 @@ class PackedTrace:
         # One-entry memo for the derived block column (see blocks_column).
         self._blocks_shift: int | None = None
         self._blocks: array | None = None
+        # One-entry memo for the per-block symbol split (block_sequences).
+        self._seqs_shift: int | None = None
+        self._seqs: dict[int, bytes] | None = None
         self._num_procs: int | None = None
         self._digest: str | None = None
 
@@ -112,6 +115,31 @@ class PackedTrace:
             self._blocks = array("q", (a >> block_shift for a in self.addrs))
             self._blocks_shift = block_shift
         return self._blocks
+
+    def block_sequences(self, block_shift: int) -> dict[int, bytes]:
+        """Per-block ``proc * 2 + is_write`` symbol strings, in first-touch
+        block order.
+
+        This is the table-driven kernels' input form
+        (:mod:`repro.kernels`): with no evictions, blocks evolve
+        independently, so each block's accesses replay as one walk over
+        a per-block byte string.  Requires every processor id to fit the
+        symbol byte (``proc < 128``); memoised for the most recent
+        ``block_shift`` like :meth:`blocks_column`.
+        """
+        if self._seqs_shift != block_shift:
+            seqs: dict[int, list[int]] = {}
+            get = seqs.get
+            for proc, is_write, block in zip(
+                self.procs, self.ops, self.blocks_column(block_shift)
+            ):
+                syms = get(block)
+                if syms is None:
+                    syms = seqs[block] = []
+                syms.append(proc * 2 + is_write)
+            self._seqs = {block: bytes(syms) for block, syms in seqs.items()}
+            self._seqs_shift = block_shift
+        return self._seqs
 
     def __len__(self) -> int:
         return len(self.procs)

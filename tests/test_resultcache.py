@@ -64,6 +64,63 @@ class TestKeys:
             == resultcache.protocol_digest(AdaptiveSnoopingProtocol())
 
 
+class TestKernelTableKeys:
+    """Replays may run on the table-driven kernels, so cache keys must
+    track the *compiled tables*, not just the Python-level parameters."""
+
+    def test_policy_digest_tracks_compiled_table(self, monkeypatch):
+        from repro.kernels import tables
+
+        before = resultcache.policy_digest(BASIC)
+        monkeypatch.setattr(tables, "dir_table_digest",
+                            lambda policy: "feedfacefeedface")
+        after = resultcache.policy_digest(BASIC)
+        assert after != before
+        # The drifted digest must surface as a different cache key.
+        assert resultcache.result_key("directory", (before,)) \
+            != resultcache.result_key("directory", (after,))
+
+    def test_protocol_digest_tracks_compiled_table(self, monkeypatch):
+        from repro.kernels import tables
+
+        before = resultcache.protocol_digest(AdaptiveSnoopingProtocol())
+        monkeypatch.setattr(tables, "snoop_table_digest",
+                            lambda protocol: "feedfacefeedface")
+        after = resultcache.protocol_digest(AdaptiveSnoopingProtocol())
+        assert after != before
+
+    def test_uncompiled_protocol_is_marked_not_crashed(self):
+        class OffEnvelope(AdaptiveSnoopingProtocol):
+            """Subclasses fall outside the kernel envelope by design."""
+
+        digest = resultcache.protocol_digest(OffEnvelope())
+        assert "ktable:uncompiled" in digest
+
+    def test_digests_identical_across_processes(self):
+        # The whole point of a content-addressed disk cache: a fresh
+        # interpreter must derive the same table digests, or every
+        # process would miss every other process's entries.
+        import pathlib
+        import subprocess
+        import sys
+
+        src = str(pathlib.Path(resultcache.__file__).parents[2])
+        out = subprocess.run(
+            [sys.executable, "-c",
+             f"import sys; sys.path.insert(0, {src!r})\n"
+             "from repro.directory.policy import BASIC\n"
+             "from repro.experiments import resultcache\n"
+             "from repro.snooping.protocols import AdaptiveSnoopingProtocol\n"
+             "print(resultcache.policy_digest(BASIC))\n"
+             "print(resultcache.protocol_digest(AdaptiveSnoopingProtocol()))"],
+            capture_output=True, text=True, check=True,
+        )
+        child_policy, child_protocol = out.stdout.split()
+        assert child_policy == resultcache.policy_digest(BASIC)
+        assert child_protocol == resultcache.protocol_digest(
+            AdaptiveSnoopingProtocol())
+
+
 class TestFailurePaths:
     def test_corrupted_entry_is_a_miss_not_an_error(self):
         calls = []
