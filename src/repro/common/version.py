@@ -1,7 +1,8 @@
 """Shared ``--version`` plumbing for the console scripts.
 
-All four CLIs (``repro-experiments``, ``repro-fuzz``, ``repro-stats``,
-``repro-serve``) — plus the service client module — report the same
+All five CLIs (``repro-experiments``, ``repro-fuzz``, ``repro-stats``,
+``repro-serve``, ``repro-verify``) — plus the service client and load
+generator modules — report the same
 version string: the installed package metadata when the distribution is
 present (``pip install -e .``), falling back to the source tree's
 ``repro.__version__`` when running straight from a checkout

@@ -11,8 +11,8 @@ can implement retry loops without parsing headers.
 
 The module is also a tiny CLI (``python -m repro.service.client``) used
 by the CI smoke: ``wait`` polls ``/healthz`` until the server is up,
-``replay``/``compare``/``experiment`` issue one request and print the
-JSON response, ``metrics`` dumps the Prometheus text.
+``replay``/``compare``/``experiment``/``verify`` issue one request and
+print the JSON response, ``metrics`` dumps the Prometheus text.
 """
 
 from __future__ import annotations
@@ -208,6 +208,12 @@ class ServiceClient:
         _raise_for_status(status, headers, payload)
         return payload
 
+    def verify(self, **request) -> dict:
+        body = {"v": PROTOCOL_VERSION, **request}
+        status, headers, payload = self.request("POST", "/v1/verify", body)
+        _raise_for_status(status, headers, payload)
+        return payload
+
     def replay_with_retry(self, attempts: int = 5, **spec) -> dict:
         """Replay, honouring ``Retry-After`` on backpressure."""
         for attempt in range(attempts):
@@ -327,6 +333,14 @@ class AsyncServiceClient:
         _raise_for_status(status, headers, payload)
         return payload
 
+    async def verify(self, **request) -> dict:
+        body = {"v": PROTOCOL_VERSION, **request}
+        status, headers, payload = await self.request(
+            "POST", "/v1/verify", body
+        )
+        _raise_for_status(status, headers, payload)
+        return payload
+
 
 # ----------------------------------------------------------------------
 # Module CLI (CI smoke plumbing)
@@ -381,6 +395,14 @@ def main(argv: list[str] | None = None) -> int:
     p_experiment.add_argument("--seed", type=int, default=0)
     p_experiment.add_argument("--apps", nargs="+", default=None)
 
+    p_verify = sub.add_parser("verify", help="one model-checking request")
+    p_verify.add_argument("--engine", default="all",
+                          choices=("bus", "directory", "all"))
+    p_verify.add_argument("--protocol", default=None)
+    p_verify.add_argument("--procs", type=int, default=2)
+    p_verify.add_argument("--blocks", type=int, default=1)
+    p_verify.add_argument("--no-evictions", action="store_true")
+
     sub.add_parser("healthz", help="print the health document")
     sub.add_parser("metrics", help="print the Prometheus text")
 
@@ -401,6 +423,12 @@ def main(argv: list[str] | None = None) -> int:
             spec = _spec_from(args)
             spec.pop("policy")
             payload = client.compare(**spec)
+        elif args.command == "verify":
+            payload = client.verify(
+                engine=args.engine, protocol=args.protocol,
+                num_procs=args.procs, num_blocks=args.blocks,
+                evictions=not args.no_evictions,
+            )
         else:
             kwargs = {"scale": args.scale, "seed": args.seed}
             if args.apps:

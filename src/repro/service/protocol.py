@@ -15,6 +15,10 @@ kinds exist:
   protocol should this workload run under?".
 * **experiment** (:class:`ExperimentRequest`) — a whole row-level
   experiment (``table2``/``table3``/``bus``) rendered server-side.
+* **verify** (:class:`VerifyRequest`) — a bounded model-checking sweep
+  (:mod:`repro.verification`) over the shipped protocol families,
+  returning the machine-checked certificate.  Bounds are capped well
+  below the CLI's so a single request stays interactive.
 
 Validation is strict and total: :func:`ReplaySpec.from_payload` raises
 :class:`ServiceError` with a client-presentable message on any unknown
@@ -33,6 +37,11 @@ from repro.snooping.protocols import (
     AlwaysMigrateProtocol,
     MesiProtocol,
     SnoopingProtocol,
+)
+from repro.verification.model import (
+    VerificationError,
+    combo_digests,
+    verify_combos,
 )
 from repro.workloads.profiles import APP_ORDER
 
@@ -282,6 +291,69 @@ class ExperimentRequest:
                 "apps": list(self.apps)}
 
 
+@dataclass(frozen=True, slots=True)
+class VerifyRequest:
+    """One servable bounded model-checking sweep.
+
+    Attributes:
+        engine: ``bus``, ``directory``, or ``all`` (both families).
+        protocol: optional single protocol/policy name to check.
+        num_procs: processors in the model (2-3; compute grows steeply).
+        num_blocks: blocks in the model (1-2).
+        evictions: include replacement actions in the transition
+            relation.
+    """
+
+    engine: str = "all"
+    protocol: str | None = None
+    num_procs: int = 2
+    num_blocks: int = 1
+    evictions: bool = True
+
+    def __post_init__(self) -> None:
+        _require(2 <= self.num_procs <= 3,
+                 "num_procs must be 2 or 3 for served verification")
+        _require(1 <= self.num_blocks <= 2,
+                 "num_blocks must be 1 or 2 for served verification")
+        _require(isinstance(self.evictions, bool),
+                 "evictions must be a boolean")
+        try:
+            verify_combos(self.engine, self.protocol,
+                          self.num_procs, self.num_blocks, self.evictions)
+        except VerificationError as exc:
+            raise ServiceError(str(exc)) from exc
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "VerifyRequest":
+        _require(isinstance(payload, dict), "body must be a JSON object")
+        check_version(payload)
+        unknown = set(payload) - {"v", *cls.__slots__}
+        _require(not unknown,
+                 f"unknown verify field(s): {', '.join(sorted(unknown))}")
+        kwargs = {k: payload[k] for k in cls.__slots__ if k in payload}
+        try:
+            return cls(**kwargs)
+        except ServiceError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed verify request: {exc}") from exc
+
+    def to_payload(self) -> dict:
+        return {"v": PROTOCOL_VERSION, "engine": self.engine,
+                "protocol": self.protocol, "num_procs": self.num_procs,
+                "num_blocks": self.num_blocks, "evictions": self.evictions}
+
+    def cache_parts(self) -> tuple:
+        """Result-cache key parts; includes the per-combo transition
+        table digests so a protocol change invalidates stale
+        certificates automatically."""
+        return (
+            self.engine, self.protocol or "-", self.num_procs,
+            self.num_blocks, self.evictions,
+            *combo_digests(self.engine, self.protocol),
+        )
+
+
 def parse_replay_request(payload: dict) -> ReplaySpec:
     """Parse a ``POST /v1/replay`` body."""
     _require(isinstance(payload, dict), "body must be a JSON object")
@@ -336,6 +408,22 @@ def experiment_response(request: ExperimentRequest, rendered: str,
         "coalesced": coalesced,
         "elapsed_ms": round(elapsed_ms, 3),
         "rendered": rendered,
+    }
+
+
+def verify_response(request: VerifyRequest, certificate: dict,
+                    cached: bool, coalesced: bool,
+                    elapsed_ms: float) -> dict:
+    """The ``/v1/verify`` success body."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "verify",
+        "request": request.to_payload(),
+        "cached": cached,
+        "coalesced": coalesced,
+        "elapsed_ms": round(elapsed_ms, 3),
+        "ok": bool(certificate.get("ok")),
+        "certificate": certificate,
     }
 
 

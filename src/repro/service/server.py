@@ -52,6 +52,7 @@ from repro.service.protocol import (
     ExperimentRequest,
     ReplaySpec,
     ServiceError,
+    VerifyRequest,
 )
 from repro.snooping.costmodels import model1_cost
 from repro.telemetry import runtime as telemetry
@@ -252,7 +253,8 @@ class CoherenceService:
                                   keep_alive=keep_alive)
             self._count_request(path, 200)
             return keep_alive
-        if path in ("/v1/replay", "/v1/compare", "/v1/experiment"):
+        if path in ("/v1/replay", "/v1/compare", "/v1/experiment",
+                    "/v1/verify"):
             if method != "POST":
                 return await self._respond_error(writer, path, 405,
                                                  "use POST", keep_alive)
@@ -312,6 +314,10 @@ class CoherenceService:
         if path == "/v1/compare":
             return await self._serve_compare(
                 CompareRequest.from_payload(payload)
+            )
+        if path == "/v1/verify":
+            return await self._serve_verify(
+                VerifyRequest.from_payload(payload)
             )
         return await self._serve_experiment(
             ExperimentRequest.from_payload(payload)
@@ -381,6 +387,25 @@ class CoherenceService:
         )
         return protocol.experiment_response(
             request, payload["rendered"], cached, coalesced,
+            (perf_counter() - started) * 1000.0,
+        )
+
+    async def _serve_verify(self, request: VerifyRequest) -> dict:
+        started = perf_counter()
+        kind = "service-verify"
+        key = resultcache.result_key(kind, request.cache_parts())
+
+        def decodable(candidate) -> bool:
+            return (isinstance(candidate, dict)
+                    and candidate.get("kind") == "repro-verify-certificate"
+                    and isinstance(candidate.get("combos"), list))
+
+        payload, cached, coalesced = await self._cached_execute(
+            kind, key, worker.run_verify, (request.to_payload(),),
+            decodable, {"engine": request.engine},
+        )
+        return protocol.verify_response(
+            request, payload, cached, coalesced,
             (perf_counter() - started) * 1000.0,
         )
 

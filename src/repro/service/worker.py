@@ -25,6 +25,7 @@ from repro.service.protocol import (
     DIRECTORY_POLICIES,
     ExperimentRequest,
     ReplaySpec,
+    VerifyRequest,
     make_snooping_protocol,
 )
 from repro.snooping.machine import BusMachine
@@ -107,3 +108,24 @@ def run_experiment(request_payload: dict) -> dict:
     rows = run(apps=request.apps, scale=request.scale, seed=request.seed,
                jobs=1)
     return {"rendered": render(rows)}
+
+
+def run_verify(request_payload: dict) -> dict:
+    """Execute one model-checking sweep; returns the certificate.
+
+    BFS frontiers expand serially in the worker (``jobs=1``) for the
+    same reason experiments do: the server is the fan-out layer, and
+    certificates are byte-identical at any job count anyway.
+    """
+    from repro.verification.checker import sweep
+
+    request = VerifyRequest.from_payload(request_payload)
+    result = sweep(
+        engine=request.engine,
+        protocol=request.protocol,
+        num_procs=request.num_procs,
+        num_blocks=request.num_blocks,
+        evictions=request.evictions,
+        jobs=1,
+    )
+    return result.certificate()

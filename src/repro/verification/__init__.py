@@ -1,5 +1,32 @@
-"""Exhaustive (finite-state) verification of the coherence protocols."""
+"""Exhaustive (finite-state) verification of the coherence protocols.
 
+Two layers live here:
+
+* :mod:`repro.verification.space` — the original single-block BFS
+  explorer, kept as a lightweight structural-theorem tool.
+* :mod:`repro.verification.model` / :mod:`repro.verification.checker` —
+  the bounded model checker behind ``repro-verify`` and the service
+  ``verify`` endpoint: multi-block configs, eviction actions,
+  counterexample paths, and machine-checked certificates.
+"""
+
+from repro.verification.checker import (
+    ComboResult,
+    SweepResult,
+    Violation,
+    check_config,
+    counterexample_case,
+    sweep,
+)
+from repro.verification.model import (
+    DIRECTORY_POLICIES,
+    MODEL_CHECKABLE_INJECTIONS,
+    SNOOP_PROTOCOLS,
+    VerificationError,
+    VerifyConfig,
+    build_model,
+    verify_combos,
+)
 from repro.verification.space import (
     ExplorationResult,
     directory_states_seen,
@@ -8,8 +35,21 @@ from repro.verification.space import (
 )
 
 __all__ = [
+    "ComboResult",
+    "DIRECTORY_POLICIES",
     "ExplorationResult",
+    "MODEL_CHECKABLE_INJECTIONS",
+    "SNOOP_PROTOCOLS",
+    "SweepResult",
+    "VerificationError",
+    "VerifyConfig",
+    "Violation",
+    "build_model",
+    "check_config",
+    "counterexample_case",
     "directory_states_seen",
     "explore_directory",
     "explore_snooping",
+    "sweep",
+    "verify_combos",
 ]

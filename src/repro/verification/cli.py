@@ -1,0 +1,190 @@
+"""The ``repro-verify`` console entry point.
+
+Usage::
+
+    repro-verify [--procs N] [--blocks N] [--no-evictions]
+                 [--engine bus|directory|all] [--protocol NAME]
+                 [--inject NAME] [--jobs N] [--max-states N]
+                 [--certificate PATH] [--artifacts DIR] [--verbose]
+
+Model-checks every shipped snooping protocol and directory policy (or a
+``--engine``/``--protocol`` slice) to closure under the requested
+bounds, prints one verdict line per combo, and writes a JSON
+*certificate* recording the config, per-combo kernel table digests,
+reachable-state and transition counts, and per-property verdicts.
+
+Stdout and the certificate are byte-deterministic for a fixed request,
+whatever ``--jobs`` says: BFS frontiers shard into contiguous chunks
+whose results merge in submission order, and all timing goes to stderr.
+The exit status is 0 when every combo verifies and 1 otherwise, so the
+command slots directly into CI.
+
+On a property violation the shortest counterexample path is printed and
+(when it contains no eviction actions) written as a
+:mod:`repro.conformance.artifacts` reproducer under ``--artifacts``,
+ready for ``repro-fuzz``-style replay and the regression corpus.
+
+``--inject`` swaps a deliberately broken engine variant in (see
+:mod:`repro.conformance.bugs`) — the self-test proving the checker
+actually finds bugs and shrinks them to paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.common.version import add_version_argument
+from repro.parallel import resolve_jobs
+from repro.verification import checker
+from repro.verification.model import (
+    DIRECTORY_POLICIES,
+    MODEL_CHECKABLE_INJECTIONS,
+    SNOOP_PROTOCOLS,
+    VerificationError,
+)
+
+#: Default certificate output path.
+DEFAULT_CERTIFICATE = Path("repro-verify-certificate.json")
+
+#: Default directory for counterexample reproducers.
+DEFAULT_ARTIFACT_DIR = Path("repro-verify-artifacts")
+
+
+def _format_path(path) -> str:
+    return " ".join(f"{proc}:{op}:b{block}" for proc, op, block in path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Bounded model checking of the coherence protocols: "
+        "exhaustive reachable-state exploration, invariant + SC "
+        "properties, counterexample paths, machine-checked "
+        "certificates.",
+    )
+    add_version_argument(parser)
+    parser.add_argument("--procs", type=int, default=2,
+                        help="processors in the model (default 2)")
+    parser.add_argument("--blocks", type=int, default=1,
+                        help="blocks in the model (default 1)")
+    parser.add_argument("--no-evictions", action="store_true",
+                        help="drop replacement actions from the model "
+                        "(infinite-cache transition relation only)")
+    parser.add_argument("--engine", choices=["bus", "directory", "all"],
+                        default="all",
+                        help="engine family to check (default: both)")
+    parser.add_argument("--protocol", default=None,
+                        help="check a single protocol/policy by name")
+    parser.add_argument("--inject",
+                        choices=sorted(MODEL_CHECKABLE_INJECTIONS),
+                        default="none",
+                        help="swap in a deliberately broken engine "
+                        "variant (checker self-test)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or "
+                        "serial; 0 = all CPUs); the certificate is "
+                        "byte-identical for any job count")
+    parser.add_argument("--max-states", type=int,
+                        default=checker.MAX_STATES,
+                        help="safety ceiling on the reachable set "
+                        f"(default {checker.MAX_STATES})")
+    parser.add_argument("--certificate", type=Path,
+                        default=DEFAULT_CERTIFICATE,
+                        help="certificate output path (default "
+                        f"{DEFAULT_CERTIFICATE}); '-' to skip")
+    parser.add_argument("--artifacts", type=Path,
+                        default=DEFAULT_ARTIFACT_DIR,
+                        help="directory for counterexample reproducers "
+                        f"(default {DEFAULT_ARTIFACT_DIR})")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-property verdicts for every "
+                        "combo, not just violations")
+    args = parser.parse_args(argv)
+
+    known = sorted(SNOOP_PROTOCOLS) + sorted(DIRECTORY_POLICIES)
+    if args.protocol is not None and args.protocol not in known:
+        parser.error(
+            f"unknown protocol {args.protocol!r}; expected one of {known}"
+        )
+    try:
+        resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    print(
+        f"repro-verify: procs={args.procs} blocks={args.blocks} "
+        f"evictions={not args.no_evictions} inject={args.inject}"
+    )
+    started = time.time()
+    try:
+        result = checker.sweep(
+            engine=args.engine,
+            protocol=args.protocol,
+            num_procs=args.procs,
+            num_blocks=args.blocks,
+            evictions=not args.no_evictions,
+            inject=args.inject,
+            jobs=args.jobs,
+            max_states=args.max_states,
+        )
+    except VerificationError as exc:
+        parser.error(str(exc))
+    print(f"[checked {args.engine} combos in {time.time() - started:.1f}s]",
+          file=sys.stderr)
+
+    for combo in result.results:
+        violations = sum(combo.property_counts.values())
+        if violations == 0:
+            print(
+                f"{combo.config.label}: {combo.num_states} states, "
+                f"{combo.num_transitions} transitions, all properties ok"
+            )
+        else:
+            violated = sorted(
+                name for name, count in combo.property_counts.items()
+                if count
+            )
+            print(
+                f"{combo.config.label}: {combo.num_states} states, "
+                f"{combo.num_transitions} transitions, "
+                f"{violations} violation(s) [{', '.join(violated)}]"
+            )
+            example = combo.violations[0]
+            print(f"  shortest counterexample "
+                  f"({len(example.path)} actions): "
+                  f"{_format_path(example.path)}")
+            print(f"  {example.property}: {example.message}")
+        if args.verbose:
+            for name in checker.PROPERTIES:
+                count = combo.property_counts[name]
+                verdict = "ok" if count == 0 else f"{count} violation(s)"
+                print(f"  {name}: {verdict}")
+
+    if not result.ok:
+        for path in result.write_reproducers(args.artifacts):
+            print(f"counterexample reproducer -> {path}")
+
+    if str(args.certificate) != "-":
+        args.certificate.parent.mkdir(parents=True, exist_ok=True)
+        args.certificate.write_text(
+            json.dumps(result.certificate(), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"certificate -> {args.certificate}")
+
+    totals = result.certificate()["totals"]
+    print(
+        f"repro-verify: {totals['combos']} combo(s), "
+        f"{totals['states']} states, {totals['transitions']} "
+        f"transitions, {totals['violations']} violation(s)"
+    )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,12 +35,14 @@ def _cli_mains():
     from repro.service import client as client_cli
     from repro.service import loadgen
     from repro.telemetry import cli as stats_cli
+    from repro.verification import cli as verify_cli
 
     return {
         "repro-experiments": runner.main,
         "repro-fuzz": fuzz_cli.main,
         "repro-stats": stats_cli.main,
         "repro-serve": serve_cli.main,
+        "repro-verify": verify_cli.main,
         "service-client": client_cli.main,
         "loadgen": loadgen.main,
     }

@@ -11,11 +11,13 @@ from repro.service.protocol import (
     ExperimentRequest,
     ReplaySpec,
     ServiceError,
+    VerifyRequest,
     check_version,
     compare_response,
     error_response,
     make_snooping_protocol,
     parse_replay_request,
+    verify_response,
 )
 
 
@@ -150,6 +152,50 @@ class TestExperimentRequest:
             ExperimentRequest.from_payload({"apps": []})
         with pytest.raises(ServiceError):
             ExperimentRequest.from_payload({"apps": ["doom"]})
+
+
+class TestVerifyRequest:
+    def test_defaults_validate(self):
+        request = VerifyRequest()
+        assert request.engine == "all"
+        assert request.protocol is None
+        assert request.num_procs == 2
+
+    def test_roundtrip_payload(self):
+        request = VerifyRequest(engine="directory", protocol="aggressive",
+                                num_procs=3, num_blocks=2, evictions=False)
+        assert VerifyRequest.from_payload(request.to_payload()) == request
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ServiceError):
+            VerifyRequest(engine="bus", protocol="nonesuch")
+
+    def test_rejects_out_of_range_bounds(self):
+        with pytest.raises(ServiceError):
+            VerifyRequest(num_procs=4)
+        with pytest.raises(ServiceError):
+            VerifyRequest(num_blocks=3)
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ServiceError, match="unknown verify field"):
+            VerifyRequest.from_payload({"v": PROTOCOL_VERSION,
+                                        "inject": "none"})
+
+    def test_cache_parts_include_table_digests(self):
+        parts = VerifyRequest(engine="bus", protocol="mesi").cache_parts()
+        assert any("bus/mesi/" in str(part) for part in parts)
+
+    def test_response_shape(self):
+        request = VerifyRequest(engine="bus", protocol="mesi")
+        certificate = {"kind": "repro-verify-certificate", "ok": True,
+                       "combos": []}
+        response = verify_response(request, certificate, cached=False,
+                                   coalesced=False, elapsed_ms=1.2345)
+        assert response["type"] == "verify"
+        assert response["ok"] is True
+        assert response["certificate"] is certificate
+        assert response["elapsed_ms"] == 1.234
+        assert response["request"]["engine"] == "bus"
 
 
 class TestSnoopingFactory:

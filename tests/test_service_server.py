@@ -136,6 +136,36 @@ class TestEndpoints:
 
         run_with_server(body)
 
+    def test_verify_returns_certificate_and_caches(self):
+        async def body(service, client):
+            first = await client.verify(engine="bus", protocol="mesi")
+            assert first["type"] == "verify"
+            assert first["ok"] is True
+            assert first["cached"] is False
+            certificate = first["certificate"]
+            assert certificate["kind"] == "repro-verify-certificate"
+            assert certificate["totals"]["violations"] == 0
+            assert certificate["totals"]["combos"] == 1
+            combo = certificate["combos"][0]
+            assert combo["label"] == "bus/mesi"
+            assert combo["table_digest"]
+            second = await client.verify(engine="bus", protocol="mesi")
+            assert second["cached"] is True
+            assert second["certificate"] == certificate
+
+        run_with_server(body)
+
+    def test_verify_rejects_bad_requests(self):
+        async def body(service, client):
+            with pytest.raises(ServiceError) as excinfo:
+                await client.verify(engine="bus", protocol="nonesuch")
+            assert excinfo.value.status == 400
+            with pytest.raises(ServiceError) as excinfo:
+                await client.verify(num_procs=9)
+            assert excinfo.value.status == 400
+
+        run_with_server(body)
+
     def test_metrics_prometheus_shape(self):
         async def body(service, client):
             await client.replay(**SPEC)

@@ -1,0 +1,142 @@
+"""The single-block explorer: safety matrix, structural theorems, and
+an abstraction-drift cross-check against the real machines.
+
+:mod:`repro.verification.space` claims (in its docstring) that every
+shipped protocol's reachable space satisfies the copy invariants and
+that the paper's structural remarks hold as theorems over the model.
+This module turns both claims into a parametrized matrix over *every*
+snooping protocol and directory policy, then closes the loop with a
+randomized property test: replay short random traces on the concrete
+machines and assert that every intermediate global state, projected
+through the explorer's abstraction, is a member of the explored
+reachable set.  If the abstraction ever drifts from the engines (a new
+field the projection ignores, a transition the explorer's action set
+misses), the membership check fails before any invariant does.
+"""
+
+import random
+
+import pytest
+
+from repro.directory.policy import PAPER_POLICIES, STENSTROM
+from repro.snooping.machine import BusMachine
+from repro.system.machine import DirectoryMachine
+from repro.verification.space import (
+    _dir_extract,
+    _snoop_config,
+    _snoop_extract,
+    directory_states_seen,
+    explore_directory,
+    explore_snooping,
+)
+
+from repro.verification.model import SNOOP_PROTOCOLS
+
+ALL_POLICIES = [*PAPER_POLICIES, STENSTROM]
+
+SNOOP_IDS = list(SNOOP_PROTOCOLS)
+POLICY_IDS = [policy.name for policy in ALL_POLICIES]
+
+
+class TestSnoopingMatrix:
+    @pytest.mark.parametrize("name", SNOOP_IDS)
+    def test_closure_has_zero_violations(self, name):
+        result = explore_snooping(SNOOP_PROTOCOLS[name])
+        assert result.ok, result.violations
+        assert len(result.states) > 1
+
+    @pytest.mark.parametrize("name", SNOOP_IDS)
+    def test_closure_with_evictions_has_zero_violations(self, name):
+        result = explore_snooping(SNOOP_PROTOCOLS[name],
+                                  with_evictions=True)
+        assert result.ok, result.violations
+
+    def test_exclusive_reachable_under_default_protocols(self):
+        # Paper S3: with migrate-on-read-miss *off*, a first read miss
+        # fills Exclusive; E must appear in the reachable space.
+        for name in ("mesi", "adaptive"):
+            result = explore_snooping(SNOOP_PROTOCOLS[name])
+            assert "E" in result.line_states_seen(), name
+
+    def test_exclusive_unreachable_under_initial_migratory(self):
+        # Paper S3: with migrate-on-read-miss as the initial policy the
+        # Exclusive state has no in-transitions — a dead state.
+        result = explore_snooping(
+            SNOOP_PROTOCOLS["adaptive-initial-migratory"]
+        )
+        assert "E" not in result.line_states_seen()
+        assert "MC" in result.line_states_seen()
+
+
+class TestDirectoryMatrix:
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
+    def test_closure_has_zero_violations(self, policy):
+        result = explore_directory(policy)
+        assert result.ok, result.violations
+        assert len(result.states) > 1
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
+    def test_closure_with_evictions_has_zero_violations(self, policy):
+        result = explore_directory(policy, with_evictions=True)
+        assert result.ok, result.violations
+
+    def test_migratory_directory_states_need_adaptivity(self):
+        # The conventional policy never classifies, so the migratory
+        # directory states are unreachable under it and reachable under
+        # every adaptive policy.
+        for policy in ALL_POLICIES:
+            seen = directory_states_seen(explore_directory(policy))
+            if policy.name == "conventional":
+                assert "ONE_COPY_MIG" not in seen
+            else:
+                assert "ONE_COPY_MIG" in seen, policy.name
+
+
+class TestAbstractionCrossCheck:
+    """Random concrete replays stay inside the explored reachable set."""
+
+    NUM_PROCS = 3
+    TRIALS = 8
+    OPS = 40
+
+    def _random_accesses(self, rng):
+        # Same-block addresses only: the explorer models exactly one
+        # block (16-byte lines -> word addresses 0/4/8/12).
+        for _ in range(self.OPS):
+            yield (rng.randrange(self.NUM_PROCS),
+                   rng.random() < 0.5,
+                   rng.choice((0, 4, 8, 12)))
+
+    @pytest.mark.parametrize("name", SNOOP_IDS)
+    def test_snooping_replays_stay_in_reachable_set(self, name):
+        reachable = explore_snooping(
+            SNOOP_PROTOCOLS[name], num_procs=self.NUM_PROCS
+        ).states
+        for trial in range(self.TRIALS):
+            rng = random.Random(f"space-cross:{name}:{trial}")
+            machine = BusMachine(_snoop_config(self.NUM_PROCS),
+                                 SNOOP_PROTOCOLS[name]())
+            for proc, is_write, addr in self._random_accesses(rng):
+                machine.access(proc, is_write, addr)
+                state = _snoop_extract(machine)
+                assert state in reachable, (
+                    f"{name} trial {trial}: concrete state {state} "
+                    f"escaped the explored space"
+                )
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
+    def test_directory_replays_stay_in_reachable_set(self, policy):
+        reachable = explore_directory(
+            policy, num_procs=self.NUM_PROCS
+        ).states
+        for trial in range(self.TRIALS):
+            rng = random.Random(f"space-cross:{policy.name}:{trial}")
+            machine = DirectoryMachine(_snoop_config(self.NUM_PROCS),
+                                       policy)
+            for proc, is_write, addr in self._random_accesses(rng):
+                machine.access(proc, is_write, addr)
+                state = _dir_extract(machine)
+                assert state in reachable, (
+                    f"{policy.name} trial {trial}: concrete state "
+                    f"{state} escaped the explored space"
+                )
