@@ -1,0 +1,283 @@
+"""Record cluster serving numbers into ``BENCH_cluster.json``.
+
+Three series against real ``repro-cluster`` fleets (each spawned on an
+ephemeral port with a private shared result cache):
+
+* ``zipf`` — the load generator's zipf-over-traces mix, cold then warm,
+  at 1/2/4/8 shards.  Honest end-to-end numbers for this host: on a
+  box with fewer cores than shards, CPU-bound replays cannot scale
+  with shard count, and the record says so rather than pretending.
+* ``slot_bound`` — distinct specs with an injected per-execution
+  service time (``REPRO_SERVICE_INJECT_DELAY_MS``), so the bottleneck
+  is per-shard execution *slots* rather than host CPU — the regime a
+  real fleet shards for.  Cold throughput here is expected to scale
+  roughly linearly until the closed-loop concurrency is the limit.
+* ``hot_key`` — one saturated hot key against a 4-shard fleet with the
+  router cache off, replication off vs on.  Alongside rps/latency the
+  record keeps each shard's forward count: with ``replicas=2`` the hot
+  key's traffic demonstrably splits across two shards instead of
+  melting one.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/record_cluster.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+# The fleets are subprocesses: they need the tree importable too.
+_SRC = str(REPO / "src")
+if _SRC not in os.environ.get("PYTHONPATH", "").split(os.pathsep):
+    os.environ["PYTHONPATH"] = os.pathsep.join(
+        part for part in (_SRC, os.environ.get("PYTHONPATH", "")) if part
+    )
+
+from repro.service.client import AsyncServiceClient          # noqa: E402
+from repro.service.loadgen import (                          # noqa: E402
+    ManagedCluster,
+    RunStats,
+    SpecMix,
+    closed_loop,
+)
+from repro.service.worker import INJECT_DELAY_ENV            # noqa: E402
+
+OUT_PATH = REPO / "BENCH_cluster.json"
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Injected per-execution service time for the slot-bound series (ms).
+#: Large relative to the real CPU cost of a scale-0.02 replay, so the
+#: bottleneck is per-shard execution slots, not this host's cores.
+SLOT_DELAY_MS = 600
+
+#: Workload scale for the slot-bound series (small: the injected delay
+#: should dominate the real service time).
+SLOT_SCALE = 0.02
+
+
+async def distinct_loop(client: AsyncServiceClient, total: int,
+                        concurrency: int, scale: float) -> RunStats:
+    """Closed-loop pass where every request is a distinct spec (so every
+    request is a genuine execution — nothing caches or coalesces)."""
+    stats = RunStats()
+    remaining = iter(range(total))
+
+    async def one_worker() -> None:
+        for i in remaining:
+            started = time.perf_counter()
+            try:
+                status, _, _ = await client.replay_raw(
+                    engine="directory", app="water", policy="basic",
+                    cache_size=(64 + i) * 1024, scale=scale,
+                )
+            except (OSError, asyncio.TimeoutError):
+                stats.errors += 1
+                continue
+            latency = (time.perf_counter() - started) * 1000.0
+            if status == 200:
+                stats.record(latency)
+            elif status == 429:
+                stats.shed += 1
+            else:
+                stats.errors += 1
+
+    begun = time.perf_counter()
+    await asyncio.gather(*(one_worker() for _ in range(concurrency)))
+    stats.seconds = time.perf_counter() - begun
+    return stats
+
+
+async def hot_key_loop(client: AsyncServiceClient, total: int,
+                       concurrency: int, scale: float) -> RunStats:
+    """Closed-loop pass of one identical (pre-warmed) spec."""
+    stats = RunStats()
+    remaining = iter(range(total))
+
+    async def one_worker() -> None:
+        for _ in remaining:
+            started = time.perf_counter()
+            try:
+                status, _, _ = await client.replay_raw(
+                    engine="directory", app="water", policy="basic",
+                    cache_size=64 * 1024, scale=scale,
+                )
+            except (OSError, asyncio.TimeoutError):
+                stats.errors += 1
+                continue
+            latency = (time.perf_counter() - started) * 1000.0
+            if status == 200:
+                stats.record(latency)
+            else:
+                stats.errors += 1
+
+    begun = time.perf_counter()
+    await asyncio.gather(*(one_worker() for _ in range(concurrency)))
+    stats.seconds = time.perf_counter() - begun
+    return stats
+
+
+def zipf_series(args) -> list[dict]:
+    entries = []
+    for shards in SHARD_COUNTS:
+        with tempfile.TemporaryDirectory(prefix="bench-cluster-") as cache:
+            with ManagedCluster(shards=shards, jobs=1, cache_dir=cache,
+                                router_cache=256, replicas=2) as fleet:
+                client = AsyncServiceClient("127.0.0.1", fleet.port)
+                cold = asyncio.run(closed_loop(
+                    client, SpecMix(seed=1), args.requests,
+                    args.concurrency,
+                ))
+                warm = asyncio.run(closed_loop(
+                    client, SpecMix(seed=1), args.requests,
+                    args.concurrency,
+                ))
+        entries.append({"shards": shards, "cold": cold.summary(),
+                        "warm": warm.summary()})
+        print(f"[zipf] shards={shards} "
+              f"cold={entries[-1]['cold']['throughput_rps']}rps "
+              f"warm={entries[-1]['warm']['throughput_rps']}rps",
+              file=sys.stderr)
+    return entries
+
+
+async def _slot_bound_pass(port: int, shards: int,
+                           args) -> RunStats:
+    client = AsyncServiceClient("127.0.0.1", port)
+    # Untimed warmup: a couple of distinct replays per shard pay the
+    # one-time per-shard costs (trace build, executor spin-up) so the
+    # timed pass measures steady-state slot capacity.
+    await asyncio.gather(*(client.replay(
+        engine="directory", app="water", policy="aggressive",
+        cache_size=(300 + i) * 1024, scale=SLOT_SCALE,
+    ) for i in range(2 * shards)))
+    return await distinct_loop(client, args.slot_requests,
+                               args.concurrency, SLOT_SCALE)
+
+
+def slot_bound_series(args) -> list[dict]:
+    entries = []
+    os.environ[INJECT_DELAY_ENV] = str(SLOT_DELAY_MS)
+    try:
+        for shards in SHARD_COUNTS:
+            with tempfile.TemporaryDirectory(
+                    prefix="bench-cluster-") as cache:
+                with ManagedCluster(shards=shards, jobs=1,
+                                    cache_dir=cache, router_cache=256,
+                                    replicas=2) as fleet:
+                    cold = asyncio.run(
+                        _slot_bound_pass(fleet.port, shards, args)
+                    )
+            entries.append({"shards": shards, "cold": cold.summary()})
+            print(f"[slot-bound] shards={shards} "
+                  f"cold={entries[-1]['cold']['throughput_rps']}rps",
+                  file=sys.stderr)
+    finally:
+        os.environ.pop(INJECT_DELAY_ENV, None)
+    return entries
+
+
+def hot_key_series(args) -> list[dict]:
+    entries = []
+    for replicas in (1, 2):
+        with tempfile.TemporaryDirectory(prefix="bench-cluster-") as cache:
+            with ManagedCluster(shards=4, jobs=1, cache_dir=cache,
+                                router_cache=0, replicas=replicas,
+                                hot_key_min=8, hot_key_top=4) as fleet:
+                client = AsyncServiceClient("127.0.0.1", fleet.port)
+
+                async def run() -> tuple[RunStats, dict]:
+                    # Warm the key and cross the hot threshold before
+                    # measuring, so the pass is all hot-path serving.
+                    for _ in range(40):
+                        await client.replay(
+                            engine="directory", app="water",
+                            policy="basic", cache_size=64 * 1024,
+                            scale=args.scale,
+                        )
+                    stats = await hot_key_loop(
+                        client, args.requests * 2, args.concurrency,
+                        args.scale,
+                    )
+                    status = await client.cluster_status()
+                    return stats, status
+
+                stats, status = asyncio.run(run())
+        forwards = {s["name"]: s["forwards"] for s in status["shards"]}
+        serving = sorted(n for n, f in forwards.items() if f > 0)
+        entries.append({
+            "replicas": replicas,
+            "pass": stats.summary(),
+            "forwards_by_shard": forwards,
+            "shards_serving_the_hot_key": len(serving),
+        })
+        print(f"[hot-key] replicas={replicas} "
+              f"serving_shards={len(serving)} "
+              f"rps={entries[-1]['pass']['throughput_rps']}",
+              file=sys.stderr)
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=60,
+                        help="requests per pass (default 60)")
+    parser.add_argument("--concurrency", type=int, default=24,
+                        help="closed-loop workers (default 24)")
+    parser.add_argument("--slot-requests", type=int, default=72,
+                        help="requests per slot-bound pass (default 72; "
+                        "longer than --requests to amortise ramp)")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="replay workload scale (default 0.05)")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    host_cpus = os.cpu_count() or 1
+    record = {
+        "benchmark": "benchmarks/record_cluster.py (repro-cluster "
+                     "fleets at 1/2/4/8 shards, jobs=1 per shard)",
+        "method": f"closed loop, {args.requests} requests/pass, "
+                  f"concurrency {args.concurrency}, scale {args.scale}; "
+                  f"slot-bound series injects "
+                  f"{SLOT_DELAY_MS} ms per execution via "
+                  f"{INJECT_DELAY_ENV}",
+        "host_cpus": host_cpus,
+        "honesty_note": (
+            f"This host has {host_cpus} CPU(s): CPU-bound replays "
+            "cannot scale with shard count here, so the zipf series "
+            "records contention, not fleet scaling.  The slot-bound "
+            "series makes per-shard execution slots the bottleneck "
+            "(injected service time), which is the regime sharding "
+            "actually targets; read cold-throughput scaling there."
+        ),
+        "zipf": zipf_series(args),
+        "slot_bound": slot_bound_series(args),
+        "hot_key": hot_key_series(args),
+    }
+
+    slot = {entry["shards"]: entry["cold"]["throughput_rps"]
+            for entry in record["slot_bound"]}
+    if slot.get(1):
+        record["slot_bound_scaling"] = {
+            f"x{shards}_vs_x1": round(slot[shards] / slot[1], 2)
+            for shards in SHARD_COUNTS if shards in slot
+        }
+
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[wrote {args.out}]", file=sys.stderr)
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

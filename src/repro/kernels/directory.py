@@ -40,6 +40,11 @@ from repro.kernels.tables import (
 )
 from repro.system.placement import BestStaticPlacement, RoundRobinPlacement
 
+
+def _fallback(reason: str):
+    """Count one fallback and return ``None`` (the try_replay contract)."""
+    return registry.record_fallback("directory", reason)
+
 #: Stateless placements whose ``home`` is a pure function of the page.
 #: (First-touch is stateful — homes depend on access order across blocks
 #: — so it replays on the object paths.)
@@ -216,46 +221,46 @@ def try_replay(machine, packed):
     order, writebacks, notifications) cannot be observed.
     """
     if not registry.kernels_enabled():
-        return None
+        return _fallback("disabled")
     config = machine.config
     num_procs = config.num_procs
     if num_procs > 128:
-        return None
+        return _fallback("num-procs")
     if machine.block_messages is not None:
-        return None
+        return _fallback("block-messages")
     if type(machine.placement) not in _PLACEMENT_TYPES:
-        return None
+        return _fallback("placement")
     if type(machine.representation) is not FullMapDirectory:
-        return None
+        return _fallback("representation")
     protocol = machine.protocol
     if type(protocol) is not DirectoryProtocol:
-        return None
+        return _fallback("protocol-type")
     if packed.num_procs > num_procs:
-        return None
+        return _fallback("trace-procs")
     if (machine.stats != MessageStats()
             or machine.cache_stats != CacheStats()
             or protocol._entries or protocol.transitions
             or machine.invalidation_sizes
             or any(len(cache) for cache in machine.caches)):
-        return None
+        return _fallback("not-fresh")
     first = machine.caches[0] if machine.caches else None
     finite = type(first) is SetAssociativeCache
     if not finite and type(first) is not InfiniteCache:
-        return None
+        return _fallback("cache-type")
     try:
         seqs = packed.block_sequences(machine._block_shift)
     except ValueError:  # a processor id outside the symbol byte
-        return None
+        return _fallback("symbol-range")
     if finite:
         num_sets = config.cache.num_sets
         ways = config.cache.associativity
         per_set = Counter(block % num_sets for block in seqs)
         if any(count > ways for count in per_set.values()):
-            return None
+            return _fallback("evictions")
     try:
         table = registry.dir_table(machine.policy, num_procs)
     except KernelUnsupported:
-        return None
+        return _fallback("table-unsupported")
     placement = machine.placement
     home_shift = machine._home_shift
     seq_results = table.seq_results
@@ -280,7 +285,7 @@ def try_replay(machine, packed):
         # DFA capacity, or a combination outside the probed rows: the
         # machine is untouched (mutation happens only below), so the
         # packed loop can still run the replay.
-        return None
+        return _fallback("walk-abort")
     _apply(machine, totals, inv_sizes, finals)
     registry.engagements["directory"] += 1
     if machine.step_hook is not None:

@@ -19,6 +19,7 @@ Two switches force the legacy packed loop without touching call sites:
 
 from __future__ import annotations
 
+import logging
 import os
 from collections import Counter
 from contextlib import contextmanager
@@ -29,6 +30,40 @@ from repro.kernels import tables
 #: Tests and the conformance oracle use this to prove engagement; the
 #: machines themselves have ``__slots__`` and carry no kernel marker.
 engagements: Counter = Counter()
+
+#: Replays that fell back from a kernel to the legacy packed loop,
+#: keyed ``(engine, reason)``.  The telemetry mirror (when a session is
+#: active) is :data:`FALLBACK_METRIC`, so kernel-envelope gaps are
+#: measurable in production traffic instead of silent.
+fallbacks: Counter = Counter()
+
+#: Telemetry counter mirroring :data:`fallbacks`, labelled by
+#: ``engine`` and ``reason``.
+FALLBACK_METRIC = "repro_kernel_fallback_total"
+
+_log = logging.getLogger("repro.kernels")
+
+
+def record_fallback(engine: str, reason: str) -> None:
+    """Count one kernel-to-packed-loop fallback (and return ``None``,
+    so gate sites read ``return record_fallback(...)``).
+
+    Every ``try_replay`` gate routes through here: the module counter
+    feeds tests and ``counts()``-style introspection, the ambient
+    telemetry counter feeds ``/metrics`` on a serving shard, and the
+    debug log line names the reason for operators chasing a throughput
+    regression back to an envelope gap.
+    """
+    fallbacks[(engine, reason)] += 1
+    # Imported lazily: telemetry observes the kernels, the kernels must
+    # not depend on it at import time.
+    from repro.telemetry import runtime as telemetry
+
+    telemetry.count(FALLBACK_METRIC,
+                    "kernel-ineligible replays by engine and reason",
+                    engine=engine, reason=reason)
+    if _log.isEnabledFor(logging.DEBUG):
+        _log.debug("kernel fallback: engine=%s reason=%s", engine, reason)
 
 #: Safety valve: a DFA that outgrows this stops expanding and the replay
 #: falls back to the packed loop (the machine is only mutated after a
@@ -145,3 +180,4 @@ def clear() -> None:
     _dir_tables.clear()
     _bus_tables.clear()
     engagements.clear()
+    fallbacks.clear()

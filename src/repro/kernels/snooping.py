@@ -47,6 +47,11 @@ _VEC = 9
 _WH_SLOT = {"invalidation": 7, "update": 8}
 
 
+def _fallback(reason: str):
+    """Count one fallback and return ``None`` (the try_replay contract)."""
+    return registry.record_fallback("bus", reason)
+
+
 def _holders(key: int, fb: int, skip: int) -> list[tuple[int, int, int]]:
     """Decode the packed fields into ``(node, state, counter)`` triples,
     skipping the requester (whose line is not snooped)."""
@@ -186,35 +191,35 @@ def try_replay(machine, packed):
     observed.
     """
     if not registry.kernels_enabled():
-        return None
+        return _fallback("disabled")
     config = machine.config
     num_procs = config.num_procs
     if num_procs > 128:
-        return None
+        return _fallback("num-procs")
     if packed.num_procs > num_procs:
-        return None
+        return _fallback("trace-procs")
     if (machine.bus_stats != BusStats()
             or machine.cache_stats != CacheStats()
             or any(len(cache) for cache in machine.caches)):
-        return None
+        return _fallback("not-fresh")
     first = machine.caches[0] if machine.caches else None
     finite = type(first) is SetAssociativeCache
     if not finite and type(first) is not InfiniteCache:
-        return None
+        return _fallback("cache-type")
     try:
         seqs = packed.block_sequences(machine._block_shift)
     except ValueError:  # a processor id outside the symbol byte
-        return None
+        return _fallback("symbol-range")
     if finite:
         num_sets = config.cache.num_sets
         ways = config.cache.associativity
         per_set = Counter(block % num_sets for block in seqs)
         if any(count > ways for count in per_set.values()):
-            return None
+            return _fallback("evictions")
     try:
         table = registry.bus_table(machine.protocol, num_procs)
     except (KernelUnsupported, ProtocolError):
-        return None
+        return _fallback("table-unsupported")
     seq_results = table.seq_results
     totals = [0] * _VEC
     finals: list[tuple[int, int]] = []
@@ -232,7 +237,7 @@ def try_replay(machine, packed):
         # DFA capacity, an un-probed combination, or an uncomposable
         # multi-holder snoop: the machine is untouched (mutation happens
         # only below), so the packed loop can still run the replay.
-        return None
+        return _fallback("walk-abort")
     _apply(machine, table, totals, finals)
     registry.engagements["bus"] += 1
     if machine.step_hook is not None:

@@ -176,7 +176,7 @@ def get_pool(workers: int) -> ProcessPoolExecutor:
     return pool
 
 
-def shutdown_pool() -> None:
+def shutdown_pool(wait: bool = False) -> None:
     """Shut the session executor down (next use recreates it).
 
     Idempotent and thread-safe: the pool reference is detached under
@@ -185,6 +185,16 @@ def shutdown_pool() -> None:
     shutdown — agree on a single winner; everyone else sees ``None``
     and returns.  The actual ``Executor.shutdown`` runs outside the
     lock (it can block on worker teardown).
+
+    Args:
+        wait: with False (the default, and what the atexit hook gets),
+            pending futures are cancelled and the call returns without
+            blocking — the right disposal for a broken pool.  With
+            True, in-flight jobs run to completion and worker
+            processes are reaped before the call returns — the
+            graceful path a draining server takes so a replay still
+            executing in a worker is finished, not killed, and no
+            orphan processes outlive the shard.
     """
     global _POOL, _POOL_WORKERS
     with _POOL_LOCK:
@@ -192,7 +202,7 @@ def shutdown_pool() -> None:
         _POOL = None
         _POOL_WORKERS = 0
     if pool is not None:
-        pool.shutdown(wait=False, cancel_futures=True)
+        pool.shutdown(wait=wait, cancel_futures=not wait)
 
 
 atexit.register(shutdown_pool)

@@ -214,8 +214,19 @@ class ServiceClient:
         _raise_for_status(status, headers, payload)
         return payload
 
-    def replay_with_retry(self, attempts: int = 5, **spec) -> dict:
-        """Replay, honouring ``Retry-After`` on backpressure."""
+    def replay_with_retry(self, attempts: int = 5,
+                          retry_draining: bool = False,
+                          drain_backoff: float = 0.1, **spec) -> dict:
+        """Replay with bounded retries.
+
+        A 429 (:class:`Backpressure`) sleeps the server-provided
+        ``Retry-After`` and retries; a 503 (:class:`Draining`) — e.g.
+        from a rolling restart racing this client — retries after
+        ``drain_backoff`` only when ``retry_draining`` is set, since a
+        solo server that answers 503 is going away, while a cluster
+        router answering 503 is usually mid-transition.  The last
+        attempt's error propagates either way, so retries are bounded.
+        """
         for attempt in range(attempts):
             try:
                 return self.replay(**spec)
@@ -223,7 +234,27 @@ class ServiceClient:
                 if attempt == attempts - 1:
                     raise
                 time.sleep(exc.retry_after)
+            except Draining:
+                if not retry_draining or attempt == attempts - 1:
+                    raise
+                time.sleep(drain_backoff)
         raise AssertionError("unreachable")
+
+    def cluster_status(self) -> dict:
+        """``GET /v1/cluster/status`` (router deployments only)."""
+        status, headers, payload = self.request(
+            "GET", "/v1/cluster/status"
+        )
+        _raise_for_status(status, headers, payload)
+        return payload
+
+    def cluster_restart(self) -> dict:
+        """``POST /v1/cluster/restart``: a rolling, lossless restart."""
+        status, headers, payload = self.request(
+            "POST", "/v1/cluster/restart", {}
+        )
+        _raise_for_status(status, headers, payload)
+        return payload
 
     def wait_ready(self, timeout: float = 30.0,
                    interval: float = 0.1) -> dict:
@@ -337,6 +368,40 @@ class AsyncServiceClient:
         body = {"v": PROTOCOL_VERSION, **request}
         status, headers, payload = await self.request(
             "POST", "/v1/verify", body
+        )
+        _raise_for_status(status, headers, payload)
+        return payload
+
+    async def replay_with_retry(self, attempts: int = 5,
+                                retry_draining: bool = False,
+                                drain_backoff: float = 0.1, **spec
+                                ) -> dict:
+        """Async twin of :meth:`ServiceClient.replay_with_retry`."""
+        for attempt in range(attempts):
+            try:
+                return await self.replay(**spec)
+            except Backpressure as exc:
+                if attempt == attempts - 1:
+                    raise
+                await asyncio.sleep(exc.retry_after)
+            except Draining:
+                if not retry_draining or attempt == attempts - 1:
+                    raise
+                await asyncio.sleep(drain_backoff)
+        raise AssertionError("unreachable")
+
+    async def cluster_status(self) -> dict:
+        """``GET /v1/cluster/status`` (router deployments only)."""
+        status, headers, payload = await self.request(
+            "GET", "/v1/cluster/status"
+        )
+        _raise_for_status(status, headers, payload)
+        return payload
+
+    async def cluster_restart(self) -> dict:
+        """``POST /v1/cluster/restart``: a rolling, lossless restart."""
+        status, headers, payload = await self.request(
+            "POST", "/v1/cluster/restart", {}
         )
         _raise_for_status(status, headers, payload)
         return payload

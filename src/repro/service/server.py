@@ -190,6 +190,19 @@ class CoherenceService:
             self._server.close()
             await self._server.wait_closed()
         await self._idle.wait()
+        if self.workers > 1:
+            # Graceful pool teardown *after* the last admitted request:
+            # a job still executing in a worker (a straggler the loop
+            # is no longer awaiting, or work submitted moments before
+            # SIGTERM) finishes rather than being cancelled by the
+            # atexit hook's non-waiting shutdown, and the worker
+            # processes are reaped before the shard process exits —
+            # the shard supervisor never sees orphans.  Runs on a
+            # thread: Executor.shutdown(wait=True) blocks on worker
+            # exit and must not stall the event loop mid-drain.
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: shutdown_pool(wait=True)
+            )
         for writer in list(self._connections):
             writer.close()
         self._connections.clear()

@@ -1,0 +1,178 @@
+"""Shard process supervision for the cluster router.
+
+A *shard* is one full :class:`repro.service.server.CoherenceService`
+running in its own process (its own event loop, admission queue, and —
+with ``--jobs`` — its own replay pool), spawned as ``python -m
+repro.service.cli --port 0``.  The supervisor owns the process
+lifecycle only; routing, health, and ring membership live in
+:mod:`repro.service.router`.
+
+Every shard inherits one shared ``REPRO_RESULT_CACHE`` directory, so
+the fleet's on-disk result tier is common property: a replay computed
+by shard A is a disk hit on shard B, and a shard's warm state survives
+its own restart.  Each shard *process* additionally keeps the usual
+unbounded in-memory front (:data:`repro.experiments.resultcache._memory`),
+which is what consistent-hash affinity keeps warm.
+
+Spawning goes through the shard's ready line (``repro-serve: listening
+on http://H:P ...``), the same contract ``repro-serve`` prints for any
+supervisor; stopping sends SIGTERM and waits for the shard's graceful
+drain (escalating to SIGKILL only past ``stop_timeout``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import sys
+from pathlib import Path
+
+#: Pattern of the ``repro-serve`` ready line; group 1 is the bound port.
+READY_PATTERN = re.compile(
+    rb"repro-serve: listening on http://[^:]+:(\d+)"
+)
+
+
+class ShardError(RuntimeError):
+    """A shard process failed to start, answer, or stop."""
+
+
+class ShardHandle:
+    """One live shard process and its bound port."""
+
+    __slots__ = ("name", "process", "port")
+
+    def __init__(self, name: str, process: asyncio.subprocess.Process,
+                 port: int):
+        self.name = name
+        self.process = process
+        self.port = port
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.returncode is None
+
+
+class ShardSupervisor:
+    """Spawns, stops, and restarts shard server processes.
+
+    Args:
+        host: bind address handed to every shard.
+        max_queue: per-shard admission bound (``--max-queue``).
+        jobs: per-shard replay workers (``--jobs``); None inherits the
+            shard's own default resolution.
+        cache_dir: the shared on-disk result-cache directory exported to
+            every shard as ``REPRO_RESULT_CACHE``; None leaves the
+            ambient environment untouched.
+        ready_timeout: seconds to wait for a spawned shard's ready line.
+        stop_timeout: seconds to wait for SIGTERM drain before SIGKILL.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", max_queue: int = 64,
+                 jobs: int | None = None,
+                 cache_dir: str | Path | None = None,
+                 ready_timeout: float = 90.0,
+                 stop_timeout: float = 60.0):
+        self.host = host
+        self.max_queue = max_queue
+        self.jobs = jobs
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.ready_timeout = ready_timeout
+        self.stop_timeout = stop_timeout
+
+    # ------------------------------------------------------------------
+
+    def _command(self) -> list[str]:
+        command = [
+            sys.executable, "-m", "repro.service.cli",
+            "--host", self.host, "--port", "0",
+            "--max-queue", str(self.max_queue),
+        ]
+        if self.jobs is not None:
+            command += ["--jobs", str(self.jobs)]
+        return command
+
+    def _environment(self) -> dict[str, str]:
+        env = dict(os.environ)
+        if self.cache_dir is not None:
+            env["REPRO_RESULT_CACHE"] = self.cache_dir
+        return env
+
+    async def spawn(self, name: str) -> ShardHandle:
+        """Start one shard and block until its ready line arrives.
+
+        The shard binds an ephemeral port (``--port 0``); the bound port
+        is parsed back from the ready line.  stderr is inherited so
+        shard tracebacks land in the cluster's own log.
+        """
+        process = await asyncio.create_subprocess_exec(
+            *self._command(),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=None,
+            env=self._environment(),
+        )
+        try:
+            port = await asyncio.wait_for(
+                self._read_ready(process), self.ready_timeout
+            )
+        except (asyncio.TimeoutError, ShardError):
+            with _suppress_process_errors():
+                process.kill()
+            await process.wait()
+            raise ShardError(
+                f"shard {name!r} did not print a ready line within "
+                f"{self.ready_timeout}s"
+            ) from None
+        return ShardHandle(name, process, port)
+
+    @staticmethod
+    async def _read_ready(process: asyncio.subprocess.Process) -> int:
+        assert process.stdout is not None
+        while True:
+            line = await process.stdout.readline()
+            if not line:
+                raise ShardError("shard exited before its ready line")
+            match = READY_PATTERN.search(line)
+            if match:
+                return int(match.group(1))
+
+    async def stop(self, handle: ShardHandle) -> int:
+        """SIGTERM the shard and wait for its graceful drain.
+
+        Returns the shard's exit code.  A shard that outlives
+        ``stop_timeout`` is SIGKILLed — the drain contract makes that a
+        bug, but the supervisor must never hang the whole cluster on
+        one wedged process.
+        """
+        if handle.process.returncode is not None:
+            return handle.process.returncode
+        with _suppress_process_errors():
+            handle.process.send_signal(signal.SIGTERM)
+        try:
+            return await asyncio.wait_for(
+                handle.process.wait(), self.stop_timeout
+            )
+        except asyncio.TimeoutError:
+            with _suppress_process_errors():
+                handle.process.kill()
+            return await handle.process.wait()
+
+    async def restart(self, handle: ShardHandle) -> ShardHandle:
+        """Stop one shard and spawn its replacement (same name)."""
+        await self.stop(handle)
+        return await self.spawn(handle.name)
+
+
+class _suppress_process_errors:
+    """``ProcessLookupError`` guard around signalling a gone process."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return exc_type is ProcessLookupError

@@ -17,6 +17,9 @@ on a dead or absent segment.
 
 from __future__ import annotations
 
+import os
+import time
+
 from repro.common.config import CacheConfig, MachineConfig
 from repro.experiments import bus as bus_experiment
 from repro.experiments import common, resultcache
@@ -69,8 +72,25 @@ def replay_cache_parts(spec: ReplaySpec, trace_digest: str) -> tuple[str, tuple]
     )
 
 
+#: Fault/latency-injection seam: a positive value sleeps that many
+#: milliseconds inside every replay execution.  Environment-keyed so it
+#: crosses into spawned pool workers; used by the drain regression test
+#: (a provably in-flight pool job at SIGTERM time) and the cluster
+#: benchmark's slot-bound series (a modelled service time that makes
+#: per-shard execution capacity, not this host's core count, the
+#: bottleneck).  Unset in production: the check is one getenv.
+INJECT_DELAY_ENV = "REPRO_SERVICE_INJECT_DELAY_MS"
+
+
+def _inject_delay() -> None:
+    delay_ms = os.environ.get(INJECT_DELAY_ENV)
+    if delay_ms:
+        time.sleep(float(delay_ms) / 1000.0)
+
+
 def run_replay(spec_payload: dict, handle: TraceHandle | None) -> dict:
     """Execute one replay; returns the cache-codec stats payload."""
+    _inject_delay()
     spec = ReplaySpec.from_payload(spec_payload)
     trace = _trace(spec, handle)
     if spec.engine == "directory":

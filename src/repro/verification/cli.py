@@ -104,6 +104,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--verbose", action="store_true",
                         help="print per-property verdicts for every "
                         "combo, not just violations")
+    parser.add_argument("--expect-registry", action="store_true",
+                        help="fail unless the sweep certified every "
+                        "registered protocol family (all snooping "
+                        "protocols and directory policies) — the CI "
+                        "guard that a newly registered family cannot "
+                        "ship un-model-checked")
     args = parser.parse_args(argv)
 
     known = sorted(SNOOP_PROTOCOLS) + sorted(DIRECTORY_POLICIES)
@@ -177,13 +183,39 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"certificate -> {args.certificate}")
 
+    registry_ok = True
+    if args.expect_registry:
+        # Coverage is registry-driven: the expectation set is computed
+        # from the live SNOOP_PROTOCOLS / DIRECTORY_POLICIES maps, so a
+        # newly registered family widens it automatically and an
+        # un-swept family fails the run even with zero violations.
+        expected = ({f"bus/{name}" for name in SNOOP_PROTOCOLS}
+                    | {f"directory/{name}" for name in DIRECTORY_POLICIES})
+        certified = {combo.config.label for combo in result.results
+                     if combo.config.inject == "none"
+                     and not sum(combo.property_counts.values())}
+        missing = sorted(expected - certified)
+        if missing:
+            registry_ok = False
+            print(
+                "repro-verify: --expect-registry: "
+                f"{len(missing)} registered famil"
+                f"{'y' if len(missing) == 1 else 'ies'} not certified "
+                f"by this sweep: {', '.join(missing)}"
+            )
+        else:
+            print(
+                f"repro-verify: --expect-registry: all {len(expected)} "
+                "registered families certified"
+            )
+
     totals = result.certificate()["totals"]
     print(
         f"repro-verify: {totals['combos']} combo(s), "
         f"{totals['states']} states, {totals['transitions']} "
         f"transitions, {totals['violations']} violation(s)"
     )
-    return 0 if result.ok else 1
+    return 0 if result.ok and registry_ok else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,139 @@
+"""Kernel fallback accounting (``repro_kernel_fallback_total``).
+
+Every ``try_replay`` gate that routes a replay back to the legacy
+packed loop must say *why*: the module counter
+(:data:`repro.kernels.registry.fallbacks`) keyed ``(engine, reason)``,
+the ambient telemetry counter labelled the same way, and a DEBUG log
+line.  An engaged kernel replay must count nothing — fallbacks measure
+envelope gaps, not traffic.
+"""
+
+import logging
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.types import Access, Op
+from repro.directory.policy import BASIC
+from repro.kernels import registry
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import MesiProtocol
+from repro.system.machine import DirectoryMachine
+from repro.trace.core import Trace
+
+NUM_PROCS = 4
+
+
+def _trace(num_procs: int = NUM_PROCS, blocks: int = 2) -> Trace:
+    accesses = []
+    for _ in range(4):
+        for proc in range(num_procs):
+            for block in range(blocks):
+                accesses.append(Access(proc, Op.READ, 16 * block))
+                accesses.append(Access(proc, Op.WRITE, 16 * block))
+    return Trace(accesses, name="fallback-probe")
+
+
+def _config(num_procs: int = NUM_PROCS,
+            size_bytes: int | None = None) -> MachineConfig:
+    return MachineConfig(
+        num_procs=num_procs,
+        cache=CacheConfig(size_bytes=size_bytes, block_size=16),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    registry.engagements.clear()
+    registry.fallbacks.clear()
+    yield
+    registry.engagements.clear()
+    registry.fallbacks.clear()
+
+
+class TestNoFalsePositives:
+    def test_engaged_directory_replay_counts_nothing(self):
+        machine = DirectoryMachine(_config(), BASIC)
+        machine.run(_trace())
+        assert registry.engagements["directory"] == 1
+        assert not registry.fallbacks
+
+    def test_engaged_bus_replay_counts_nothing(self):
+        machine = BusMachine(_config(), MesiProtocol())
+        machine.run(_trace())
+        assert registry.engagements["bus"] == 1
+        assert not registry.fallbacks
+
+
+class TestReasons:
+    def test_disabled_context_manager(self):
+        with registry.disabled():
+            DirectoryMachine(_config(), BASIC).run(_trace())
+            BusMachine(_config(), MesiProtocol()).run(_trace())
+        assert registry.fallbacks[("directory", "disabled")] == 1
+        assert registry.fallbacks[("bus", "disabled")] == 1
+        assert registry.engagements["directory"] == 0
+        assert registry.engagements["bus"] == 0
+
+    def test_no_kernel_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_KERNEL", "1")
+        DirectoryMachine(_config(), BASIC).run(_trace())
+        assert registry.fallbacks[("directory", "disabled")] == 1
+
+    def test_not_fresh_machine(self):
+        machine = DirectoryMachine(_config(), BASIC)
+        machine.run(_trace())
+        machine.run(_trace())  # second replay on a warm machine
+        assert registry.engagements["directory"] == 1
+        assert registry.fallbacks[("directory", "not-fresh")] == 1
+
+    def test_evictions_on_a_tiny_finite_cache(self):
+        # 4 blocks of cache, 8 distinct blocks touched: replacement is
+        # observable, so the kernel must stand down.
+        machine = DirectoryMachine(_config(size_bytes=64), BASIC)
+        machine.run(_trace(blocks=8))
+        assert registry.engagements["directory"] == 0
+        assert registry.fallbacks[("directory", "evictions")] == 1
+
+    def test_bus_not_fresh(self):
+        machine = BusMachine(_config(), MesiProtocol())
+        machine.run(_trace())
+        machine.run(_trace())
+        assert registry.engagements["bus"] == 1
+        assert registry.fallbacks[("bus", "not-fresh")] == 1
+
+    def test_clear_resets_fallbacks(self):
+        registry.record_fallback("directory", "probe")
+        assert registry.fallbacks
+        registry.clear()
+        assert not registry.fallbacks
+
+
+class TestTelemetryMirror:
+    def test_counter_lands_in_the_active_session(self, tmp_path):
+        from repro.telemetry import runtime
+
+        with runtime.session(tmp_path) as sess:
+            with registry.disabled():
+                DirectoryMachine(_config(), BASIC).run(_trace())
+        counter = sess.registry.counter(registry.FALLBACK_METRIC)
+        assert counter.value(engine="directory", reason="disabled") == 1
+
+    def test_free_noop_without_a_session(self):
+        # Must not raise (and must still count module-side).
+        registry.record_fallback("bus", "probe")
+        assert registry.fallbacks[("bus", "probe")] == 1
+
+
+class TestDebugLog:
+    def test_reason_logged_at_debug(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.kernels"):
+            registry.record_fallback("directory", "evictions")
+        assert any("engine=directory" in message
+                   and "reason=evictions" in message
+                   for message in caplog.messages)
+
+    def test_quiet_above_debug(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.kernels"):
+            registry.record_fallback("directory", "evictions")
+        assert not caplog.messages

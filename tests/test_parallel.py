@@ -24,6 +24,13 @@ def _explode(x):
     return x
 
 
+def _slow_square(x):
+    import time
+
+    time.sleep(0.5)
+    return x * x
+
+
 @pytest.fixture
 def real_workers(monkeypatch):
     """Disable the CPU clamp so ``jobs=2`` really uses worker processes.
@@ -173,6 +180,19 @@ class TestPersistentPool:
         assert errors == []
         shutdown_pool()
         assert parallel_map(_square, [5], jobs=2) == [25]
+
+    def test_shutdown_wait_finishes_inflight_work(self, real_workers):
+        """``shutdown_pool(wait=True)`` is the graceful-drain path: a
+        job already on a worker completes and its future resolves,
+        instead of being cancelled out from under a draining server."""
+        import time
+
+        shutdown_pool()
+        pool = get_pool(2)
+        future = pool.submit(_slow_square, 6)
+        time.sleep(0.1)  # let the job reach a worker
+        shutdown_pool(wait=True)
+        assert future.result(timeout=10) == 36
 
     def test_worker_exception_does_not_break_pool(self, real_workers):
         shutdown_pool()

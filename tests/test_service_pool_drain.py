@@ -1,0 +1,63 @@
+"""Regression: SIGTERM with a process-pool job in flight must finish
+the job.
+
+With ``--jobs 2`` the server executes replays on the shared process
+pool.  The drain path used to shut that pool down with
+``cancel_futures``, so a SIGTERM arriving while a replay was *on a
+worker* killed it and the admitted request failed.  The fix routes the
+drain through ``shutdown_pool(wait=True)``; this test pins the
+end-to-end behaviour: slow in-flight pool replays (service time
+injected via ``REPRO_SERVICE_INJECT_DELAY_MS``, which crosses the
+worker spawn) + SIGTERM -> every response is a 200 and the server
+exits 0.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.client import AsyncServiceClient
+from repro.service.loadgen import ManagedServer
+from repro.service.worker import INJECT_DELAY_ENV
+
+SCALE = 0.02
+
+
+@pytest.mark.parametrize("jobs", [2])
+def test_sigterm_with_pool_job_inflight_finishes_it(tmp_path,
+                                                    monkeypatch, jobs):
+    monkeypatch.setenv(INJECT_DELAY_ENV, "700")
+    server = ManagedServer(max_queue=8, jobs=jobs,
+                           cache_dir=str(tmp_path / "results"))
+    server.start()
+
+    async def drive():
+        client = AsyncServiceClient("127.0.0.1", server.port)
+        tasks = [
+            asyncio.ensure_future(client.replay(
+                engine="directory", app="water", policy="basic",
+                cache_size=(32 + i) * 1024, scale=SCALE,
+            ))
+            for i in range(jobs)
+        ]
+        # Wait until the replays are on pool workers (inside the
+        # injected 700 ms service time), then pull the plug.
+        await asyncio.sleep(0.35)
+        server.sigterm()
+        return await asyncio.gather(*tasks)
+
+    try:
+        responses = asyncio.run(drive())
+        # The SIGTERM already went out inside drive(); a second signal
+        # could land after the server tore down its handler, so just
+        # wait for the graceful exit rather than calling stop().
+        exit_code = server.wait()
+    finally:
+        if server.process.poll() is None:  # pragma: no cover - hang guard
+            server.process.kill()
+
+    assert len(responses) == jobs
+    for response in responses:
+        assert response["type"] == "replay"
+        assert response["result"]["short"] >= 0
+    assert exit_code == 0

@@ -1,0 +1,123 @@
+"""Unit tests for the consistent-hash ring.
+
+The properties the router depends on: deterministic placement (router,
+tests, and loadgen agree on ownership), minimal remap on membership
+change (warm caches survive a rolling restart), and distinct replica
+sets for hot-key fan-out.
+"""
+
+import pytest
+
+from repro.service.ring import VNODES, HashRing
+
+SHARDS = ["shard-0", "shard-1", "shard-2", "shard-3"]
+KEYS = [f"key-{i}" for i in range(200)]
+
+
+class TestRouting:
+    def test_route_returns_a_member(self):
+        ring = HashRing(SHARDS)
+        for key in KEYS:
+            assert ring.route(key) in SHARDS
+
+    def test_deterministic_across_instances(self):
+        a = HashRing(SHARDS)
+        b = HashRing(SHARDS)
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_insertion_order_irrelevant(self):
+        a = HashRing(SHARDS)
+        b = HashRing(list(reversed(SHARDS)))
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_all_shards_own_keys(self):
+        ring = HashRing(SHARDS)
+        owners = {ring.route(k) for k in KEYS}
+        assert owners == set(SHARDS)
+
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(LookupError):
+            ring.route("anything")
+        with pytest.raises(LookupError):
+            ring.preference("anything", 2)
+
+
+class TestMembership:
+    def test_remove_only_remaps_the_removed_shards_keys(self):
+        ring = HashRing(SHARDS)
+        before = {k: ring.route(k) for k in KEYS}
+        ring.remove("shard-2")
+        for key, owner in before.items():
+            if owner != "shard-2":
+                assert ring.route(key) == owner
+            else:
+                assert ring.route(key) != "shard-2"
+
+    def test_add_back_restores_ownership(self):
+        ring = HashRing(SHARDS)
+        before = {k: ring.route(k) for k in KEYS}
+        ring.remove("shard-1")
+        ring.add("shard-1")
+        assert {k: ring.route(k) for k in KEYS} == before
+
+    def test_add_and_remove_idempotent(self):
+        ring = HashRing(SHARDS)
+        ring.add("shard-0")
+        assert len(ring) == len(SHARDS)
+        ring.remove("nonesuch")
+        assert len(ring) == len(SHARDS)
+        ring.remove("shard-0")
+        ring.remove("shard-0")
+        assert len(ring) == len(SHARDS) - 1
+
+    def test_membership_protocol(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring
+        assert "c" not in ring
+        assert ring.shards() == ["a", "b"]
+
+    def test_remap_fraction_is_about_one_over_n(self):
+        keys = [f"key-{i}" for i in range(2000)]
+        ring = HashRing(SHARDS)
+        before = {k: ring.route(k) for k in keys}
+        ring.remove("shard-3")
+        moved = sum(1 for k in keys if ring.route(k) != before[k])
+        # Exactly the removed shard's keys moved: ~1/4 of the space,
+        # never anything another shard owned.
+        assert moved == sum(1 for o in before.values() if o == "shard-3")
+        assert 0.10 < moved / len(keys) < 0.45
+
+
+class TestPreference:
+    def test_head_is_route(self):
+        ring = HashRing(SHARDS)
+        for key in KEYS[:50]:
+            assert ring.preference(key, 3)[0] == ring.route(key)
+
+    def test_distinct_members(self):
+        ring = HashRing(SHARDS)
+        for key in KEYS[:50]:
+            replicas = ring.preference(key, 3)
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+
+    def test_clamped_to_ring_size(self):
+        ring = HashRing(["a", "b"])
+        assert sorted(ring.preference("key", 5)) == ["a", "b"]
+
+
+class TestDescribe:
+    def test_shares_sum_to_one(self):
+        description = HashRing(SHARDS).describe()
+        assert description["shards"] == sorted(SHARDS)
+        assert description["vnodes"] == VNODES
+        assert abs(sum(description["shares"].values()) - 1.0) < 0.01
+        # Vnodes keep the split within a few x of fair for small fleets.
+        for share in description["shares"].values():
+            assert 0.05 < share < 0.60
+
+    def test_empty_ring_describes_empty(self):
+        assert HashRing().describe() == {
+            "shards": [], "vnodes": VNODES, "shares": {},
+        }
