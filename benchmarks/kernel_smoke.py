@@ -16,6 +16,14 @@ object engine — and asserts the two contracts the kernels ship under:
   transitions — is byte-identical to the object engine's on the same
   fixed seeded trace.
 
+Both contracts are checked twice per machine: once on the infinite
+64K-cache throughput geometry and once on a finite 256-byte cache
+whose conflict sets force real evictions through the eviction-aware
+group walks (the run is rejected if no eviction actually happened).
+A final pass replays the same packed trace through the streaming
+backend at several chunk sizes and diffs the results against the
+batch kernel — chunk boundaries must be unobservable.
+
 Run from the repository root::
 
     python benchmarks/kernel_smoke.py
@@ -32,6 +40,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.common.config import CacheConfig, MachineConfig  # noqa: E402
 from repro.directory.policy import AGGRESSIVE  # noqa: E402
 from repro.kernels import registry  # noqa: E402
+from repro.kernels.streaming import replay_stream  # noqa: E402
 from repro.snooping.machine import BusMachine  # noqa: E402
 from repro.snooping.protocols import AdaptiveSnoopingProtocol  # noqa: E402
 from repro.system.machine import DirectoryMachine  # noqa: E402
@@ -42,6 +51,21 @@ REPS = 5
 
 CFG = MachineConfig(num_procs=16,
                     cache=CacheConfig(size_bytes=64 * 1024, block_size=16))
+
+#: 16 lines over 4 sets, 32 distinct blocks in the trace: every set is
+#: a conflict set and the replay has to take the eviction-aware walks.
+EVICT_CFG = MachineConfig(num_procs=16,
+                          cache=CacheConfig(size_bytes=256, block_size=16))
+
+#: The streaming backend only covers infinite caches (a segment-local
+#: view cannot prove a finite cache never evicts), so its determinism
+#: pass runs on the same workload with caches uncapped.
+STREAM_CFG = MachineConfig(num_procs=16,
+                           cache=CacheConfig(size_bytes=None, block_size=16))
+
+#: Chunk sizes for the streaming determinism pass (one splits blocks'
+#: access sequences mid-stream, one is a few large segments).
+STREAM_CHUNKS = (257, 4096)
 
 
 def _trace():
@@ -62,28 +86,36 @@ def _best(make, trace) -> float:
     return best
 
 
-def _check_machine(name, make, trace, stats_of) -> list[str]:
+def _check_machine(name, make, trace, stats_of, *, label=None,
+                   require_evictions=False) -> list[str]:
     """Time kernel vs packed and diff kernel stats against the object
     engine; returns failure descriptions (empty = clean)."""
     problems = []
+    label = label or name
 
     registry.engagements.clear()
     kernel_machine = make()
     kernel_machine.run(trace)
     if registry.engagements[name] != 1:
-        problems.append(f"{name}: kernel did not engage on the benchmark "
+        problems.append(f"{label}: kernel did not engage on the benchmark "
                         f"workload (engagements={dict(registry.engagements)})")
+    if require_evictions:
+        evictions = (kernel_machine.cache_stats.evictions_dirty
+                     + kernel_machine.cache_stats.evictions_clean)
+        if not evictions:
+            problems.append(f"{label}: finite-cache geometry produced no "
+                            "evictions — the check is vacuous")
     kernel_seconds = _best(make, trace)
 
     with registry.disabled():
         packed_seconds = _best(make, trace)
 
-    print(f"{name}: kernel {kernel_seconds * 1e3:.3f}ms  "
+    print(f"{label}: kernel {kernel_seconds * 1e3:.3f}ms  "
           f"packed {packed_seconds * 1e3:.3f}ms  "
           f"({packed_seconds / kernel_seconds:.1f}x)")
     if kernel_seconds > packed_seconds:
         problems.append(
-            f"{name}: kernel replay ({kernel_seconds * 1e3:.3f}ms) slower "
+            f"{label}: kernel replay ({kernel_seconds * 1e3:.3f}ms) slower "
             f"than the legacy packed loop ({packed_seconds * 1e3:.3f}ms)")
 
     generic_machine = make()
@@ -91,8 +123,34 @@ def _check_machine(name, make, trace, stats_of) -> list[str]:
     for field, kernel_value, generic_value in stats_of(kernel_machine,
                                                        generic_machine):
         if kernel_value != generic_value:
-            problems.append(f"{name}: {field}: kernel={kernel_value!r} "
+            problems.append(f"{label}: {field}: kernel={kernel_value!r} "
                             f"object-engine={generic_value!r}")
+    return problems
+
+
+def _check_streaming(name, make, packed, stats_of) -> list[str]:
+    """Replay chunked through the streaming backend at every chunk size
+    and diff against the batch kernel — results must be identical."""
+    problems = []
+    batch = make()
+    batch.run(packed)
+    for chunk in STREAM_CHUNKS:
+        registry.engagements.clear()
+        registry.fallbacks.clear()
+        machine = make()
+        replay_stream(machine, packed, chunk=chunk)
+        if registry.engagements[f"{name}-stream"] != 1 or registry.fallbacks:
+            problems.append(
+                f"{name}-stream(chunk={chunk}): did not engage "
+                f"(engagements={dict(registry.engagements)}, "
+                f"fallbacks={dict(registry.fallbacks)})")
+        for field, stream_value, batch_value in stats_of(machine, batch):
+            if stream_value != batch_value:
+                problems.append(
+                    f"{name}-stream(chunk={chunk}): {field}: "
+                    f"stream={stream_value!r} batch={batch_value!r}")
+    if not problems:
+        print(f"{name}-stream: chunks {STREAM_CHUNKS} all match batch")
     return problems
 
 
@@ -130,6 +188,22 @@ def main() -> int:
     problems += _check_machine(
         "bus", lambda: BusMachine(CFG, AdaptiveSnoopingProtocol()), trace,
         _bus_stats,
+    )
+    problems += _check_machine(
+        "directory", lambda: DirectoryMachine(EVICT_CFG, AGGRESSIVE), trace,
+        _directory_stats, label="directory-evicting", require_evictions=True,
+    )
+    problems += _check_machine(
+        "bus", lambda: BusMachine(EVICT_CFG, AdaptiveSnoopingProtocol()),
+        trace, _bus_stats, label="bus-evicting", require_evictions=True,
+    )
+    problems += _check_streaming(
+        "directory", lambda: DirectoryMachine(STREAM_CFG, AGGRESSIVE),
+        packed, _directory_stats,
+    )
+    problems += _check_streaming(
+        "bus", lambda: BusMachine(STREAM_CFG, AdaptiveSnoopingProtocol()),
+        packed, _bus_stats,
     )
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)

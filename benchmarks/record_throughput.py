@@ -6,6 +6,18 @@ table-driven kernel, packed fast path (kernels disabled via
 ``REPRO_NO_KERNEL``), and generic per-``Access`` path — and writes the
 results to ``BENCH_throughput.json``.
 
+Two extra sections cover the widened kernel envelope:
+
+* ``*_evicting`` rows re-run the kernel-vs-packed comparison on a
+  finite 256-byte 4-way cache whose conflict sets force real
+  evictions, so the eviction-aware group walks (not the conflict-free
+  per-block walks) carry the replay.
+* the ``streaming`` section replays a million-block trace fed chunk by
+  chunk from a generator through the streaming backend, recording the
+  feed-phase allocation peak next to the batch path's peak (which must
+  materialise the whole trace first).  Skip it with ``--no-stream``
+  (the previously recorded section is carried forward).
+
 Each configuration is timed in its own subprocess (min over
 ``--rounds`` process launches of the min over ``--reps`` in-process
 repetitions), and configurations are interleaved across rounds so slow
@@ -37,11 +49,16 @@ _TIMER_BODY = r'''
 import sys, time
 sys.path.insert(0, sys.argv[1])
 machine_kind, representation, reps = sys.argv[2], sys.argv[3], int(sys.argv[4])
+geometry = sys.argv[5] if len(sys.argv) > 5 else "base"
 from repro.common.config import CacheConfig, MachineConfig
 from repro.trace import synth
 
+# "evicting" shrinks the caches to 16 lines over 4 sets: with 32
+# distinct blocks in the trace every set conflicts, so the replay has
+# to take the eviction-aware group walks.
+size_bytes = 64 * 1024 if geometry == "base" else 256
 CFG = MachineConfig(num_procs=16,
-                    cache=CacheConfig(size_bytes=64 * 1024, block_size=16))
+                    cache=CacheConfig(size_bytes=size_bytes, block_size=16))
 TRACE = synth.interleave(
     [synth.migratory(num_procs=16, num_objects=16, visits=50, seed=1),
      synth.read_shared(num_procs=16, num_objects=16, rounds=20,
@@ -85,30 +102,125 @@ print(f"{len(TRACE)} {best}")
 '''
 
 
+_STREAM_BODY = r'''
+import json, sys, time, tracemalloc
+sys.path.insert(0, sys.argv[1])
+mode = sys.argv[2]
+from array import array
+from repro.common.config import CacheConfig, MachineConfig
+from repro.snooping.machine import BusMachine
+from repro.snooping.protocols import AdaptiveSnoopingProtocol
+from repro.trace.packed import PackedTrace
+
+BLOCKS, TOTAL, CHUNK = 1_000_000, 4_000_000, 65_536
+CFG = MachineConfig(num_procs=16,
+                    cache=CacheConfig(size_bytes=None, block_size=16))
+
+
+def columns(start, count):
+    span = range(start, start + count)
+    return (array("q", [(i * 7) % 16 for i in span]),
+            array("b", [1 if i % 3 == 0 else 0 for i in span]),
+            array("q", [(i % BLOCKS) * 16 for i in span]))
+
+
+machine = BusMachine(CFG, AdaptiveSnoopingProtocol())
+if mode == "stream":
+    # The trace never exists in full: each chunk is synthesized, fed,
+    # and dropped.  The feed-phase peak is the streaming claim; the
+    # total peak adds finish()'s machine line objects, which every
+    # replay path pays.
+    from repro.kernels.streaming import BusStreamReplay
+    replay = BusStreamReplay(machine)
+    tracemalloc.start()
+    started = time.perf_counter()
+    for start in range(0, TOTAL, CHUNK):
+        replay.feed(PackedTrace(*columns(start, min(CHUNK, TOTAL - start))))
+    feed_peak = tracemalloc.get_traced_memory()[1]
+    replay.finish()
+    elapsed = time.perf_counter() - started
+    total_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    out = {"seconds": elapsed, "feed_peak": feed_peak,
+           "total_peak": total_peak}
+else:
+    # Batch path: the whole packed trace is materialised first, then
+    # replayed by the batch kernel; its peak includes the trace.
+    tracemalloc.start()
+    started = time.perf_counter()
+    packed = PackedTrace(*columns(0, TOTAL))
+    machine.run(packed)
+    elapsed = time.perf_counter() - started
+    total_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    out = {"seconds": elapsed, "total_peak": total_peak}
+stats = machine.cache_stats
+covered = (stats.read_hits + stats.read_misses
+           + stats.write_hits + stats.write_misses)
+if covered != TOTAL:
+    raise SystemExit(f"replay covered {covered} of {TOTAL} accesses")
+print(json.dumps(out))
+'''
+
+
+def measure_streaming(src: Path) -> dict:
+    """One-shot streaming-vs-batch replay of the million-block trace."""
+    results = {}
+    for mode in ("stream", "batch"):
+        out = subprocess.run(
+            [sys.executable, "-c", _STREAM_BODY, str(src), mode],
+            capture_output=True, text=True, check=True,
+        )
+        results[mode] = json.loads(out.stdout)
+    mb = 1024 * 1024
+    return {
+        "workload": "bus machine, 1,000,000 blocks x 4,000,000 accesses, "
+                    "fed in 65,536-access chunks from a generator",
+        "trace_mb": round(17 * 4_000_000 / mb, 1),
+        "stream_seconds": round(results["stream"]["seconds"], 2),
+        "stream_feed_peak_mb": round(results["stream"]["feed_peak"] / mb, 1),
+        "stream_total_peak_mb": round(
+            results["stream"]["total_peak"] / mb, 1),
+        "batch_seconds": round(results["batch"]["seconds"], 2),
+        "batch_peak_mb": round(results["batch"]["total_peak"] / mb, 1),
+        "batch_vs_stream_feed_peak": round(
+            results["batch"]["total_peak"]
+            / results["stream"]["feed_peak"], 2),
+        "note": "feed peak holds per-block continuation nodes (the "
+                "million-block floor) but never the trace itself; total "
+                "peaks add the machine's own final line objects, common "
+                "to both paths",
+    }
+
+
 def time_config(src: Path, machine: str, representation: str,
-                reps: int) -> tuple[int, float]:
+                reps: int, geometry: str = "base") -> tuple[int, float]:
     """Best wall time for one (source tree, machine, representation)."""
     out = subprocess.run(
         [sys.executable, "-c", _TIMER_BODY, str(src), machine,
-         representation, str(reps)],
+         representation, str(reps), geometry],
         capture_output=True, text=True, check=True,
     )
     accesses, best = out.stdout.split()
     return int(accesses), float(best)
 
 
-def measure(src: Path, configs: list[tuple[str, str]], rounds: int,
+def measure(src: Path, configs: list[tuple[str, str, str]], rounds: int,
             reps: int) -> dict:
     """Interleaved min-of-rounds measurement of every configuration."""
-    best: dict[tuple[str, str], float] = {c: float("inf") for c in configs}
+    best: dict[tuple[str, str, str], float] = {c: float("inf")
+                                               for c in configs}
     accesses = 0
     for _ in range(rounds):
         for config in configs:
-            accesses, elapsed = time_config(src, *config, reps=reps)
+            accesses, elapsed = time_config(src, *config[:2], reps=reps,
+                                            geometry=config[2])
             best[config] = min(best[config], elapsed)
     result = {"accesses": accesses}
-    for (machine, representation), elapsed in best.items():
+    for (machine, representation, geometry), elapsed in best.items():
         key = f"{machine}_{representation}"
+        if geometry != "base":
+            key = f"{key}_{geometry}"
         result[f"{key}_ms"] = round(elapsed * 1e3, 3)
         result[f"{key}_accesses_per_s"] = round(accesses / elapsed)
     return result
@@ -123,12 +235,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline-src", type=Path, default=None,
                         help="src/ of the pre-optimization tree to "
                         "re-measure as the 'before' section")
+    parser.add_argument("--no-stream", action="store_true",
+                        help="skip the million-block streaming replay "
+                        "and carry the recorded section forward")
     parser.add_argument("--out", type=Path, default=OUT_PATH)
     args = parser.parse_args(argv)
 
-    configs = [("directory", "kernel"), ("directory", "packed"),
-               ("directory", "unpacked"),
-               ("bus", "kernel"), ("bus", "packed"), ("bus", "unpacked")]
+    configs = [("directory", "kernel", "base"),
+               ("directory", "packed", "base"),
+               ("directory", "unpacked", "base"),
+               ("bus", "kernel", "base"),
+               ("bus", "packed", "base"),
+               ("bus", "unpacked", "base"),
+               ("directory", "kernel", "evicting"),
+               ("directory", "packed", "evicting"),
+               ("bus", "kernel", "evicting"),
+               ("bus", "packed", "evicting")]
 
     previous = {}
     if args.out.exists():
@@ -140,7 +262,8 @@ def main(argv: list[str] | None = None) -> int:
         # The old tree has no packed representation; both labels run the
         # generic loop, so measure it once under the 'unpacked' label.
         base = measure(args.baseline_src,
-                       [("directory", "unpacked"), ("bus", "unpacked")],
+                       [("directory", "unpacked", "base"),
+                        ("bus", "unpacked", "base")],
                        args.rounds, args.reps)
         before = {
             "accesses": base["accesses"],
@@ -152,14 +275,21 @@ def main(argv: list[str] | None = None) -> int:
     else:
         before = previous.get("before", {})
 
+    if args.no_stream:
+        streaming = previous.get("streaming", {})
+    else:
+        streaming = measure_streaming(REPO / "src")
+
     record = {
         "benchmark": "benchmarks/test_simulator_throughput.py "
                      "(16 procs, 64K caches, 16-byte blocks, "
-                     "migratory+read_shared interleave)",
+                     "migratory+read_shared interleave; _evicting rows "
+                     "rerun on 256-byte 4-way caches)",
         "method": f"min over {args.rounds} interleaved subprocess rounds "
                   f"of min-of-{args.reps} in-process repetitions",
         "before": before,
         "after": after,
+        "streaming": streaming,
     }
     record["speedup"] = {
         "directory_kernel_vs_packed": round(
@@ -170,6 +300,12 @@ def main(argv: list[str] | None = None) -> int:
             after["directory_unpacked_ms"] / after["directory_packed_ms"], 2),
         "bus_packed_vs_unpacked": round(
             after["bus_unpacked_ms"] / after["bus_packed_ms"], 2),
+        "directory_kernel_vs_packed_evicting": round(
+            after["directory_packed_evicting_ms"]
+            / after["directory_kernel_evicting_ms"], 2),
+        "bus_kernel_vs_packed_evicting": round(
+            after["bus_packed_evicting_ms"]
+            / after["bus_kernel_evicting_ms"], 2),
     }
     if before:
         record["speedup"].update({

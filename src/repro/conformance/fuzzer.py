@@ -3,7 +3,7 @@
 Every fuzz case is a pure function of ``(profile, seed)``: the same pair
 always yields the same machine geometry and byte-identical trace, which
 is what makes ``repro-fuzz`` runs reproducible and lets a failing seed
-be named in a bug report.  Four profiles are provided:
+be named in a bug report.  Five profiles are provided:
 
 * ``migratory`` — compositions of the synthetic sharing patterns the
   paper studies (migratory objects, lock-style read-modify-write
@@ -22,6 +22,13 @@ be named in a bug report.  Four profiles are provided:
   :mod:`repro.kernels`), so the oracle's kernel-diff stage replays on
   the table-driven kernels rather than falling back; a slice of tiny
   geometries keeps the fallback decision itself under test.
+* ``evict`` — adversarial set-conflict traffic on deliberately tiny
+  finite caches (one or two sets, one or two ways, LRU or FIFO): more
+  distinct blocks than ways collide in each set, so every case churns
+  replacements.  This drives the kernels' eviction-aware group walks —
+  segment restarts, recency bookkeeping, replacement charges, dirty
+  writebacks, last-copy directory forgetting — against the packed
+  reference, with stats and final cache state compared bit-for-bit.
 
 Machine geometry (processor count, block size, finite vs infinite
 caches, associativity, replacement policy) is fuzzed along with the
@@ -40,7 +47,7 @@ from repro.trace import synth
 from repro.trace.core import Trace
 
 #: The recognised fuzz profiles, in CLI order.
-PROFILES = ("migratory", "uniform", "adversarial", "kernel")
+PROFILES = ("migratory", "uniform", "adversarial", "kernel", "evict")
 
 #: Hard ceiling on trace length so one case replays in milliseconds.
 MAX_OPS = 512
@@ -258,6 +265,71 @@ def _adversarial_trace(rng: random.Random, num_procs: int,
     return out
 
 
+def _evict_trace(rng: random.Random, num_procs: int, block_size: int,
+                 num_sets: int, ways: int) -> list[Access]:
+    # Per-set conflict groups: more distinct blocks than ways, all
+    # mapping to the same set (blocks stride by num_sets), so fills
+    # must evict.  Phases mix plain churn with the interactions that
+    # stress eviction-aware replay hardest: migratory hand-offs racing
+    # replacement, dirty lines swept out, and cross-block ping-pong.
+    groups = [
+        [s + i * num_sets for i in range(ways + rng.randint(1, 3))]
+        for s in range(num_sets)
+    ]
+    out: list[Access] = []
+    while len(out) < rng.randint(100, MAX_OPS):
+        blocks = rng.choice(groups)
+        phase = rng.choice(
+            ["churn", "handoff", "dirty_sweep", "ping_pong", "noise"]
+        )
+        if phase == "churn":
+            # Round-robin over the conflict group: every revisit misses
+            # once the set wraps, so replacement never stops.
+            proc = rng.randrange(num_procs)
+            for _ in range(rng.randint(1, 3)):
+                for b in blocks:
+                    addr = b * block_size
+                    out.append(
+                        write(proc, addr) if rng.random() < 0.4
+                        else read(proc, addr)
+                    )
+        elif phase == "handoff":
+            # Migratory hand-offs on one conflicting block: eviction
+            # races the classification streak and last-invalidator.
+            addr = rng.choice(blocks) * block_size
+            for _ in range(rng.randint(2, 6)):
+                proc = rng.randrange(num_procs)
+                out.append(read(proc, addr))
+                out.append(write(proc, addr))
+        elif phase == "dirty_sweep":
+            # Fill the set dirty, then sweep it with reads: dirty
+            # writebacks, replacement notifications, last-copy
+            # directory forgetting.
+            proc = rng.randrange(num_procs)
+            for b in blocks[:ways]:
+                out.append(write(proc, b * block_size))
+            for b in blocks[ways:]:
+                out.append(read(proc, b * block_size))
+        elif phase == "ping_pong":
+            a, b = (
+                rng.sample(range(num_procs), 2) if num_procs > 1 else (0, 0)
+            )
+            x = rng.choice(blocks) * block_size
+            y = rng.choice(blocks) * block_size
+            for _ in range(rng.randint(2, 5)):
+                out.append(write(a, x))
+                out.append(read(b, y))
+        else:
+            for _ in range(rng.randint(1, 6)):
+                proc = rng.randrange(num_procs)
+                addr = rng.choice(blocks) * block_size
+                out.append(
+                    write(proc, addr) if rng.random() < 0.5
+                    else read(proc, addr)
+                )
+    return out
+
+
 # ----------------------------------------------------------------------
 # Case generation
 # ----------------------------------------------------------------------
@@ -287,6 +359,15 @@ def generate_case(seed: int, profile: str) -> FuzzCase:
             associativity = rng.choice([1, 2])
             cache_size = block_size * associativity * rng.choice([1, 2])
             replacement = rng.choice(["lru", "fifo", "random"])
+    elif profile == "evict":
+        # Deliberately tiny, always-finite geometry with deterministic
+        # replacement (random replacement is outside the eviction-aware
+        # kernel envelope, so it would test the fallback, not the walk).
+        num_procs = rng.choice([2, 3, 4])
+        associativity = rng.choice([1, 2])
+        num_sets = rng.choice([1, 2])
+        cache_size = block_size * associativity * num_sets
+        replacement = rng.choice(["lru", "lru", "fifo"])
     elif rng.random() < 0.5:
         cache_size, associativity, replacement = None, 4, "lru"
     else:
@@ -294,7 +375,11 @@ def generate_case(seed: int, profile: str) -> FuzzCase:
         num_sets = rng.choice([1, 2])
         cache_size = block_size * associativity * num_sets
         replacement = rng.choice(["lru", "lru", "fifo", "random"])
-    if profile == "migratory":
+    if profile == "evict":
+        accesses = _evict_trace(
+            rng, num_procs, block_size, num_sets, associativity
+        )
+    elif profile == "migratory":
         accesses = _migratory_trace(rng, num_procs, block_size)
     elif profile == "uniform":
         accesses = _uniform_trace(rng, num_procs, block_size)

@@ -12,6 +12,22 @@ are cached per (home, sequence), so re-replaying a workload — the
 result-cache warm path, sweeps over policies sharing traffic patterns —
 reduces to dictionary lookups and integer adds.
 
+Finite geometries replay on the same tables.  Cache sets that can never
+evict (distinct blocks <= ways) keep the independent per-block walks;
+each *conflict* set replays as one interleaved group walk
+(:func:`_walk_dir_group`) that carries per-processor recency order
+beside the per-block DFA nodes, charges each replacement through the
+compiled ``uncached`` rows, and re-enters the victim's walk at its
+post-eviction state — a segment restart instead of a whole-replay
+fallback.  Group results are cached per (geometry, homes, stream), so
+Table 2/3 cache-size sweeps hit dictionaries on the warm path too.
+
+First-touch placement resolves every page home before walking (a fresh
+machine's first access to a page is always a miss, so the home is the
+first symbol's processor), and symbol sequences switch to 16-bit
+encodings past 128 processors (:meth:`PackedTrace.block_sequences_wide`)
+with chunk-skipping holder decodes, raising the processor cap to 1024.
+
 ``try_replay`` returns ``None`` without touching the machine whenever
 the replay falls outside the kernel envelope (see the gate comments);
 the caller then runs the packed loop, keeping behavior identical.
@@ -28,6 +44,7 @@ from repro.directory.entry import DirectoryEntry
 from repro.directory.protocol import DirectoryProtocol
 from repro.directory.representation import FullMapDirectory
 from repro.interconnect.costs import (
+    eviction_counts,
     read_miss_counts,
     write_hit_counts,
     write_miss_counts,
@@ -38,7 +55,11 @@ from repro.kernels.tables import (
     KernelUnsupported,
     ONE_COPY_MIG_IDX,
 )
-from repro.system.placement import BestStaticPlacement, RoundRobinPlacement
+from repro.system.placement import (
+    BestStaticPlacement,
+    FirstTouchPlacement,
+    RoundRobinPlacement,
+)
 
 
 def _fallback(reason: str):
@@ -46,9 +67,13 @@ def _fallback(reason: str):
     return registry.record_fallback("directory", reason)
 
 #: Stateless placements whose ``home`` is a pure function of the page.
-#: (First-touch is stateful — homes depend on access order across blocks
-#: — so it replays on the object paths.)
+#: First-touch is handled separately: its homes are resolved from each
+#: page's first symbol before the walk.
 _PLACEMENT_TYPES = (RoundRobinPlacement, BestStaticPlacement)
+
+#: Processor cap: symbols must fit the 16-bit wide encoding and node
+#: keys must stay practical (2 bits per processor plus directory bits).
+_MAX_PROCS = 1024
 
 # Delta vector layout (17th slot is the invalidation size, not additive):
 # 0 read_hits  1 read_misses  2 write_hits  3 write_misses  4 upgrades
@@ -56,17 +81,35 @@ _PLACEMENT_TYPES = (RoundRobinPlacement, BestStaticPlacement)
 # 11/12 write_hit short/data  13 promote  14 demote  15 evidence
 _VEC = 16
 
+#: ``(dirty, home_local) -> (short, data)`` replacement charges with
+#: clean-eviction notification on (the group walk requires it; silent
+#: clean evictions desynchronise the copy set from the cache fields).
+_EVICT_COUNTS = {
+    (dirty, local): eviction_counts(bool(dirty), bool(local), True)
+    for dirty in (False, True) for local in (False, True)
+}
+
 
 def _members(lines: int) -> list[tuple[int, int]]:
-    """Decode the packed per-node fields into ``(node, field)`` pairs."""
+    """Decode the packed per-node fields into ``(node, field)`` pairs.
+
+    Scans 16 processors (32 bits) at a time so wide-processor keys with
+    sparse holders skip empty regions in one shift.
+    """
     members = []
-    p = 0
+    base = 0
     while lines:
-        f = lines & 3
-        if f:
-            members.append((p, f))
-        lines >>= 2
-        p += 1
+        chunk = lines & 0xFFFFFFFF
+        if chunk:
+            p = base
+            while chunk:
+                f = chunk & 3
+                if f:
+                    members.append((p, f))
+                chunk >>= 2
+                p += 1
+        lines >>= 32
+        base += 16
     return members
 
 
@@ -171,9 +214,45 @@ def _expand(table, home: int, node: list, sym: int):
         nli = proc + 1
     nkey = (new_lines | (nds << shift2) | (nstreak << (shift2 + 3))
             | (nli << (shift2 + 10)))
-    edge = (table.node((home, nkey), nkey), table.intern_delta((*d, inv_size)))
-    node[sym] = edge
+    # The third slot holds the lazily-computed eviction metadata
+    # (miss/removal summary) the group walks need; plain walks never
+    # touch it (see _edge_meta).
+    edge = node[sym] = [
+        table.node((home, nkey), nkey), table.intern_delta((*d, inv_size)), None,
+    ]
     return edge
+
+
+def _edge_meta(src_key: int, dst_key: int, sym: int, lines_mask: int):
+    """``(is_miss, removed)`` summary of one edge, for set bookkeeping.
+
+    ``is_miss`` is whether the requester filled a line (its field was 0),
+    ``removed`` the processors whose copy this access destroyed (field
+    nonzero -> 0: invalidations and the migratory dirty-owner removal).
+    Computed once per edge on first use by a group walk and memoised in
+    the edge's third slot.
+    """
+    proc = sym >> 1
+    src = src_key & lines_mask
+    dst = dst_key & lines_mask
+    is_miss = not (src >> (2 * proc)) & 3
+    removed = []
+    p = 0
+    while src:
+        schunk = src & 0xFFFFFFFF
+        if schunk != dst & 0xFFFFFFFF:
+            tchunk = dst & 0xFFFFFFFF
+            q = p
+            while schunk:
+                if (schunk & 3) and not tchunk & 3:
+                    removed.append(q)
+                schunk >>= 2
+                tchunk >>= 2
+                q += 1
+        src >>= 32
+        dst >>= 32
+        p += 16
+    return (is_miss, tuple(removed))
 
 
 def _delta_counts(out: list[int]):
@@ -186,17 +265,8 @@ def _delta_counts(out: list[int]):
     return [(idx, buf.count(idx)) for idx in distinct]
 
 
-def _walk(table, home: int, root: list, seq: bytes):
-    """Replay one block's symbol sequence; return the walk summary."""
-    node = root
-    out: list[int] = []
-    append = out.append
-    for sym in seq:
-        edge = node[sym]
-        if edge is None:
-            edge = _expand(table, home, node, sym)
-        append(edge[1])
-        node = edge[0]
+def _aggregate(table, out: list[int]):
+    """Sum a walk's delta indices into ``(totals, inv_items)``."""
     totals = [0] * _VEC
     inv: dict[int, int] = {}
     deltas = table.deltas
@@ -205,7 +275,119 @@ def _walk(table, home: int, root: list, seq: bytes):
         totals = [t + count * v for t, v in zip(totals, delta)]
         if delta[_VEC]:
             inv[delta[_VEC]] = inv.get(delta[_VEC], 0) + count
-    return tuple(totals), tuple(sorted(inv.items())), node[-1]
+    return tuple(totals), tuple(sorted(inv.items()))
+
+
+def _walk(table, home: int, root: list, syms):
+    """Replay one block's symbol sequence; return the walk summary.
+
+    ``syms`` is any iterable of symbol ints — the byte string of
+    :meth:`block_sequences` or a ``memoryview('H')`` over the wide form.
+    """
+    node = root
+    out: list[int] = []
+    append = out.append
+    for sym in syms:
+        edge = node[sym]
+        if edge is None:
+            edge = _expand(table, home, node, sym)
+        append(edge[1])
+        node = edge[0]
+    totals, inv = _aggregate(table, out)
+    return totals, inv, node[-1]
+
+
+def _walk_dir_group(table, homes: tuple, stream, ways: int, lru: bool):
+    """Replay one conflict set's interleaved access stream.
+
+    ``stream`` entries are ``(dense_block_id << 32) | symbol``
+    (:meth:`PackedTrace.set_streams`); ``homes[dense_id]`` is each
+    block's home node.  The walk advances each block's DFA node exactly
+    like the independent walks, and additionally mirrors the machine's
+    per-set replacement state: ``resident[proc]`` is that processor's
+    recency list for this set (oldest first), updated on fills,
+    invalidations, and — for LRU — hits.  A fill into a full set pops
+    the victim, charges the Table 1 replacement cost, clears the
+    victim's field (applying the compiled ``uncached`` row when the last
+    copy disappears), and re-enters the victim's walk at the
+    post-eviction node: the segment restart.
+
+    Returns ``(totals, inv_items, final_keys, recency, evictions)``
+    where ``final_keys[dense_id]`` is each block's final packed state,
+    ``recency`` is ``((proc, dense_ids...), ...)`` oldest-first per
+    processor, and ``evictions`` is ``(short, data, dirty, clean,
+    forget)``.
+    """
+    rows = table.rows
+    shift2 = 2 * table.num_procs
+    lines_mask = (1 << shift2) - 1
+    root_key = rows.initial_state << shift2
+    node_of = table.node
+    uncached = rows.uncached
+    nodes = [node_of((home, root_key), root_key) for home in homes]
+    resident: dict[int, list[int]] = {}
+    out: list[int] = []
+    append = out.append
+    ev_short = ev_data = ev_dirty = ev_clean = forget = 0
+    for entry in stream:
+        dense = entry >> 32
+        sym = entry & 0xFFFFFFFF
+        node = nodes[dense]
+        edge = node[sym]
+        if edge is None:
+            edge = _expand(table, homes[dense], node, sym)
+        meta = edge[2]
+        if meta is None:
+            meta = edge[2] = _edge_meta(node[-1], edge[0][-1], sym, lines_mask)
+        append(edge[1])
+        nodes[dense] = edge[0]
+        proc = sym >> 1
+        if meta[1]:
+            for q in meta[1]:
+                resident[q].remove(dense)
+        rp = resident.get(proc)
+        if rp is None:
+            rp = resident[proc] = []
+        if meta[0]:
+            # A fill; evict the oldest line first when the set is full,
+            # exactly as SetAssociativeCache.insert does.
+            if len(rp) >= ways:
+                victim = rp.pop(0)
+                vnode = nodes[victim]
+                vkey = vnode[-1]
+                vshift = 2 * proc
+                dirty = (vkey >> vshift) & 3 == 3
+                if dirty:
+                    ev_dirty += 1
+                else:
+                    ev_clean += 1
+                vs, vd = _EVICT_COUNTS[(dirty, homes[victim] == proc)]
+                ev_short += vs
+                ev_data += vd
+                nvkey = vkey & ~(3 << vshift)
+                if not nvkey & lines_mask:
+                    # Last copy gone: the directory notes the block
+                    # uncached (note_uncached), via the compiled row.
+                    ds = (nvkey >> shift2) & 7
+                    nds, reset, fg = uncached[ds]
+                    forget += fg
+                    if reset:
+                        nvkey = nds << shift2
+                    else:
+                        nvkey = nvkey & ~(7 << shift2) | (nds << shift2)
+                nodes[victim] = node_of((homes[victim], nvkey), nvkey)
+            rp.append(dense)
+        elif lru:
+            rp.remove(dense)
+            rp.append(dense)
+    totals, inv = _aggregate(table, out)
+    finals = tuple(node[-1] for node in nodes)
+    recency = tuple(
+        (proc, tuple(ids))
+        for proc, ids in sorted(resident.items()) if ids
+    )
+    return (totals, inv, finals, recency,
+            (ev_short, ev_data, ev_dirty, ev_clean, forget))
 
 
 def try_replay(machine, packed):
@@ -215,20 +397,25 @@ def try_replay(machine, packed):
     always correct): kernels enabled; exact production component types
     (subclassed machines/placements/representations may observe steps
     the kernel elides); no per-block message tracking; processor ids
-    packable; a fresh machine; and an eviction-free replay — infinite
-    caches, or a finite geometry where no cache set ever sees more
-    distinct blocks than it has ways, so replacement (and its RNG, LRU
-    order, writebacks, notifications) cannot be observed.
+    packable (<= 1024); and a fresh machine.  Finite geometries replay
+    eviction-aware: sets that can never evict take the independent
+    per-block walks, conflict sets take the grouped recency walks.  The
+    genuinely unsupported leftovers fall back honestly by reason:
+    random replacement (its RNG draws are unobservable from here) and
+    silent clean evictions (``eviction_notification=False`` leaves the
+    directory's copy set stale, outside the packed-state encoding).
     """
     if not registry.kernels_enabled():
         return _fallback("disabled")
     config = machine.config
     num_procs = config.num_procs
-    if num_procs > 128:
+    if num_procs > _MAX_PROCS:
         return _fallback("num-procs")
     if machine.block_messages is not None:
         return _fallback("block-messages")
-    if type(machine.placement) not in _PLACEMENT_TYPES:
+    placement = machine.placement
+    first_touch = type(placement) is FirstTouchPlacement
+    if not first_touch and type(placement) not in _PLACEMENT_TYPES:
         return _fallback("placement")
     if type(machine.representation) is not FullMapDirectory:
         return _fallback("representation")
@@ -247,46 +434,108 @@ def try_replay(machine, packed):
     finite = type(first) is SetAssociativeCache
     if not finite and type(first) is not InfiniteCache:
         return _fallback("cache-type")
+    wide = packed.num_procs > 128
     try:
-        seqs = packed.block_sequences(machine._block_shift)
-    except ValueError:  # a processor id outside the symbol byte
+        if wide:
+            seqs = packed.block_sequences_wide(machine._block_shift)
+        else:
+            seqs = packed.block_sequences(machine._block_shift)
+    except (ValueError, OverflowError):  # a processor id out of range
         return _fallback("symbol-range")
+    conflicts: dict = {}
+    lru = False
+    ways = 0
     if finite:
-        num_sets = config.cache.num_sets
         ways = config.cache.associativity
-        per_set = Counter(block % num_sets for block in seqs)
-        if any(count > ways for count in per_set.values()):
-            return _fallback("evictions")
+        conflicts = packed.set_streams(
+            machine._block_shift, config.cache.num_sets, ways
+        )
+        if conflicts:
+            replacement = config.cache.replacement
+            if replacement == "random":
+                # The per-cache replacement RNG is unobservable here.
+                return _fallback("replacement-random")
+            if not config.eviction_notification:
+                # Silent clean evictions leave stale copy-set members the
+                # packed single-bitmask state cannot represent.
+                return _fallback("eviction-silent")
+            lru = replacement == "lru"
     try:
         table = registry.dir_table(machine.policy, num_procs)
     except KernelUnsupported:
         return _fallback("table-unsupported")
-    placement = machine.placement
     home_shift = machine._home_shift
+    new_homes: dict[int, int] = {}
+    if first_touch:
+        # A fresh machine's first access to a page is always a miss, so
+        # the page's home is the first symbol's processor.  Pages the
+        # (possibly pre-seeded) placement already knows keep their homes.
+        homes_map = dict(placement._homes)
+        for block, seq in seqs.items():
+            page = block >> home_shift
+            if page not in homes_map:
+                sym0 = (seq[0] | seq[1] << 8) if wide else seq[0]
+                new_homes[page] = homes_map[page] = sym0 >> 1
+        home_of = homes_map.__getitem__
+    else:
+        home_of = None
+    conflict_blocks: set[int] = set()
+    for blocks, _stream in conflicts.values():
+        conflict_blocks.update(blocks)
     seq_results = table.seq_results
     root_key = table.rows.initial_state << (2 * num_procs)
     totals = [0] * _VEC
     inv_sizes: dict[int, int] = {}
     finals: list[tuple[int, int]] = []
+    groups: list[tuple] = []
+    ev_totals = (0, 0, 0, 0, 0)
     try:
         for block, seq in seqs.items():
-            home = placement.home(block >> home_shift, 0)
-            result = seq_results.get((home, seq))
+            if block in conflict_blocks:
+                continue
+            page = block >> home_shift
+            home = home_of(page) if first_touch else placement.home(page, 0)
+            seq_key = (home, seq, 1) if wide else (home, seq)
+            result = seq_results.get(seq_key)
             if result is None:
                 root = table.node((home, root_key), root_key)
-                result = _walk(table, home, root, seq)
-                table.cache_seq_result((home, seq), result)
+                syms = memoryview(seq).cast("H") if wide else seq
+                result = _walk(table, home, root, syms)
+                table.cache_seq_result(seq_key, result)
             vec, inv, final_key = result
             totals = [a + b for a, b in zip(totals, vec)]
             for size, count in inv:
                 inv_sizes[size] = inv_sizes.get(size, 0) + count
             finals.append((block, final_key))
+        for blocks, stream in conflicts.values():
+            ghomes = tuple(
+                home_of(b >> home_shift) if first_touch
+                else placement.home(b >> home_shift, 0)
+                for b in blocks
+            )
+            group_key = (ways, lru, ghomes, stream.tobytes())
+            result = table.group_results.get(group_key)
+            if result is None:
+                result = _walk_dir_group(table, ghomes, stream, ways, lru)
+                table.cache_group_result(group_key, result)
+            vec, inv, gfinals, recency, gev = result
+            totals = [a + b for a, b in zip(totals, vec)]
+            for size, count in inv:
+                inv_sizes[size] = inv_sizes.get(size, 0) + count
+            ev_totals = tuple(a + b for a, b in zip(ev_totals, gev))
+            groups.append((blocks, gfinals, recency))
     except (KernelUnsupported, KeyError):
         # DFA capacity, or a combination outside the probed rows: the
         # machine is untouched (mutation happens only below), so the
         # packed loop can still run the replay.
         return _fallback("walk-abort")
     _apply(machine, totals, inv_sizes, finals)
+    if groups:
+        _apply_groups(machine, groups)
+    if any(ev_totals):
+        _apply_evictions(machine, ev_totals)
+    if new_homes:
+        placement._homes.update(new_homes)
     registry.engagements["directory"] += 1
     if machine.step_hook is not None:
         raise ProtocolError(
@@ -298,14 +547,29 @@ def try_replay(machine, packed):
     return machine.stats
 
 
+def _final_entry(machine, block: int, final_key: int, shift2: int) -> set[int]:
+    """Record ``block``'s directory entry from its final packed key;
+    returns the decoded copy set."""
+    lines = final_key & ((1 << shift2) - 1)
+    ds = (final_key >> shift2) & 7
+    streak = (final_key >> (shift2 + 3)) & 127
+    li = final_key >> (shift2 + 10)
+    copyset = {p for p, _ in _members(lines)}
+    machine.protocol._entries[block] = DirectoryEntry(
+        state=DIR_STATES[ds], copyset=copyset,
+        last_invalidator=li - 1 if li else None, streak=streak,
+    )
+    return copyset
+
+
 def _apply(machine, totals, inv_sizes, finals) -> None:
     """Write the walk totals and final per-block state into the machine.
 
     Counter keys are only created for nonzero totals, matching the
     object engine's lazy ``by_cause``/``transitions`` population.  Cache
-    lines are re-inserted in first-touch block order; with no evictions
-    the recency order is unobservable, so this canonical order is as
-    good as the historical one.
+    lines are re-inserted in first-touch block order; these blocks'
+    sets never evicted, so the recency order is unobservable and this
+    canonical order is as good as the historical one.
     """
     cache_stats = machine.cache_stats
     cache_stats.read_hits += totals[0]
@@ -332,23 +596,48 @@ def _apply(machine, totals, inv_sizes, finals) -> None:
 
     shared, excl = CState.SHARED, CState.EXCL
     caches = machine.caches
-    entries = machine.protocol._entries
     shift2 = 2 * machine.config.num_procs
     for block, final_key in finals:
-        lines = final_key & ((1 << shift2) - 1)
-        ds = (final_key >> shift2) & 7
-        streak = (final_key >> (shift2 + 3)) & 127
-        li = final_key >> (shift2 + 10)
-        copyset = set()
-        p = 0
-        while lines:
-            f = lines & 3
-            if f:
-                copyset.add(p)
-                caches[p].insert(block, shared if f == 1 else excl, f == 3)
-            lines >>= 2
-            p += 1
-        entries[block] = DirectoryEntry(
-            state=DIR_STATES[ds], copyset=copyset,
-            last_invalidator=li - 1 if li else None, streak=streak,
-        )
+        copyset = _final_entry(machine, block, final_key, shift2)
+        for p in copyset:
+            f = (final_key >> (2 * p)) & 3
+            caches[p].insert(block, shared if f == 1 else excl, f == 3)
+
+
+def _apply_groups(machine, groups) -> None:
+    """Write the conflict-set walk results into the machine.
+
+    Each processor's lines are re-inserted in the walk's final recency
+    order (oldest first), so the machine's per-set ordering — observable
+    by any further accesses after the replay — matches the packed loop's
+    exactly.
+    """
+    from repro.system.machine import CState
+
+    shared, excl = CState.SHARED, CState.EXCL
+    caches = machine.caches
+    shift2 = 2 * machine.config.num_procs
+    for blocks, gfinals, recency in groups:
+        for block, final_key in zip(blocks, gfinals):
+            _final_entry(machine, block, final_key, shift2)
+        for proc, order in recency:
+            cache = caches[proc]
+            for dense in order:
+                f = (gfinals[dense] >> (2 * proc)) & 3
+                cache.insert(blocks[dense], shared if f == 1 else excl, f == 3)
+
+
+def _apply_evictions(machine, ev_totals) -> None:
+    """Charge the group walks' replacement traffic into the machine."""
+    short, data, dirty, clean, forget = ev_totals
+    stats = machine.stats
+    stats.short += short
+    stats.data += data
+    if short:
+        stats.by_cause_short["eviction"] += short
+    if data:
+        stats.by_cause_data["eviction"] += data
+    machine.cache_stats.evictions_dirty += dirty
+    machine.cache_stats.evictions_clean += clean
+    if forget:
+        machine.protocol.transitions["forget"] += forget

@@ -73,6 +73,11 @@ NODE_LIMIT = 1 << 17
 #: Per-sequence walk-result caches are cleared past this many entries.
 SEQ_RESULT_LIMIT = 1 << 16
 
+#: Conflict-set group-walk result caches are cleared past this many
+#: entries (group keys embed whole interleaved streams, so the cap is
+#: lower than the per-sequence one).
+GROUP_RESULT_LIMIT = 1 << 12
+
 _disable_depth = 0
 
 
@@ -103,7 +108,8 @@ class _KernelTable:
     """
 
     __slots__ = ("rows", "num_procs", "field_bits", "nodes", "deltas",
-                 "delta_index", "seq_results")
+                 "delta_index", "seq_results", "group_results",
+                 "node_limit")
 
     def __init__(self, rows, num_procs: int, field_bits: int):
         self.rows = rows
@@ -116,6 +122,17 @@ class _KernelTable:
         self.deltas: list = []
         self.delta_index: dict = {}
         self.seq_results: dict = {}
+        #: Conflict-set group-walk results, keyed on the set's geometry +
+        #: interleaved stream (see the eviction-aware walks in
+        #: kernels.directory / kernels.snooping).
+        self.group_results: dict = {}
+        # Wide-processor nodes are proportionally larger (2n+1 slots), so
+        # scale the DFA cap down past the classic 128-proc point to keep
+        # the worst-case table footprint roughly constant.
+        if num_procs <= 128:
+            self.node_limit = NODE_LIMIT
+        else:
+            self.node_limit = max(4096, (NODE_LIMIT * 257) // (2 * num_procs + 1))
 
     def intern_delta(self, delta: tuple) -> int:
         idx = self.delta_index.get(delta)
@@ -133,7 +150,7 @@ class _KernelTable:
         """
         node = self.nodes.get(map_key)
         if node is None:
-            if len(self.nodes) > NODE_LIMIT:
+            if len(self.nodes) > self.node_limit:
                 raise tables.KernelUnsupported("kernel DFA node limit hit")
             node = self.nodes[map_key] = (
                 [None] * (2 * self.num_procs) + [state_key]
@@ -144,6 +161,11 @@ class _KernelTable:
         if len(self.seq_results) > SEQ_RESULT_LIMIT:
             self.seq_results.clear()
         self.seq_results[seq_key] = result
+
+    def cache_group_result(self, group_key, result):
+        if len(self.group_results) > GROUP_RESULT_LIMIT:
+            self.group_results.clear()
+        self.group_results[group_key] = result
 
 
 _dir_tables: dict = {}

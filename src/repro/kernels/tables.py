@@ -77,7 +77,7 @@ MAX_STREAK = 64
 #: Competitive-update staleness thresholds beyond this are not compiled.
 MAX_COUNTER_THRESHOLD = 8
 
-_DIGEST_PREFIX = b"RPRO-KERNEL-TABLE-1|"
+_DIGEST_PREFIX = b"RPRO-KERNEL-TABLE-2|"
 
 
 def _digest(tag: str, parts: list) -> str:
@@ -101,16 +101,24 @@ class DirRows:
     ``write_miss[(state, streak, same_invalidator, dirty)]`` and
     ``write_hit[(state, streak, same_invalidator, sole_copy)]`` ->
         ``(new_state, new_streak, promote, demote, evidence)``
+    ``uncached[state]`` -> ``(new_state, reset, forget)``
 
     ``same_invalidator`` is 1 when the entry's ``last_invalidator`` is the
     acting processor (``None`` behaves as "different", exactly as the
     protocol's ``!=`` comparisons do).  Write events additionally set the
     invalidator to the actor — unconditional in the protocol, so it is
     not part of the rows.
+
+    ``uncached`` is the ``note_uncached`` transition an eviction of the
+    last cached copy triggers.  ``reset`` is 1 when the policy forgets
+    everything (streak and last invalidator cleared, as under
+    ``remember_uncached=False``); ``forget`` is the transitions counter
+    delta the reset records when it flips the migratory bit.
     """
 
     __slots__ = ("policy", "initial_state", "max_streak",
-                 "read_miss", "write_miss", "write_hit", "digest")
+                 "read_miss", "write_miss", "write_hit", "uncached",
+                 "digest")
 
     def __init__(self, policy: AdaptivePolicy):
         self.policy = policy
@@ -120,12 +128,14 @@ class DirRows:
         self.read_miss: dict = {}
         self.write_miss: dict = {}
         self.write_hit: dict = {}
+        self.uncached: dict = {}
         self.max_streak = _probe_dir_rows(policy, self)
         self.digest = _digest("dir", [
             self.initial_state,
             sorted(self.read_miss.items()),
             sorted(self.write_miss.items()),
             sorted(self.write_hit.items()),
+            sorted(self.uncached.items()),
         ])
 
 
@@ -150,6 +160,22 @@ def _probe_dir_event(policy, event, state_idx, streak, same, flag):
     return row + (migrate,) if event == "read_miss" else row
 
 
+def _probe_dir_uncached(policy, state_idx):
+    """Run ``note_uncached`` against a planted entry; return the row."""
+    protocol = DirectoryProtocol(policy)
+    ent = protocol.entry(0)
+    ent.state = DIR_STATES[state_idx]
+    # Plant a nonzero streak and a last invalidator so a policy-level
+    # reset (remember_uncached=False replaces the whole entry) is
+    # observable as ``reset``.
+    ent.streak = 1
+    ent.last_invalidator = 0
+    protocol.note_uncached(0)
+    ent = protocol.entry(0)  # the handler may have replaced the entry
+    reset = 1 if ent.streak == 0 and ent.last_invalidator is None else 0
+    return (DIR_INDEX[ent.state], reset, protocol.transitions["forget"])
+
+
 def _probe_dir_rows(policy: AdaptivePolicy, rows: DirRows) -> int:
     """Fill ``rows`` for every reachable ``(state, streak)`` pair.
 
@@ -157,8 +183,10 @@ def _probe_dir_rows(policy: AdaptivePolicy, rows: DirRows) -> int:
     state rather than densely: the protocol never resets the streak on
     promotion, so unreachable pairs like ``(ONE_COPY, streak >=
     threshold)`` would re-promote and push the axis out indefinitely.
-    Kernel walks start every block at ``(initial_state, 0)``, so they
-    can only visit pairs this closure probed.
+    Kernel walks start every block at ``(initial_state, 0)``, and the
+    eviction-aware walks additionally apply the ``uncached`` rows, so
+    the closure covers both the event successors and each pair's
+    post-``note_uncached`` image.
     """
     seen = {(rows.initial_state, 0)}
     frontier = [(rows.initial_state, 0)]
@@ -179,6 +207,11 @@ def _probe_dir_rows(policy: AdaptivePolicy, rows: DirRows) -> int:
                         policy, event, state_idx, streak, same, flag)
                     table[wkey] = row
                     nexts.append(row[:2])
+        urow = rows.uncached.get(state_idx)
+        if urow is None:
+            urow = rows.uncached[state_idx] = _probe_dir_uncached(
+                policy, state_idx)
+        nexts.append((urow[0], 0 if urow[1] else streak))
         for pair in nexts:
             if pair not in seen:
                 if pair[1] > MAX_STREAK:

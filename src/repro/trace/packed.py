@@ -47,7 +47,9 @@ class PackedTrace:
     """
 
     __slots__ = ("name", "procs", "ops", "addrs", "_blocks_shift",
-                 "_blocks", "_seqs_shift", "_seqs", "_num_procs", "_digest")
+                 "_blocks", "_seqs_shift", "_seqs", "_wide_shift",
+                 "_wide_seqs", "_streams_key", "_streams", "_num_procs",
+                 "_digest")
 
     def __init__(
         self,
@@ -68,6 +70,12 @@ class PackedTrace:
         # One-entry memo for the per-block symbol split (block_sequences).
         self._seqs_shift: int | None = None
         self._seqs: dict[int, bytes] | None = None
+        # One-entry memo for the wide (uint16 symbol) split.
+        self._wide_shift: int | None = None
+        self._wide_seqs: dict[int, bytes] | None = None
+        # One-entry memo for the conflict-set streams (set_streams).
+        self._streams_key: tuple[int, int, int] | None = None
+        self._streams: dict[int, tuple[tuple[int, ...], array]] | None = None
         self._num_procs: int | None = None
         self._digest: str | None = None
 
@@ -140,6 +148,95 @@ class PackedTrace:
             self._seqs = {block: bytes(syms) for block, syms in seqs.items()}
             self._seqs_shift = block_shift
         return self._seqs
+
+    def block_sequences_wide(self, block_shift: int) -> dict[int, bytes]:
+        """Like :meth:`block_sequences`, but with 16-bit symbols.
+
+        Each per-block value is the little-endian ``uint16`` encoding of
+        the ``proc * 2 + is_write`` symbol run, so traces with up to 1024
+        processors split the same way (walkers view the bytes through
+        ``memoryview(seq).cast('H')``).  Keys and values stay hashable
+        ``bytes`` so walk-result caches can use them directly.  Memoised
+        for the most recent ``block_shift``.
+        """
+        if self._wide_shift != block_shift:
+            seqs: dict[int, array] = {}
+            get = seqs.get
+            for proc, is_write, block in zip(
+                self.procs, self.ops, self.blocks_column(block_shift)
+            ):
+                syms = get(block)
+                if syms is None:
+                    syms = seqs[block] = array("H")
+                syms.append(proc * 2 + is_write)
+            self._wide_seqs = {
+                block: syms.tobytes() for block, syms in seqs.items()
+            }
+            self._wide_shift = block_shift
+        return self._wide_seqs
+
+    def set_streams(
+        self, block_shift: int, num_sets: int, ways: int
+    ) -> dict[int, tuple[tuple[int, ...], array]]:
+        """Interleaved access streams for the cache sets that can evict.
+
+        Groups accesses by cache set (``block % num_sets``).  A set whose
+        distinct-block count is at most ``ways`` can never evict — every
+        processor's per-set occupancy is bounded by the set's distinct
+        blocks — so those blocks stay on the independent per-block walk.
+        For each remaining *conflict* set the result maps ``set_index ->
+        (blocks, stream)`` where ``blocks`` is the set's block numbers in
+        first-touch order and ``stream`` is an ``array('q')`` of
+        ``(dense_block_id << 32) | (proc * 2 + is_write)`` entries
+        preserving the set's program order (``dense_block_id`` indexes
+        ``blocks``).  Eviction-aware kernel walks consume these streams
+        directly; memoised for the most recent geometry triple.
+        """
+        key = (block_shift, num_sets, ways)
+        if self._streams_key != key:
+            dense_ids: dict[int, dict[int, int]] = {}
+            streams: dict[int, array] = {}
+            for proc, is_write, block in zip(
+                self.procs, self.ops, self.blocks_column(block_shift)
+            ):
+                set_idx = block % num_sets
+                ids = dense_ids.get(set_idx)
+                if ids is None:
+                    ids = dense_ids[set_idx] = {}
+                    streams[set_idx] = array("q")
+                dense = ids.get(block)
+                if dense is None:
+                    dense = ids[block] = len(ids)
+                streams[set_idx].append((dense << 32) | (proc * 2 + is_write))
+            self._streams = {
+                set_idx: (tuple(ids), streams[set_idx])
+                for set_idx, ids in dense_ids.items()
+                if len(ids) > ways
+            }
+            self._streams_key = key
+        return self._streams
+
+    def segments(self, chunk: int) -> Iterator["PackedTrace"]:
+        """Yield the trace as column-sliced chunks of ``chunk`` accesses.
+
+        Each segment is an independent :class:`PackedTrace` over slices of
+        the parent columns (``array`` slices copy; shared-memory
+        memoryview columns slice zero-copy).  The streaming kernel
+        backend (:mod:`repro.kernels.streaming`) feeds these one at a
+        time so resident memory stays O(chunk) for traces that never fit
+        in RAM.
+        """
+        if chunk <= 0:
+            raise TraceError("segment size must be positive")
+        total = len(self)
+        for start in range(0, total, chunk):
+            stop = min(start + chunk, total)
+            yield PackedTrace(
+                self.procs[start:stop],
+                self.ops[start:stop],
+                self.addrs[start:stop],
+                name=f"{self.name}[{start}:{stop}]",
+            )
 
     def __len__(self) -> int:
         return len(self.procs)

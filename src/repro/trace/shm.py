@@ -199,6 +199,19 @@ def attach(handle: TraceHandle) -> "Trace":
     return trace
 
 
+def attach_packed(handle: TraceHandle) -> PackedTrace:
+    """Attach to a published trace and return the packed form directly.
+
+    The streaming kernel backend (:mod:`repro.kernels.streaming`) slices
+    its feed via :meth:`PackedTrace.segments`; on a shared-memory
+    attached trace those slices are zero-copy memoryview windows, so a
+    worker streams an arena-published trace without ever materialising
+    the columns.  Shares :func:`attach`'s per-process cache and error
+    contract.
+    """
+    return attach(handle).pack()
+
+
 def _reset_for_tests() -> None:
     """Drop the process-level arena and attach caches (tests only)."""
     global _DEFAULT_ARENA

@@ -38,7 +38,7 @@ class TestCleanRuns:
             capsys, "--seeds", "1", "--artifacts", str(tmp_path / "art"),
         )
         assert status == 0
-        assert "1 seeds x 4 profile(s)" in out
+        assert "1 seeds x 5 profile(s)" in out
 
 
 class TestInjectedFailures:

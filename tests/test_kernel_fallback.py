@@ -64,6 +64,24 @@ class TestNoFalsePositives:
         assert registry.engagements["bus"] == 1
         assert not registry.fallbacks
 
+    def test_engaged_stream_replay_counts_nothing(self):
+        from repro.kernels.streaming import replay_stream
+
+        machine = DirectoryMachine(_config(), BASIC)
+        replay_stream(machine, _trace().pack(), chunk=16)
+        assert registry.engagements["directory-stream"] == 1
+        assert not registry.fallbacks
+
+    def test_stream_fallback_is_counted_under_its_own_engine(self):
+        from repro.kernels.streaming import replay_stream
+
+        machine = DirectoryMachine(_config(size_bytes=64), BASIC)
+        replay_stream(machine, _trace(blocks=8).pack(), chunk=16)
+        assert registry.fallbacks[("directory-stream", "finite-cache")] == 1
+        # ... and the fallback replay itself still engaged the batch
+        # kernel, so nothing else was counted against the envelope.
+        assert registry.engagements["directory"] == 1
+
 
 class TestReasons:
     def test_disabled_context_manager(self):
@@ -87,13 +105,56 @@ class TestReasons:
         assert registry.engagements["directory"] == 1
         assert registry.fallbacks[("directory", "not-fresh")] == 1
 
-    def test_evictions_on_a_tiny_finite_cache(self):
+    def test_evictions_on_a_tiny_finite_cache_engage(self):
         # 4 blocks of cache, 8 distinct blocks touched: replacement is
-        # observable, so the kernel must stand down.
+        # observable, and the eviction-aware group walks replay it —
+        # the replay must engage and count NO fallback (segment
+        # restarts are not fallbacks).
         machine = DirectoryMachine(_config(size_bytes=64), BASIC)
         machine.run(_trace(blocks=8))
+        assert registry.engagements["directory"] == 1
+        assert not registry.fallbacks
+        assert (machine.cache_stats.evictions_dirty
+                + machine.cache_stats.evictions_clean) > 0
+
+    def test_random_replacement_falls_back(self):
+        config = MachineConfig(
+            num_procs=NUM_PROCS,
+            cache=CacheConfig(size_bytes=64, block_size=16,
+                              replacement="random"),
+        )
+        DirectoryMachine(config, BASIC).run(_trace(blocks=8))
+        assert registry.fallbacks[("directory", "replacement-random")] == 1
+        BusMachine(config, MesiProtocol()).run(_trace(blocks=8))
+        assert registry.fallbacks[("bus", "replacement-random")] == 1
+
+    def test_random_replacement_without_conflicts_engages(self):
+        # The RNG is only unobservable when a set can actually evict;
+        # a conflict-free replay engages whatever the replacement says.
+        config = MachineConfig(
+            num_procs=NUM_PROCS,
+            cache=CacheConfig(size_bytes=64, block_size=16,
+                              replacement="random"),
+        )
+        DirectoryMachine(config, BASIC).run(_trace(blocks=2))
+        assert registry.engagements["directory"] == 1
+        assert not registry.fallbacks
+
+    def test_silent_clean_evictions_fall_back(self):
+        config = MachineConfig(
+            num_procs=NUM_PROCS,
+            cache=CacheConfig(size_bytes=64, block_size=16),
+            eviction_notification=False,
+        )
+        DirectoryMachine(config, BASIC).run(_trace(blocks=8))
         assert registry.engagements["directory"] == 0
-        assert registry.fallbacks[("directory", "evictions")] == 1
+        assert registry.fallbacks[("directory", "eviction-silent")] == 1
+        # Without conflicts the notification flag is moot: engage.
+        registry.fallbacks.clear()
+        registry.engagements.clear()
+        DirectoryMachine(config, BASIC).run(_trace(blocks=2))
+        assert registry.engagements["directory"] == 1
+        assert not registry.fallbacks
 
     def test_bus_not_fresh(self):
         machine = BusMachine(_config(), MesiProtocol())
@@ -107,6 +168,30 @@ class TestReasons:
         assert registry.fallbacks
         registry.clear()
         assert not registry.fallbacks
+
+
+class TestSweepEnvelope:
+    """Paper-sweep geometries stay on the kernel fast path.
+
+    Table 2 (cache-size sweep) runs finite, evicting caches under
+    best-static placement — exactly the configurations the
+    eviction-aware walks brought inside the envelope.  The sweep must
+    record *zero* eviction- or placement-shaped fallbacks.
+    """
+
+    def test_table2_style_sweep_records_no_envelope_fallbacks(self, monkeypatch):
+        from repro.experiments import common, table2
+
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "off")
+        common.clear_caches()
+        table2.run(apps=("mp3d",), cache_sizes=(4096,),
+                   scale=0.1, num_procs=8)
+        common.clear_caches()
+        assert registry.engagements["directory"] > 0
+        reasons = {reason for (_engine, reason) in registry.fallbacks}
+        assert not reasons & {"evictions", "placement",
+                              "replacement-random", "eviction-silent"}, (
+            dict(registry.fallbacks))
 
 
 class TestTelemetryMirror:

@@ -9,9 +9,11 @@ Three contracts are pinned here:
   identical to the legacy engines', across the full policy/protocol
   matrix and both cache geometries.
 * **Gating** — anything outside the kernel envelope (subclassed
-  components, observation hooks, tiny caches, stale machines, huge
-  processor counts, the kill switches) silently falls back to the
-  legacy paths with identical results and no engagement.
+  components, observation hooks, random replacement, stale machines,
+  processor counts past the wide cap, the kill switches) silently falls
+  back to the legacy paths with identical results and no engagement.
+  Tiny evicting caches, first-touch placement, and processor counts up
+  to 1024 are *inside* the envelope since the eviction-aware walks.
 * **Compilation** — the probe-based compiler closes the evidence-streak
   axis by reachability for thresholded policies and produces stable,
   behaviour-keyed digests.
@@ -68,11 +70,12 @@ PROTOCOL_FACTORIES = (
 )
 
 #: (label, cache_size) geometries: infinite, roomy finite (eviction
-#: free), and a tiny finite cache the kernel must refuse.
+#: free), and a tiny finite cache whose conflict sets replay on the
+#: eviction-aware group walks.  All three engage the kernel.
 GEOMETRIES = (
     ("infinite", None, True),
     ("eviction-free", 16 * 1024, True),
-    ("tiny", 64, False),
+    ("tiny", 64, True),
 )
 
 
@@ -204,8 +207,18 @@ class TestGating:
         machine.run(_trace())
         assert registry.engagements["bus"] == 0
 
-    def test_first_touch_placement(self):
-        self._assert_directory_fallback(placement=FirstTouchPlacement())
+    def test_first_touch_placement_engages(self):
+        # First-touch homes are resolved from each page's first symbol
+        # before the walk, so the placement no longer forces a fallback
+        # — and the assigned homes must match the legacy engine's.
+        registry.engagements.clear()
+        kernel = _run_directory(BASIC, None, disabled=False,
+                                placement=FirstTouchPlacement())
+        assert registry.engagements["directory"] == 1
+        legacy = _run_directory(BASIC, None, disabled=True,
+                                placement=FirstTouchPlacement())
+        assert _dir_state(kernel) == _dir_state(legacy)
+        assert kernel.placement._homes == legacy.placement._homes
 
     def test_limited_pointer_representation(self):
         self._assert_directory_fallback(
@@ -227,9 +240,24 @@ class TestGating:
             legacy.run(_trace())
         assert _dir_state(machine) == _dir_state(legacy)
 
-    def test_processor_count_beyond_symbol_byte(self):
+    def test_processor_count_beyond_symbol_byte_engages(self):
+        # 130 processors overflow the one-byte symbol encoding; the
+        # kernel switches to the 16-bit wide form instead of falling
+        # back, with identical results.
         config = MachineConfig(
             num_procs=130, cache=CacheConfig(size_bytes=None, block_size=16))
+        registry.engagements.clear()
+        machine = DirectoryMachine(config, BASIC)
+        machine.run(_trace())
+        assert registry.engagements["directory"] == 1
+        legacy = DirectoryMachine(config, BASIC)
+        with registry.disabled():
+            legacy.run(_trace())
+        assert _dir_state(machine) == _dir_state(legacy)
+
+    def test_processor_count_beyond_wide_cap(self):
+        config = MachineConfig(
+            num_procs=1030, cache=CacheConfig(size_bytes=None, block_size=16))
         registry.engagements.clear()
         machine = DirectoryMachine(config, BASIC)
         machine.run(_trace())
@@ -267,6 +295,46 @@ class TestGating:
             placement=BestStaticPlacement.from_trace(trace, _config()))
         with registry.disabled():
             legacy.run(trace)
+        assert _dir_state(kernel) == _dir_state(legacy)
+
+
+class TestEvictionAware:
+    """The eviction-aware group walks replay conflict sets exactly."""
+
+    def test_tiny_geometry_really_evicts(self):
+        # Guard the geometry choice: the "tiny" equivalence runs above
+        # are only meaningful if replacement actually happens.
+        legacy = _run_directory(BASIC, 64, disabled=True)
+        stats = legacy.cache_stats
+        assert stats.evictions_dirty + stats.evictions_clean > 0
+
+    def test_post_replay_accesses_observe_identical_order(self):
+        # Replacement order is observable by accesses *after* the
+        # replay: continue both machines through the generic per-access
+        # path and require identical state afterwards, which pins the
+        # kernel's per-set recency re-insertion order.
+        tail = synth.migratory(num_procs=NUM_PROCS, num_objects=6, visits=6,
+                               reads_per_visit=1, writes_per_visit=1, seed=99)
+        registry.engagements.clear()
+        kernel = _run_directory(BASIC, 64, disabled=False)
+        assert registry.engagements["directory"] == 1
+        legacy = _run_directory(BASIC, 64, disabled=True)
+        kernel.run(tail)
+        legacy.run(tail)
+        assert _dir_state(kernel) == _dir_state(legacy)
+
+    def test_fifo_replacement_engages(self):
+        config = MachineConfig(
+            num_procs=NUM_PROCS,
+            cache=CacheConfig(size_bytes=64, block_size=16,
+                              replacement="fifo"))
+        registry.engagements.clear()
+        kernel = DirectoryMachine(config, BASIC)
+        kernel.run(_trace())
+        assert registry.engagements["directory"] == 1
+        legacy = DirectoryMachine(config, BASIC)
+        with registry.disabled():
+            legacy.run(_trace())
         assert _dir_state(kernel) == _dir_state(legacy)
 
 
@@ -309,6 +377,15 @@ class TestOracleKernelStage:
     def test_clean_case_passes(self):
         case = generate_case(3, "kernel")
         assert oracle.run_case(case) is None
+
+    def test_evict_profile_exercises_group_walks(self):
+        registry.clear()
+        case = generate_case(27, "evict")
+        assert oracle.run_case(case) is None
+        # The kernel-diff replays really engaged on the evicting
+        # geometry rather than silently comparing packed to packed.
+        assert registry.engagements["directory"] > 0
+        assert registry.engagements["bus"] > 0
 
     def test_corrupted_bus_kernel_is_caught(self, monkeypatch):
         from repro.kernels import snooping
