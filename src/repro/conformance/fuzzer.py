@@ -29,6 +29,14 @@ be named in a bug report.  Five profiles are provided:
   segment restarts, recency bookkeeping, replacement charges, dirty
   writebacks, last-copy directory forgetting — against the packed
   reference, with stats and final cache state compared bit-for-bit.
+* ``family`` — traffic shaped for the adaptive-family machinery of
+  :mod:`repro.protocols`: same-writer write runs just around the hybrid
+  family's ``invalid_threshold`` (so blocks flip between update and
+  invalidate mode mid-trace), shared-read bursts that drive the revert
+  path, and re-read cadences tuned to the self-invalidation family's
+  epoch lease (copies expire mid-run).  Everything replays through the
+  whole registry, so this profile stresses the mode/lease state the
+  other profiles only hit by accident.
 
 Machine geometry (processor count, block size, finite vs infinite
 caches, associativity, replacement policy) is fuzzed along with the
@@ -47,7 +55,8 @@ from repro.trace import synth
 from repro.trace.core import Trace
 
 #: The recognised fuzz profiles, in CLI order.
-PROFILES = ("migratory", "uniform", "adversarial", "kernel", "evict")
+PROFILES = ("migratory", "uniform", "adversarial", "kernel", "evict",
+            "family")
 
 #: Hard ceiling on trace length so one case replays in milliseconds.
 MAX_OPS = 512
@@ -330,6 +339,69 @@ def _evict_trace(rng: random.Random, num_procs: int, block_size: int,
     return out
 
 
+def _family_trace(rng: random.Random, num_procs: int,
+                  block_size: int) -> list[Access]:
+    # Phases aimed at the adaptive families' hidden state: write runs
+    # hovering around the hybrid invalid_threshold (2 at the defaults),
+    # shared-read bursts that revert invalidate mode, and read gaps
+    # paced against the self-invalidation epoch (4) so leases expire
+    # both mid-run and never, depending on the draw.
+    out: list[Access] = []
+    hot_blocks = [b * block_size for b in range(rng.randint(2, 5))]
+    while len(out) < rng.randint(100, MAX_OPS):
+        hot = rng.choice(hot_blocks)
+        phase = rng.choice(
+            ["write_run", "flip_flop", "shared_revert", "lease_age",
+             "producer", "noise"]
+        )
+        if phase == "write_run":
+            # One writer, run length 1..4: below, at, and past the
+            # hybrid threshold — the mode flip lands mid-phase.
+            proc = rng.randrange(num_procs)
+            for _ in range(rng.randint(1, 4)):
+                out.append(write(proc, hot))
+        elif phase == "flip_flop":
+            # Alternate writers so the same-writer run keeps resetting:
+            # hybrid must *stay* in update mode through this.
+            for _ in range(rng.randint(2, 6)):
+                out.append(write(rng.randrange(num_procs), hot))
+        elif phase == "shared_revert":
+            # A read burst by many processors: breaks write runs and
+            # accumulates invalidate-mode reads toward the revert.
+            readers = rng.sample(
+                range(num_procs), rng.randint(1, num_procs)
+            )
+            for _ in range(rng.randint(1, 3)):
+                for proc in readers:
+                    out.append(read(proc, hot))
+        elif phase == "lease_age":
+            # Repeated remote read misses age self-invalidation leases:
+            # interleave a holder's reads with remote refills so some
+            # copies expire (counter past the epoch) and some survive.
+            holder = rng.randrange(num_procs)
+            out.append(write(holder, hot))
+            for _ in range(rng.randint(3, 7)):
+                out.append(read(rng.randrange(num_procs), hot))
+        elif phase == "producer":
+            # Single-writer/multi-reader rounds — update mode's best
+            # case and the classifier's producer-consumer signature.
+            producer = rng.randrange(num_procs)
+            for _ in range(rng.randint(2, 5)):
+                out.append(write(producer, hot))
+                for proc in range(num_procs):
+                    if proc != producer:
+                        out.append(read(proc, hot))
+        else:
+            for _ in range(rng.randint(1, 6)):
+                proc = rng.randrange(num_procs)
+                addr = rng.choice(hot_blocks)
+                out.append(
+                    write(proc, addr) if rng.random() < 0.5
+                    else read(proc, addr)
+                )
+    return out
+
+
 # ----------------------------------------------------------------------
 # Case generation
 # ----------------------------------------------------------------------
@@ -368,6 +440,17 @@ def generate_case(seed: int, profile: str) -> FuzzCase:
         num_sets = rng.choice([1, 2])
         cache_size = block_size * associativity * num_sets
         replacement = rng.choice(["lru", "lru", "fifo"])
+    elif profile == "family":
+        # Mostly infinite caches: the families' mode/lease state is the
+        # target, and evictions resetting residency would mask it.  A
+        # small finite slice keeps the interaction with replacement
+        # under test too.
+        if rng.random() < 0.7:
+            cache_size, associativity, replacement = None, 4, "lru"
+        else:
+            associativity = rng.choice([2, 4])
+            cache_size = block_size * associativity * 8
+            replacement = "lru"
     elif rng.random() < 0.5:
         cache_size, associativity, replacement = None, 4, "lru"
     else:
@@ -388,6 +471,8 @@ def generate_case(seed: int, profile: str) -> FuzzCase:
             accesses = _migratory_trace(rng, num_procs, block_size)
         else:
             accesses = _uniform_trace(rng, num_procs, block_size)
+    elif profile == "family":
+        accesses = _family_trace(rng, num_procs, block_size)
     else:
         accesses = _adversarial_trace(rng, num_procs, block_size, cache_size)
     accesses = _truncate(accesses, rng)

@@ -47,51 +47,46 @@ from typing import Callable, Sequence
 from repro.common.errors import ReproError
 from repro.common.types import Op
 from repro.conformance.fuzzer import FuzzCase
-from repro.directory.policy import (
-    AGGRESSIVE,
-    BASIC,
-    CONSERVATIVE,
-    CONVENTIONAL,
-    AdaptivePolicy,
-)
+from repro.directory.policy import AdaptivePolicy
 from repro.kernels import registry
+from repro.protocols import registry as families
 from repro.snooping.machine import BusMachine
-from repro.snooping.protocols import (
-    AdaptiveSnoopingProtocol,
-    AlwaysMigrateProtocol,
-    MesiProtocol,
-    SnoopingProtocol,
-)
-from repro.snooping.update_protocols import (
-    CompetitiveUpdateProtocol,
-    WriteUpdateProtocol,
-)
+from repro.snooping.protocols import SnoopingProtocol
 from repro.system.machine import DirectoryMachine
 from repro.telemetry.runtime import span
 
-#: Directory policies replayed by default: the full Table 2 family.
-DEFAULT_POLICIES: tuple[AdaptivePolicy, ...] = (
-    CONVENTIONAL, CONSERVATIVE, BASIC, AGGRESSIVE,
+#: Directory policies replayed by default: every family in
+#: :mod:`repro.protocols.registry` that runs on the stock machine
+#: (registering a new policy-only family adds it here automatically).
+DEFAULT_POLICIES: tuple[AdaptivePolicy, ...] = tuple(
+    fam.policy for fam in families.directory_families()
+    if fam.machine is None
 )
 
-#: Snooping protocol factories replayed by default (invalidate family;
-#: the update protocols keep remote copies current and are covered by
-#: the model checker instead).
-DEFAULT_SNOOP_FACTORIES: tuple[Callable[[], SnoopingProtocol], ...] = (
-    MesiProtocol,
-    AdaptiveSnoopingProtocol,
-    lambda: AdaptiveSnoopingProtocol(initial_migratory=True),
-    AlwaysMigrateProtocol,
+#: Directory families that ship their own machine realization.  They
+#: replay through all four stages against *their* machine whenever the
+#: stock machine is in play (fault injection swaps the stock machine
+#: for a broken subclass, which would silently displace these).
+FAMILY_DIRECTORY_MACHINES = tuple(
+    fam for fam in families.directory_families() if fam.machine is not None
+)
+
+#: Snooping protocol factories replayed by default — the families whose
+#: verification config asks for the full four-stage audit.
+DEFAULT_SNOOP_FACTORIES: tuple[Callable[[], SnoopingProtocol], ...] = tuple(
+    fam.factory for fam in families.bus_families() if fam.oracle == "full"
 )
 
 #: Snooping protocol factories audited by the kernel-diff stage only.
-#: The update family is excluded from the invariant/SC stages (remote
-#: copies stay current, so the read-latest-write property is trivially
-#: a different contract), but legacy-vs-kernel equality still applies.
-KERNEL_ONLY_SNOOP_FACTORIES: tuple[Callable[[], SnoopingProtocol], ...] = (
-    WriteUpdateProtocol,
-    lambda: CompetitiveUpdateProtocol(1),
-)
+#: The pure-update family is excluded from the invariant/SC stages
+#: (remote copies stay current, so the read-latest-write property is
+#: trivially a different contract), but legacy-vs-kernel equality still
+#: applies.
+KERNEL_ONLY_SNOOP_FACTORIES: tuple[Callable[[], SnoopingProtocol], ...] = \
+    tuple(
+        fam.factory for fam in families.bus_families()
+        if fam.oracle == "kernel-only"
+    )
 
 
 @dataclass(frozen=True)
@@ -365,6 +360,7 @@ def run_case(
         DEFAULT_SNOOP_FACTORIES,
     directory_machine: Callable[..., DirectoryMachine] = DirectoryMachine,
     bus_machine: Callable[..., BusMachine] = BusMachine,
+    family_machines: Sequence = FAMILY_DIRECTORY_MACHINES,
 ) -> CaseFailure | None:
     """Replay one fuzz case through every engine; None when clean.
 
@@ -375,6 +371,10 @@ def run_case(
         directory_machine: the directory-machine class — swap in a
             :mod:`repro.conformance.bugs` variant for fault injection.
         bus_machine: the bus-machine class, likewise swappable.
+        family_machines: protocol families with their own directory
+            machine, audited only while the stock machine is in play
+            (an injected machine replaces the stock realization, not
+            the families').
 
     Returns:
         The first :class:`CaseFailure` discovered, or None.
@@ -384,6 +384,13 @@ def run_case(
         failure = _run_directory(case, policy, directory_machine, ref)
         if failure is not None:
             return failure
+    if directory_machine is DirectoryMachine:
+        for fam in family_machines:
+            failure = _run_directory(
+                case, fam.policy, fam.machine_class(), ref
+            )
+            if failure is not None:
+                return failure
     for factory in snoop_factories:
         failure = _run_snooping(case, factory, bus_machine, ref)
         if failure is not None:

@@ -15,6 +15,7 @@ from repro.common.config import CacheConfig, MachineConfig
 from repro.common.stats import BusStats, MessageStats
 from repro.directory.policy import AdaptivePolicy
 from repro.experiments import resultcache
+from repro.protocols import registry as families
 from repro.snooping.machine import BusMachine
 from repro.snooping.protocols import SnoopingProtocol
 from repro.system.machine import DirectoryMachine
@@ -117,6 +118,24 @@ def clear_caches() -> None:
     _placement_cache.clear()
 
 
+def _directory_realization(policy: AdaptivePolicy):
+    """``(machine_cls, family_label)`` for a policy.
+
+    Registered families resolve through :mod:`repro.protocols.registry`
+    (a family that ships its own machine gets it here, with no edits in
+    any experiment); ad-hoc ablation policies run on the stock machine.
+    """
+    fam = families.family_of_policy(policy)
+    if fam is None:
+        return DirectoryMachine, "-"
+    return fam.machine_class(), fam.name
+
+
+def _bus_family_label(protocol: SnoopingProtocol) -> str:
+    fam = families.family_of_protocol(protocol)
+    return fam.name if fam is not None else "-"
+
+
 def directory_config(
     cache_size: int | None,
     block_size: int = 16,
@@ -152,15 +171,18 @@ def run_directory(
         cache_size, block_size, num_procs, eviction_notification
     )
 
+    machine_cls, family_label = _directory_realization(policy)
+
     def replay() -> MessageStats:
         placement = get_placement(placement_kind, trace, config)
-        machine = DirectoryMachine(config, policy, placement)
+        machine = machine_cls(config, policy, placement)
         # Zero-cost when no telemetry session is active (the usual
         # case); under one, the machine gets a recorder and the replay
         # is timed.
         telemetry.attach(machine)
         with telemetry.span("replay.directory", app=trace.name,
-                            policy=policy.name):
+                            policy=policy.name,
+                            repro_protocol_family=family_label):
             return machine.run(trace)
 
     if telemetry.machine_instrumentation_active():
@@ -196,7 +218,8 @@ def run_bus(
         machine = BusMachine(config, protocol)
         telemetry.attach(machine)
         with telemetry.span("replay.bus", app=trace.name,
-                            protocol=protocol.name):
+                            protocol=protocol.name,
+                            repro_protocol_family=_bus_family_label(protocol)):
             return machine.run(trace)
 
     if telemetry.machine_instrumentation_active():

@@ -75,8 +75,8 @@ _DISABLE_VALUES = {"off", "0", "no", "false", "disable", "disabled"}
 #: they observe replays, they do not change results.
 _ENGINE_PACKAGES = (
     "analysis", "cache", "common", "directory", "experiments",
-    "interconnect", "kernels", "snooping", "system", "timing", "trace",
-    "workloads",
+    "interconnect", "kernels", "protocols", "snooping", "system",
+    "timing", "trace", "workloads",
 )
 
 _engine_tag: str | None = None
@@ -200,6 +200,23 @@ def config_digest(config) -> str:
     return repr(config)
 
 
+def _policy_family_digest(policy) -> str:
+    """The machine-realization component of a policy's cache key.
+
+    Policies whose registered family ships its own directory machine
+    (:mod:`repro.protocols.registry`) replay through *that* machine, so
+    the family's behavioural digest must be part of the key; every
+    stock-machine policy — registered or ad-hoc ablation — shares the
+    ``stock`` marker so name-only aliases keep sharing entries.
+    """
+    from repro.protocols import registry as families
+
+    fam = families.family_of_policy(policy)
+    if fam is not None and fam.machine is not None:
+        return fam.behavior_digest()
+    return "stock"
+
+
 def policy_digest(policy) -> str:
     """Behavioural digest of an :class:`AdaptivePolicy`.
 
@@ -210,7 +227,10 @@ def policy_digest(policy) -> str:
     The compiled kernel table digest (:mod:`repro.kernels.tables`) is
     folded in: replays may run on the table-driven kernel, so the key
     must change whenever the *compiled* behaviour changes, even if a
-    code edit slipped past the engine tag.
+    code edit slipped past the engine tag.  The family digest is folded
+    in for the same reason: a policy served by a protocol family's own
+    machine must never share entries with a stock replay of the same
+    policy fields.
     """
     from repro.kernels.tables import dir_table_digest
 
@@ -218,6 +238,7 @@ def policy_digest(policy) -> str:
         f"policy|{policy.migratory_threshold}|{policy.initial_migratory}"
         f"|{policy.remember_uncached}|{policy.demote_on_migratory_write_miss}"
         f"|ktable:{dir_table_digest(policy)}"
+        f"|family:{_policy_family_digest(policy)}"
     )
 
 
@@ -228,15 +249,21 @@ def protocol_digest(protocol) -> str:
     (``competitive-update(4)``), so class + name + reply/update flags
     pins the behaviour.  The compiled kernel table digest is folded in
     for the same reason as in :func:`policy_digest` (``"uncompiled"``
-    for protocols outside the kernel envelope).
+    for protocols outside the kernel envelope), and the registered
+    family's behavioural digest rides along so registry-level changes
+    (fallback classification, tunable defaults) invalidate entries.
     """
     from repro.kernels.tables import snoop_table_digest
+    from repro.protocols import registry as families
 
+    fam = families.family_of_protocol(protocol)
+    family_digest = fam.behavior_digest() if fam is not None else "-"
     return (
         f"protocol|{type(protocol).__qualname__}|{protocol.name}"
         f"|{getattr(protocol, 'invalidations_need_reply', None)}"
         f"|{getattr(protocol, 'updates_remote_copies', None)}"
         f"|ktable:{snoop_table_digest(protocol)}"
+        f"|family:{family_digest}"
     )
 
 

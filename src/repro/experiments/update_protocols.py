@@ -9,6 +9,12 @@ Makes two of the paper's narrative claims measurable on the bus machine:
   update/invalidate protocol "manages migratory data in a very
   inefficient way" — up to three inter-cache operations per migration
   (modelled by competitive update with threshold 1).
+
+The sweep also carries the adaptive families of
+:mod:`repro.protocols` — the write-run hybrid (update until a same-
+writer run, invalidate until shared reads return) and the lease-based
+self-invalidation protocol — so the paper columns and the extension
+columns price out side by side on identical traces.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.experiments import common
+from repro.protocols import registry as families
 from repro.snooping.protocols import AdaptiveSnoopingProtocol, MesiProtocol
 from repro.snooping.update_protocols import (
     CompetitiveUpdateProtocol,
@@ -34,6 +41,8 @@ class UpdateRow:
     adaptive: int
     write_update: int
     hybrid: int
+    adaptive_hybrid: int
+    self_invalidation: int
 
 
 def run(
@@ -43,7 +52,7 @@ def run(
     seed: int = 0,
     num_procs: int = common.NUM_PROCS,
 ) -> list[UpdateRow]:
-    """Run all apps on the bus under the four protocol families."""
+    """Run all apps on the bus under the six protocol families."""
     rows = []
     for app in apps:
         trace = common.get_trace(app, num_procs, seed, scale)
@@ -53,20 +62,29 @@ def run(
             ("adaptive", AdaptiveSnoopingProtocol()),
             ("write_update", WriteUpdateProtocol()),
             ("hybrid", CompetitiveUpdateProtocol(threshold=1)),
+            ("adaptive_hybrid",
+             families.bus_protocol("hybrid-update-invalidate")),
+            ("self_invalidation",
+             families.bus_protocol("self-invalidation")),
         ):
             stats = common.run_bus(trace, protocol, cache_size,
                                    num_procs=num_procs)
             totals[key] = stats.total
         rows.append(UpdateRow(app, totals["mesi"], totals["adaptive"],
-                              totals["write_update"], totals["hybrid"]))
+                              totals["write_update"], totals["hybrid"],
+                              totals["adaptive_hybrid"],
+                              totals["self_invalidation"]))
     return rows
 
 
 def render(rows: list[UpdateRow]) -> str:
     """Render the protocol-family comparison."""
-    headers = ["app", "mesi", "adaptive", "write-update", "hybrid(k=1)"]
+    headers = ["app", "mesi", "adaptive", "write-update", "hybrid(k=1)",
+               "hybrid(run)", "self-inval"]
     out = [
-        [r.app, r.mesi, r.adaptive, r.write_update, r.hybrid] for r in rows
+        [r.app, r.mesi, r.adaptive, r.write_update, r.hybrid,
+         r.adaptive_hybrid, r.self_invalidation]
+        for r in rows
     ]
     return format_table(
         headers,

@@ -371,6 +371,12 @@ def try_replay(machine, packed):
                 # The per-cache replacement RNG is unobservable here.
                 return _fallback("replacement-random")
             lru = replacement == "lru"
+    family_reason = getattr(machine.protocol, "kernel_fallback_reason", None)
+    if family_reason is not None:
+        # The protocol family declares itself outside the DFA
+        # abstraction (see repro.protocols.registry): name the fallback
+        # honestly instead of probing a table that cannot exist.
+        return _fallback(family_reason)
     try:
         table = registry.bus_table(machine.protocol, num_procs)
     except (KernelUnsupported, ProtocolError):

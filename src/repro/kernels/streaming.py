@@ -82,6 +82,15 @@ class DirectoryStreamReplay:
             _unsupported(self.ENGINE, "block-messages")
         if machine.step_hook is not None:
             _unsupported(self.ENGINE, "step-hook")
+        from repro.system.machine import DirectoryMachine
+
+        if type(machine) is not DirectoryMachine:
+            # Family machines override the charging paths the compiled
+            # rows encode; their class names the honest reason.
+            _unsupported(
+                self.ENGINE,
+                getattr(machine, "kernel_fallback_reason", "machine-subclass"),
+            )
         placement = machine.placement
         self._first_touch = type(placement) is FirstTouchPlacement
         if (not self._first_touch
@@ -215,6 +224,13 @@ class BusStreamReplay:
             _unsupported(self.ENGINE, "num-procs")
         if machine.step_hook is not None:
             _unsupported(self.ENGINE, "step-hook")
+        from repro.snooping.machine import BusMachine
+
+        if type(machine) is not BusMachine:
+            _unsupported(
+                self.ENGINE,
+                getattr(machine, "kernel_fallback_reason", "machine-subclass"),
+            )
         if (machine.bus_stats != BusStats()
                 or machine.cache_stats != CacheStats()
                 or any(len(cache) for cache in machine.caches)):
@@ -222,6 +238,11 @@ class BusStreamReplay:
         first = machine.caches[0] if machine.caches else None
         if type(first) is not InfiniteCache:
             _unsupported(self.ENGINE, "finite-cache")
+        family_reason = getattr(
+            machine.protocol, "kernel_fallback_reason", None
+        )
+        if family_reason is not None:
+            _unsupported(self.ENGINE, family_reason)
         try:
             self._table = registry.bus_table(machine.protocol, config.num_procs)
         except (KernelUnsupported, ProtocolError):

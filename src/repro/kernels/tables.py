@@ -282,9 +282,11 @@ def _snoop_kernel_types() -> tuple[type, ...]:
             CompetitiveUpdateProtocol,
             WriteUpdateProtocol,
         )
+        from repro.protocols.selfinval import SelfInvalidationProtocol
         SNOOP_KERNEL_TYPES = (
             MesiProtocol, AdaptiveSnoopingProtocol, AlwaysMigrateProtocol,
             WriteUpdateProtocol, CompetitiveUpdateProtocol,
+            SelfInvalidationProtocol,
         )
     return SNOOP_KERNEL_TYPES
 

@@ -1,0 +1,66 @@
+"""Adaptive-protocol family subsystem.
+
+:mod:`repro.protocols.registry` is the single source of truth for which
+coherence-protocol families exist, how to build them, and how the
+kernels, sweeps, oracle, model checker, and service should treat them.
+The family implementations live alongside it:
+
+* :mod:`repro.protocols.hybrid` — write-run adaptive update/invalidate
+  (snooping and directory realizations);
+* :mod:`repro.protocols.selfinval` — Neat-style self-invalidation /
+  self-downgrade (kernel-compilable bus leases, owner-pointer
+  directory);
+* :mod:`repro.protocols.classifier` — producer-consumer / false-sharing
+  pattern taxonomy over the stock evidence machinery.
+
+See ``docs/PROTOCOLS.md`` for the registry contract and how to add a
+family.
+"""
+
+from repro.protocols.classifier import (
+    ClassifierDirectoryMachine,
+    ClassifierDirectoryProtocol,
+)
+from repro.protocols.hybrid import (
+    HybridDirectoryMachine,
+    HybridUpdateInvalidateProtocol,
+)
+from repro.protocols.registry import (
+    ProtocolFamily,
+    bus_families,
+    bus_protocol,
+    directory_families,
+    directory_policy,
+    families,
+    family,
+    family_of_policy,
+    family_of_protocol,
+    find,
+    make_directory_machine,
+    register,
+)
+from repro.protocols.selfinval import (
+    SelfInvalidationDirectoryMachine,
+    SelfInvalidationProtocol,
+)
+
+__all__ = [
+    "ProtocolFamily",
+    "ClassifierDirectoryMachine",
+    "ClassifierDirectoryProtocol",
+    "HybridDirectoryMachine",
+    "HybridUpdateInvalidateProtocol",
+    "SelfInvalidationDirectoryMachine",
+    "SelfInvalidationProtocol",
+    "bus_families",
+    "bus_protocol",
+    "directory_families",
+    "directory_policy",
+    "families",
+    "family",
+    "family_of_policy",
+    "family_of_protocol",
+    "find",
+    "make_directory_machine",
+    "register",
+]

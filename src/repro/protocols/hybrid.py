@@ -1,0 +1,295 @@
+"""Hybrid update/invalidate coherence with per-block write-run counters.
+
+Modeled on the adaptive update/invalidate protocol of Dovgopol &
+Rosonke (arXiv 1502.00101) and the classic competitive hybrids: each
+block starts in *update* mode (a write to a shared block broadcasts the
+new data, copies survive), a per-block write-run counter tracks
+consecutive bus-visible writes by the same processor, and once a run
+reaches ``invalid_threshold`` the block flips to *invalidate* mode (the
+next write kills the other copies, MESI-style).  Shared *read misses*
+are the counter-signal: in invalidate mode they accumulate toward
+``revert_threshold = max(1, round(invalid_threshold *
+invalidation_ratio))``, and reaching it flips the block back to update
+mode.  The mode state is exactly the ``writeRunCounter`` /
+``invalidThreshold`` / ``invalidationRatio`` trio of the adapt-cache
+lineage, kept per block:
+
+``[invalidate_mode, last_writer, run, shared_reads]``
+
+Write runs are counted in *bus-visible* writes (update broadcasts and
+invalidating upgrades), as a bus-based implementation must — silent
+writes to an exclusively-held line are invisible to everyone.
+
+Two realizations:
+
+* :class:`HybridUpdateInvalidateProtocol` — snooping.  Inherits the
+  pure write-update machinery and overrides the write path with the
+  mode switch.  The per-block mode makes one block's transition depend
+  on global write history, which the per-line DFA abstraction of
+  :mod:`repro.kernels.tables` cannot express — the family declares the
+  honest ``family-unkerneled`` fallback instead of compiling a wrong
+  single-mode table.
+* :class:`HybridDirectoryMachine` — CC-NUMA.  Update-mode writes leave
+  every copy in place (charged like the equivalent invalidation
+  fan-out, but copies survive, so sharers keep hitting); invalidate
+  mode is exactly the stock machine.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProtocolError
+from repro.interconnect.costs import write_hit_counts, write_miss_counts
+from repro.snooping.states import SnoopState as St
+from repro.snooping.update_protocols import WriteUpdateProtocol
+from repro.system.machine import CState, DirectoryMachine
+
+#: Consecutive same-writer bus writes that flip a block to invalidate.
+DEFAULT_INVALID_THRESHOLD = 2
+#: Fraction of the write-run threshold that shared read misses must
+#: reach (in invalidate mode) to flip the block back to update.
+DEFAULT_INVALIDATION_RATIO = 0.5
+
+#: A block with no recorded state: update mode, no run in progress.
+_FRESH = [False, None, 0, 0]
+
+
+def _revert_threshold(invalid_threshold: int, ratio: float) -> int:
+    return max(1, round(invalid_threshold * ratio))
+
+
+class _WriteRunModes:
+    """Per-block ``[invalidate_mode, last_writer, run, shared_reads]``.
+
+    Shared by both realizations; every component is bounded (mode is a
+    bit, the run resets at the flip, shared reads reset at the revert),
+    so the model checker's state space stays finite.
+    """
+
+    __slots__ = ("invalid_threshold", "invalidation_ratio",
+                 "revert_threshold", "_modes")
+
+    def __init__(self, invalid_threshold: int, invalidation_ratio: float):
+        if invalid_threshold < 1:
+            raise ProtocolError("invalid_threshold must be >= 1")
+        if not 0.0 <= invalidation_ratio <= 1.0:
+            raise ProtocolError("invalidation_ratio must be in [0, 1]")
+        self.invalid_threshold = invalid_threshold
+        self.invalidation_ratio = invalidation_ratio
+        self.revert_threshold = _revert_threshold(
+            invalid_threshold, invalidation_ratio
+        )
+        self._modes: dict[int, list] = {}
+
+    def note_write(self, block: int, proc: int) -> bool:
+        """Record one bus-visible write; True = invalidate mode now."""
+        st = self._modes.get(block)
+        if st is None:
+            st = self._modes[block] = list(_FRESH)
+        if st[0]:
+            return True
+        if st[1] == proc:
+            st[2] += 1
+        else:
+            st[1] = proc
+            st[2] = 1
+        if st[2] >= self.invalid_threshold:
+            # The flip applies to this very write.
+            st[0] = True
+            st[1] = None
+            st[2] = 0
+            st[3] = 0
+            return True
+        return False
+
+    def note_read_miss(self, block: int) -> None:
+        """A shared read breaks the run and, in invalidate mode,
+        accumulates toward reverting to update mode."""
+        st = self._modes.get(block)
+        if st is None:
+            return
+        if st[0]:
+            st[3] += 1
+            if st[3] >= self.revert_threshold:
+                del self._modes[block]  # back to fresh update mode
+        else:
+            st[1] = None
+            st[2] = 0
+            if st == _FRESH:
+                del self._modes[block]
+
+    # Model-checker hooks: fresh blocks canonicalize to None so cold
+    # states hash identically regardless of history.
+
+    def get(self, block: int):
+        st = self._modes.get(block)
+        if st is None or st == _FRESH:
+            return None
+        return tuple(st)
+
+    def set(self, block: int, state) -> None:
+        if state is None:
+            self._modes.pop(block, None)
+        else:
+            self._modes[block] = list(state)
+
+    def clear(self) -> None:
+        self._modes.clear()
+
+
+class HybridUpdateInvalidateProtocol(WriteUpdateProtocol):
+    """Snooping hybrid: update until a write run, invalidate until reads.
+
+    Coherence states are the write-update family's (``E``/``D``/``S``);
+    only the write path depends on the block's mode.
+    """
+
+    invalidations_need_reply = False
+    #: Remote copies stay current across update-mode writes (invalidate
+    #: -mode writes leave no remote copies, so the sync is a no-op).
+    updates_remote_copies = True
+    #: Named reason the kernel gate records: the per-block mode couples
+    #: transitions to global write history, outside the DFA abstraction.
+    kernel_fallback_reason = "family-unkerneled"
+
+    def __init__(self, invalid_threshold: int = DEFAULT_INVALID_THRESHOLD,
+                 invalidation_ratio: float = DEFAULT_INVALIDATION_RATIO):
+        self.modes = _WriteRunModes(invalid_threshold, invalidation_ratio)
+        self.invalid_threshold = invalid_threshold
+        self.invalidation_ratio = invalidation_ratio
+        if (invalid_threshold == DEFAULT_INVALID_THRESHOLD
+                and invalidation_ratio == DEFAULT_INVALIDATION_RATIO):
+            self.name = "hybrid-update-invalidate"
+        else:
+            self.name = (f"hybrid-update-invalidate"
+                         f"({invalid_threshold},{invalidation_ratio:g})")
+
+    # -- per-block protocol state (model-checker hooks) -----------------
+
+    def block_state(self, block: int):
+        return self.modes.get(block)
+
+    def set_block_state(self, block: int, state) -> None:
+        self.modes.set(block, state)
+
+    # -- handlers --------------------------------------------------------
+
+    def read_miss_fill(self, caches, proc, block):
+        self.modes.note_read_miss(block)
+        return super().read_miss_fill(caches, proc, block)
+
+    def write_miss_fill(self, caches, proc, block):
+        if not self.modes.note_write(block, proc):
+            return super().write_miss_fill(caches, proc, block)
+        for cache, line in self._remote_lines(caches, proc, block):
+            cache.remove(block)
+        return St.D, True
+
+    def write_hit_bus(self, caches, proc, block, line) -> str:
+        if not self.modes.note_write(block, proc):
+            return super().write_hit_bus(caches, proc, block, line)
+        for cache, remote in self._remote_lines(caches, proc, block):
+            if remote.state is not St.S:
+                raise ProtocolError(
+                    f"invalidation snooped non-shared state {remote.state}"
+                )
+            cache.remove(block)
+        line.state = St.D
+        line.dirty = True
+        return "invalidation"
+
+
+class HybridDirectoryMachine(DirectoryMachine):
+    """CC-NUMA hybrid: update-mode writes keep every sharer's copy.
+
+    An update-mode write to a shared block charges the same fan-out the
+    invalidation would (one update message per sharer instead of one
+    invalidation), but the copies survive — so stable single-writer /
+    multi-reader blocks trade the sharers' re-fetch misses for the
+    broadcasts.  Invalidate mode delegates to the stock machine.
+    """
+
+    __slots__ = ("modes",)
+
+    kernel_fallback_reason = "family-unkerneled"
+
+    def __init__(self, config, policy, placement=None, **kwargs):
+        super().__init__(config, policy, placement, **kwargs)
+        self.modes = _WriteRunModes(
+            DEFAULT_INVALID_THRESHOLD, DEFAULT_INVALIDATION_RATIO
+        )
+
+    # -- per-block machine state (model-checker hooks) -------------------
+
+    def block_extra(self, block: int):
+        return self.modes.get(block)
+
+    def set_block_extra(self, block: int, extra) -> None:
+        self.modes.set(block, extra)
+
+    # -- access paths ----------------------------------------------------
+
+    def _read_miss(self, proc, block):
+        self.modes.note_read_miss(block)
+        super()._read_miss(proc, block)
+
+    def _write_hit_shared(self, proc, block, line):
+        invalidate = self.modes.note_write(block, proc)
+        ent = self.protocol.entry(block)
+        others = ent.copyset - {proc}
+        if invalidate or not others:
+            super()._write_hit_shared(proc, block, line)
+            return
+        # Update mode: broadcast the new value to every sharer.  The
+        # copyset and directory state are untouched (no copy dies), the
+        # writer's copy stays shared-clean (memory snoops the update),
+        # and every surviving copy is current.
+        home = self._home_of(block, proc)
+        dc = self.representation.invalidation_targets(
+            ent, proc, home, self.config.num_procs
+        )
+        short, data = write_hit_counts(home == proc, dc)
+        self._charge("write_hit", block, short, data)
+        self.caches[proc].touch(block)
+        self.cache_stats.upgrades += 1
+        self._bump_version(block, line)
+        self._sync_update_versions(block)
+
+    def _write_miss(self, proc, block):
+        invalidate = self.modes.note_write(block, proc)
+        ent = self.protocol.entry(block)
+        dirty_owner = self._dirty_owner(block, ent.copyset)
+        others = ent.copyset - {proc}
+        if invalidate or dirty_owner is not None or not others:
+            super()._write_miss(proc, block)
+            return
+        # Update mode with clean sharers: fetch the block and broadcast
+        # the new value; existing copies absorb the update.  Directory-
+        # state-wise the writer joins as one more sharer, so the entry
+        # advances exactly as a replicating read miss does.
+        home = self._home_of(block, proc)
+        self.protocol.read_miss(block, proc, False)
+        dc = self.representation.invalidation_targets(
+            ent, proc, home, self.config.num_procs
+        )
+        short, data = write_miss_counts(home == proc, False, dc)
+        self._charge("write_miss", block, short, data)
+        self._fill(proc, block, CState.SHARED, dirty=False)
+        ent.copyset.add(proc)
+        victim = self.representation.on_sharer_added(ent, proc)
+        if victim is not None:
+            self.caches[victim].remove(block)
+            ent.copyset.discard(victim)
+            cost = 2 if victim != home else 0
+            self._charge("pointer_eviction", block, cost, 0)
+        self._bump_version(block, self.caches[proc].lookup(block))
+        self._sync_update_versions(block)
+
+    def _sync_update_versions(self, block: int) -> None:
+        """Update broadcasts leave every surviving copy current."""
+        if not self._check:
+            return
+        latest = self._latest.get(block, 0)
+        for cache in self.caches:
+            line = cache.lookup(block)
+            if line is not None:
+                line.version = latest

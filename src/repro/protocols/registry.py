@@ -1,0 +1,335 @@
+"""First-class registry of coherence-protocol families.
+
+Every protocol either machine can run is described by one
+:class:`ProtocolFamily` record: how to build it, whether the
+table-driven kernels can compile it (and the honest fallback reason
+when they can't), how the conformance oracle should exercise it,
+whether bug-injection verification combos may wrap it, and the
+behavioral tunables that feed result-cache digests.  The sweeps
+(:mod:`repro.experiments`), the conformance oracle
+(:mod:`repro.conformance.oracle`), the bounded model checker
+(:mod:`repro.verification.model`), and the replay service
+(:mod:`repro.service`) all iterate this registry instead of keeping
+their own protocol lists — registering a family here is the *only*
+step needed for it to reach every layer.
+
+The shipped families:
+
+===========================  =========  ======================================
+name                         engine     notes
+===========================  =========  ======================================
+``mesi``                     bus        conventional write-invalidate
+``adaptive``                 bus        the paper's adaptive protocol
+``adaptive-initial-migratory``  bus     Section 2.1 cold-migratory variant
+``always-migrate``           bus        Symmetry model-B migrate-on-read-miss
+``write-update``             bus        pure update (Firefly/Dragon)
+``competitive-update-1``     bus        competitive snooping, threshold 1
+``hybrid-update-invalidate`` bus+dir    write-run adaptive update/invalidate
+``self-invalidation``        bus+dir    Neat-style self-invalidation leases
+``conventional`` … ``stenstrom``  dir   the paper's policy family
+``pattern-classifier``       dir        producer-consumer / false-sharing
+                                        taxonomy over the basic policy
+===========================  =========  ======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ConfigError
+from repro.directory.policy import (
+    PAPER_POLICIES,
+    STENSTROM,
+    AdaptivePolicy,
+)
+from repro.protocols.classifier import ClassifierDirectoryMachine
+from repro.protocols.hybrid import (
+    DEFAULT_INVALID_THRESHOLD,
+    DEFAULT_INVALIDATION_RATIO,
+    HybridDirectoryMachine,
+    HybridUpdateInvalidateProtocol,
+)
+from repro.protocols.selfinval import (
+    DEFAULT_EPOCH,
+    SelfInvalidationDirectoryMachine,
+    SelfInvalidationProtocol,
+)
+from repro.snooping.protocols import (
+    AdaptiveSnoopingProtocol,
+    AlwaysMigrateProtocol,
+    MesiProtocol,
+)
+from repro.snooping.update_protocols import (
+    CompetitiveUpdateProtocol,
+    WriteUpdateProtocol,
+)
+from repro.system.machine import DirectoryMachine
+
+#: Directory policies for the families that add machinery *around* the
+#: stock classification engine rather than tuning its axes.  Their
+#: distinct names keep service/CLI lookups and result-cache digests
+#: honest; the behavioral fields pick the classification baseline each
+#: family wants underneath (conventional for the hybrid and
+#: self-invalidation cost models, basic for the classifier so its
+#: ``migratory`` label can draw on the evidence machinery).
+HYBRID_DIRECTORY_POLICY = AdaptivePolicy(
+    "hybrid-update-invalidate", migratory_threshold=None
+)
+SELF_INVALIDATION_POLICY = AdaptivePolicy(
+    "self-invalidation", migratory_threshold=None
+)
+CLASSIFIER_POLICY = AdaptivePolicy("pattern-classifier", migratory_threshold=1)
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolFamily:
+    """One registered coherence-protocol family on one engine.
+
+    Attributes:
+        name: registry key; the name services, CLIs, and the verifier
+            use.  Unique per engine.
+        engine: ``"bus"`` or ``"directory"``.
+        description: one-line human summary.
+        factory: bus only — builds a fresh protocol instance per
+            machine (protocols carry per-run state).
+        policy: directory only — the family's
+            :class:`~repro.directory.policy.AdaptivePolicy` (frozen,
+            shared).
+        machine: directory only — the machine class realizing the
+            family (``DirectoryMachine`` for the stock policies).
+        kernelable: whether the table-driven kernels can compile the
+            family's transitions.
+        fallback_reason: the *named* reason kernel gates record when
+            ``kernelable`` is false (never silent).
+        oracle: how the conformance oracle exercises the family —
+            ``"full"`` (invariants, SC reference, packed and kernel
+            diffs) or ``"kernel-only"`` (kernel-vs-packed diff only;
+            used for the update protocols whose remote copies stay
+            current, making the SC stages trivially satisfied).
+        injectable: whether bug-injection verification combos may wrap
+            this family (stock machinery only — the injected machines
+            subclass the stock classes).
+        tunables: behavioral knobs folded into :meth:`behavior_digest`
+            so result-cache keys change when a family is re-tuned.
+    """
+
+    name: str
+    engine: str
+    description: str
+    factory: Callable[[], object] | None = None
+    policy: AdaptivePolicy | None = None
+    machine: type | None = None
+    kernelable: bool = True
+    fallback_reason: str | None = None
+    oracle: str = "full"
+    injectable: bool = False
+    tunables: tuple[tuple[str, object], ...] = ()
+    #: Bus only: the ``protocol.name`` of a default-constructed
+    #: instance (may differ from the registry key, e.g.
+    #: ``competitive-update(1)`` under key ``competitive-update-1``).
+    protocol_name: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if self.engine not in ("bus", "directory"):
+            raise ConfigError(f"unknown engine {self.engine!r}")
+        if self.engine == "bus":
+            if self.factory is None:
+                raise ConfigError(f"bus family {self.name!r} needs a factory")
+        else:
+            if self.policy is None:
+                raise ConfigError(
+                    f"directory family {self.name!r} needs a policy"
+                )
+            if self.policy.name != self.name:
+                raise ConfigError(
+                    f"directory family {self.name!r} must be keyed by its "
+                    f"policy name {self.policy.name!r}"
+                )
+        if not self.kernelable and not self.fallback_reason:
+            raise ConfigError(
+                f"unkerneled family {self.name!r} must name its fallback"
+            )
+
+    def make_protocol(self):
+        """A fresh bus protocol instance (bus families only)."""
+        if self.factory is None:
+            raise ConfigError(f"{self.name!r} is not a bus family")
+        return self.factory()
+
+    def machine_class(self) -> type:
+        """The directory machine class realizing this family."""
+        return self.machine or DirectoryMachine
+
+    def behavior_digest(self) -> str:
+        """Stable digest of everything that shapes the family's replay
+        behavior — folded into result-cache keys (the ``|family:``
+        component) so re-tuning a threshold can never serve a stale
+        cached result."""
+        parts = [
+            self.engine,
+            self.name,
+            "ktable" if self.kernelable else (self.fallback_reason or "unkerneled"),
+        ]
+        if self.machine is not None:
+            parts.append(self.machine.__qualname__)
+        parts.extend(f"{key}={value}" for key, value in self.tunables)
+        return ",".join(parts)
+
+
+#: (engine, name) -> family, in registration order.
+_FAMILIES: dict[tuple[str, str], ProtocolFamily] = {}
+
+
+def register(family: ProtocolFamily) -> ProtocolFamily:
+    """Add ``family`` to the registry (unique per engine)."""
+    key = (family.engine, family.name)
+    if key in _FAMILIES:
+        raise ConfigError(
+            f"{family.engine} family {family.name!r} already registered"
+        )
+    _FAMILIES[key] = family
+    return family
+
+
+def families(engine: str | None = None) -> tuple[ProtocolFamily, ...]:
+    """All registered families, optionally restricted to one engine."""
+    return tuple(
+        fam for fam in _FAMILIES.values()
+        if engine is None or fam.engine == engine
+    )
+
+
+def bus_families() -> tuple[ProtocolFamily, ...]:
+    return families("bus")
+
+
+def directory_families() -> tuple[ProtocolFamily, ...]:
+    return families("directory")
+
+
+def family(engine: str, name: str) -> ProtocolFamily:
+    """The registered family, or :class:`ConfigError` naming the known set."""
+    fam = _FAMILIES.get((engine, name))
+    if fam is None:
+        known = sorted(f.name for f in families(engine))
+        raise ConfigError(
+            f"unknown {engine} family {name!r}; known: {', '.join(known)}"
+        )
+    return fam
+
+
+def find(engine: str, name: str) -> ProtocolFamily | None:
+    """The registered family, or None."""
+    return _FAMILIES.get((engine, name))
+
+
+def bus_protocol(name: str):
+    """A fresh protocol instance for the named bus family."""
+    return family("bus", name).make_protocol()
+
+
+def directory_policy(name: str) -> AdaptivePolicy:
+    """The policy of the named directory family."""
+    return family("directory", name).policy
+
+
+def make_directory_machine(name: str, config, placement=None, **kwargs):
+    """Build the named directory family's machine."""
+    fam = family("directory", name)
+    return fam.machine_class()(config, fam.policy, placement, **kwargs)
+
+
+def family_of_policy(policy: AdaptivePolicy) -> ProtocolFamily | None:
+    """The directory family a policy instance belongs to (by name)."""
+    return _FAMILIES.get(("directory", policy.name))
+
+
+def family_of_protocol(protocol) -> ProtocolFamily | None:
+    """The bus family a protocol instance belongs to.
+
+    Matches the default-constructed instance name, so a re-tuned
+    instance (``CompetitiveUpdateProtocol(3)``, say) maps to no family
+    — its parameterized ``protocol.name`` already keys caches honestly.
+    """
+    name = getattr(protocol, "name", None)
+    for fam in _FAMILIES.values():
+        if fam.engine == "bus" and fam.protocol_name == name:
+            return fam
+    return None
+
+
+def _bus(name: str, description: str, factory: Callable[[], object],
+         **kwargs) -> ProtocolFamily:
+    probe = factory()
+    return register(ProtocolFamily(
+        name=name, engine="bus", description=description, factory=factory,
+        protocol_name=probe.name, **kwargs,
+    ))
+
+
+def _directory(name: str, description: str, policy: AdaptivePolicy,
+               **kwargs) -> ProtocolFamily:
+    return register(ProtocolFamily(
+        name=name, engine="directory", description=description,
+        policy=policy, **kwargs,
+    ))
+
+
+# ----------------------------------------------------------------------
+# Shipped bus families
+# ----------------------------------------------------------------------
+
+_bus("mesi", "conventional MESI write-invalidate",
+     MesiProtocol, injectable=True)
+_bus("adaptive", "the paper's adaptive snooping protocol (Figs. 1-2)",
+     AdaptiveSnoopingProtocol)
+_bus("adaptive-initial-migratory",
+     "adaptive variant starting blocks migratory (Section 2.1)",
+     lambda: AdaptiveSnoopingProtocol(initial_migratory=True))
+_bus("always-migrate",
+     "Symmetry model-B migrate-on-read-miss for modified blocks",
+     AlwaysMigrateProtocol)
+_bus("write-update", "pure write-update (Firefly/Dragon)",
+     WriteUpdateProtocol, oracle="kernel-only")
+_bus("competitive-update-1",
+     "competitive-snooping update/invalidate hybrid, threshold 1",
+     lambda: CompetitiveUpdateProtocol(1), oracle="kernel-only",
+     tunables=(("threshold", 1),))
+_bus("hybrid-update-invalidate",
+     "write-run adaptive update/invalidate (adapt-cache style)",
+     HybridUpdateInvalidateProtocol,
+     kernelable=False, fallback_reason="family-unkerneled",
+     tunables=(("invalid_threshold", DEFAULT_INVALID_THRESHOLD),
+               ("invalidation_ratio", DEFAULT_INVALIDATION_RATIO)))
+_bus("self-invalidation",
+     "Neat-style self-invalidation/self-downgrade with leases",
+     SelfInvalidationProtocol,
+     tunables=(("epoch", DEFAULT_EPOCH),))
+
+# ----------------------------------------------------------------------
+# Shipped directory families
+# ----------------------------------------------------------------------
+
+for _policy in PAPER_POLICIES + (STENSTROM,):
+    _directory(
+        _policy.name,
+        f"the paper's {_policy.name} directory policy",
+        _policy, injectable=True,
+    )
+
+_directory("hybrid-update-invalidate",
+           "write-run adaptive update/invalidate over the CC-NUMA model",
+           HYBRID_DIRECTORY_POLICY, machine=HybridDirectoryMachine,
+           kernelable=False, fallback_reason="family-unkerneled",
+           tunables=(("invalid_threshold", DEFAULT_INVALID_THRESHOLD),
+                     ("invalidation_ratio", DEFAULT_INVALIDATION_RATIO)))
+_directory("self-invalidation",
+           "owner-pointer directory: sharers self-invalidate at writes",
+           SELF_INVALIDATION_POLICY,
+           machine=SelfInvalidationDirectoryMachine,
+           kernelable=False, fallback_reason="family-unkerneled")
+_directory("pattern-classifier",
+           "producer-consumer / false-sharing taxonomy over basic",
+           CLASSIFIER_POLICY, machine=ClassifierDirectoryMachine,
+           kernelable=False, fallback_reason="family-unkerneled")

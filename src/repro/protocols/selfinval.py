@@ -1,0 +1,183 @@
+"""Neat-style self-invalidation / self-downgrade coherence.
+
+The VIPS/Neat line of work (arXiv 2107.05453) shows that a coherence
+protocol needs neither invalidation messages nor sharer lists: shared
+copies *self-invalidate* at epoch boundaries, writers *self-downgrade*
+by writing their data through, and the directory degenerates to an
+owner pointer.  Two realizations are provided:
+
+* :class:`SelfInvalidationProtocol` — the bus machine's realization.
+  Shared copies carry a *lease* in the line counter: every remote read
+  miss of the block ages every shared copy by one, and a copy older
+  than ``epoch`` bus epochs invalidates itself instead of asserting the
+  Shared line.  A write hit to a shared block is a write-through: the
+  writer publishes the data (memory snoops it), the remaining shared
+  copies treat the transaction as their epoch boundary and
+  self-invalidate, and the writer's own copy self-downgrades to
+  clean-exclusive.  No transaction of kind ``"invalidation"`` is ever
+  issued — ``bus_stats.invalidation`` stays zero by construction.
+* :class:`SelfInvalidationDirectoryMachine` — the directory machine's
+  realization.  The home keeps only the owner pointer, so writes never
+  fan invalidation messages out to sharers: sharer copies are dropped
+  as self-invalidations at the epoch boundary the write defines, at
+  zero message cost, and ``invalidation_sizes`` stays empty.  Write
+  cost is therefore independent of the sharer count — the measurable
+  form of "no sharer lists".  (The simulator still tracks the copyset
+  as ground truth for the structural invariants; the cost model never
+  reads it.)
+
+Fidelity note: true self-invalidation protocols are sequentially
+consistent only for data-race-free programs.  Our traces are arbitrary
+interleavings, so writes here behave as write-throughs that retire
+every other copy *immediately* rather than at the next synchronization
+point.  That keeps the repo-wide SC checker and model-checked
+properties intact while preserving the protocols' defining observable:
+zero invalidation traffic and no per-sharer state.
+
+The bus protocol stays inside the table-driven kernel envelope: its
+per-line lease is exactly the bounded counter axis the snoop-row
+compiler probes (``threshold`` attribute), so replays compile to
+integer transition tables like MESI does.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProtocolError
+from repro.interconnect.costs import write_hit_counts, write_miss_counts
+from repro.snooping.protocols import SnoopingProtocol
+from repro.snooping.states import SnoopState as St
+from repro.system.machine import CState, DirectoryMachine
+
+#: Default lease length, in remote-read-miss epochs (must stay within
+#: the kernel compiler's counter axis, ``MAX_COUNTER_THRESHOLD``).
+DEFAULT_EPOCH = 4
+
+
+class SelfInvalidationProtocol(SnoopingProtocol):
+    """Self-invalidation/self-downgrade snooping (no invalidations).
+
+    States used: ``E`` (owned clean), ``D`` (owned dirty), ``S``
+    (leased read-only copy).  The lease lives in ``line.counter`` and
+    ages on every remote read miss; the ``threshold`` attribute exposes
+    the epoch to the kernel compiler as the counter axis.
+    """
+
+    invalidations_need_reply = False
+    updates_remote_copies = False
+
+    def __init__(self, epoch: int = DEFAULT_EPOCH):
+        if not 1 <= epoch <= 8:
+            raise ProtocolError("epoch must be between 1 and 8")
+        self.epoch = epoch
+        #: Kernel counter axis (see ``SnoopRows``): lease values are
+        #: bounded by the epoch.
+        self.threshold = epoch
+        self.name = (
+            "self-invalidation" if epoch == DEFAULT_EPOCH
+            else f"self-invalidation({epoch})"
+        )
+
+    def read_miss_fill(self, caches, proc, block):
+        shared = False
+        for cache, line in self._remote_lines(caches, proc, block):
+            state = line.state
+            if state in (St.E, St.D):
+                # The owner self-downgrades: data is provided, memory
+                # snoops it, and the copy becomes a fresh lease.
+                line.state = St.S
+                line.dirty = False
+                line.counter = 0
+                shared = True
+            elif state is St.S:
+                # A remote read miss is one bus epoch: age the lease.
+                line.counter += 1
+                if line.counter > self.epoch:
+                    cache.remove(block)  # lease expired: self-invalidate
+                else:
+                    shared = True
+            else:
+                raise ProtocolError(
+                    f"self-invalidation snooped state {state}"
+                )
+        return (St.S if shared else St.E), False
+
+    def write_miss_fill(self, caches, proc, block):
+        # The write is the epoch boundary for every existing copy: the
+        # owner (if any) supplies data and retires, leased copies
+        # self-invalidate.  No invalidation request is sent.
+        for cache, line in self._remote_lines(caches, proc, block):
+            if line.state not in (St.E, St.D, St.S):
+                raise ProtocolError(
+                    f"self-invalidation snooped state {line.state}"
+                )
+            cache.remove(block)
+        return St.D, True
+
+    def write_hit_bus(self, caches, proc, block, line) -> str:
+        """Write through a leased copy: kind ``"update"``, never
+        ``"invalidation"`` — remote copies retire themselves."""
+        for cache, remote in self._remote_lines(caches, proc, block):
+            if remote.state is not St.S:
+                raise ProtocolError(
+                    f"write-through snooped non-leased state {remote.state}"
+                )
+            cache.remove(block)
+        # Self-downgrade: memory snooped the write-through, so the
+        # writer keeps a clean owned copy.
+        line.state = St.E
+        line.dirty = False
+        line.counter = 0
+        return "update"
+
+
+class SelfInvalidationDirectoryMachine(DirectoryMachine):
+    """Directory machine whose home keeps only an owner pointer.
+
+    Writes never send invalidation messages: sharer copies are dropped
+    as self-invalidations at the epoch boundary the write defines (zero
+    message cost, ``invalidation_sizes`` untouched), so a write's cost
+    is independent of how many nodes shared the block.
+    """
+
+    __slots__ = ()
+
+    #: Named reason the table-driven kernels refuse this machine: the
+    #: compiled rows encode the stock machine's per-sharer charging.
+    kernel_fallback_reason = "family-unkerneled"
+
+    def _write_hit_shared(self, proc, block, line):
+        home = self._home_of(block, proc)
+        ent = self.protocol.entry(block)
+        others = ent.copyset - {proc}
+        self.protocol.write_hit(block, proc, sole_copy=not others)
+        # dc=0: no sharer list, so no invalidation fan-out to charge.
+        short, data = write_hit_counts(home == proc, 0)
+        self._charge("write_hit", block, short, data)
+        for node in others:
+            self.caches[node].remove(block)
+        ent.copyset.intersection_update({proc})
+        ent.copyset.add(proc)
+        self.representation.on_exclusive(ent)
+        line.state = CState.EXCL
+        line.dirty = True
+        self.caches[proc].touch(block)
+        self.cache_stats.upgrades += 1
+        self._bump_version(block, line)
+
+    def _write_miss(self, proc, block):
+        home = self._home_of(block, proc)
+        ent = self.protocol.entry(block)
+        dirty_owner = self._dirty_owner(block, ent.copyset)
+        dirty = dirty_owner is not None
+        self.protocol.write_miss(block, proc, dirty)
+        # The owner pointer still forwards a dirty block; sharers cost
+        # nothing (dc=0).
+        short, data = write_miss_counts(home == proc, dirty, 0)
+        self._charge("write_miss", block, short, data)
+        for node in ent.copyset:
+            self.caches[node].remove(block)
+        ent.copyset.clear()
+        self._fill(proc, block, CState.EXCL, dirty=True)
+        ent.copyset.add(proc)
+        self.representation.on_exclusive(ent)
+        self._bump_version(block, self.caches[proc].lookup(block))

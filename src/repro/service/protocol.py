@@ -30,14 +30,10 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
-from repro.common.errors import ReproError
-from repro.directory.policy import PAPER_POLICIES, STENSTROM, AdaptivePolicy
-from repro.snooping.protocols import (
-    AdaptiveSnoopingProtocol,
-    AlwaysMigrateProtocol,
-    MesiProtocol,
-    SnoopingProtocol,
-)
+from repro.common.errors import ConfigError, ReproError
+from repro.directory.policy import AdaptivePolicy
+from repro.protocols import registry as families
+from repro.snooping.protocols import SnoopingProtocol
 from repro.verification.model import (
     VerificationError,
     combo_digests,
@@ -52,17 +48,17 @@ PROTOCOL_VERSION = 1
 #: The engines a replay request may name.
 ENGINES = ("directory", "bus")
 
-#: Directory policies servable by name.
+#: Directory policies servable by name — every registered directory
+#: family, so registering one is the only step needed to serve it.
 DIRECTORY_POLICIES: dict[str, AdaptivePolicy] = {
-    **{policy.name: policy for policy in PAPER_POLICIES},
-    STENSTROM.name: STENSTROM,
+    fam.name: fam.policy for fam in families.directory_families()
 }
 
 #: Snooping protocols servable by name (constructed fresh per replay —
 #: protocol objects are engine-visible and must not be shared between
-#: concurrent machine runs).
-SNOOPING_PROTOCOLS = ("mesi", "adaptive", "adaptive-initial-migratory",
-                      "always-migrate")
+#: concurrent machine runs).  Enumerated from the registry like the
+#: directory side.
+SNOOPING_PROTOCOLS = tuple(fam.name for fam in families.bus_families())
 
 #: Row-level experiments servable by name.
 EXPERIMENTS = ("table2", "table3", "bus")
@@ -82,15 +78,10 @@ class ServiceError(ReproError):
 
 def make_snooping_protocol(name: str) -> SnoopingProtocol:
     """A fresh snooping-protocol instance for one replay."""
-    if name == "mesi":
-        return MesiProtocol()
-    if name == "adaptive":
-        return AdaptiveSnoopingProtocol()
-    if name == "adaptive-initial-migratory":
-        return AdaptiveSnoopingProtocol(initial_migratory=True)
-    if name == "always-migrate":
-        return AlwaysMigrateProtocol()
-    raise ServiceError(f"unknown snooping protocol {name!r}")
+    try:
+        return families.bus_protocol(name)
+    except ConfigError as exc:
+        raise ServiceError(f"unknown snooping protocol {name!r}") from exc
 
 
 def _require(condition: bool, message: str) -> None:

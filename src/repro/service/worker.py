@@ -24,6 +24,7 @@ from repro.common.config import CacheConfig, MachineConfig
 from repro.experiments import bus as bus_experiment
 from repro.experiments import common, resultcache
 from repro.experiments import table2, table3
+from repro.protocols import registry as families
 from repro.service.protocol import (
     DIRECTORY_POLICIES,
     ExperimentRequest,
@@ -32,7 +33,6 @@ from repro.service.protocol import (
     make_snooping_protocol,
 )
 from repro.snooping.machine import BusMachine
-from repro.system.machine import DirectoryMachine
 from repro.trace.shm import TraceHandle
 
 
@@ -98,8 +98,11 @@ def run_replay(spec_payload: dict, handle: TraceHandle | None) -> dict:
             spec.cache_size, spec.block_size, spec.num_procs
         )
         placement = common.get_placement(spec.placement, trace, config)
-        machine = DirectoryMachine(
-            config, DIRECTORY_POLICIES[spec.policy], placement
+        # Resolve through the registry so families shipping their own
+        # machines (hybrid, self-invalidation, classifier) replay on
+        # them, not the stock DirectoryMachine.
+        machine = families.make_directory_machine(
+            spec.policy, config, placement
         )
         return resultcache.encode_message_stats(machine.run(trace))
     config = MachineConfig(

@@ -45,6 +45,10 @@ class BusMachine:
         "step_hook", "_check", "_block_shift", "_latest", "_version_counter",
     )
 
+    #: Named kernel-fallback reason a subclass replay records (the
+    #: table-driven kernels encode exactly this class's transitions).
+    kernel_fallback_reason = "machine-subclass"
+
     def __init__(
         self,
         config: MachineConfig,
@@ -99,6 +103,12 @@ class BusMachine:
                 result = try_replay(self, packed)
                 if result is not None:
                     return result
+            else:
+                from repro.kernels import registry as kernel_registry
+
+                kernel_registry.record_fallback(
+                    "bus", self.kernel_fallback_reason
+                )
             return self._run_packed(packed)
         access = self.access
         for acc in trace:

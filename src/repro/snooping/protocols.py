@@ -56,6 +56,23 @@ class SnoopingProtocol:
     def read_hit(self, line: CacheLine) -> None:
         """Hook invoked on every local read hit (default: nothing)."""
 
+    def block_state(self, block: int):
+        """Per-block protocol state beyond the cache lines, or ``None``.
+
+        Protocols whose decisions depend on more than the lines (the
+        hybrid family's per-block mode, say) expose that state here so
+        the bounded model checker can fold it into its global states.
+        ``None`` must mean "indistinguishable from a never-seen block".
+        """
+        return None
+
+    def set_block_state(self, block: int, state) -> None:
+        """Restore state previously returned by :meth:`block_state`."""
+        if state is not None:
+            raise ProtocolError(
+                f"{self.name} keeps no per-block state to restore"
+            )
+
     def read_miss_fill(
         self, caches: list[Cache], proc: int, block: int
     ) -> tuple[St, bool]:

@@ -80,6 +80,10 @@ class DirectoryMachine:
         "_latest", "_version_counter",
     )
 
+    #: Named kernel-fallback reason a subclass replay records (the
+    #: table-driven kernels encode exactly this class's transitions).
+    kernel_fallback_reason = "machine-subclass"
+
     def __init__(
         self,
         config: MachineConfig,
@@ -159,6 +163,12 @@ class DirectoryMachine:
                 result = try_replay(self, packed)
                 if result is not None:
                     return result
+            else:
+                from repro.kernels import registry as kernel_registry
+
+                kernel_registry.record_fallback(
+                    "directory", self.kernel_fallback_reason
+                )
             return self._run_packed(packed)
         access = self.access
         for acc in trace:
@@ -317,6 +327,24 @@ class DirectoryMachine:
             self._check_block(proc, block)
         if self.step_hook is not None:
             self.step_hook(self, proc, block)
+
+    def block_extra(self, block: int):
+        """Per-block adaptation state beyond the directory entry.
+
+        Family machines (see :mod:`repro.protocols`) whose decisions
+        depend on more than the entry and the lines expose that state
+        here so the bounded model checker can fold it into its global
+        states.  ``None`` must mean "indistinguishable from a
+        never-seen block".
+        """
+        return None
+
+    def set_block_extra(self, block: int, extra) -> None:
+        """Restore state previously returned by :meth:`block_extra`."""
+        if extra is not None:
+            raise ProtocolError(
+                f"{type(self).__name__} keeps no per-block extra state"
+            )
 
     # ------------------------------------------------------------------
     # Miss and upgrade handling

@@ -60,6 +60,14 @@ def _cmd_summary(args) -> int:
             [[e, t, n] for (e, t), n in sorted(counts.items())],
             title="Classification transitions",
         ))
+        by_family = timeline.family_breakdown(records)
+        if any(family != "-" for family, _ in by_family):
+            print()
+            print(format_table(
+                ["family", "transition", "count"],
+                [[f, t, n] for (f, t), n in sorted(by_family.items())],
+                title="Classification transitions by protocol family",
+            ))
         timelines = timeline.build_timelines(records)
         engines = sorted({engine for engine, _ in timelines})
         rows = [

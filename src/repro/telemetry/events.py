@@ -8,10 +8,15 @@ field; the recognised types are:
     machine — the same points the built-in coherence checker audits.
 ``classification``
     A protocol classification transition for one block: ``promote``
-    (replicate -> migrate), ``demote`` (migrate -> replicate), or
+    (replicate -> migrate), ``demote`` (migrate -> replicate),
     ``evidence`` (a hysteresis step: the evidence streak advanced
-    without reaching the policy threshold).  These are the records the
-    per-block classification timelines are rebuilt from.
+    without reaching the policy threshold), or ``pattern`` (the
+    block's observational access-pattern label changed — emitted by
+    machines exposing a richer taxonomy, e.g. the pattern-classifier
+    family's producer-consumer / false-sharing labels).  These are the
+    records the per-block classification timelines are rebuilt from.
+    Each record carries the protocol family it was observed under in
+    its ``family`` field (``-`` for ad-hoc unregistered protocols).
 ``span``
     A wall-clock timing span around a harness stage (experiment, trace
     replay, fuzz-oracle stage).  Span durations are *not* part of the
@@ -41,7 +46,7 @@ SCHEMA_VERSION = 1
 COHERENCE_KINDS = ("read_miss", "write_miss", "upgrade")
 
 #: Classification transition kinds.
-TRANSITIONS = ("promote", "demote", "evidence")
+TRANSITIONS = ("promote", "demote", "evidence", "pattern")
 
 #: Required fields (name -> type) per record type.  ``int`` accepts
 #: bools being excluded explicitly; floats accept ints.
@@ -82,7 +87,10 @@ class ClassificationEvent:
     ``from_state``/``to_state`` are the engine's own state names (the
     directory machine's :class:`~repro.directory.entry.DirState` values,
     or ``migratory``/``non-migratory`` for the snooping machine, whose
-    classification lives distributed in the cache-line states).
+    classification lives distributed in the cache-line states).  For
+    ``pattern`` transitions they are the taxonomy labels instead.
+    ``family`` is the registered protocol-family name the event was
+    observed under (``-`` when the protocol is not a registered family).
     """
 
     step: int
@@ -93,6 +101,7 @@ class ClassificationEvent:
     from_state: str
     to_state: str
     streak: int = 0
+    family: str = "-"
 
     def to_record(self) -> dict:
         return {
@@ -100,6 +109,7 @@ class ClassificationEvent:
             "engine": self.engine, "block": self.block, "proc": self.proc,
             "transition": self.transition, "from": self.from_state,
             "to": self.to_state, "streak": self.streak,
+            "family": self.family,
         }
 
 

@@ -50,12 +50,16 @@ class MachineRecorder:
     for the machine and installs the hook.
     """
 
-    __slots__ = ("engine", "registry", "sink", "steps", "migratory_blocks",
-                 "_blocks", "_counts")
+    __slots__ = ("engine", "family", "registry", "sink", "steps",
+                 "migratory_blocks", "_blocks", "_patterns", "_counts")
 
     def __init__(self, engine: str, registry: MetricsRegistry | None = None,
-                 sink=None):
+                 sink=None, family: str = "-"):
         self.engine = engine
+        #: Registered protocol-family name ("-" for ad-hoc protocols);
+        #: stamped on every metric (``repro_protocol_family``) and
+        #: classification record for per-family breakdowns.
+        self.family = family
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.sink = sink if sink is not None else MemorySink()
         #: Protocol-visible steps observed.
@@ -64,6 +68,8 @@ class MachineRecorder:
         self.migratory_blocks: set[int] = set()
         # block -> (migratory, streak, state name) after its last step.
         self._blocks: dict[int, tuple[bool, int, str]] = {}
+        # block -> taxonomy label, for protocols exposing classify().
+        self._patterns: dict[int, str] = {}
         # cache-stats snapshot used to infer each step's kind.
         self._counts = (0, 0, 0)
 
@@ -98,13 +104,35 @@ class MachineRecorder:
         registry = self.registry
         registry.counter(
             STEPS_TOTAL, "protocol-visible steps observed"
-        ).inc(engine=self.engine)
+        ).inc(engine=self.engine, repro_protocol_family=self.family)
         registry.counter(
             COHERENCE_TOTAL, "coherence steps by kind"
-        ).inc(engine=self.engine, kind=kind)
+        ).inc(engine=self.engine, kind=kind,
+              repro_protocol_family=self.family)
         self.sink.write(
             CoherenceEvent(step, self.engine, kind, proc, block).to_record()
         )
+
+        classify = getattr(machine.protocol, "classify", None)
+        if classify is not None:
+            # A taxonomy-exposing protocol (the pattern-classifier
+            # family): emit a ``pattern`` event whenever the block's
+            # label changes, independent of migratory transitions.
+            label = classify(block)
+            prev_label = self._patterns.get(block, "untouched")
+            if label != prev_label:
+                self._patterns[block] = label
+                registry.counter(
+                    TRANSITIONS_TOTAL,
+                    "classification transitions by direction",
+                ).inc(engine=self.engine, direction="pattern",
+                      repro_protocol_family=self.family)
+                self.sink.write(
+                    ClassificationEvent(
+                        step, self.engine, block, proc, "pattern",
+                        prev_label, label, 0, self.family,
+                    ).to_record()
+                )
 
         migratory, streak, state = self._classify(machine, block)
         prev = self._blocks.get(block)
@@ -123,7 +151,8 @@ class MachineRecorder:
         if len(self.migratory_blocks) != before:
             registry.gauge(
                 MIGRATORY_BLOCKS, "blocks currently classified migratory"
-            ).set(len(self.migratory_blocks), engine=self.engine)
+            ).set(len(self.migratory_blocks), engine=self.engine,
+                  repro_protocol_family=self.family)
         if migratory != prev_migratory:
             transition = "promote" if migratory else "demote"
         elif streak > prev_streak:
@@ -133,11 +162,12 @@ class MachineRecorder:
             return
         registry.counter(
             TRANSITIONS_TOTAL, "classification transitions by direction"
-        ).inc(engine=self.engine, direction=transition)
+        ).inc(engine=self.engine, direction=transition,
+              repro_protocol_family=self.family)
         self.sink.write(
             ClassificationEvent(
                 step, self.engine, block, proc, transition,
-                prev_state, state, streak,
+                prev_state, state, streak, self.family,
             ).to_record()
         )
 
@@ -203,6 +233,7 @@ def attach_recorder(
     Raises:
         TelemetryError: on an unknown machine type or an occupied hook.
     """
+    from repro.protocols import registry as families
     from repro.snooping.machine import BusMachine
     from repro.system.machine import DirectoryMachine
 
@@ -211,12 +242,16 @@ def attach_recorder(
             "machine already has a step_hook installed; refusing to replace it"
         )
     if isinstance(machine, DirectoryMachine):
+        fam = families.family_of_policy(machine.policy)
         recorder = DirectoryRecorder(
-            engine or f"directory[{machine.policy.name}]", registry, sink
+            engine or f"directory[{machine.policy.name}]", registry, sink,
+            family=fam.name if fam is not None else "-",
         )
     elif isinstance(machine, BusMachine):
+        fam = families.family_of_protocol(machine.protocol)
         recorder = BusRecorder(
-            engine or f"bus[{machine.protocol.name}]", registry, sink
+            engine or f"bus[{machine.protocol.name}]", registry, sink,
+            family=fam.name if fam is not None else "-",
         )
     else:
         raise TelemetryError(

@@ -37,6 +37,10 @@ class BlockTimeline:
     demotions: list[int] = field(default_factory=list)
     #: Steps at which hysteresis evidence accrued below the threshold.
     evidence: list[int] = field(default_factory=list)
+    #: ``(step, label)`` pattern-taxonomy changes (classifier family).
+    patterns: list[tuple[int, str]] = field(default_factory=list)
+    #: Protocol family the events were observed under ("-" if none).
+    family: str = "-"
 
     @property
     def final_migratory(self) -> bool:
@@ -55,6 +59,11 @@ class BlockTimeline:
     def ever_migratory(self) -> bool:
         """Whether the block was classified migratory at any point."""
         return self.initial_migratory or bool(self.promotions)
+
+    @property
+    def final_pattern(self) -> str | None:
+        """The last observed taxonomy label, if any were recorded."""
+        return self.patterns[-1][1] if self.patterns else None
 
     @property
     def relapses(self) -> int:
@@ -93,13 +102,17 @@ class BlockTimeline:
     def describe(self) -> str:
         """One summary line, repro-stats style."""
         label = f"block {self.block:#x} [{self.engine}]"
+        pattern = (
+            f", pattern: {self.final_pattern}" if self.patterns else ""
+        )
         if not self.ever_migratory:
             if self.evidence:
                 return (
                     f"{label}: never migratory "
-                    f"({len(self.evidence)} evidence event(s) below threshold)"
+                    f"({len(self.evidence)} evidence event(s) below "
+                    f"threshold){pattern}"
                 )
-            return f"{label}: never migratory"
+            return f"{label}: never migratory{pattern}"
         spans = self.intervals()
         first = spans[0][0]
         origin = (
@@ -111,7 +124,7 @@ class BlockTimeline:
             parts.append(f"{self.relapses} relapse(s)")
         if not self.final_migratory:
             parts.append(f"demoted for good at step {self.demotions[-1]}")
-        return f"{label}: " + ", ".join(parts)
+        return f"{label}: " + ", ".join(parts) + pattern
 
 
 def build_timelines(
@@ -133,12 +146,17 @@ def build_timelines(
             # The first transition's source state reveals the initial
             # classification (a first demote means it started migratory).
             timeline.initial_migratory = record["transition"] == "demote"
+        family = record.get("family", "-")
+        if family != "-":
+            timeline.family = family
         step = record["step"]
         transition = record["transition"]
         if transition == "promote":
             timeline.promotions.append(step)
         elif transition == "demote":
             timeline.demotions.append(step)
+        elif transition == "pattern":
+            timeline.patterns.append((step, record["to"]))
         else:
             timeline.evidence.append(step)
     return timelines
@@ -157,6 +175,24 @@ def classification_counts(
     for record in records:
         if record.get("type") == "classification":
             counts[(record["engine"], record["transition"])] += 1
+    return counts
+
+
+def family_breakdown(
+    records: Iterable[Mapping],
+) -> Counter:
+    """Transition totals per (protocol family, direction).
+
+    Classification records carry the registered family name they were
+    observed under (``-`` for ad-hoc protocols and for logs written
+    before the field existed), so the ``repro-stats`` summary can break
+    adaptation activity down by family without re-running anything.
+    """
+    counts: Counter = Counter()
+    for record in records:
+        if record.get("type") == "classification":
+            counts[(record.get("family", "-"),
+                    record["transition"])] += 1
     return counts
 
 

@@ -49,21 +49,12 @@ from repro.conformance.invariants import (
     snooping_copy_violations,
 )
 from repro.directory.entry import DirState
-from repro.directory.policy import PAPER_POLICIES, STENSTROM, AdaptivePolicy
-from repro.directory.protocol import DirectoryProtocol
+from repro.directory.policy import AdaptivePolicy
 from repro.kernels.tables import dir_table_digest, snoop_table_digest
+from repro.protocols import registry as families
 from repro.snooping.machine import BusMachine
-from repro.snooping.protocols import (
-    AdaptiveSnoopingProtocol,
-    AlwaysMigrateProtocol,
-    MesiProtocol,
-)
 from repro.snooping.states import SnoopState
-from repro.snooping.update_protocols import (
-    CompetitiveUpdateProtocol,
-    WriteUpdateProtocol,
-)
-from repro.system.machine import CState, DirectoryMachine
+from repro.system.machine import CState
 
 #: Coherence granularity used by every model; action addresses are
 #: ``block * BLOCK_SIZE``.
@@ -74,21 +65,16 @@ class VerificationError(ReproError):
     """A model-checking run could not be carried out as requested."""
 
 
-#: Snooping protocol factories by registry name, in certificate order.
+#: Snooping protocol factories by family name, in certificate order
+#: (which is :mod:`repro.protocols.registry` registration order — a new
+#: family registered there enters the verify sweep with no edit here).
 SNOOP_PROTOCOLS = {
-    "mesi": MesiProtocol,
-    "adaptive": AdaptiveSnoopingProtocol,
-    "adaptive-initial-migratory":
-        lambda: AdaptiveSnoopingProtocol(initial_migratory=True),
-    "always-migrate": AlwaysMigrateProtocol,
-    "write-update": WriteUpdateProtocol,
-    "competitive-update-1": lambda: CompetitiveUpdateProtocol(1),
+    fam.name: fam.factory for fam in families.bus_families()
 }
 
-#: Directory policies by registry name, in certificate order.
+#: Directory policies by family name, in certificate order.
 DIRECTORY_POLICIES: dict[str, AdaptivePolicy] = {
-    **{policy.name: policy for policy in PAPER_POLICIES},
-    STENSTROM.name: STENSTROM,
+    fam.name: fam.policy for fam in families.directory_families()
 }
 
 #: Injections from :mod:`repro.conformance.bugs` the models can check,
@@ -164,6 +150,14 @@ class VerifyConfig:
                 f"injection {self.inject!r} replaces the MESI protocol; "
                 f"run it with protocol={_SNOOP_INJECT_BASE!r}"
             )
+        if self.engine == "directory" and self.inject != "none":
+            fam = families.family("directory", self.protocol)
+            if not fam.injectable:
+                raise VerificationError(
+                    f"injection {self.inject!r} replaces the stock "
+                    f"directory machine; family {self.protocol!r} ships "
+                    f"its own machine and is not injectable"
+                )
 
     @property
     def label(self) -> str:
@@ -176,10 +170,16 @@ class VerifyConfig:
 
         Certificates embed this so a certificate provably describes the
         same tables the replay kernels execute — if a protocol changes,
-        both the digest and the certificate change together.
+        both the digest and the certificate change together.  Families
+        outside the kernel envelope (no table exists, or the family
+        ships its own machine the table would misrepresent) embed the
+        registry's behavioral digest instead.
         """
         if self.inject != "none":
             return "injected"
+        fam = families.family(self.engine, self.protocol)
+        if not fam.kernelable:
+            return f"family:{fam.behavior_digest()}"
         if self.engine == "bus":
             return snoop_table_digest(SNOOP_PROTOCOLS[self.protocol]())
         return dir_table_digest(DIRECTORY_POLICIES[self.protocol])
@@ -210,7 +210,13 @@ def verify_combos(
         if inject != "none":
             if eng not in MODEL_CHECKABLE_INJECTIONS.get(inject, ()):
                 continue
-            names = [_SNOOP_INJECT_BASE] if eng == "bus" else list(registry)
+            if eng == "bus":
+                names = [_SNOOP_INJECT_BASE]
+            else:
+                names = [
+                    fam.name for fam in families.directory_families()
+                    if fam.injectable
+                ]
         else:
             names = list(registry)
         for name in names:
@@ -379,9 +385,14 @@ class _Model:
 class SnoopModel(_Model):
     """Bus/snooping machine model.
 
-    Global state: one ``(written, lines)`` pair per block, where
-    ``lines`` holds per processor either ``None`` or
-    ``(state_name, dirty, counter, fresh)``.
+    Global state: one ``(written, lines, pstate)`` triple per block,
+    where ``lines`` holds per processor either ``None`` or
+    ``(state_name, dirty, counter, fresh)`` and ``pstate`` is the
+    protocol's own per-block record (:meth:`SnoopingProtocol.block_state`
+    — ``None`` for the stateless protocols, the write-run mode tuple for
+    the hybrid family).  Folding ``pstate`` into the explored state is
+    what makes checking history-sensitive protocols sound: two states
+    that differ only in protocol-side history are distinct model states.
     """
 
     def _build_machine(self) -> BusMachine:
@@ -398,7 +409,7 @@ class SnoopModel(_Model):
 
     def _initial(self):
         return tuple(
-            (False, (None,) * self.num_procs)
+            (False, (None,) * self.num_procs, None)
             for _ in range(self.num_blocks)
         )
 
@@ -406,9 +417,9 @@ class SnoopModel(_Model):
         machine = self.machine
         self._clear_caches()
         self._reset_versions(
-            block for block, (written, _) in enumerate(state) if written
+            block for block, (written, _, _) in enumerate(state) if written
         )
-        for block, (written, lines) in enumerate(state):
+        for block, (written, lines, pstate) in enumerate(state):
             latest = machine._latest.get(block, 0)
             for cache, line in zip(machine.caches, lines):
                 if line is None:
@@ -418,6 +429,7 @@ class SnoopModel(_Model):
                 installed = cache.lookup(block)
                 installed.counter = counter
                 installed.version = latest if fresh else 0
+            machine.protocol.set_block_state(block, pstate)
 
     def extract(self, machine: BusMachine | None = None):
         machine = machine or self.machine
@@ -434,7 +446,10 @@ class SnoopModel(_Model):
                         line.state.name, line.dirty, line.counter,
                         line.version == latest,
                     ))
-            state.append((latest > 0, tuple(lines)))
+            state.append((
+                latest > 0, tuple(lines),
+                machine.protocol.block_state(block),
+            ))
         return tuple(state)
 
     def _evict(self, proc: int, block: int):
@@ -446,7 +461,7 @@ class SnoopModel(_Model):
 
     def state_violations(self, state) -> list[tuple[str, str]]:
         out = []
-        for block, (written, lines) in enumerate(state):
+        for block, (written, lines, _pstate) in enumerate(state):
             present = [
                 (SnoopState[line[0]], line[1])
                 for line in lines if line is not None
@@ -472,7 +487,7 @@ class SnoopModel(_Model):
         return {
             line[0]
             for state in states
-            for _written, lines in state
+            for _written, lines, _pstate in state
             for line in lines
             if line is not None
         }
@@ -482,17 +497,22 @@ class DirectoryModel(_Model):
     """Directory machine model.
 
     Global state: one ``(dir_state_name, last_invalidator, streak,
-    copyset, written, lines)`` tuple per block, where ``copyset`` is a
-    sorted node tuple and ``lines`` holds per node either ``None`` or
-    ``(state_name, dirty, fresh)``.
+    copyset, written, lines, extra)`` tuple per block, where ``copyset``
+    is a sorted node tuple, ``lines`` holds per node either ``None`` or
+    ``(state_name, dirty, fresh)``, and ``extra`` is the machine's own
+    per-block record (:meth:`DirectoryMachine.block_extra` — ``None``
+    for the stock machine, the write-run mode tuple for the hybrid
+    family's machine).
     """
 
-    def _build_machine(self) -> DirectoryMachine:
+    def _build_machine(self):
         config = self.config
-        machine_cls = (
-            bugs.DropsInvalidationsDirectory
-            if config.inject == "drop-invalidation" else DirectoryMachine
-        )
+        if config.inject == "drop-invalidation":
+            machine_cls = bugs.DropsInvalidationsDirectory
+        else:
+            machine_cls = families.family(
+                "directory", config.protocol
+            ).machine_class()
         return machine_cls(
             _machine_config(config.num_procs), self.policy, check=True
         )
@@ -507,7 +527,8 @@ class DirectoryModel(_Model):
             else DirState.UNCACHED
         )
         return tuple(
-            (initial_dir.name, None, 0, (), False, (None,) * self.num_procs)
+            (initial_dir.name, None, 0, (), False,
+             (None,) * self.num_procs, None)
             for _ in range(self.num_blocks)
         )
 
@@ -515,14 +536,17 @@ class DirectoryModel(_Model):
         machine = self.machine
         # A fresh protocol instance per install: entries carry no state
         # beyond what the global tuple encodes, and the transition
-        # counters never leak between explored states.
-        machine.protocol = DirectoryProtocol(self.policy)
+        # counters never leak between explored states.  The machine's
+        # own protocol class is preserved (family machines install a
+        # subclass whose extra bookkeeping must survive the swap).
+        machine.protocol = type(machine.protocol)(self.policy)
         self._clear_caches()
         self._reset_versions(
             block for block, entry in enumerate(state) if entry[4]
         )
         for block, entry in enumerate(state):
-            dir_state, last_inv, streak, copyset, _written, lines = entry
+            dir_state, last_inv, streak, copyset, _written, lines, extra \
+                = entry
             ent = machine.protocol.entry(block)
             ent.state = DirState[dir_state]
             ent.last_invalidator = last_inv
@@ -535,8 +559,9 @@ class DirectoryModel(_Model):
                 name, dirty, fresh = line
                 cache.insert(block, CState[name], dirty)
                 cache.lookup(block).version = latest if fresh else 0
+            machine.set_block_extra(block, extra)
 
-    def extract(self, machine: DirectoryMachine | None = None):
+    def extract(self, machine=None):
         machine = machine or self.machine
         state = []
         for block in range(self.num_blocks):
@@ -555,6 +580,7 @@ class DirectoryModel(_Model):
             state.append((
                 ent.state.name, ent.last_invalidator, ent.streak,
                 tuple(sorted(ent.copyset)), latest > 0, tuple(lines),
+                machine.block_extra(block),
             ))
         return tuple(state)
 
@@ -568,7 +594,7 @@ class DirectoryModel(_Model):
     def state_violations(self, state) -> list[tuple[str, str]]:
         out = []
         for block, entry in enumerate(state):
-            _dir, _inv, _streak, copyset, _written, lines = entry
+            _dir, _inv, _streak, copyset, _written, lines, _extra = entry
             per_node = {
                 node: (line[0], line[1])
                 for node, line in enumerate(lines) if line is not None

@@ -45,11 +45,18 @@ from repro.system.machine import CState, DirectoryMachine
 BLOCK = 0
 ADDR = 0
 
-#: (per-proc line state) where each line is None or
-#: ``(state_name, dirty, counter)``.
+#: ``(per-proc lines, pstate)`` where each line is None or
+#: ``(state_name, dirty, counter)`` and ``pstate`` is the protocol's
+#: own per-block record (``SnoopingProtocol.block_state`` — None for
+#: the stateless protocols).  Carrying it in the global state keeps the
+#: exploration sound for history-sensitive protocols like the hybrid
+#: update/invalidate family: a fresh machine is built per expansion, so
+#: any protocol-side state not installed here would silently reset.
 SnoopGlobal = tuple
 #: (dir state name, last_invalidator, streak, frozenset(copyset),
-#:  per-proc lines) with lines as ``(state_name, dirty)`` or None.
+#:  extra, per-proc lines) with lines as ``(state_name, dirty)`` or
+#: None and ``extra`` the machine's per-block record
+#: (``DirectoryMachine.block_extra`` — None for the stock machine).
 DirGlobal = tuple
 
 
@@ -69,7 +76,9 @@ class ExplorationResult:
         """Every per-cache line state name that occurs anywhere."""
         seen = set()
         for state in self.states:
-            lines = state[-1] if isinstance(state[0], str) else state
+            # Directory globals lead with the DirState name and end with
+            # the lines; snooping globals lead with the lines.
+            lines = state[-1] if isinstance(state[0], str) else state[0]
             for line in lines:
                 if line is not None:
                     seen.add(line[0])
@@ -94,22 +103,25 @@ def _snoop_extract(machine: BusMachine) -> SnoopGlobal:
             lines.append(None)
         else:
             lines.append((line.state.name, line.dirty, line.counter))
-    return tuple(lines)
+    return tuple(lines), machine.protocol.block_state(BLOCK)
 
 
 def _snoop_install(machine: BusMachine, state: SnoopGlobal) -> None:
-    for cache, line in zip(machine.caches, state):
+    lines, pstate = state
+    for cache, line in zip(machine.caches, lines):
         if line is not None:
             name, dirty, counter = line
             cache.insert(BLOCK, SnoopState[name], dirty)
             cache.lookup(BLOCK).counter = counter
         else:
             cache.remove(BLOCK)
+    machine.protocol.set_block_state(BLOCK, pstate)
 
 
 def _check_snoop_invariants(state: SnoopGlobal) -> list[str]:
     lines = [
-        (SnoopState[line[0]], line[1]) for line in state if line is not None
+        (SnoopState[line[0]], line[1])
+        for line in state[0] if line is not None
     ]
     return [
         f"{problem}: {state}"
@@ -128,7 +140,7 @@ def explore_snooping(
             without informing anyone.
     """
     result = ExplorationResult()
-    initial: SnoopGlobal = tuple([None] * num_procs)
+    initial: SnoopGlobal = (tuple([None] * num_procs), None)
     frontier = deque([initial])
     result.states.add(initial)
     actions: list[tuple] = [
@@ -176,12 +188,13 @@ def _dir_extract(machine: DirectoryMachine) -> DirGlobal:
         ent.last_invalidator,
         ent.streak,
         frozenset(ent.copyset),
+        machine.block_extra(BLOCK),
         tuple(lines),
     )
 
 
 def _dir_install(machine: DirectoryMachine, state: DirGlobal) -> None:
-    dir_state, last_inv, streak, copyset, lines = state
+    dir_state, last_inv, streak, copyset, extra, lines = state
     ent = machine.protocol.entry(BLOCK)
     ent.state = DirState[dir_state]
     ent.last_invalidator = last_inv
@@ -193,10 +206,11 @@ def _dir_install(machine: DirectoryMachine, state: DirGlobal) -> None:
             cache.insert(BLOCK, CState[name], dirty)
         else:
             cache.remove(BLOCK)
+    machine.set_block_extra(BLOCK, extra)
 
 
 def _check_dir_invariants(state: DirGlobal) -> list[str]:
-    _dir_state, _last_inv, _streak, copyset, lines = state
+    _dir_state, _last_inv, _streak, copyset, _extra, lines = state
     per_node = {
         node: line for node, line in enumerate(lines) if line is not None
     }
@@ -207,7 +221,10 @@ def _check_dir_invariants(state: DirGlobal) -> list[str]:
 
 
 def explore_directory(
-    policy: AdaptivePolicy, num_procs: int = 3, with_evictions: bool = False
+    policy: AdaptivePolicy,
+    num_procs: int = 3,
+    with_evictions: bool = False,
+    machine_cls: type[DirectoryMachine] = DirectoryMachine,
 ) -> ExplorationResult:
     """Explore the directory protocol's full reachable state space.
 
@@ -215,10 +232,15 @@ def explore_directory(
         with_evictions: add per-processor eviction actions (replacement
             notification / writeback paths), covering the
             classification-across-uncached-intervals machinery.
+        machine_cls: the machine realization to explore — protocol
+            families that ship their own directory machine (see
+            :mod:`repro.protocols.registry`) pass it here so the
+            explored transition relation is theirs, with any per-block
+            machine state carried via ``block_extra``.
     """
     result = ExplorationResult()
     config = _snoop_config(num_procs)
-    base = DirectoryMachine(config, policy)
+    base = machine_cls(config, policy)
     initial = _dir_extract(base)
     frontier = deque([initial])
     result.states.add(initial)
@@ -233,7 +255,7 @@ def explore_directory(
     while frontier:
         state = frontier.popleft()
         for proc, action in actions:
-            machine = DirectoryMachine(config, policy)
+            machine = machine_cls(config, policy)
             _dir_install(machine, state)
             if action == "evict":
                 line = machine.caches[proc].remove(BLOCK)

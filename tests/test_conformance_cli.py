@@ -38,7 +38,8 @@ class TestCleanRuns:
             capsys, "--seeds", "1", "--artifacts", str(tmp_path / "art"),
         )
         assert status == 0
-        assert "1 seeds x 5 profile(s)" in out
+        from repro.conformance.fuzzer import PROFILES
+        assert f"1 seeds x {len(PROFILES)} profile(s)" in out
 
 
 class TestInjectedFailures:

@@ -63,8 +63,25 @@ class TestUpdateProtocolExperiment:
         for row in rows:
             assert row.adaptive <= row.hybrid
 
+    def test_adaptive_hybrid_escapes_update_pathology(self, rows):
+        # The write-run hybrid flips to invalidate mode inside runs:
+        # on water — where pure write-update pays double MESI's traffic
+        # — it escapes most of that pathology, and it never does worse
+        # than the threshold-1 competitive hybrid anywhere.
+        by_app = {row.app: row for row in rows}
+        assert by_app["water"].adaptive_hybrid < by_app["water"].write_update
+        for row in rows:
+            assert row.adaptive_hybrid <= row.hybrid
+
+    def test_self_invalidation_column_populated(self, rows):
+        for row in rows:
+            assert row.self_invalidation > 0
+
     def test_render(self, rows):
-        assert "write-update" in update_protocols.render(rows)
+        text = update_protocols.render(rows)
+        assert "write-update" in text
+        assert "hybrid(run)" in text
+        assert "self-inval" in text
 
 
 class TestLimitedDirExperiment:

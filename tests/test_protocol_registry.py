@@ -1,0 +1,226 @@
+"""The protocol-family registry (:mod:`repro.protocols.registry`).
+
+Three contracts are pinned here:
+
+* **Structure** — every registered family is complete and internally
+  consistent: bus families build fresh protocol instances, directory
+  families are keyed by their policy's name and resolve to the machine
+  class that realizes them, and unkerneled families always carry a
+  *named* fallback reason.
+* **Reach** — the registry is the single enumeration point: the
+  verification matrix, the serving layer, and the conformance oracle
+  all see exactly the registered family set, so registering a family
+  is the only step needed for it to reach every layer.
+* **Cache-key honesty** — the ``|family:`` component of the replay
+  result-cache digests separates families that share behavioral policy
+  fields but run on different machines, while preserving the
+  documented alias-sharing of stock policies.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.directory.policy import BASIC, CONVENTIONAL, AdaptivePolicy
+from repro.experiments import resultcache
+from repro.protocols import registry as families
+from repro.protocols.classifier import ClassifierDirectoryMachine
+from repro.protocols.hybrid import HybridDirectoryMachine
+from repro.protocols.selfinval import SelfInvalidationDirectoryMachine
+from repro.system.machine import DirectoryMachine
+
+BUS_FAMILIES = families.bus_families()
+DIR_FAMILIES = families.directory_families()
+
+
+class TestRegistryStructure:
+    def test_names_unique_per_engine(self):
+        for fams in (BUS_FAMILIES, DIR_FAMILIES):
+            names = [fam.name for fam in fams]
+            assert len(names) == len(set(names))
+
+    def test_every_bus_family_builds_fresh_protocols(self):
+        for fam in BUS_FAMILIES:
+            first = fam.make_protocol()
+            second = fam.make_protocol()
+            assert first is not second
+            assert first.name == fam.protocol_name
+
+    def test_directory_families_keyed_by_policy_name(self):
+        for fam in DIR_FAMILIES:
+            assert fam.policy is not None
+            assert fam.policy.name == fam.name
+
+    def test_machine_classes(self):
+        by_name = {fam.name: fam.machine_class() for fam in DIR_FAMILIES}
+        assert by_name["basic"] is DirectoryMachine
+        assert by_name["hybrid-update-invalidate"] is HybridDirectoryMachine
+        assert (by_name["self-invalidation"]
+                is SelfInvalidationDirectoryMachine)
+        assert by_name["pattern-classifier"] is ClassifierDirectoryMachine
+
+    def test_unkerneled_families_name_their_fallback(self):
+        for fam in BUS_FAMILIES + DIR_FAMILIES:
+            if not fam.kernelable:
+                assert fam.fallback_reason == "family-unkerneled"
+
+    def test_unkerneled_family_requires_reason(self):
+        with pytest.raises(ConfigError):
+            families.ProtocolFamily(
+                name="x", engine="bus", description="d",
+                factory=lambda: None, kernelable=False,
+            )
+
+    def test_behavior_digests_distinct_per_engine(self):
+        for fams in (BUS_FAMILIES, DIR_FAMILIES):
+            digests = [fam.behavior_digest() for fam in fams]
+            assert len(digests) == len(set(digests))
+
+    def test_behavior_digest_carries_tunables(self):
+        hybrid = families.family("bus", "hybrid-update-invalidate")
+        assert "invalid_threshold=" in hybrid.behavior_digest()
+        assert "invalidation_ratio=" in hybrid.behavior_digest()
+        selfinval = families.family("bus", "self-invalidation")
+        assert "epoch=" in selfinval.behavior_digest()
+
+    def test_unknown_family_names_the_known_set(self):
+        with pytest.raises(ConfigError, match="mesi"):
+            families.family("bus", "dragon")
+        assert families.find("bus", "dragon") is None
+
+    def test_family_of_protocol_resolution(self):
+        from repro.snooping.update_protocols import CompetitiveUpdateProtocol
+
+        mesi = families.bus_protocol("mesi")
+        assert families.family_of_protocol(mesi).name == "mesi"
+        # A re-tuned instance is not the registered family: its own
+        # parameterized name already keys caches honestly.
+        assert families.family_of_protocol(
+            CompetitiveUpdateProtocol(3)
+        ) is None
+
+    def test_family_of_policy_resolution(self):
+        assert families.family_of_policy(BASIC).name == "basic"
+        assert families.family_of_policy(
+            AdaptivePolicy("ad-hoc-ablation", migratory_threshold=3)
+        ) is None
+
+    def test_make_directory_machine(self):
+        from repro.common.config import CacheConfig, MachineConfig
+
+        config = MachineConfig(
+            num_procs=2, cache=CacheConfig(size_bytes=None, block_size=16)
+        )
+        machine = families.make_directory_machine(
+            "hybrid-update-invalidate", config
+        )
+        assert isinstance(machine, HybridDirectoryMachine)
+        assert machine.policy is families.directory_policy(
+            "hybrid-update-invalidate"
+        )
+
+
+class TestRegistryReach:
+    def test_verification_matrix_enumerates_registry(self):
+        from repro.verification.model import (
+            DIRECTORY_POLICIES,
+            SNOOP_PROTOCOLS,
+        )
+
+        assert set(SNOOP_PROTOCOLS) == {fam.name for fam in BUS_FAMILIES}
+        assert set(DIRECTORY_POLICIES) == {fam.name for fam in DIR_FAMILIES}
+
+    def test_service_enumerates_registry(self):
+        from repro.service.protocol import (
+            DIRECTORY_POLICIES,
+            SNOOPING_PROTOCOLS,
+            ServiceError,
+            make_snooping_protocol,
+        )
+
+        assert set(SNOOPING_PROTOCOLS) == {fam.name for fam in BUS_FAMILIES}
+        assert set(DIRECTORY_POLICIES) == {fam.name for fam in DIR_FAMILIES}
+        for name in SNOOPING_PROTOCOLS:
+            assert make_snooping_protocol(name) is not None
+        with pytest.raises(ServiceError):
+            make_snooping_protocol("dragon")
+
+    def test_oracle_enumerates_registry(self):
+        from repro.conformance import oracle
+
+        full = {fam.name for fam in BUS_FAMILIES if fam.oracle == "full"}
+        kernel_only = {fam.name for fam in BUS_FAMILIES
+                       if fam.oracle == "kernel-only"}
+        assert len(oracle.DEFAULT_SNOOP_FACTORIES) == len(full)
+        assert len(oracle.KERNEL_ONLY_SNOOP_FACTORIES) == len(kernel_only)
+        stock = {fam.name for fam in DIR_FAMILIES if fam.machine is None}
+        assert {p.name for p in oracle.DEFAULT_POLICIES} == stock
+        assert {fam.name for fam in oracle.FAMILY_DIRECTORY_MACHINES} == {
+            fam.name for fam in DIR_FAMILIES if fam.machine is not None
+        }
+
+    def test_registry_verification_expectation_is_total(self):
+        # The names `repro-verify --expect-registry` demands certificates
+        # for: every family on both engines must form a valid combo.
+        from repro.verification.model import VerifyConfig
+
+        for fam in BUS_FAMILIES:
+            VerifyConfig(engine="bus", protocol=fam.name)
+        for fam in DIR_FAMILIES:
+            VerifyConfig(engine="directory", protocol=fam.name)
+
+
+class TestCacheKeyHonesty:
+    def test_family_machines_do_not_share_stock_entries(self):
+        # The hybrid and self-invalidation directory policies carry the
+        # same behavioral fields as CONVENTIONAL (no migratory
+        # detection); their machines differ, so their digests must too.
+        hybrid = families.directory_policy("hybrid-update-invalidate")
+        selfinval = families.directory_policy("self-invalidation")
+        digests = {
+            resultcache.policy_digest(CONVENTIONAL),
+            resultcache.policy_digest(hybrid),
+            resultcache.policy_digest(selfinval),
+        }
+        assert len(digests) == 3
+
+    def test_classifier_does_not_share_basic_entries(self):
+        classifier = families.directory_policy("pattern-classifier")
+        assert (resultcache.policy_digest(classifier)
+                != resultcache.policy_digest(BASIC))
+
+    def test_stock_alias_sharing_preserved(self):
+        # The documented feature: an ablation policy with basic's
+        # behavioral fields shares basic's cache entries regardless of
+        # its name — both run the stock machine.
+        alias = AdaptivePolicy("threshold-1-ablation", migratory_threshold=1)
+        assert (resultcache.policy_digest(alias)
+                == resultcache.policy_digest(BASIC))
+
+    def test_policy_digest_names_the_family_component(self):
+        hybrid = families.directory_policy("hybrid-update-invalidate")
+        assert "|family:" in resultcache.policy_digest(hybrid)
+        assert "|family:stock" in resultcache.policy_digest(BASIC)
+
+    def test_protocol_digest_names_the_family_component(self):
+        digest = resultcache.protocol_digest(
+            families.bus_protocol("self-invalidation")
+        )
+        assert "|family:" in digest
+        retuned = resultcache.protocol_digest(
+            families.bus_protocol("competitive-update-1")
+        )
+        assert digest != retuned
+
+    def test_retuning_a_family_changes_its_digest(self):
+        # behavior_digest folds the tunables in, so a re-registered
+        # family with a different threshold can never serve stale
+        # results cached under the old tuning.
+        fam = families.family("bus", "hybrid-update-invalidate")
+        retuned = families.ProtocolFamily(
+            name=fam.name, engine=fam.engine, description=fam.description,
+            factory=fam.factory, kernelable=fam.kernelable,
+            fallback_reason=fam.fallback_reason, oracle=fam.oracle,
+            tunables=(("invalid_threshold", 99),),
+            protocol_name=fam.protocol_name,
+        )
+        assert retuned.behavior_digest() != fam.behavior_digest()

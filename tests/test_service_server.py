@@ -121,6 +121,38 @@ class TestEndpoints:
 
         run_with_server(body)
 
+    def test_compare_adaptive_families_on_shared_trace(self):
+        # The registry question the family subsystem exists to answer:
+        # migratory-adaptive vs write-run hybrid vs self-invalidation,
+        # priced on one shared trace, one total per family.
+        matchup = ["adaptive", "hybrid-update-invalidate",
+                   "self-invalidation"]
+
+        async def body(service, client):
+            response = await client.compare(
+                policies=matchup, engine="bus", app="mp3d", scale=SCALE,
+            )
+            assert response["type"] == "compare"
+            assert set(response["totals"]) == set(matchup)
+            assert all(total > 0 for total in response["totals"].values())
+            assert response["cheapest"] in matchup
+            # mp3d is the migratory-heavy analogue: the paper's
+            # adaptive protocol wins its home ground.
+            assert response["cheapest"] == "adaptive"
+
+        run_with_server(body)
+
+    def test_compare_family_directory_machines(self):
+        async def body(service, client):
+            response = await client.compare(
+                policies=["basic", "self-invalidation"], app="water",
+                cache_size=64 * 1024, scale=SCALE,
+            )
+            assert set(response["totals"]) == {"basic", "self-invalidation"}
+            assert all(total > 0 for total in response["totals"].values())
+
+        run_with_server(body)
+
     def test_experiment_renders_and_caches(self):
         async def body(service, client):
             first = await client.experiment(

@@ -55,11 +55,11 @@ def test_merged_registry_sums_worker_series():
     merged = merge_dicts(payloads)
     per_worker = [
         MetricsRegistry.from_dict(p).counter("repro_steps_total").value(
-            engine="directory[basic]"
+            engine="directory[basic]", repro_protocol_family="basic"
         )
         for p in payloads
     ]
     assert merged.counter("repro_steps_total").value(
-        engine="directory[basic]"
+        engine="directory[basic]", repro_protocol_family="basic"
     ) == sum(per_worker)
     assert all(count > 0 for count in per_worker)

@@ -156,14 +156,20 @@ class TestRecorderStream:
         assert {r["kind"] for r in coherence} <= set(COHERENCE_KINDS)
         assert recorder.steps == len(coherence)
         steps_metric = registry.counter(STEPS_TOTAL)
-        assert steps_metric.value(engine=recorder.engine) == recorder.steps
+        assert steps_metric.value(
+            engine=recorder.engine, repro_protocol_family=recorder.family
+        ) == recorder.steps
         per_kind = registry.counter(COHERENCE_TOTAL)
         for kind in COHERENCE_KINDS:
-            assert per_kind.value(engine=recorder.engine, kind=kind) == sum(
+            assert per_kind.value(
+                engine=recorder.engine, kind=kind,
+                repro_protocol_family=recorder.family,
+            ) == sum(
                 1 for r in coherence if r["kind"] == kind
             )
         transitions = registry.counter(TRANSITIONS_TOTAL)
-        assert (transitions.value(engine=recorder.engine, direction="promote")
+        assert (transitions.value(engine=recorder.engine, direction="promote",
+                                  repro_protocol_family=recorder.family)
                 == _machine_transitions(machine)["promote"])
 
     def test_bus_recorder_sees_adaptive_classification(self, trace):

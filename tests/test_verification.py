@@ -188,10 +188,11 @@ class TestSnoopingWithEvictions:
 
     def test_lone_plain_s_copy_reachable_only_via_eviction(self):
         def lone_s(result):
+            # Snooping globals are (per-proc lines, protocol block state).
             return any(
-                sum(1 for line in state if line is not None) == 1
-                and any(line and line[0] == "S" for line in state)
-                for state in result.states
+                sum(1 for line in lines if line is not None) == 1
+                and any(line and line[0] == "S" for line in lines)
+                for lines, _pstate in result.states
             )
 
         assert not lone_s(explore_snooping(AdaptiveSnoopingProtocol))

@@ -18,9 +18,8 @@ import random
 
 import pytest
 
-from repro.directory.policy import PAPER_POLICIES, STENSTROM
+from repro.protocols import registry as families
 from repro.snooping.machine import BusMachine
-from repro.system.machine import DirectoryMachine
 from repro.verification.space import (
     _dir_extract,
     _snoop_config,
@@ -32,10 +31,10 @@ from repro.verification.space import (
 
 from repro.verification.model import SNOOP_PROTOCOLS
 
-ALL_POLICIES = [*PAPER_POLICIES, STENSTROM]
+DIR_FAMILIES = list(families.directory_families())
 
 SNOOP_IDS = list(SNOOP_PROTOCOLS)
-POLICY_IDS = [policy.name for policy in ALL_POLICIES]
+POLICY_IDS = [fam.name for fam in DIR_FAMILIES]
 
 
 class TestSnoopingMatrix:
@@ -69,27 +68,34 @@ class TestSnoopingMatrix:
 
 
 class TestDirectoryMatrix:
-    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
-    def test_closure_has_zero_violations(self, policy):
-        result = explore_directory(policy)
+    @pytest.mark.parametrize("family", DIR_FAMILIES, ids=POLICY_IDS)
+    def test_closure_has_zero_violations(self, family):
+        result = explore_directory(
+            family.policy, machine_cls=family.machine_class()
+        )
         assert result.ok, result.violations
         assert len(result.states) > 1
 
-    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
-    def test_closure_with_evictions_has_zero_violations(self, policy):
-        result = explore_directory(policy, with_evictions=True)
+    @pytest.mark.parametrize("family", DIR_FAMILIES, ids=POLICY_IDS)
+    def test_closure_with_evictions_has_zero_violations(self, family):
+        result = explore_directory(
+            family.policy, with_evictions=True,
+            machine_cls=family.machine_class(),
+        )
         assert result.ok, result.violations
 
     def test_migratory_directory_states_need_adaptivity(self):
-        # The conventional policy never classifies, so the migratory
-        # directory states are unreachable under it and reachable under
-        # every adaptive policy.
-        for policy in ALL_POLICIES:
-            seen = directory_states_seen(explore_directory(policy))
-            if policy.name == "conventional":
-                assert "ONE_COPY_MIG" not in seen
+        # Non-adaptive policies never classify, so the migratory
+        # directory states are unreachable under them and reachable
+        # under every adaptive policy.
+        for family in DIR_FAMILIES:
+            seen = directory_states_seen(explore_directory(
+                family.policy, machine_cls=family.machine_class()
+            ))
+            if family.policy.adaptive:
+                assert "ONE_COPY_MIG" in seen, family.name
             else:
-                assert "ONE_COPY_MIG" in seen, policy.name
+                assert "ONE_COPY_MIG" not in seen, family.name
 
 
 class TestAbstractionCrossCheck:
@@ -124,15 +130,18 @@ class TestAbstractionCrossCheck:
                     f"escaped the explored space"
                 )
 
-    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
-    def test_directory_replays_stay_in_reachable_set(self, policy):
+    @pytest.mark.parametrize("family", DIR_FAMILIES, ids=POLICY_IDS)
+    def test_directory_replays_stay_in_reachable_set(self, family):
+        policy = family.policy
         reachable = explore_directory(
-            policy, num_procs=self.NUM_PROCS
+            policy, num_procs=self.NUM_PROCS,
+            machine_cls=family.machine_class(),
         ).states
         for trial in range(self.TRIALS):
             rng = random.Random(f"space-cross:{policy.name}:{trial}")
-            machine = DirectoryMachine(_snoop_config(self.NUM_PROCS),
-                                       policy)
+            machine = family.machine_class()(
+                _snoop_config(self.NUM_PROCS), policy
+            )
             for proc, is_write, addr in self._random_accesses(rng):
                 machine.access(proc, is_write, addr)
                 state = _dir_extract(machine)
